@@ -1,0 +1,166 @@
+package repro
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=Ablation -benchmem
+//
+// Each sub-benchmark reports its outcome as custom metrics so the trade-off
+// is visible straight from the bench output.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// trueWall evaluates a configuration's noiseless wall time — ground truth
+// a real experimenter never sees, used here to score what the tuner chose.
+func trueWall(cfg *flags.Config, p *workload.Profile) float64 {
+	sim := jvmsim.New()
+	sim.NoiseRelStdDev = 0
+	return sim.Run(cfg, p, 0).WallSeconds
+}
+
+func mustProfile(b *testing.B, name string) *workload.Profile {
+	b.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("no workload %s", name)
+	}
+	return p
+}
+
+// BenchmarkAblationBeamWidth varies how many branch combinations the
+// hierarchical searcher refines. Width 1 risks locking onto a survey
+// winner that was noise; width 8 (all) spreads the budget too thin.
+func BenchmarkAblationBeamWidth(b *testing.B) {
+	p := mustProfile(b, "h2")
+	for _, width := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			var imp float64
+			for i := 0; i < b.N; i++ {
+				imp = 0
+				for seed := int64(0); seed < 3; seed++ {
+					sess := &core.Session{
+						Runner:   runner.NewInProcess(jvmsim.New(), p),
+						Searcher: &core.Hierarchical{BeamWidth: width},
+						Seed:     seed,
+					}
+					out, err := sess.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					imp += out.ImprovementPct / 3
+				}
+			}
+			b.ReportMetric(imp, "avg-improve-%")
+		})
+	}
+}
+
+// BenchmarkAblationReps contrasts tuning on single noisy runs against
+// 3-repetition means. Fewer reps buy more trials but risk locking in a
+// phantom winner; the metric that matters is the *true* (noiseless) wall of
+// the chosen configuration.
+func BenchmarkAblationReps(b *testing.B) {
+	p := mustProfile(b, "startup.xml.validation")
+	for _, reps := range []int{1, 3, 5} {
+		b.Run(fmt.Sprintf("reps=%d", reps), func(b *testing.B) {
+			var trueImp, trials float64
+			for i := 0; i < b.N; i++ {
+				trueImp, trials = 0, 0
+				def := trueWall(flags.NewConfig(flags.NewRegistry()), p)
+				for seed := int64(0); seed < 3; seed++ {
+					sess := &core.Session{
+						Runner:   runner.NewInProcess(jvmsim.New(), p),
+						Searcher: core.NewHierarchical(),
+						Reps:     reps,
+						Seed:     seed,
+					}
+					out, err := sess.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					tw := trueWall(out.Best, p)
+					trueImp += 100 * (def - tw) / def / 3
+					trials += float64(out.Trials) / 3
+				}
+			}
+			b.ReportMetric(trueImp, "true-improve-%")
+			b.ReportMetric(trials, "trials")
+		})
+	}
+}
+
+// BenchmarkAblationCache measures what canonical-config memoization buys:
+// with the cache off, re-proposed configurations burn budget re-measuring.
+func BenchmarkAblationCache(b *testing.B) {
+	p := mustProfile(b, "fop")
+	for _, cached := range []bool{true, false} {
+		name := "on"
+		if !cached {
+			name = "off"
+		}
+		b.Run("cache="+name, func(b *testing.B) {
+			var trials, hits float64
+			for i := 0; i < b.N; i++ {
+				r := runner.NewInProcess(jvmsim.New(), p)
+				r.DisableCache = !cached
+				sess := &core.Session{
+					Runner:   r,
+					Searcher: core.NewHierarchical(),
+					Seed:     11,
+				}
+				out, err := sess.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				trials = float64(out.Trials)
+				hits = float64(out.CacheHits)
+			}
+			b.ReportMetric(trials, "trials-in-budget")
+			b.ReportMetric(hits, "cache-hits")
+		})
+	}
+}
+
+// BenchmarkSimulatorRun is a micro-benchmark of the substrate itself: one
+// simulated JVM execution. The entire 200-minute tuning economy rests on
+// this being cheap.
+func BenchmarkSimulatorRun(b *testing.B) {
+	sim := jvmsim.New()
+	reg := flags.NewRegistry()
+	cfg := flags.NewConfig(reg)
+	cfg.SetBool("UseG1GC", true)
+	cfg.SetBool("UseParallelGC", false)
+	p := mustProfile(b, "h2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.Run(cfg, p, i)
+		if res.Failed {
+			b.Fatal(res.FailureMessage)
+		}
+	}
+}
+
+// BenchmarkConfigKey is a micro-benchmark of canonical-key construction,
+// the hot path of the runner's result cache.
+func BenchmarkConfigKey(b *testing.B) {
+	reg := flags.NewRegistry()
+	cfg := flags.NewConfig(reg)
+	cfg.SetBool("UseG1GC", true)
+	cfg.SetInt("MaxHeapSize", 2<<30)
+	cfg.SetInt("CompileThreshold", 1500)
+	cfg.SetBool("TieredCompilation", true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cfg.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (see the
+// per-experiment index in DESIGN.md). Each bench regenerates its artifact
+// at the paper's 200-virtual-minute budget, asserts the shape properties
+// the paper reports, and exposes the headline numbers as custom metrics:
+//
+//	go test -bench=. -benchmem
+//
+// Shape expectations (DESIGN.md): absolute numbers come from a synthetic
+// substrate, but who wins, by roughly what factor, and where the crossovers
+// fall must match the paper.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// paperBudget mirrors the evaluation's 200-minute tuning budget.
+func paperBudget() experiments.Config {
+	return experiments.Config{
+		BudgetSeconds: core.DefaultBudgetSeconds,
+		Reps:          3,
+		Seed:          42,
+	}
+}
+
+// BenchmarkTable1SPECjvm2008 regenerates Table 1: the 16 SPECjvm2008
+// startup programs, default vs tuned. Paper: +19% average, top three
+// +63/51/32%.
+func BenchmarkTable1SPECjvm2008(b *testing.B) {
+	var res *experiments.SuiteResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSuite("specjvm2008", paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	if res.AvgImprovement < 12 || res.AvgImprovement > 30 {
+		b.Errorf("SPECjvm2008 average improvement %.1f%% outside the paper band [12,30]", res.AvgImprovement)
+	}
+	if res.TopThree[0] < 50 {
+		b.Errorf("no dramatic winner: top improvement %.1f%% (paper: 63%%)", res.TopThree[0])
+	}
+	b.ReportMetric(res.AvgImprovement, "avg-improve-%")
+	b.ReportMetric(res.TopThree[0], "max-improve-%")
+}
+
+// BenchmarkTable2DaCapo regenerates Table 2: the 13 DaCapo programs.
+// Paper: +26% average, +42% maximum.
+func BenchmarkTable2DaCapo(b *testing.B) {
+	var res *experiments.SuiteResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSuite("dacapo", paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	if res.AvgImprovement < 15 || res.AvgImprovement > 35 {
+		b.Errorf("DaCapo average improvement %.1f%% outside the paper band [15,35]", res.AvgImprovement)
+	}
+	if res.MaxImprovement < 35 {
+		b.Errorf("DaCapo maximum improvement %.1f%% (paper: 42%%)", res.MaxImprovement)
+	}
+	b.ReportMetric(res.AvgImprovement, "avg-improve-%")
+	b.ReportMetric(res.MaxImprovement, "max-improve-%")
+}
+
+// BenchmarkFigure1Convergence regenerates Figure 1: anytime best-found
+// improvement over tuning time. Shape: monotone non-decreasing, with most
+// of the final gain reached by mid-budget.
+func BenchmarkFigure1Convergence(b *testing.B) {
+	var res *experiments.ConvergenceResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunConvergence(nil, paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	half, full := 0.0, 0.0
+	for i := range res.Benchmarks {
+		curve := res.ImprovementAt[i]
+		for m := 1; m < len(curve); m++ {
+			if curve[m] < curve[m-1]-1e-9 {
+				b.Errorf("%s: convergence curve regressed", res.Benchmarks[i])
+			}
+		}
+		// Mark index 7 is the 120-minute sample of a 200-minute budget.
+		half += curve[7]
+		full += curve[len(curve)-1]
+	}
+	if half < 0.8*full {
+		b.Errorf("less than 80%% of the gain by minute 120: %.1f vs %.1f", half, full)
+	}
+	b.ReportMetric(full/float64(len(res.Benchmarks)), "avg-final-improve-%")
+}
+
+// BenchmarkTable3SearchSpace regenerates Table 3: the flag-hierarchy's
+// search-space reduction. Shape: many orders of magnitude.
+func BenchmarkTable3SearchSpace(b *testing.B) {
+	var res *experiments.SpaceResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunSpace()
+	}
+	if res.TotalFlags < 600 {
+		b.Errorf("flag universe %d < the paper's 600", res.TotalFlags)
+	}
+	if res.ReductionLog10 < 3 {
+		b.Errorf("hierarchy reduction only 10^%.1f", res.ReductionLog10)
+	}
+	b.ReportMetric(res.FlatLog10, "flat-log10")
+	b.ReportMetric(res.HierarchicalLog10, "hier-log10")
+}
+
+// BenchmarkFigure2SubsetVsFull regenerates Figure 2: whole-JVM tuning vs a
+// prior-work fixed-subset tuner. Shape: whole-JVM wins on average and
+// dominates on JIT-bound startup programs.
+func BenchmarkFigure2SubsetVsFull(b *testing.B) {
+	searchers := []string{"hierarchical", "subset-hillclimb"}
+	var res *experiments.ComparisonResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunComparison(nil, searchers, paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	full := res.AvgBySearcher["hierarchical"]
+	sub := res.AvgBySearcher["subset-hillclimb"]
+	if full <= sub {
+		b.Errorf("whole-JVM tuning (%.1f%%) did not beat subset tuning (%.1f%%)", full, sub)
+	}
+	// On the warm-up-bound programs the subset tuner must be far behind.
+	for _, row := range res.Rows {
+		if row.Benchmark == "startup.compiler.compiler" && row.Searcher == "subset-hillclimb" &&
+			row.ImprovementPct > full {
+			b.Errorf("subset tuner should not dominate on startup benchmarks")
+		}
+	}
+	b.ReportMetric(full, "full-avg-%")
+	b.ReportMetric(sub, "subset-avg-%")
+}
+
+// BenchmarkFigure3SearcherAblation regenerates Figure 3: every search
+// strategy under an equal budget. Shape: the hierarchy-guided searcher is
+// at or near the top; unguided random is far behind on loop-bound kernels.
+func BenchmarkFigure3SearcherAblation(b *testing.B) {
+	searchers := core.SearcherNames()
+	var res *experiments.ComparisonResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunComparison(nil, searchers, paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	hier := res.AvgBySearcher["hierarchical"]
+	for _, s := range searchers {
+		if s == "hierarchical" || s == "genetic-flat" {
+			continue // the flat GA may tie under a generous budget
+		}
+		if res.AvgBySearcher[s] > hier {
+			b.Errorf("%s (%.1f%%) beat hierarchical (%.1f%%) on average",
+				s, res.AvgBySearcher[s], hier)
+		}
+	}
+	b.ReportMetric(hier, "hier-avg-%")
+	b.ReportMetric(res.AvgBySearcher["random"], "random-avg-%")
+}
+
+// BenchmarkTable4BestConfigs regenerates Table 4: what the winning
+// configurations chose. Shape: startup programs flip compilation policy;
+// heap-pressured DaCapo programs grow the heap or change collectors.
+func BenchmarkTable4BestConfigs(b *testing.B) {
+	var rows []experiments.BestConfigRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunBestConfigs(nil, paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	byName := map[string]experiments.BestConfigRow{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+	// h2's default-heap GC pressure must be fixed one way or the other:
+	// grow the heap or abandon the default throughput collector.
+	if r := byName["h2"]; r.HeapMB <= 512 && r.Collector == "parallel" {
+		b.Errorf("h2's winner neither grew the %d MB heap nor changed collector (%s)",
+			r.HeapMB, r.Collector)
+	}
+	if r := byName["startup.compiler.compiler"]; len(r.KeyChanges) == 0 {
+		b.Error("startup.compiler.compiler's winner should change flags")
+	}
+	tieredCount := 0
+	for _, r := range rows {
+		if r.Tiered {
+			tieredCount++
+		}
+	}
+	if tieredCount < 5 {
+		b.Errorf("only %d winners enabled tiered compilation; startup programs should", tieredCount)
+	}
+	b.ReportMetric(float64(len(rows)), "benchmarks")
+}
+
+// BenchmarkE8SeedVariance runs the stability extension: the per-benchmark
+// improvement spread across 5 seeds. Shape: the headline numbers are not
+// single-seed luck — the CI must be small relative to the mean for the big
+// winners.
+func BenchmarkE8SeedVariance(b *testing.B) {
+	var rows []experiments.SeedVarianceRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSeedVariance(nil, 5, paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		if r.Mean > 30 && r.CI95 > r.Mean/2 {
+			b.Errorf("%s: improvement %.1f%% ± %.1f is mostly luck", r.Benchmark, r.Mean, r.CI95)
+		}
+		if r.Min < 0 {
+			b.Errorf("%s: some seed tuned worse than default (%.1f%%)", r.Benchmark, r.Min)
+		}
+	}
+	b.ReportMetric(rows[0].Mean, "top-bench-mean-%")
+	b.ReportMetric(rows[0].CI95, "top-bench-ci95")
+}
+
+// BenchmarkE9ParallelScaling runs the tuning-farm extension: more parallel
+// evaluation slots under the same wall budget. Shape: trials scale nearly
+// linearly with workers; improvement is monotone-ish with diminishing
+// returns.
+func BenchmarkE9ParallelScaling(b *testing.B) {
+	var rows []experiments.ScalingRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunParallelScaling(nil, nil, paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	byBench := map[string][]experiments.ScalingRow{}
+	for _, r := range rows {
+		byBench[r.Benchmark] = append(byBench[r.Benchmark], r)
+	}
+	for bench, rs := range byBench {
+		first, last := rs[0], rs[len(rs)-1]
+		speedup := float64(last.Trials) / float64(first.Trials)
+		if speedup < float64(last.Workers)/2 {
+			b.Errorf("%s: %d workers only ran %.1fx the trials", bench, last.Workers, speedup)
+		}
+		if last.ImprovementPct < first.ImprovementPct-2 {
+			b.Errorf("%s: more workers tuned worse (%.1f%% vs %.1f%%)",
+				bench, last.ImprovementPct, first.ImprovementPct)
+		}
+	}
+	b.ReportMetric(float64(rows[len(rows)-1].Trials), "trials-at-max-workers")
+}
+
+// BenchmarkE10GeneratedRobustness runs the robustness extension: tune
+// randomly generated workloads the profiles were never calibrated against.
+// Shape: the tuner's contract holds everywhere — never worse than default —
+// and every family sees positive mean improvement.
+func BenchmarkE10GeneratedRobustness(b *testing.B) {
+	var rows []experiments.RobustnessRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunGeneratedRobustness(5, paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	var total float64
+	for _, r := range rows {
+		if r.MinImp < 0 {
+			b.Errorf("%s: a generated workload tuned worse than default (%.1f%%)", r.Kind, r.MinImp)
+		}
+		if r.MeanImp <= 0 {
+			b.Errorf("%s: no improvement on generated workloads", r.Kind)
+		}
+		total += r.MeanImp
+	}
+	b.ReportMetric(total/float64(len(rows)), "avg-improve-%")
+}
+
+// BenchmarkE11CommonConfig runs the common-configuration extension: one
+// flag set for the whole DaCapo suite under the same total budget as
+// per-program tuning. Shape: the common config captures most of the
+// average win but cannot dominate per-program tuning.
+func BenchmarkE11CommonConfig(b *testing.B) {
+	var res *experiments.CommonConfigResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCommonConfig("dacapo", paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	if res.SuiteAvgCommonPct <= 0 {
+		b.Error("common config should improve the suite on average")
+	}
+	if res.SuiteAvgCommonPct < res.SuiteAvgPerProgramPct*0.5 {
+		b.Errorf("common config (%.1f%%) should capture most of per-program tuning (%.1f%%)",
+			res.SuiteAvgCommonPct, res.SuiteAvgPerProgramPct)
+	}
+	if res.SuiteAvgCommonPct > res.SuiteAvgPerProgramPct+5 {
+		b.Errorf("common config (%.1f%%) should not dominate per-program tuning (%.1f%%)",
+			res.SuiteAvgCommonPct, res.SuiteAvgPerProgramPct)
+	}
+	b.ReportMetric(res.SuiteAvgCommonPct, "common-avg-%")
+	b.ReportMetric(res.SuiteAvgPerProgramPct, "per-program-avg-%")
+}
+
+// BenchmarkE13Objectives runs the latency-tuning extension: the same
+// benchmarks tuned for throughput and for worst GC pause. Shape: the
+// pause-tuned winner pauses less; the throughput-tuned winner is at least
+// as fast.
+func BenchmarkE13Objectives(b *testing.B) {
+	var rows []experiments.ObjectiveRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunObjectives(nil, paperBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for i := 0; i+1 < len(rows); i += 2 {
+		thr, pause := rows[i], rows[i+1]
+		if pause.MaxPauseMs > thr.MaxPauseMs {
+			b.Errorf("%s: pause tuning paused longer (%.0fms vs %.0fms)",
+				pause.Benchmark, pause.MaxPauseMs, thr.MaxPauseMs)
+		}
+		if thr.WallSeconds > pause.WallSeconds*1.05 {
+			b.Errorf("%s: throughput tuning notably slower (%.1fs vs %.1fs)",
+				thr.Benchmark, thr.WallSeconds, pause.WallSeconds)
+		}
+	}
+	b.ReportMetric(rows[1].MaxPauseMs, "h2-pause-tuned-ms")
+	b.ReportMetric(rows[0].MaxPauseMs, "h2-throughput-tuned-ms")
+}

@@ -1,0 +1,251 @@
+package repro
+
+// End-to-end tests of the command-line tools: build each binary once and
+// drive it the way a user would.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+// cliBinary builds cmd/<name> once per test run and returns its path.
+func cliBinary(t *testing.T, name string) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "repro-cli")
+		if cliErr != nil {
+			return
+		}
+		for _, tool := range []string{"autotune", "experiments", "jvmsim", "flaginfo", "validate"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "repro/cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				cliErr = err
+				os.Stderr.Write(out)
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Skipf("cannot build CLI tools: %v", cliErr)
+	}
+	return filepath.Join(cliDir, name)
+}
+
+func TestCLIAutotuneList(t *testing.T) {
+	out, err := exec.Command(cliBinary(t, "autotune"), "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "startup.compiler.compiler") ||
+		!strings.Contains(string(out), "h2") {
+		t.Errorf("-list output incomplete:\n%s", out)
+	}
+}
+
+func TestCLIAutotuneTunesAndSaves(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "result.json")
+	cmd := exec.Command(cliBinary(t, "autotune"),
+		"-benchmark", "fop", "-budget", "20", "-seed", "1", "-out", outPath, "-trace")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("autotune failed: %v", err)
+	}
+	for _, want := range []string{"benchmark:    fop", "improvement:", "winning flags:", "convergence"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("saved JSON missing: %v", err)
+	}
+	var saved map[string]any
+	if err := json.Unmarshal(data, &saved); err != nil {
+		t.Fatalf("saved JSON malformed: %v", err)
+	}
+	if saved["workload"] != "fop" {
+		t.Errorf("saved workload = %v", saved["workload"])
+	}
+}
+
+func TestCLIAutotuneErrors(t *testing.T) {
+	bin := cliBinary(t, "autotune")
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("no benchmark should exit non-zero")
+	}
+	if err := exec.Command(bin, "-benchmark", "nope").Run(); err == nil {
+		t.Error("unknown benchmark should exit non-zero")
+	}
+	if err := exec.Command(bin, "-benchmark", "fop", "-searcher", "nope").Run(); err == nil {
+		t.Error("unknown searcher should exit non-zero")
+	}
+}
+
+func TestCLIExperimentsQuickTable3(t *testing.T) {
+	out, err := exec.Command(cliBinary(t, "experiments"), "-run", "table3").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "search-space reduction") {
+		t.Errorf("table3 output:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsQuickTable1(t *testing.T) {
+	out, err := exec.Command(cliBinary(t, "experiments"), "-run", "table1", "-quick", "-reps", "1").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, "SPECjvm2008") || !strings.Contains(s, "average") ||
+		!strings.Contains(s, "paper: average 19%") {
+		t.Errorf("table1 output incomplete:\n%s", s)
+	}
+}
+
+func TestCLIExperimentsUnknown(t *testing.T) {
+	if err := exec.Command(cliBinary(t, "experiments"), "-run", "nope").Run(); err == nil {
+		t.Error("unknown experiment should exit non-zero")
+	}
+}
+
+func TestCLIFlaginfo(t *testing.T) {
+	bin := cliBinary(t, "flaginfo")
+	out, err := exec.Command(bin).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "total") || !strings.Contains(string(out), "tunable") {
+		t.Errorf("summary output:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-flag", "CompileThreshold").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "CompileThreshold") || !strings.Contains(string(out), "default=10000") {
+		t.Errorf("-flag output:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-active", "--", "-XX:+UseG1GC", "-XX:-UseParallelGC").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, "collector: g1") || !strings.Contains(s, "G1HeapRegionSize") {
+		t.Errorf("-active output:\n%s", s)
+	}
+	if strings.Contains(s, "CMSInitiatingOccupancyFraction") {
+		t.Error("CMS flags should be inactive under G1")
+	}
+
+	if err := exec.Command(bin, "-flag", "NoSuch").Run(); err == nil {
+		t.Error("unknown flag should exit non-zero")
+	}
+	if err := exec.Command(bin, "-category", "nope").Run(); err == nil {
+		t.Error("unknown category should exit non-zero")
+	}
+}
+
+func TestCLIExperimentsCSVExport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	out, err := exec.Command(cliBinary(t, "experiments"),
+		"-run", "table3", "-csv", dir, "-quick", "-reps", "1").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "wrote ") {
+		t.Errorf("no files reported written:\n%s", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 5 {
+		t.Errorf("expected 5 CSV files, got %d (%v)", len(entries), err)
+	}
+}
+
+func TestCLIValidateQuick(t *testing.T) {
+	// A 25-minute budget is enough for every shape claim to hold.
+	out, err := exec.Command(cliBinary(t, "validate"), "-budget", "25").Output()
+	if err != nil {
+		t.Fatalf("validate failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "claims hold") {
+		t.Errorf("validate output:\n%s", out)
+	}
+	if strings.Contains(string(out), "FAIL") {
+		t.Errorf("claims failed:\n%s", out)
+	}
+}
+
+func TestCLIJvmsimAgainstAutotuneWinner(t *testing.T) {
+	// A mini end-to-end: tune via autotune, then replay the winning flags
+	// through the jvmsim launcher and confirm it beats the defaults.
+	auto, sim := cliBinary(t, "autotune"), cliBinary(t, "jvmsim")
+	outPath := filepath.Join(t.TempDir(), "r.json")
+	if err := exec.Command(auto, "-benchmark", "startup.xml.validation",
+		"-budget", "30", "-seed", "2", "-out", outPath).Run(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(outPath)
+	var saved struct {
+		CommandLine []string `json:"command_line"`
+	}
+	if err := json.Unmarshal(data, &saved); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(args []string) float64 {
+		out, err := exec.Command(sim, append(args, "startup.xml.validation")...).Output()
+		if err != nil {
+			t.Fatalf("jvmsim failed: %v", err)
+		}
+		var rep struct {
+			WallSeconds float64 `json:"wall_seconds"`
+		}
+		if err := json.Unmarshal(out, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep.WallSeconds
+	}
+	if tuned, def := run(saved.CommandLine), run(nil); tuned >= def {
+		t.Errorf("replayed winner (%.1fs) should beat defaults (%.1fs)", tuned, def)
+	}
+}
+
+func TestCLIJvmsimPrintGC(t *testing.T) {
+	bin := cliBinary(t, "jvmsim")
+	cmd := exec.Command(bin, "-XX:+PrintGC", "h2")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("jvmsim failed: %v", err)
+	}
+	log := stderr.String()
+	if !strings.Contains(log, "[GC ") {
+		t.Errorf("-XX:+PrintGC should emit a GC log, got:\n%.200s", log)
+	}
+	if !strings.Contains(log, "[Full GC ") {
+		t.Error("h2 under defaults should log full GCs")
+	}
+	// Without the flag, stderr stays quiet.
+	quiet := exec.Command(bin, "h2")
+	var qerr strings.Builder
+	quiet.Stderr = &qerr
+	if err := quiet.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(qerr.String(), "[GC ") {
+		t.Error("GC log printed without -XX:+PrintGC")
+	}
+}

@@ -1,0 +1,105 @@
+// Command autotune tunes one benchmark under a virtual time budget and
+// prints the winning flag configuration — the interactive face of the
+// reproduction.
+//
+// Usage:
+//
+//	autotune -benchmark h2 [-budget 200] [-searcher hierarchical]
+//	         [-reps 3] [-seed 0] [-trace] [-jvmsim path/to/jvmsim]
+//	autotune -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/hotspot"
+)
+
+func main() {
+	var (
+		bench    = flag.String("benchmark", "", "benchmark to tune (see -list)")
+		budget   = flag.Float64("budget", 200, "tuning budget in virtual minutes")
+		searcher = flag.String("searcher", "hierarchical", "search strategy: "+strings.Join(hotspot.Searchers(), ", "))
+		reps     = flag.Int("reps", 3, "repetitions per measurement")
+		seed     = flag.Int64("seed", 0, "random seed")
+		trace    = flag.Bool("trace", false, "print the convergence trace")
+		jvmsim   = flag.String("jvmsim", "", "path to the jvmsim binary; measure via subprocesses")
+		workers  = flag.Int("workers", 1, "parallel virtual evaluation slots")
+		explain  = flag.Bool("explain", false, "attribute the improvement to individual flags")
+		out      = flag.String("out", "", "save the result as JSON to this file")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range hotspot.Benchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "autotune: -benchmark is required (try -list)")
+		os.Exit(2)
+	}
+
+	res, err := hotspot.Tune(hotspot.Options{
+		Benchmark:     *bench,
+		Searcher:      *searcher,
+		BudgetMinutes: *budget,
+		Reps:          *reps,
+		Seed:          *seed,
+		Noise:         -1,
+		JVMSimPath:    *jvmsim,
+		Workers:       *workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autotune: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := res.Save(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "autotune: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("benchmark:    %s\n", res.Benchmark)
+	fmt.Printf("searcher:     %s\n", res.Searcher)
+	fmt.Printf("default:      %.2fs\n", res.DefaultWall)
+	fmt.Printf("tuned:        %.2fs\n", res.BestWall)
+	fmt.Printf("improvement:  %.1f%%  (%.2fx speedup)\n", res.ImprovementPct, res.Speedup)
+	fmt.Printf("collector:    %s\n", res.Collector)
+	fmt.Printf("trials:       %d  (%d failures, %d cache hits)\n", res.Trials, res.Failures, res.CacheHits)
+	fmt.Printf("tuning time:  %.0f virtual minutes\n", res.ElapsedMinutes)
+	fmt.Printf("winning flags:\n")
+	if len(res.CommandLine) == 0 {
+		fmt.Printf("  (defaults)\n")
+	}
+	for _, a := range res.CommandLine {
+		fmt.Printf("  %s\n", a)
+	}
+	if *trace {
+		fmt.Printf("convergence (virtual minutes → best wall seconds):\n")
+		for _, tp := range res.Trace {
+			fmt.Printf("  %7.1f  %8.2f\n", tp.Elapsed/60, tp.BestWall)
+		}
+	}
+	if *explain {
+		contribs, err := hotspot.Explain(res, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autotune: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("flag attribution (slowdown when reverted to default):\n")
+		for _, c := range contribs {
+			if !c.Reverted {
+				fmt.Printf("  %-35s = %-8s (structurally required)\n", c.Name, c.Value)
+				continue
+			}
+			fmt.Printf("  %-35s = %-8s %+6.1f%%\n", c.Name, c.Value, c.DeltaPct)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. By default it runs everything at the paper's budget
+// (200 virtual minutes per tuning session); -quick cuts the budget for a
+// fast smoke run.
+//
+// Usage:
+//
+//	experiments [-run all|table1|table2|figure1|table3|figure2|figure3|table4|seedvar|scaling|robustness|noise|objectives|common]
+//	            [-budget minutes] [-reps n] [-seed n] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "which experiment to run")
+		budget = flag.Float64("budget", 200, "tuning budget per session (virtual minutes)")
+		reps   = flag.Int("reps", 3, "repetitions per measurement")
+		seed   = flag.Int64("seed", 42, "random seed")
+		quick  = flag.Bool("quick", false, "shrink the budget to 30 minutes for a fast pass")
+		csvDir = flag.String("csv", "", "also write figure/table data as CSV files into this directory")
+	)
+	flag.Parse()
+	if *quick {
+		*budget = 30
+	}
+	cfg := experiments.Config{
+		BudgetSeconds: *budget * 60,
+		Reps:          *reps,
+		Seed:          *seed,
+	}
+	if err := dispatch(*run, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		files, err := experiments.WriteCSVDir(*csvDir, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			fmt.Printf("wrote %s\n", f)
+		}
+	}
+}
+
+func dispatch(which string, cfg experiments.Config) error {
+	all := which == "all"
+	ran := false
+
+	if all || which == "table1" {
+		ran = true
+		res, err := experiments.RunSuite("specjvm2008", cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSuite(res,
+			"Table 1: SPECjvm2008 startup programs, default vs auto-tuned"))
+		fmt.Printf("paper: average 19%%, top three 63%% / 51%% / 32%%\n")
+		fmt.Printf("here:  average %.0f%%, top three %.0f%% / %.0f%% / %.0f%%\n\n",
+			res.AvgImprovement, res.TopThree[0], res.TopThree[1], res.TopThree[2])
+	}
+	if all || which == "table2" {
+		ran = true
+		res, err := experiments.RunSuite("dacapo", cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSuite(res,
+			"Table 2: DaCapo programs, default vs auto-tuned"))
+		fmt.Printf("paper: average 26%%, maximum 42%%\n")
+		fmt.Printf("here:  average %.0f%%, maximum %.0f%%\n\n",
+			res.AvgImprovement, res.MaxImprovement)
+	}
+	if all || which == "figure1" {
+		ran = true
+		res, err := experiments.RunConvergence(nil, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderConvergence(res))
+	}
+	if all || which == "table3" {
+		ran = true
+		fmt.Println(experiments.RenderSpace(experiments.RunSpace()))
+	}
+	if all || which == "figure2" {
+		ran = true
+		searchers := []string{"hierarchical", "subset-hillclimb"}
+		res, err := experiments.RunComparison(nil, searchers, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderComparison(res,
+			"Figure 2: whole-JVM tuning vs prior-work flag subset (improvement %)",
+			searchers))
+	}
+	if all || which == "figure3" {
+		ran = true
+		searchers := core.SearcherNames()
+		res, err := experiments.RunComparison(nil, searchers, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderComparison(res,
+			"Figure 3: search-strategy ablation under equal budget (improvement %)",
+			searchers))
+	}
+	if all || which == "table4" {
+		ran = true
+		rows, err := experiments.RunBestConfigs(nil, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderBestConfigs(rows))
+	}
+	if all || which == "seedvar" {
+		ran = true
+		const seeds = 5
+		rows, err := experiments.RunSeedVariance(nil, seeds, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSeedVariance(rows, seeds))
+	}
+	if all || which == "scaling" {
+		ran = true
+		rows, err := experiments.RunParallelScaling(nil, nil, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderParallelScaling(rows))
+	}
+	if all || which == "robustness" {
+		ran = true
+		rows, err := experiments.RunGeneratedRobustness(5, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderGeneratedRobustness(rows))
+	}
+	if all || which == "noise" {
+		ran = true
+		rows, err := experiments.RunNoiseSensitivity(nil, nil, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderNoiseSensitivity(rows))
+	}
+	if all || which == "objectives" {
+		ran = true
+		rows, err := experiments.RunObjectives(nil, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderObjectives(rows))
+	}
+	if all || which == "common" {
+		ran = true
+		res, err := experiments.RunCommonConfig("dacapo", cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderCommonConfig(res))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

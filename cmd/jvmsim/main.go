@@ -1,0 +1,98 @@
+// Command jvmsim is a stand-in for the `java` launcher: it accepts
+// java-style VM options and a benchmark name, runs the benchmark on the
+// simulated HotSpot VM, and reports the result as JSON on stdout.
+//
+// Usage:
+//
+//	jvmsim [-XX:±Flag | -XX:Flag=value | -Xmx… | -Xms… | -Xmn… | -Xss…]... <benchmark>
+//	jvmsim -list
+//
+// The repetition index (for the noise model) is read from the JVMSIM_REP
+// environment variable. Exit status is 0 for a completed run, 1 when the
+// simulated VM failed (bad flag combination, OutOfMemoryError, …) — with
+// the diagnostic on stderr, as a real VM would print it — and 2 for usage
+// errors.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 1 && args[0] == "-list" {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return 0
+	}
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: jvmsim [VM options] <benchmark> | jvmsim -list")
+		return 2
+	}
+	benchName := args[len(args)-1]
+	vmArgs := args[:len(args)-1]
+
+	prof, ok := workload.ByName(benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "jvmsim: unknown benchmark %q (try -list)\n", benchName)
+		return 2
+	}
+	reg := flags.NewRegistry()
+	cfg, err := flags.ParseArgs(reg, vmArgs)
+	if err != nil {
+		// Matches the real launcher: unrecognized options abort before the
+		// VM starts, with no report.
+		fmt.Fprintf(os.Stderr, "Unrecognized VM option. %v\nError: Could not create the Java Virtual Machine.\n", err)
+		return 1
+	}
+
+	rep := 0
+	if v := os.Getenv(runner.RepEnvVar); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			rep = n
+		}
+	}
+
+	sim := jvmsim.New()
+	res := sim.Run(cfg, prof, rep)
+	// Like the real launcher, -XX:+PrintGC (or details) emits a GC log;
+	// harnesses scrape it from stderr.
+	if cfg.Bool("PrintGC") || cfg.Bool("PrintGCDetails") {
+		fmt.Fprint(os.Stderr, jvmsim.FormatGCLog(res))
+	}
+	report := runner.RunReport{
+		Benchmark:      prof.Name,
+		Rep:            rep,
+		WallSeconds:    res.WallSeconds,
+		Failed:         res.Failed,
+		Failure:        string(res.Failure),
+		FailureMessage: res.FailureMessage,
+		Collector:      res.Collector,
+		GCStopSeconds:  res.GCStopSeconds,
+		MaxPauseSecs:   res.MaxPauseSeconds,
+		MinorGCs:       res.MinorGCs,
+		FullGCs:        res.FullGCs,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "jvmsim: %v\n", err)
+		return 2
+	}
+	if res.Failed {
+		fmt.Fprintln(os.Stderr, res.FailureMessage)
+		return 1
+	}
+	return 0
+}

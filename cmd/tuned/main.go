@@ -1,0 +1,33 @@
+// Command tuned serves the auto-tuner over HTTP: a tuning-farm front-end
+// where clients submit budgeted jobs and poll for winning flag sets.
+//
+// Usage:
+//
+//	tuned [-addr :8425]
+//
+// Example session:
+//
+//	curl localhost:8425/v1/benchmarks
+//	curl -X POST localhost:8425/v1/tune?sync=1 \
+//	     -d '{"benchmark":"h2","budget_minutes":200}'
+//	curl -X POST localhost:8425/v1/measure \
+//	     -d '{"benchmark":"h2","args":["-Xmx4g","-XX:+UseG1GC"]}'
+//
+// See internal/httpapi for the full route list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8425", "listen address")
+	flag.Parse()
+	fmt.Printf("tuned: serving the HotSpot auto-tuner on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, httpapi.NewServer()))
+}

@@ -1,0 +1,189 @@
+// Command validate checks the reproduction's claims end to end: it runs
+// every experiment at the paper's budget and verifies the shape properties
+// DESIGN.md promises (who wins, by roughly what factor, where the
+// crossovers fall). Exit status 0 means every claim holds.
+//
+// Usage:
+//
+//	validate [-budget minutes] [-seed n] [-v]
+//
+// This is the CI face of the repository: the root-level benchmarks assert
+// the same properties, but validate prints a claim-by-claim report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+type check struct {
+	claim string
+	ok    bool
+	got   string
+}
+
+func main() {
+	var (
+		budget  = flag.Float64("budget", 200, "budget per tuning session (virtual minutes)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		verbose = flag.Bool("v", false, "print measured values for passing checks too")
+	)
+	flag.Parse()
+	cfg := experiments.Config{BudgetSeconds: *budget * 60, Reps: 3, Seed: *seed}
+
+	checks, err := runChecks(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+		os.Exit(2)
+	}
+	failed := 0
+	for _, c := range checks {
+		status := "PASS"
+		if !c.ok {
+			status = "FAIL"
+			failed++
+		}
+		if c.ok && !*verbose {
+			fmt.Printf("%s  %s\n", status, c.claim)
+			continue
+		}
+		fmt.Printf("%s  %s  [%s]\n", status, c.claim, c.got)
+	}
+	fmt.Printf("\n%d/%d claims hold\n", len(checks)-failed, len(checks))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runChecks(cfg experiments.Config) ([]check, error) {
+	var checks []check
+	add := func(claim string, ok bool, format string, args ...any) {
+		checks = append(checks, check{claim: claim, ok: ok, got: fmt.Sprintf(format, args...)})
+	}
+
+	// E1: SPECjvm2008.
+	spec, err := experiments.RunSuite("specjvm2008", cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("E1: SPECjvm2008 average improvement in [12%,30%] (paper: 19%)",
+		spec.AvgImprovement >= 12 && spec.AvgImprovement <= 30,
+		"avg %.1f%%", spec.AvgImprovement)
+	add("E1: at least one startup program improves ≥50% (paper: 63%)",
+		spec.TopThree[0] >= 50, "max %.1f%%", spec.TopThree[0])
+	add("E1: a clear top-three exists (third ≥ 1.5× the suite median)",
+		spec.TopThree[2] >= 1.5*median(improvements(spec)),
+		"third %.1f%% vs median %.1f%%", spec.TopThree[2], median(improvements(spec)))
+
+	// E2: DaCapo.
+	dacapo, err := experiments.RunSuite("dacapo", cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("E2: DaCapo average improvement in [15%,35%] (paper: 26%)",
+		dacapo.AvgImprovement >= 15 && dacapo.AvgImprovement <= 35,
+		"avg %.1f%%", dacapo.AvgImprovement)
+	add("E2: DaCapo maximum improvement ≥35% (paper: 42%)",
+		dacapo.MaxImprovement >= 35, "max %.1f%%", dacapo.MaxImprovement)
+
+	// E3: convergence.
+	conv, err := experiments.RunConvergence(nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	monotone, halfGain := true, true
+	for i := range conv.Benchmarks {
+		curve := conv.ImprovementAt[i]
+		for m := 1; m < len(curve); m++ {
+			if curve[m] < curve[m-1]-1e-9 {
+				monotone = false
+			}
+		}
+		if curve[7] < 0.8*curve[len(curve)-1] {
+			halfGain = false
+		}
+	}
+	add("E3: convergence curves are monotone non-decreasing", monotone, "%d curves", len(conv.Benchmarks))
+	add("E3: ≥80% of the final gain is reached by minute 120", halfGain, "checked %d curves", len(conv.Benchmarks))
+
+	// E4: search space.
+	space := experiments.RunSpace()
+	add("E4: the flag universe has 600+ flags (paper: 600+)",
+		space.TotalFlags >= 600, "%d flags", space.TotalFlags)
+	add("E4: the hierarchy cuts ≥3 orders of magnitude off the space",
+		space.ReductionLog10 >= 3, "10^%.1f reduction", space.ReductionLog10)
+
+	// E5: subset vs full.
+	cmp5, err := experiments.RunComparison(nil, []string{"hierarchical", "subset-hillclimb"}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("E5: whole-JVM tuning beats prior-work subset tuning on average",
+		cmp5.AvgBySearcher["hierarchical"] > cmp5.AvgBySearcher["subset-hillclimb"],
+		"%.1f%% vs %.1f%%", cmp5.AvgBySearcher["hierarchical"], cmp5.AvgBySearcher["subset-hillclimb"])
+	subsetWeakOnStartup := true
+	for _, row := range cmp5.Rows {
+		if row.Searcher == "subset-hillclimb" && row.Benchmark == "startup.compiler.compiler" &&
+			row.ImprovementPct > 15 {
+			subsetWeakOnStartup = false
+		}
+	}
+	add("E5: the subset tuner cannot fix warm-up-bound startup programs",
+		subsetWeakOnStartup, "checked startup.compiler.compiler")
+
+	// E6: searcher ablation.
+	cmp6, err := experiments.RunComparison(nil, core.SearcherNames(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	hier := cmp6.AvgBySearcher["hierarchical"]
+	bestOther := 0.0
+	for s, v := range cmp6.AvgBySearcher {
+		if s != "hierarchical" && v > bestOther {
+			bestOther = v
+		}
+	}
+	add("E6: the hierarchical searcher leads (or ties) every strategy on average",
+		hier >= bestOther-1, "hier %.1f%% vs best other %.1f%%", hier, bestOther)
+
+	// E10: robustness.
+	rob, err := experiments.RunGeneratedRobustness(3, cfg)
+	if err != nil {
+		return nil, err
+	}
+	never := true
+	for _, r := range rob {
+		if r.MinImp < 0 {
+			never = false
+		}
+	}
+	add("E10: tuning never ends worse than default on generated workloads",
+		never, "%d families × 3", len(rob))
+
+	return checks, nil
+}
+
+func improvements(s *experiments.SuiteResult) []float64 {
+	out := make([]float64, len(s.Rows))
+	for i, r := range s.Rows {
+		out[i] = r.ImprovementPct
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

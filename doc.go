@@ -1,0 +1,10 @@
+// Package repro is a Go reproduction of "Auto-Tuning the Java Virtual
+// Machine" (Jayasena, Fernando, Rusira, Perera, Philips — IPDPSW 2015).
+//
+// The public API lives in repro/hotspot; executables in cmd/autotune
+// (tune one benchmark), cmd/experiments (regenerate every table and figure
+// of the paper's evaluation), cmd/jvmsim (the simulated java launcher),
+// and cmd/flaginfo (inspect the 600+-flag universe). The root-level
+// benchmarks in bench_test.go drive one experiment each; see DESIGN.md for
+// the experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,74 @@
+// DaCapo sweep: tune the 13 DaCapo programs and print a Table-2-style
+// summary. Unlike the startup suite, these are GC-bound, so watch the
+// winning collector and heap choices.
+//
+//	go run ./examples/dacapo [-budget 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/hotspot"
+)
+
+func main() {
+	budget := flag.Float64("budget", 200, "tuning budget per program (virtual minutes)")
+	flag.Parse()
+
+	suite, err := hotspot.Suite("dacapo")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results := make([]*hotspot.Result, len(suite))
+	var wg sync.WaitGroup
+	for i, p := range suite {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			res, err := hotspot.Tune(hotspot.Options{
+				Benchmark:     name,
+				BudgetMinutes: *budget,
+				Seed:          int64(100 + i),
+			})
+			if err != nil {
+				log.Printf("%s: %v", name, err)
+				return
+			}
+			results[i] = res
+		}(i, p.Name)
+	}
+	wg.Wait()
+
+	fmt.Printf("%-12s %10s %10s %12s %9s  %s\n",
+		"benchmark", "default(s)", "tuned(s)", "improvement", "GC", "key flags")
+	var sum, max float64
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		// Show the first few winning flags; the full line can be long.
+		flags := ""
+		for i, a := range r.CommandLine {
+			if i == 3 {
+				flags += " …"
+				break
+			}
+			if i > 0 {
+				flags += " "
+			}
+			flags += a
+		}
+		fmt.Printf("%-12s %10.2f %10.2f %11.1f%% %9s  %s\n",
+			r.Benchmark, r.DefaultWall, r.BestWall, r.ImprovementPct, r.Collector, flags)
+		sum += r.ImprovementPct
+		if r.ImprovementPct > max {
+			max = r.ImprovementPct
+		}
+	}
+	fmt.Printf("\naverage improvement: %.1f%%   maximum: %.1f%%  (paper: 26%% avg, 42%% max)\n",
+		sum/float64(len(suite)), max)
+}

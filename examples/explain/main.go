@@ -1,0 +1,70 @@
+// Explain: the full post-tuning workflow — tune, attribute the win to
+// individual flags, prune the passengers, and archive the result.
+//
+//	go run ./examples/explain
+//
+// Tuned configurations always accumulate flags that ride along on noise;
+// before deploying one you want to know which of the 15 changed flags
+// actually matter. Explain reverts each flag individually and re-measures;
+// Minimize then prunes everything that costs less than 1%.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/hotspot"
+)
+
+func main() {
+	result, err := hotspot.Tune(hotspot.Options{
+		Benchmark:     "startup.xml.validation",
+		BudgetMinutes: 120,
+		Seed:          3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuned %s: %.1f%% faster with %d flags changed\n\n",
+		result.Benchmark, result.ImprovementPct, len(result.CommandLine))
+
+	// 1. Attribution: what is each flag worth?
+	contribs, err := hotspot.Explain(result, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flag attribution (slowdown when reverted):")
+	for _, c := range contribs {
+		if !c.Reverted {
+			fmt.Printf("  %-38s %s   (structurally required)\n", c.Name+"="+c.Value, "")
+			continue
+		}
+		fmt.Printf("  %-38s %+6.1f%%\n", c.Name+"="+c.Value, c.DeltaPct)
+	}
+
+	// 2. Minimization: the deployable subset.
+	_, minimalArgs, err := hotspot.Minimize(result, nil, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nminimal configuration (%d of %d flags survive):\n  java",
+		len(minimalArgs), len(result.CommandLine))
+	for _, a := range minimalArgs {
+		fmt.Printf(" %s", a)
+	}
+	fmt.Println()
+
+	// 3. Archive the session for later comparison.
+	path := filepath.Join(os.TempDir(), "xml-validation-tuned.json")
+	if err := result.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	saved, cfg, err := hotspot.LoadResult(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\narchived to %s (%.1f%% improvement, config key %q)\n",
+		path, saved.ImprovementPct, cfg.Key())
+}

@@ -1,0 +1,40 @@
+// Quickstart: tune one benchmark and print the winning JVM flags.
+//
+//	go run ./examples/quickstart
+//
+// This is the smallest end-to-end use of the public API: pick a built-in
+// benchmark, run a (shortened) tuning session, and read the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/hotspot"
+)
+
+func main() {
+	// The paper tuned each program for up to 200 minutes; 30 virtual
+	// minutes is plenty to see the headline effect and runs in well under a
+	// second of real time.
+	result, err := hotspot.Tune(hotspot.Options{
+		Benchmark:     "startup.compiler.compiler",
+		BudgetMinutes: 30,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tuned %s with the %s searcher\n", result.Benchmark, result.Searcher)
+	fmt.Printf("  default configuration: %6.2fs\n", result.DefaultWall)
+	fmt.Printf("  tuned configuration:   %6.2fs\n", result.BestWall)
+	fmt.Printf("  improvement:           %6.1f%%  (%.2fx)\n", result.ImprovementPct, result.Speedup)
+	fmt.Printf("  trials: %d   virtual tuning time: %.0f min\n", result.Trials, result.ElapsedMinutes)
+	fmt.Println("\nrun it yourself with:")
+	fmt.Print("  java")
+	for _, arg := range result.CommandLine {
+		fmt.Printf(" %s", arg)
+	}
+	fmt.Println(" -jar SPECjvm2008.jar startup.compiler.compiler")
+}

@@ -1,0 +1,55 @@
+package hotspot_test
+
+import (
+	"fmt"
+
+	"repro/hotspot"
+)
+
+// The quickest possible use: tune a built-in benchmark and print the win.
+// (Zero noise and a fixed seed make the output stable for godoc.)
+func ExampleTune() {
+	result, err := hotspot.Tune(hotspot.Options{
+		Benchmark:     "startup.compiler.compiler",
+		BudgetMinutes: 30,
+		Seed:          1,
+		Noise:         0,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("improved by more than 50%%: %v\n", result.ImprovementPct > 50)
+	fmt.Printf("winner enables tiered compilation: %v\n", result.Best.Bool("TieredCompilation"))
+	// Output:
+	// improved by more than 50%: true
+	// winner enables tiered compilation: true
+}
+
+// Measure evaluates one flag combination without any tuning.
+func ExampleMeasure() {
+	def, _ := hotspot.Measure(nil, "h2", 0)
+	big, _ := hotspot.Measure([]string{"-Xmx4g", "-Xms4g"}, "h2", 0)
+	fmt.Printf("a 4 GB heap helps h2: %v\n", big < def)
+
+	_, err := hotspot.Measure([]string{"-Xmx128m"}, "h2", 0)
+	fmt.Printf("a 128 MB heap: %v\n", err != nil)
+	// Output:
+	// a 4 GB heap helps h2: true
+	// a 128 MB heap: true
+}
+
+// Suites expose the paper's benchmark sets.
+func ExampleSuite() {
+	spec, _ := hotspot.Suite("specjvm2008")
+	dacapo, _ := hotspot.Suite("dacapo")
+	fmt.Printf("%d startup programs, %d DaCapo programs\n", len(spec), len(dacapo))
+	// Output:
+	// 16 startup programs, 13 DaCapo programs
+}
+
+// Searchers lists the available strategies, the paper's tuner first.
+func ExampleSearchers() {
+	fmt.Println(hotspot.Searchers()[0])
+	// Output:
+	// hierarchical
+}

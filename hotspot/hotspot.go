@@ -1,0 +1,335 @@
+// Package hotspot is the public API of the HotSpot auto-tuner
+// reproduction. It wraps the internal engine — the 600+-flag registry, the
+// flag hierarchy, the simulated HotSpot VM, and the budgeted searchers —
+// behind a small surface:
+//
+//	result, err := hotspot.Tune(hotspot.Options{Benchmark: "h2"})
+//	fmt.Println(result.ImprovementPct, result.CommandLine)
+//
+// Tune runs a complete 200-virtual-minute tuning session (the paper's
+// budget) and returns the best configuration found, the improvement over
+// the default configuration, and the full convergence trace.
+package hotspot
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/flags"
+	"repro/internal/hierarchy"
+	"repro/internal/jvmsim"
+	"repro/internal/persist"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// Profile describes a benchmark program; see the field documentation in
+// the exported type for how each parameter shapes simulated behaviour.
+type Profile = workload.Profile
+
+// Config is a JVM flag configuration.
+type Config = flags.Config
+
+// TracePoint is one sample of a session's best-so-far curve.
+type TracePoint = core.TracePoint
+
+// Options configures a tuning session. The zero value tunes nothing;
+// at minimum set Benchmark or Workload.
+type Options struct {
+	// Benchmark names a built-in workload (see Benchmarks()). Ignored when
+	// Workload is set.
+	Benchmark string
+	// Workload supplies a custom profile instead of a built-in one.
+	Workload *Profile
+	// Searcher selects the strategy (see Searchers()); default
+	// "hierarchical", the paper's tuner.
+	Searcher string
+	// BudgetMinutes is the virtual tuning budget; default 200, the paper's.
+	BudgetMinutes float64
+	// Reps is the repetitions per measurement; default 3.
+	Reps int
+	// Seed drives all randomness; equal inputs and seeds reproduce
+	// identical sessions.
+	Seed int64
+	// Noise overrides run-to-run measurement noise (relative stddev);
+	// negative means the default (1.5%).
+	Noise float64
+	// JVMSimPath, when non-empty, measures through the cmd/jvmsim binary at
+	// this path via subprocesses instead of in-process calls.
+	JVMSimPath string
+	// Workers is the number of parallel virtual evaluation slots; default 1
+	// (the paper's single-machine setup). See core.Session.Workers.
+	Workers int
+	// Objective selects what to minimize: "throughput" (default, the
+	// paper's metric) or "pause" (worst GC pause, for latency tuning).
+	Objective string
+}
+
+// Result is the outcome of a tuning session.
+type Result struct {
+	// Benchmark is the tuned workload's name.
+	Benchmark string
+	// Searcher is the strategy used.
+	Searcher string
+	// DefaultWall and BestWall are mean wall seconds before and after.
+	DefaultWall, BestWall float64
+	// ImprovementPct is 100·(default−best)/default, the paper's metric.
+	ImprovementPct float64
+	// Speedup is default/best.
+	Speedup float64
+	// Best is the winning configuration. It is omitted from JSON
+	// serializations; CommandLine carries the same information portably.
+	Best *Config `json:"-"`
+	// CommandLine is Best rendered as java-style arguments.
+	CommandLine []string
+	// Collector is the garbage collector Best selects.
+	Collector string
+	// Trials, Failures and CacheHits describe the session's economy.
+	Trials, Failures, CacheHits int
+	// ElapsedMinutes is the virtual tuning time consumed.
+	ElapsedMinutes float64
+	// Trace is the anytime convergence curve (virtual seconds → best wall).
+	Trace []TracePoint
+
+	outcome *core.Outcome
+}
+
+// Save writes the result as JSON to path; the stored command line
+// round-trips back into a configuration via LoadResult.
+func (r *Result) Save(path string) error {
+	return persist.SaveFile(path, r.outcome)
+}
+
+// WriteJSON serializes the result as JSON to w.
+func (r *Result) WriteJSON(w io.Writer) error {
+	return persist.FromOutcome(r.outcome).Write(w)
+}
+
+// LoadResult reads a previously saved result; it returns the stored
+// summary and the reconstructed winning configuration.
+func LoadResult(path string) (*persist.SavedOutcome, *Config, error) {
+	saved, err := persist.LoadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := saved.Config(flags.NewRegistry())
+	if err != nil {
+		return nil, nil, err
+	}
+	return saved, cfg, nil
+}
+
+// Tune runs one budgeted tuning session.
+func Tune(opts Options) (*Result, error) {
+	prof := opts.Workload
+	if prof == nil {
+		p, ok := workload.ByName(opts.Benchmark)
+		if !ok {
+			return nil, fmt.Errorf("hotspot: unknown benchmark %q (see hotspot.Benchmarks)", opts.Benchmark)
+		}
+		prof = p
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	searcherName := opts.Searcher
+	if searcherName == "" {
+		searcherName = "hierarchical"
+	}
+	searcher, err := core.NewSearcher(searcherName)
+	if err != nil {
+		return nil, err
+	}
+
+	var run runner.Runner
+	if opts.JVMSimPath != "" {
+		run = runner.NewSubprocess(opts.JVMSimPath, prof)
+	} else {
+		sim := jvmsim.New()
+		if opts.Noise >= 0 {
+			sim.NoiseRelStdDev = opts.Noise
+		}
+		run = runner.NewInProcess(sim, prof)
+	}
+
+	budget := opts.BudgetMinutes * 60
+	if budget <= 0 {
+		budget = core.DefaultBudgetSeconds
+	}
+	session := &core.Session{
+		Runner:        run,
+		Searcher:      searcher,
+		BudgetSeconds: budget,
+		Reps:          opts.Reps,
+		Seed:          opts.Seed,
+		Workers:       opts.Workers,
+		Objective:     core.Objective(opts.Objective),
+	}
+	out, err := session.Run()
+	if err != nil {
+		return nil, err
+	}
+	col, _ := hierarchy.SelectedCollector(out.Best)
+	return &Result{
+		outcome:        out,
+		Benchmark:      out.Workload,
+		Searcher:       out.Searcher,
+		DefaultWall:    out.DefaultWall,
+		BestWall:       out.BestWall,
+		ImprovementPct: out.ImprovementPct,
+		Speedup:        out.Speedup,
+		Best:           out.Best,
+		CommandLine:    out.Best.CommandLine(),
+		Collector:      string(col),
+		Trials:         out.Trials,
+		Failures:       out.Failures,
+		CacheHits:      out.CacheHits,
+		ElapsedMinutes: out.Elapsed / 60,
+		Trace:          out.Trace,
+	}, nil
+}
+
+// FlagContribution is one flag's measured contribution to a winning
+// configuration; see Explain.
+type FlagContribution = core.FlagAttribution
+
+// Explain performs revert-one-flag analysis of a tuning result: each flag
+// the winner changed is individually restored to its default and the
+// configuration re-measured, quantifying what that flag was worth. Pass the
+// profile for custom workloads; nil looks the benchmark up by name.
+// Contributions are sorted most-important first.
+func Explain(res *Result, w *Profile) ([]FlagContribution, error) {
+	prof := w
+	if prof == nil {
+		p, ok := workload.ByName(res.Benchmark)
+		if !ok {
+			return nil, fmt.Errorf("hotspot: unknown benchmark %q; pass the Profile for custom workloads", res.Benchmark)
+		}
+		prof = p
+	}
+	r := runner.NewInProcess(jvmsim.New(), prof)
+	return core.Attribute(r, res.Best, 3), nil
+}
+
+// Minimize prunes a tuning result's winning configuration down to the
+// flags that matter: passengers whose removal costs less than tolerancePct
+// (default 1%) are reverted. It returns the minimal configuration and its
+// command line. Pass the profile for custom workloads; nil looks the
+// benchmark up by name.
+func Minimize(res *Result, w *Profile, tolerancePct float64) (*Config, []string, error) {
+	prof := w
+	if prof == nil {
+		p, ok := workload.ByName(res.Benchmark)
+		if !ok {
+			return nil, nil, fmt.Errorf("hotspot: unknown benchmark %q; pass the Profile for custom workloads", res.Benchmark)
+		}
+		prof = p
+	}
+	r := runner.NewInProcess(jvmsim.New(), prof)
+	min := core.Minimize(r, res.Best, 3, tolerancePct)
+	return min, min.CommandLine(), nil
+}
+
+// TuneCommon searches for a single configuration that serves every given
+// workload, scored by mean normalized wall time across them. The returned
+// Result's walls are normalized (DefaultWall is 1.0), so ImprovementPct
+// reads as the suite-average improvement. Budget applies to the aggregate:
+// each trial measures every member.
+func TuneCommon(profiles []*Profile, opts Options) (*Result, error) {
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	sim := jvmsim.New()
+	if opts.Noise >= 0 {
+		sim.NoiseRelStdDev = opts.Noise
+	}
+	multi, err := runner.NewMulti(sim, profiles)
+	if err != nil {
+		return nil, err
+	}
+	searcherName := opts.Searcher
+	if searcherName == "" {
+		searcherName = "hierarchical"
+	}
+	searcher, err := core.NewSearcher(searcherName)
+	if err != nil {
+		return nil, err
+	}
+	budget := opts.BudgetMinutes * 60
+	if budget <= 0 {
+		budget = core.DefaultBudgetSeconds * float64(len(profiles))
+	}
+	session := &core.Session{
+		Runner:        multi,
+		Searcher:      searcher,
+		BudgetSeconds: budget,
+		Reps:          opts.Reps,
+		Seed:          opts.Seed,
+		Workers:       opts.Workers,
+	}
+	out, err := session.Run()
+	if err != nil {
+		return nil, err
+	}
+	col, _ := hierarchy.SelectedCollector(out.Best)
+	return &Result{
+		outcome:        out,
+		Benchmark:      out.Workload,
+		Searcher:       out.Searcher,
+		DefaultWall:    out.DefaultWall,
+		BestWall:       out.BestWall,
+		ImprovementPct: out.ImprovementPct,
+		Speedup:        out.Speedup,
+		Best:           out.Best,
+		CommandLine:    out.Best.CommandLine(),
+		Collector:      string(col),
+		Trials:         out.Trials,
+		Failures:       out.Failures,
+		CacheHits:      out.CacheHits,
+		ElapsedMinutes: out.Elapsed / 60,
+		Trace:          out.Trace,
+	}, nil
+}
+
+// Benchmarks lists the built-in workloads: the 16 SPECjvm2008 startup
+// programs and the 13 DaCapo programs the paper evaluated.
+func Benchmarks() []string { return workload.Names() }
+
+// Suite returns the profiles of one built-in suite: "specjvm2008" or
+// "dacapo".
+func Suite(name string) ([]*Profile, error) {
+	switch name {
+	case "specjvm2008":
+		return workload.SPECjvm2008(), nil
+	case "dacapo":
+		return workload.DaCapo(), nil
+	default:
+		return nil, fmt.Errorf("hotspot: unknown suite %q", name)
+	}
+}
+
+// Searchers lists the available strategies, the paper's tuner first.
+func Searchers() []string { return core.SearcherNames() }
+
+// Measure runs the given java-style arguments against a built-in benchmark
+// once on the simulated VM, without any tuning — useful to check what a
+// specific flag combination does.
+func Measure(args []string, benchmark string, rep int) (wallSeconds float64, err error) {
+	prof, ok := workload.ByName(benchmark)
+	if !ok {
+		return 0, fmt.Errorf("hotspot: unknown benchmark %q", benchmark)
+	}
+	reg := flags.NewRegistry()
+	cfg, err := flags.ParseArgs(reg, args)
+	if err != nil {
+		return 0, err
+	}
+	res := jvmsim.New().Run(cfg, prof, rep)
+	if res.Failed {
+		return 0, fmt.Errorf("hotspot: run failed (%s): %s", res.Failure, res.FailureMessage)
+	}
+	return res.WallSeconds, nil
+}

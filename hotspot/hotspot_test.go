@@ -1,0 +1,141 @@
+package hotspot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTuneBuiltinBenchmark(t *testing.T) {
+	r, err := Tune(Options{
+		Benchmark:     "startup.xml.validation",
+		BudgetMinutes: 40,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ImprovementPct <= 0 {
+		t.Errorf("no improvement found: %+v", r)
+	}
+	if r.Searcher != "hierarchical" {
+		t.Errorf("default searcher should be hierarchical, got %s", r.Searcher)
+	}
+	if len(r.CommandLine) == 0 {
+		t.Error("winning config should render to command-line flags")
+	}
+	if r.Collector == "" {
+		t.Error("collector should be reported")
+	}
+	if r.ElapsedMinutes <= 0 || r.ElapsedMinutes > 45 {
+		t.Errorf("elapsed %.1f min outside budget", r.ElapsedMinutes)
+	}
+	if len(r.Trace) < 2 {
+		t.Error("trace missing")
+	}
+}
+
+func TestTuneUnknownInputs(t *testing.T) {
+	if _, err := Tune(Options{Benchmark: "nope"}); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	if _, err := Tune(Options{Benchmark: "h2", Searcher: "nope"}); err == nil {
+		t.Error("unknown searcher should error")
+	}
+	if _, err := Tune(Options{}); err == nil {
+		t.Error("no benchmark should error")
+	}
+}
+
+func TestTuneCustomWorkload(t *testing.T) {
+	p := &Profile{
+		Name: "custom-service", Suite: "custom",
+		Description: "a synthetic allocation-heavy service",
+		BaseSeconds: 20, StartupFraction: 0.2,
+		WarmupWork: 0.6, HotMethods: 900, CodeKBPerMethod: 1.6,
+		CallIntensity: 0.6, LoopIntensity: 0.2, EscapeFrac: 0.2,
+		AllocRateMBps: 120, LiveSetMB: 150,
+		ShortLivedFrac: 0.88, MidLivedFrac: 0.07, MidLifeRounds: 3, EdenHalfLifeMB: 40,
+		PointerIntensity: 0.5, StringIntensity: 0.3,
+		SyncIntensity: 0.3, LockContention: 0.1, AppThreads: 4,
+	}
+	r, err := Tune(Options{Workload: p, BudgetMinutes: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmark != "custom-service" {
+		t.Errorf("benchmark name = %s", r.Benchmark)
+	}
+	if r.ImprovementPct < 0 {
+		t.Error("tuning should never end worse than default")
+	}
+}
+
+func TestTuneInvalidCustomWorkload(t *testing.T) {
+	if _, err := Tune(Options{Workload: &Profile{Name: "x"}}); err == nil {
+		t.Error("invalid profile should error")
+	}
+}
+
+func TestBenchmarksAndSearchers(t *testing.T) {
+	b := Benchmarks()
+	if len(b) != 29 {
+		t.Errorf("expected 29 benchmarks, got %d", len(b))
+	}
+	s := Searchers()
+	if len(s) == 0 || s[0] != "hierarchical" {
+		t.Errorf("searchers list should lead with hierarchical: %v", s)
+	}
+}
+
+func TestSuite(t *testing.T) {
+	spec, err := Suite("specjvm2008")
+	if err != nil || len(spec) != 16 {
+		t.Errorf("specjvm2008 suite: %d, %v", len(spec), err)
+	}
+	dacapo, err := Suite("dacapo")
+	if err != nil || len(dacapo) != 13 {
+		t.Errorf("dacapo suite: %d, %v", len(dacapo), err)
+	}
+	if _, err := Suite("nope"); err == nil {
+		t.Error("unknown suite should error")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	def, err := Measure(nil, "h2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Measure([]string{"-Xmx4g", "-Xms4g"}, "h2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big >= def {
+		t.Errorf("4g heap should beat the default on h2: %.1f vs %.1f", big, def)
+	}
+	if _, err := Measure([]string{"-XX:+NoSuchFlag"}, "h2", 0); err == nil {
+		t.Error("bad flag should error")
+	}
+	if _, err := Measure(nil, "nope", 0); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	if _, err := Measure([]string{"-Xmx128m"}, "h2", 0); err == nil ||
+		!strings.Contains(err.Error(), "oom") {
+		t.Error("OOM should surface as an error naming the failure")
+	}
+}
+
+func TestTuneDeterministic(t *testing.T) {
+	opts := Options{Benchmark: "fop", BudgetMinutes: 20, Seed: 9}
+	a, err := Tune(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestWall != b.BestWall || a.Best.Key() != b.Best.Key() {
+		t.Error("identical options and seed must reproduce the session")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+func TestAttributeIdentifiesTheLoadBearingFlag(t *testing.T) {
+	p, _ := workload.ByName("startup.compiler.compiler")
+	sim := jvmsim.New()
+	sim.NoiseRelStdDev = 0
+	r := runner.NewInProcess(sim, p)
+
+	// A hand-built winner: tiered compilation (the big lever) plus a
+	// passenger flag with negligible effect.
+	reg := flags.NewRegistry()
+	best := flags.NewConfig(reg)
+	best.SetBool("TieredCompilation", true)
+	best.SetBool("ReduceSignalUsage", true) // ~0.2%
+
+	attrs := Attribute(r, best, 1)
+	if len(attrs) != 2 {
+		t.Fatalf("expected 2 attributions, got %d: %+v", len(attrs), attrs)
+	}
+	if attrs[0].Name != "TieredCompilation" {
+		t.Errorf("lead attribution should be TieredCompilation, got %s", attrs[0].Name)
+	}
+	if attrs[0].DeltaPct < 50 {
+		t.Errorf("reverting tiered should cost >50%%, got %.1f%%", attrs[0].DeltaPct)
+	}
+	if attrs[1].DeltaPct > 5 {
+		t.Errorf("passenger flag attributed %.1f%%", attrs[1].DeltaPct)
+	}
+	if attrs[0].Value != "true" {
+		t.Errorf("attribution should carry the winning value, got %q", attrs[0].Value)
+	}
+}
+
+func TestAttributeMarksStructurallyEssentialFlags(t *testing.T) {
+	p, _ := workload.ByName("startup.scimark.monte_carlo") // tiny live set
+	sim := jvmsim.New()
+	sim.NoiseRelStdDev = 0
+	r := runner.NewInProcess(sim, p)
+
+	// A small-heap winner: reverting InitialHeapSize restores the 128 MB
+	// default, which exceeds the 96 MB maximum — the VM refuses to start,
+	// so the flag is structurally essential to this configuration.
+	reg := flags.NewRegistry()
+	best := flags.NewConfig(reg)
+	best.SetInt("MaxHeapSize", 96<<20)
+	best.SetInt("InitialHeapSize", 64<<20)
+
+	attrs := Attribute(r, best, 1)
+	byName := map[string]FlagAttribution{}
+	for _, a := range attrs {
+		byName[a.Name] = a
+	}
+	if a := byName["InitialHeapSize"]; a.Reverted {
+		t.Error("reverting InitialHeapSize above MaxHeapSize should break startup")
+	}
+	if a := byName["MaxHeapSize"]; !a.Reverted {
+		t.Error("reverting MaxHeapSize back to 512 MB should run fine")
+	}
+	if attrs[0].Name != "InitialHeapSize" {
+		t.Errorf("breaking flags should sort first, got %s", attrs[0].Name)
+	}
+}
+
+func TestAttributeChargesTheRunner(t *testing.T) {
+	p, _ := workload.ByName("fop")
+	r := runner.NewInProcess(jvmsim.New(), p)
+	best := flags.NewConfig(flags.NewRegistry())
+	best.SetBool("TieredCompilation", true)
+	before := r.Elapsed()
+	Attribute(r, best, 2)
+	if r.Elapsed() <= before {
+		t.Error("attribution measurements must consume virtual time")
+	}
+}
+
+func TestAttributeEmptyDiff(t *testing.T) {
+	p, _ := workload.ByName("fop")
+	r := runner.NewInProcess(jvmsim.New(), p)
+	if attrs := Attribute(r, flags.NewConfig(flags.NewRegistry()), 1); len(attrs) != 0 {
+		t.Errorf("default config has nothing to attribute: %+v", attrs)
+	}
+}
+
+func TestMinimizeDropsPassengersKeepsWinners(t *testing.T) {
+	p, _ := workload.ByName("startup.compiler.compiler")
+	sim := jvmsim.New()
+	sim.NoiseRelStdDev = 0
+	r := runner.NewInProcess(sim, p)
+
+	reg := flags.NewRegistry()
+	best := flags.NewConfig(reg)
+	best.SetBool("TieredCompilation", true)  // the real winner
+	best.SetBool("ReduceSignalUsage", true)  // passenger (+0.2%)
+	best.SetInt("MaxJavaStackTraceDepth", 7) // inert passenger
+	best.SetBool("UseGCTaskAffinity", true)  // near-zero effect
+
+	min := Minimize(r, best, 1, 1.0)
+	if !min.IsExplicit("TieredCompilation") || !min.Bool("TieredCompilation") {
+		t.Error("minimization dropped the load-bearing flag")
+	}
+	if min.IsExplicit("MaxJavaStackTraceDepth") {
+		t.Error("inert passenger survived minimization")
+	}
+	if len(min.ExplicitNames()) >= len(best.ExplicitNames()) {
+		t.Errorf("nothing was pruned: %v", min.ExplicitNames())
+	}
+
+	// The minimal config must perform within tolerance.
+	mBest := r.Measure(best, 1)
+	mMin := r.Measure(min, 1)
+	if mMin.Mean > mBest.Mean*1.015 {
+		t.Errorf("minimal config too slow: %.2f vs %.2f", mMin.Mean, mBest.Mean)
+	}
+}
+
+func TestMinimizeKeepsStructuralFlags(t *testing.T) {
+	p, _ := workload.ByName("startup.scimark.monte_carlo")
+	sim := jvmsim.New()
+	sim.NoiseRelStdDev = 0
+	r := runner.NewInProcess(sim, p)
+	reg := flags.NewRegistry()
+	best := flags.NewConfig(reg)
+	best.SetInt("MaxHeapSize", 96<<20)
+	best.SetInt("InitialHeapSize", 64<<20)
+	min := Minimize(r, best, 1, 5)
+	// InitialHeapSize cannot be removed while MaxHeapSize stays at 96 MB —
+	// and if MaxHeapSize is pruned first (it is a passenger on this tiny
+	// workload), InitialHeapSize may then go too. Whatever remains must
+	// validate and run.
+	m := r.Measure(min, 1)
+	if m.Failed {
+		t.Errorf("minimized config fails: %+v", m)
+	}
+}
+
+func TestMinimizeDefaultsPassThrough(t *testing.T) {
+	p, _ := workload.ByName("fop")
+	r := runner.NewInProcess(jvmsim.New(), p)
+	def := flags.NewConfig(flags.NewRegistry())
+	min := Minimize(r, def, 0, 0) // exercises the parameter clamps too
+	if len(min.ExplicitNames()) != 0 {
+		t.Errorf("minimizing defaults should stay empty: %v", min.ExplicitNames())
+	}
+}

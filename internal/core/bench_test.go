@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// Whole-session benchmarks: the cost of one complete budgeted tuning run
+// per searcher. These quantify the orchestration overhead the virtual-time
+// design buys back — a 200-virtual-minute session in tens of milliseconds.
+
+func benchSession(b *testing.B, searcher string, budget float64) {
+	b.Helper()
+	p, ok := workload.ByName("xalan")
+	if !ok {
+		b.Fatal("no workload")
+	}
+	for i := 0; i < b.N; i++ {
+		s, err := NewSearcher(searcher)
+		if err != nil {
+			b.Fatal(err)
+		}
+		session := &Session{
+			Runner:        runner.NewInProcess(jvmsim.New(), p),
+			Searcher:      s,
+			BudgetSeconds: budget,
+			Seed:          int64(i),
+		}
+		out, err := session.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.BestWall > out.DefaultWall {
+			b.Fatal("tuned worse than default")
+		}
+	}
+}
+
+func BenchmarkSessionHierarchical(b *testing.B) { benchSession(b, "hierarchical", 6000) }
+func BenchmarkSessionEnsemble(b *testing.B)     { benchSession(b, "ensemble", 6000) }
+func BenchmarkSessionGeneticFlat(b *testing.B)  { benchSession(b, "genetic-flat", 6000) }
+func BenchmarkSessionRandom(b *testing.B)       { benchSession(b, "random", 6000) }
+
+func BenchmarkAttribute(b *testing.B) {
+	p, _ := workload.ByName("startup.xml.validation")
+	sim := jvmsim.New()
+	sim.NoiseRelStdDev = 0
+	r := runner.NewInProcess(sim, p)
+	r.DisableCache = true
+	session := &Session{
+		Runner:        runner.NewInProcess(jvmsim.New(), p),
+		Searcher:      NewHierarchical(),
+		BudgetSeconds: 3000,
+		Seed:          1,
+	}
+	out, err := session.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(Attribute(r, out.Best, 1)) == 0 {
+			b.Fatal("no attributions")
+		}
+	}
+}

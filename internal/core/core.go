@@ -1,0 +1,318 @@
+// Package core implements the paper's auto-tuner: budgeted, anytime search
+// over the JVM's whole flag space for the configuration that minimizes a
+// benchmark's wall time.
+//
+// The tuner is organized as a Session driving a Searcher against a
+// runner.Runner. The Session owns the economy (the 200-virtual-minute
+// budget, baseline measurement, best-so-far tracking, the convergence
+// trace); Searchers own the proposal strategy. The paper's searcher is
+// Hierarchical (hierarchical.go), which descends the flag tree: survey the
+// top-level branches (collector × compilation mode), keep a beam of the
+// best, then evolve the flags *active* within those branches. Baseline
+// searchers — flat random, hill climbing, simulated annealing, a flat
+// genetic algorithm, and a prior-work-style fixed-subset tuner — share the
+// same interface so every comparison in the paper's evaluation runs under
+// identical budget accounting.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/flags"
+	"repro/internal/hierarchy"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// Searcher proposes configurations and learns from their measurements.
+// Implementations are not safe for concurrent use; a Session drives one
+// searcher sequentially.
+type Searcher interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Propose returns the next configuration to measure, or nil when the
+	// searcher has nothing further to try.
+	Propose(ctx *Context) *flags.Config
+	// Observe delivers the measurement of a proposed configuration.
+	Observe(ctx *Context, cfg *flags.Config, m runner.Measurement)
+}
+
+// Context is the session state visible to searchers.
+type Context struct {
+	// Reg is the flag registry being tuned over.
+	Reg *flags.Registry
+	// Tree is the flag hierarchy (used by the hierarchical searcher).
+	Tree *hierarchy.Tree
+	// Rng is the session's deterministic random source.
+	Rng *rand.Rand
+	// Objective is what the session minimizes (default throughput).
+	Objective Objective
+	// DefaultWall is the baseline (default configuration) wall time.
+	DefaultWall float64
+	// BestWall is the best mean wall time observed so far.
+	BestWall float64
+	// Best is the configuration that achieved BestWall.
+	Best *flags.Config
+	// Elapsed and Budget are virtual seconds consumed and allowed.
+	Elapsed, Budget float64
+	// Trial is the number of measurements taken so far.
+	Trial int
+}
+
+// Score evaluates m under the session's objective.
+func (c *Context) Score(m runner.Measurement) float64 {
+	return c.Objective.Score(m)
+}
+
+// Score converts a measurement into the default (throughput) minimization
+// objective: mean wall time, with failures scored +Inf.
+func Score(m runner.Measurement) float64 {
+	return ObjectiveThroughput.Score(m)
+}
+
+// Objective selects what a session minimizes.
+type Objective string
+
+// The tuning objectives.
+const (
+	// ObjectiveThroughput minimizes mean wall time — the paper's metric.
+	ObjectiveThroughput Objective = "throughput"
+	// ObjectivePause minimizes the maximum GC pause, the latency-tuning
+	// use case (SLA-bound services); mean wall time only breaks ties.
+	ObjectivePause Objective = "pause"
+)
+
+// Score evaluates a measurement under the objective (lower is better;
+// failures are +Inf).
+func (o Objective) Score(m runner.Measurement) float64 {
+	if m.Failed || len(m.Walls) == 0 {
+		return math.Inf(1)
+	}
+	switch o {
+	case ObjectivePause:
+		// The wall-time term breaks ties among pause-free configurations
+		// and stops latency tuning from drifting into absurd slowness.
+		return m.MeanPause + m.Mean*1e-4
+	default:
+		return m.Mean
+	}
+}
+
+// TracePoint is one sample of the anytime convergence curve.
+type TracePoint struct {
+	// Elapsed is virtual tuning seconds consumed when the sample was taken.
+	Elapsed float64
+	// BestWall is the best mean wall time known at that moment.
+	BestWall float64
+	// Trial is the measurement count at that moment.
+	Trial int
+}
+
+// Outcome is the result of one tuning session.
+//
+// Under the default throughput objective DefaultWall/BestWall are mean wall
+// seconds; under ObjectivePause they are pause-objective scores (seconds of
+// maximum GC pause, plus a small wall-time tiebreak) and ImprovementPct is
+// the relative score reduction. BaseMeasurement and BestMeasurement carry
+// both walls and pauses either way.
+type Outcome struct {
+	Workload       string
+	Searcher       string
+	Objective      Objective
+	DefaultWall    float64
+	BestWall       float64
+	Best           *flags.Config
+	ImprovementPct float64
+	Speedup        float64
+	Trials         int
+	Failures       int
+	CacheHits      int
+	Elapsed        float64
+	Trace          []TracePoint
+	// BaseMeasurement and BestMeasurement are the default config's and the
+	// winner's raw measurements (walls and pauses).
+	BaseMeasurement runner.Measurement
+	BestMeasurement runner.Measurement
+}
+
+// DefaultBudgetSeconds is the paper's tuning budget: 200 minutes.
+const DefaultBudgetSeconds = 200 * 60
+
+// Session is one budgeted tuning run of a searcher on a workload.
+type Session struct {
+	// Runner measures configurations (and owns the virtual clock).
+	Runner runner.Runner
+	// Searcher is the proposal strategy.
+	Searcher Searcher
+	// Reg is the registry to tune; defaults to the standard catalog.
+	Reg *flags.Registry
+	// Tree is the hierarchy; defaults to the standard tree over Reg.
+	Tree *hierarchy.Tree
+	// BudgetSeconds is the virtual tuning budget; defaults to 200 minutes.
+	BudgetSeconds float64
+	// Reps is the repetitions per trial; defaults to 3.
+	Reps int
+	// Seed drives all randomness; sessions with equal inputs and seeds
+	// produce identical outcomes.
+	Seed int64
+	// MaxTrials optionally bounds the number of measurements (0 = no cap).
+	MaxTrials int
+	// Objective is what the session minimizes; default ObjectiveThroughput.
+	Objective Objective
+	// Workers is the number of parallel virtual evaluation slots
+	// (default 1, the paper's setup). With W > 1 the session models a
+	// tuning farm: each measurement occupies one slot for its virtual
+	// cost, trials start on the earliest-free slot, and the budget bounds
+	// the *makespan* rather than total machine time. The searcher still
+	// observes results in proposal order — an idealized synchronous-
+	// information assumption, noted in DESIGN.md.
+	Workers int
+}
+
+// Run executes the session to budget exhaustion and returns the outcome.
+func (s *Session) Run() (*Outcome, error) {
+	if s.Runner == nil || s.Searcher == nil {
+		return nil, fmt.Errorf("core: session needs a Runner and a Searcher")
+	}
+	reg := s.Reg
+	if reg == nil {
+		reg = flags.NewRegistry()
+	}
+	tree := s.Tree
+	if tree == nil {
+		tree = hierarchy.Build(reg)
+	}
+	budget := s.BudgetSeconds
+	if budget <= 0 {
+		budget = DefaultBudgetSeconds
+	}
+	reps := s.Reps
+	if reps < 1 {
+		reps = 3
+	}
+
+	objective := s.Objective
+	if objective == "" {
+		objective = ObjectiveThroughput
+	}
+	ctx := &Context{
+		Reg:       reg,
+		Tree:      tree,
+		Rng:       rand.New(rand.NewSource(s.Seed)),
+		Budget:    budget,
+		Objective: objective,
+	}
+	out := &Outcome{
+		Workload: s.Runner.Workload().Name,
+		Searcher: s.Searcher.Name(),
+	}
+
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// slotFree[i] is the virtual time at which evaluation slot i becomes
+	// available. With one worker this degenerates to a running total.
+	slotFree := make([]float64, workers)
+
+	// Baseline: the default configuration, measured under the same economy.
+	def := flags.NewConfig(reg)
+	base := s.Runner.Measure(def, reps)
+	if base.Failed {
+		return nil, fmt.Errorf("core: default configuration fails on %s: %s",
+			out.Workload, base.FailureMessage)
+	}
+	ctx.DefaultWall = objective.Score(base)
+	ctx.Best, ctx.BestWall = def, ctx.DefaultWall
+	slotFree[0] = base.CostSeconds
+	ctx.Elapsed = base.CostSeconds
+	out.DefaultWall = ctx.DefaultWall
+	out.Objective = objective
+	out.BaseMeasurement = base
+	out.BestMeasurement = base
+	out.Trace = append(out.Trace, TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall})
+
+	// Cache hits are free, so a searcher that re-proposes known
+	// configurations forever would never consume budget; bound the
+	// consecutive free trials to keep the loop total.
+	freeTrials := 0
+	const maxFreeTrials = 1000
+
+	for {
+		// The next trial starts on the earliest-free slot; stop once that
+		// start time would exceed the budget.
+		slot := 0
+		for i := 1; i < workers; i++ {
+			if slotFree[i] < slotFree[slot] {
+				slot = i
+			}
+		}
+		if slotFree[slot] >= budget {
+			break
+		}
+		if s.MaxTrials > 0 && ctx.Trial >= s.MaxTrials {
+			break
+		}
+		if freeTrials >= maxFreeTrials {
+			break
+		}
+		ctx.Elapsed = slotFree[slot]
+		cfg := s.Searcher.Propose(ctx)
+		if cfg == nil {
+			break
+		}
+		m := s.Runner.Measure(cfg, reps)
+		ctx.Trial++
+		slotFree[slot] += m.CostSeconds
+		ctx.Elapsed = slotFree[slot]
+		if m.FromCache {
+			out.CacheHits++
+		}
+		if m.CostSeconds == 0 {
+			freeTrials++
+		} else {
+			freeTrials = 0
+		}
+		if m.Failed {
+			out.Failures++
+		}
+		s.Searcher.Observe(ctx, cfg, m)
+		if sc := objective.Score(m); sc < ctx.BestWall {
+			ctx.Best, ctx.BestWall = cfg.Clone(), sc
+			out.BestMeasurement = m
+		}
+		out.Trace = append(out.Trace, TracePoint{
+			Elapsed: ctx.Elapsed, BestWall: ctx.BestWall, Trial: ctx.Trial,
+		})
+	}
+	// Report the makespan: the time the busiest slot finishes.
+	for _, f := range slotFree {
+		if f > ctx.Elapsed {
+			ctx.Elapsed = f
+		}
+	}
+
+	out.Best = ctx.Best
+	out.BestWall = ctx.BestWall
+	out.Trials = ctx.Trial
+	out.Elapsed = ctx.Elapsed
+	out.ImprovementPct = stats.ImprovementPct(out.DefaultWall, out.BestWall)
+	out.Speedup = stats.Speedup(out.DefaultWall, out.BestWall)
+	return out, nil
+}
+
+// BestAt returns the best wall time known at the given virtual time, for
+// convergence reporting. Times before the baseline measurement return the
+// baseline. The scan tolerates out-of-order completion times from
+// multi-worker sessions.
+func (o *Outcome) BestAt(elapsed float64) float64 {
+	best := o.DefaultWall
+	for _, tp := range o.Trace {
+		if tp.Elapsed <= elapsed && tp.BestWall < best {
+			best = tp.BestWall
+		}
+	}
+	return best
+}

@@ -1,0 +1,36 @@
+package core
+
+import "fmt"
+
+// NewSearcher constructs a searcher by name. Names are stable identifiers
+// used by the CLI and the experiment harness.
+func NewSearcher(name string) (Searcher, error) {
+	switch name {
+	case "hierarchical":
+		return NewHierarchical(), nil
+	case "random":
+		return Random{}, nil
+	case "hillclimb":
+		return &HillClimb{}, nil
+	case "anneal":
+		return &Anneal{}, nil
+	case "genetic-flat":
+		return &GeneticFlat{}, nil
+	case "ensemble":
+		return NewEnsemble(), nil
+	case "surrogate":
+		return NewSurrogate(), nil
+	case "subset-hillclimb", "subset":
+		return NewSubset(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown searcher %q (have %v)", name, SearcherNames())
+	}
+}
+
+// SearcherNames lists the available strategies, the paper's tuner first.
+func SearcherNames() []string {
+	return []string{
+		"hierarchical", "ensemble", "surrogate", "genetic-flat",
+		"hillclimb", "anneal", "random", "subset-hillclimb",
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// exhaustedSearcher proposes a fixed number of configs, then nil.
+type exhaustedSearcher struct{ left int }
+
+func (e *exhaustedSearcher) Name() string { return "exhausted" }
+func (e *exhaustedSearcher) Propose(ctx *Context) *flags.Config {
+	if e.left == 0 {
+		return nil
+	}
+	e.left--
+	cfg := flags.NewConfig(ctx.Reg)
+	cfg.SetInt("NewRatio", int64(1+e.left%8))
+	return cfg
+}
+func (e *exhaustedSearcher) Observe(*Context, *flags.Config, runner.Measurement) {}
+
+func TestSessionStopsWhenSearcherExhausts(t *testing.T) {
+	p, _ := workload.ByName("fop")
+	s := &Session{
+		Runner:        runner.NewInProcess(jvmsim.New(), p),
+		Searcher:      &exhaustedSearcher{left: 5},
+		BudgetSeconds: 1e9,
+		Seed:          1,
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 5 {
+		t.Errorf("expected exactly 5 trials, got %d", out.Trials)
+	}
+}
+
+func TestSessionBudgetSmallerThanBaseline(t *testing.T) {
+	// Budget exhausted by the baseline itself: zero trials, outcome still
+	// well-formed (best = default).
+	p, _ := workload.ByName("fop")
+	s := &Session{
+		Runner:        runner.NewInProcess(jvmsim.New(), p),
+		Searcher:      NewHierarchical(),
+		BudgetSeconds: 1, // baseline costs ~85s
+		Seed:          2,
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 0 {
+		t.Errorf("no budget should mean no trials, got %d", out.Trials)
+	}
+	if out.ImprovementPct != 0 || out.BestWall != out.DefaultWall {
+		t.Errorf("best should remain the default: %+v", out)
+	}
+	if len(out.Best.ExplicitNames()) != 0 {
+		t.Error("best config should be the untouched default")
+	}
+}
+
+func TestSessionFailingBaselineErrors(t *testing.T) {
+	// A workload whose live set cannot fit the default heap makes the
+	// baseline fail; the session must refuse to tune, not divide by zero.
+	p, _ := workload.ByName("h2")
+	big := *p
+	big.LiveSetMB = 2000
+	s := &Session{
+		Runner:   runner.NewInProcess(jvmsim.New(), &big),
+		Searcher: NewHierarchical(),
+		Seed:     3,
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("failing baseline should abort the session")
+	}
+}
+
+func TestSessionPauseObjectiveEndToEnd(t *testing.T) {
+	p, _ := workload.ByName("tradebeans")
+	run := func(obj Objective) *Outcome {
+		s := &Session{
+			Runner:        runner.NewInProcess(jvmsim.New(), p),
+			Searcher:      NewHierarchical(),
+			BudgetSeconds: 6000,
+			Seed:          4,
+			Objective:     obj,
+		}
+		out, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	thr := run(ObjectiveThroughput)
+	pause := run(ObjectivePause)
+	if pause.Objective != ObjectivePause || thr.Objective != ObjectiveThroughput {
+		t.Fatal("objective not recorded")
+	}
+	// The pause session's winner must pause no more than the throughput
+	// session's winner (measured values, not scores).
+	if pause.BestMeasurement.MeanPause > thr.BestMeasurement.MeanPause {
+		t.Errorf("pause tuning paused longer: %.3fs vs %.3fs",
+			pause.BestMeasurement.MeanPause, thr.BestMeasurement.MeanPause)
+	}
+	// And the throughput session's winner must be at least as fast.
+	if thr.BestMeasurement.Mean > pause.BestMeasurement.Mean*1.02 {
+		t.Errorf("throughput tuning slower: %.2fs vs %.2fs",
+			thr.BestMeasurement.Mean, pause.BestMeasurement.Mean)
+	}
+}
+
+func TestObjectiveScore(t *testing.T) {
+	ok := runner.Measurement{Walls: []float64{10}, Mean: 10, MeanPause: 0.5}
+	if got := ObjectiveThroughput.Score(ok); got != 10 {
+		t.Errorf("throughput score = %v", got)
+	}
+	got := ObjectivePause.Score(ok)
+	if got < 0.5 || got > 0.51 {
+		t.Errorf("pause score = %v, want ≈0.501", got)
+	}
+	failed := runner.Measurement{Failed: true}
+	if !math.IsInf(ObjectiveThroughput.Score(failed), 1) ||
+		!math.IsInf(ObjectivePause.Score(failed), 1) {
+		t.Error("failures score +Inf under every objective")
+	}
+	// The wall tiebreak orders two pause-free configs by speed.
+	fast := runner.Measurement{Walls: []float64{10}, Mean: 10}
+	slow := runner.Measurement{Walls: []float64{20}, Mean: 20}
+	if ObjectivePause.Score(fast) >= ObjectivePause.Score(slow) {
+		t.Error("wall time should break pause ties")
+	}
+}
+
+func TestContextScoreFollowsObjective(t *testing.T) {
+	m := runner.Measurement{Walls: []float64{10}, Mean: 10, MeanPause: 1}
+	ctx := &Context{Objective: ObjectivePause}
+	if ctx.Score(m) == m.Mean {
+		t.Error("context should score under its objective, not throughput")
+	}
+	def := &Context{} // empty objective behaves as throughput
+	if def.Score(m) != m.Mean {
+		t.Error("empty objective should default to throughput")
+	}
+}
+
+func TestSessionCacheHitsCounted(t *testing.T) {
+	// A searcher that proposes the same config forever hits the cache on
+	// every trial after the first.
+	p, _ := workload.ByName("fop")
+	same := &sameSearcher{}
+	s := &Session{
+		Runner:        runner.NewInProcess(jvmsim.New(), p),
+		Searcher:      same,
+		BudgetSeconds: 1e9,
+		Seed:          5,
+	}
+	s.MaxTrials = 10
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CacheHits != 9 {
+		t.Errorf("expected 9 cache hits of 10 trials, got %d", out.CacheHits)
+	}
+}
+
+type sameSearcher struct{ cfg *flags.Config }
+
+func (s *sameSearcher) Name() string { return "same" }
+func (s *sameSearcher) Propose(ctx *Context) *flags.Config {
+	if s.cfg == nil {
+		s.cfg = flags.NewConfig(ctx.Reg)
+		s.cfg.SetInt("NewRatio", 5)
+	}
+	return s.cfg
+}
+func (s *sameSearcher) Observe(*Context, *flags.Config, runner.Measurement) {}
+
+func TestSessionTerminatesOnFreeTrialStorm(t *testing.T) {
+	// Without MaxTrials, a searcher that only re-proposes one cached config
+	// must not spin forever: the free-trial guard bounds it.
+	p, _ := workload.ByName("fop")
+	s := &Session{
+		Runner:        runner.NewInProcess(jvmsim.New(), p),
+		Searcher:      &sameSearcher{},
+		BudgetSeconds: 1e9,
+		Seed:          6,
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials > 1100 {
+		t.Errorf("free-trial guard did not engage: %d trials", out.Trials)
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/flags"
+	"repro/internal/hierarchy"
+	"repro/internal/runner"
+)
+
+// Surrogate is a model-guided searcher: it fits a cheap separable surrogate
+// to everything measured so far — per flag, a running score estimate for
+// each region of the flag's domain — and proposes configurations that
+// combine each flag's apparently-best region, with ε-greedy exploration.
+//
+// The surrogate assumes separability, which the JVM's flag space violates
+// (that is the point of the hierarchy), so this searcher doubles as an
+// ablation: how far does "learn each flag independently" get against
+// structure-aware search? It respects the hierarchy enough to stay
+// launchable — proposals are validated and repaired — but learns nothing
+// about conditional relevance.
+type Surrogate struct {
+	// Epsilon is the exploration rate (default 0.25).
+	Epsilon float64
+	// Bins is the number of domain regions learned per Int flag (default 4).
+	Bins int
+
+	models  map[string]*flagModel
+	names   []string
+	pending *flags.Config
+	seeded  int
+}
+
+type flagModel struct {
+	flag *flags.Flag
+	// For Bool: score sums/counts per value (false=0, true=1).
+	// For Int: per bin. Enum unused by the standard catalog but handled.
+	sum   []float64
+	count []float64
+}
+
+// NewSurrogate returns a model-guided searcher with default parameters.
+func NewSurrogate() *Surrogate { return &Surrogate{} }
+
+// Name implements Searcher.
+func (s *Surrogate) Name() string { return "surrogate" }
+
+func (s *Surrogate) epsilon() float64 {
+	if s.Epsilon > 0 {
+		return s.Epsilon
+	}
+	return 0.25
+}
+
+func (s *Surrogate) bins() int {
+	if s.Bins > 1 {
+		return s.Bins
+	}
+	return 4
+}
+
+func (s *Surrogate) init(ctx *Context) {
+	s.models = map[string]*flagModel{}
+	s.names = ctx.Reg.TunableNames()
+	for _, n := range s.names {
+		f := ctx.Reg.Lookup(n)
+		slots := s.bins()
+		switch f.Type {
+		case flags.Bool:
+			slots = 2
+		case flags.Enum:
+			slots = len(f.Choices)
+		}
+		s.models[n] = &flagModel{
+			flag:  f,
+			sum:   make([]float64, slots),
+			count: make([]float64, slots),
+		}
+	}
+}
+
+// slotOf maps a value to its model slot.
+func (m *flagModel) slotOf(v flags.Value) int {
+	switch m.flag.Type {
+	case flags.Bool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case flags.Enum:
+		for i, c := range m.flag.Choices {
+			if c == v.S {
+				return i
+			}
+		}
+		return 0
+	default:
+		span := m.flag.Max - m.flag.Min
+		if span <= 0 {
+			return 0
+		}
+		idx := int(float64(v.I-m.flag.Min) / float64(span+1) * float64(len(m.sum)))
+		if idx >= len(m.sum) {
+			idx = len(m.sum) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		return idx
+	}
+}
+
+// bestSlot returns the slot with the lowest mean score; unobserved slots
+// are optimistic (tried eagerly).
+func (m *flagModel) bestSlot() int {
+	best, bestScore := -1, math.Inf(1)
+	for i := range m.sum {
+		if m.count[i] == 0 {
+			return i // optimism under uncertainty
+		}
+		if mean := m.sum[i] / m.count[i]; mean < bestScore {
+			best, bestScore = i, mean
+		}
+	}
+	return best
+}
+
+// sampleInSlot draws a value from the slot's region of the domain.
+func (s *Surrogate) sampleInSlot(ctx *Context, m *flagModel, slot int) flags.Value {
+	switch m.flag.Type {
+	case flags.Bool:
+		return flags.BoolValue(slot == 1)
+	case flags.Enum:
+		return flags.EnumValue(m.flag.Choices[slot])
+	default:
+		span := m.flag.Max - m.flag.Min
+		n := int64(len(m.sum))
+		lo := m.flag.Min + span*int64(slot)/n
+		hi := m.flag.Min + span*int64(slot+1)/n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		v := lo + ctx.Rng.Int63n(hi-lo+1)
+		return m.flag.Clamp(flags.IntValue(v))
+	}
+}
+
+// Propose implements Searcher.
+func (s *Surrogate) Propose(ctx *Context) *flags.Config {
+	if s.models == nil {
+		s.init(ctx)
+	}
+	// Seed phase: a few random configurations to give the model data.
+	if s.seeded < 10 {
+		s.seeded++
+		cfg := flags.NewConfig(ctx.Reg)
+		// Light randomization: a handful of flags, so seeds mostly run.
+		for i := 0; i < 8; i++ {
+			n := s.names[ctx.Rng.Intn(len(s.names))]
+			flags.MutateFlag(cfg, n, ctx.Rng)
+		}
+		s.pending = cfg
+		return cfg
+	}
+
+	eps := s.epsilon()
+	for attempt := 0; attempt < 8; attempt++ {
+		cfg := flags.NewConfig(ctx.Reg)
+		// Only set flags the model has an opinion about (or explores);
+		// untouched flags stay at their defaults, keeping proposals sane.
+		for _, n := range s.names {
+			m := s.models[n]
+			observed := 0.0
+			for _, c := range m.count {
+				observed += c
+			}
+			if observed == 0 {
+				continue
+			}
+			r := ctx.Rng.Float64()
+			switch {
+			case r < eps*0.5:
+				// Explore: random slot.
+				slot := ctx.Rng.Intn(len(m.sum))
+				cfg.Set(n, s.sampleInSlot(ctx, m, slot)) //nolint:errcheck
+			case r < eps:
+				// Leave at default (regularization toward sanity).
+			default:
+				best := m.bestSlot()
+				if best >= 0 {
+					_ = cfg.Set(n, s.sampleInSlot(ctx, m, best))
+				}
+			}
+		}
+		if hierarchy.Validate(cfg) == nil {
+			if _, err := hierarchy.SelectedCollector(cfg); err == nil {
+				s.pending = cfg
+				return cfg
+			}
+		}
+	}
+	// Could not assemble a valid proposal; fall back to a best-config mutant.
+	cfg := ctx.Best.Clone()
+	flags.MutateFlag(cfg, s.names[ctx.Rng.Intn(len(s.names))], ctx.Rng)
+	s.pending = cfg
+	return cfg
+}
+
+// Observe implements Searcher: credit every explicit flag of the proposal
+// with the (normalized) score.
+func (s *Surrogate) Observe(ctx *Context, cfg *flags.Config, m runner.Measurement) {
+	if cfg != s.pending || s.models == nil {
+		return
+	}
+	sc := ctx.Score(m)
+	if math.IsInf(sc, 1) {
+		// Failures teach too: charge a large penalty to the slots used.
+		sc = ctx.DefaultWall * 3
+	}
+	norm := sc / ctx.DefaultWall
+	for _, n := range cfg.ExplicitNames() {
+		fm, ok := s.models[n]
+		if !ok {
+			continue
+		}
+		v, _ := cfg.Get(n)
+		slot := fm.slotOf(v)
+		fm.sum[slot] += norm
+		fm.count[slot]++
+	}
+}

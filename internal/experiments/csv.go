@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// CSVConvergence renders Figure 1's data as CSV: one column per benchmark,
+// x = tuning minutes, y = improvement percent.
+func CSVConvergence(r *ConvergenceResult) string {
+	series := make([]*report.Series, len(r.Benchmarks))
+	for i, b := range r.Benchmarks {
+		s := &report.Series{Name: b}
+		for m, min := range r.MinuteMarks {
+			s.Add(min, r.ImprovementAt[i][m])
+		}
+		series[i] = s
+	}
+	return report.CSV("minutes", series...)
+}
+
+// CSVComparison renders a searcher-comparison matrix as CSV: one row per
+// benchmark, one column per searcher, cells are improvement percent.
+func CSVComparison(r *ComparisonResult, searchers []string) string {
+	byBench := map[string]map[string]float64{}
+	var order []string
+	for _, row := range r.Rows {
+		if byBench[row.Benchmark] == nil {
+			byBench[row.Benchmark] = map[string]float64{}
+			order = append(order, row.Benchmark)
+		}
+		byBench[row.Benchmark][row.Searcher] = row.ImprovementPct
+	}
+	out := "benchmark"
+	for _, s := range searchers {
+		out += "," + s
+	}
+	out += "\n"
+	for _, b := range order {
+		out += b
+		for _, s := range searchers {
+			out += fmt.Sprintf(",%.2f", byBench[b][s])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// CSVSuite renders a Table 1/2 result as CSV.
+func CSVSuite(r *SuiteResult) string {
+	out := "benchmark,default_seconds,tuned_seconds,speedup,improvement_pct,trials,collector,tiered\n"
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("%s,%.3f,%.3f,%.3f,%.2f,%d,%s,%v\n",
+			row.Benchmark, row.DefaultWall, row.BestWall, row.Speedup,
+			row.ImprovementPct, row.Trials, row.Collector, row.Tiered)
+	}
+	return out
+}
+
+// CSVScaling renders E9's data as CSV.
+func CSVScaling(rows []ScalingRow) string {
+	out := "benchmark,workers,trials,improvement_pct,makespan_min\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%s,%d,%d,%.2f,%.1f\n",
+			r.Benchmark, r.Workers, r.Trials, r.ImprovementPct, r.MakespanMin)
+	}
+	return out
+}
+
+// WriteCSVDir regenerates the figure/table data files into dir, creating it
+// if needed, and returns the sorted list of files written.
+func WriteCSVDir(dir string, cfg Config) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	files := map[string]func() (string, error){
+		"table1_specjvm2008.csv": func() (string, error) {
+			r, err := RunSuite("specjvm2008", cfg)
+			if err != nil {
+				return "", err
+			}
+			return CSVSuite(r), nil
+		},
+		"table2_dacapo.csv": func() (string, error) {
+			r, err := RunSuite("dacapo", cfg)
+			if err != nil {
+				return "", err
+			}
+			return CSVSuite(r), nil
+		},
+		"figure1_convergence.csv": func() (string, error) {
+			r, err := RunConvergence(nil, cfg)
+			if err != nil {
+				return "", err
+			}
+			return CSVConvergence(r), nil
+		},
+		"figure2_subset_vs_full.csv": func() (string, error) {
+			searchers := []string{"hierarchical", "subset-hillclimb"}
+			r, err := RunComparison(nil, searchers, cfg)
+			if err != nil {
+				return "", err
+			}
+			return CSVComparison(r, searchers), nil
+		},
+		"figure4_scaling.csv": func() (string, error) {
+			rows, err := RunParallelScaling(nil, nil, cfg)
+			if err != nil {
+				return "", err
+			}
+			return CSVScaling(rows), nil
+		},
+	}
+	var written []string
+	for name, gen := range files {
+		content, err := gen()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return nil, err
+		}
+		written = append(written, path)
+	}
+	sort.Strings(written)
+	return written, nil
+}

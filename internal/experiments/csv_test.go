@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVConvergence(t *testing.T) {
+	res, err := RunConvergence([]string{"fop"}, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CSVConvergence(res)
+	if !strings.HasPrefix(out, "minutes,fop\n") {
+		t.Errorf("csv header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != len(res.MinuteMarks)+1 {
+		t.Error("csv row count mismatch")
+	}
+}
+
+func TestCSVComparison(t *testing.T) {
+	searchers := []string{"hierarchical", "random"}
+	res, err := RunComparison([]string{"fop"}, searchers, Config{BudgetSeconds: 600, Reps: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CSVComparison(res, searchers)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "benchmark,hierarchical,random" {
+		t.Errorf("header: %q", lines[0])
+	}
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "fop,") {
+		t.Errorf("rows: %v", lines)
+	}
+}
+
+func TestCSVSuiteAndScaling(t *testing.T) {
+	suite, err := RunSuite("dacapo", Config{BudgetSeconds: 400, Reps: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CSVSuite(suite)
+	if !strings.Contains(out, "h2,") || !strings.Contains(out, "collector") {
+		t.Error("suite csv incomplete")
+	}
+	rows, err := RunParallelScaling([]string{"fop"}, []int{1, 2}, Config{BudgetSeconds: 400, Reps: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := CSVScaling(rows)
+	if !strings.Contains(sc, "fop,1,") || !strings.Contains(sc, "fop,2,") {
+		t.Errorf("scaling csv:\n%s", sc)
+	}
+}
+
+func TestWriteCSVDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	files, err := WriteCSVDir(dir, Config{BudgetSeconds: 400, Reps: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 5 {
+		t.Fatalf("expected 5 files, got %v", files)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil || len(data) == 0 {
+			t.Errorf("file %s unreadable or empty: %v", f, err)
+		}
+	}
+}

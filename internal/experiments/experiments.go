@@ -1,0 +1,391 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (as reconstructed in DESIGN.md). Each experiment returns both
+// structured results — which the root-level benchmarks assert shape
+// properties against — and rendered report artifacts, which cmd/experiments
+// prints.
+//
+// Sessions for different benchmarks are independent, so each experiment
+// fans out across a worker pool sized to the host.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/flags"
+	"repro/internal/hierarchy"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config are the knobs shared by all experiments.
+type Config struct {
+	// BudgetSeconds per tuning session; default 200 virtual minutes.
+	BudgetSeconds float64
+	// Reps per measurement; default 3.
+	Reps int
+	// Seed for all sessions (each session derives its own sub-seed).
+	Seed int64
+	// Workers bounds parallel sessions; default NumCPU.
+	Workers int
+	// Noise overrides the simulator's measurement noise (relative stddev);
+	// negative or zero-value means the default 1.5%.
+	Noise float64
+}
+
+func (c Config) budget() float64 {
+	if c.BudgetSeconds > 0 {
+		return c.BudgetSeconds
+	}
+	return core.DefaultBudgetSeconds
+}
+
+func (c Config) reps() int {
+	if c.Reps > 0 {
+		return c.Reps
+	}
+	return 3
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// subSeed derives a deterministic per-task seed.
+func (c Config) subSeed(i int) int64 {
+	return c.Seed*1_000_003 + int64(i)*7919
+}
+
+// tuneOne runs a single session.
+func tuneOne(p *workload.Profile, searcher string, cfg Config, seed int64) (*core.Outcome, error) {
+	s, err := core.NewSearcher(searcher)
+	if err != nil {
+		return nil, err
+	}
+	sim := jvmsim.New()
+	if cfg.Noise > 0 {
+		sim.NoiseRelStdDev = cfg.Noise
+	}
+	session := &core.Session{
+		Runner:        runner.NewInProcess(sim, p),
+		Searcher:      s,
+		BudgetSeconds: cfg.budget(),
+		Reps:          cfg.reps(),
+		Seed:          seed,
+	}
+	return session.Run()
+}
+
+// forEach runs fn(i) for i in [0, n) on the worker pool, collecting the
+// first error.
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// SuiteRow is one benchmark's line in Table 1 or Table 2.
+type SuiteRow struct {
+	Benchmark      string
+	DefaultWall    float64
+	BestWall       float64
+	ImprovementPct float64
+	Speedup        float64
+	Trials         int
+	Collector      string
+	Tiered         bool
+}
+
+// SuiteResult is a whole suite's tuning outcome.
+type SuiteResult struct {
+	Suite          string
+	Rows           []SuiteRow
+	AvgImprovement float64
+	MaxImprovement float64
+	// TopThree are the three largest improvements, descending.
+	TopThree [3]float64
+}
+
+// RunSuite tunes every program of a suite with the hierarchical searcher —
+// experiments E1 (specjvm2008) and E2 (dacapo).
+func RunSuite(suite string, cfg Config) (*SuiteResult, error) {
+	var profiles []*workload.Profile
+	switch suite {
+	case "specjvm2008":
+		profiles = workload.SPECjvm2008()
+	case "dacapo":
+		profiles = workload.DaCapo()
+	default:
+		return nil, fmt.Errorf("experiments: unknown suite %q", suite)
+	}
+	res := &SuiteResult{Suite: suite, Rows: make([]SuiteRow, len(profiles))}
+	err := forEach(len(profiles), cfg.workers(), func(i int) error {
+		out, err := tuneOne(profiles[i], "hierarchical", cfg, cfg.subSeed(i))
+		if err != nil {
+			return fmt.Errorf("%s: %w", profiles[i].Name, err)
+		}
+		col, _ := hierarchy.SelectedCollector(out.Best)
+		res.Rows[i] = SuiteRow{
+			Benchmark:      profiles[i].Name,
+			DefaultWall:    out.DefaultWall,
+			BestWall:       out.BestWall,
+			ImprovementPct: out.ImprovementPct,
+			Speedup:        out.Speedup,
+			Trials:         out.Trials,
+			Collector:      string(col),
+			Tiered:         out.Best.Bool("TieredCompilation"),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	imps := make([]float64, len(res.Rows))
+	for i, r := range res.Rows {
+		imps[i] = r.ImprovementPct
+	}
+	res.AvgImprovement = stats.Mean(imps)
+	res.MaxImprovement = stats.Max(imps)
+	sorted := append([]float64(nil), imps...)
+	for i := 0; i < 3 && i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+		res.TopThree[i] = sorted[i]
+	}
+	return res, nil
+}
+
+// ConvergenceResult holds Figure 1: best-so-far improvement over tuning
+// time for representative benchmarks.
+type ConvergenceResult struct {
+	// Benchmarks are the curve names.
+	Benchmarks []string
+	// MinuteMarks are the x samples (virtual minutes).
+	MinuteMarks []float64
+	// ImprovementAt[b][m] is percent improvement of benchmark b at minute
+	// mark m.
+	ImprovementAt [][]float64
+}
+
+// DefaultConvergenceBenchmarks are the paper-style representative picks:
+// two JIT-bound startup programs and two GC-bound DaCapo programs.
+var DefaultConvergenceBenchmarks = []string{
+	"startup.compiler.compiler", "startup.xml.validation", "h2", "eclipse",
+}
+
+// RunConvergence produces Figure 1.
+func RunConvergence(benchmarks []string, cfg Config) (*ConvergenceResult, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = DefaultConvergenceBenchmarks
+	}
+	marks := []float64{5, 10, 20, 40, 60, 80, 100, 120, 160, 200}
+	res := &ConvergenceResult{
+		Benchmarks:    benchmarks,
+		MinuteMarks:   marks,
+		ImprovementAt: make([][]float64, len(benchmarks)),
+	}
+	err := forEach(len(benchmarks), cfg.workers(), func(i int) error {
+		p, ok := workload.ByName(benchmarks[i])
+		if !ok {
+			return fmt.Errorf("experiments: unknown benchmark %q", benchmarks[i])
+		}
+		out, err := tuneOne(p, "hierarchical", cfg, cfg.subSeed(i))
+		if err != nil {
+			return err
+		}
+		row := make([]float64, len(marks))
+		for m, min := range marks {
+			row[m] = stats.ImprovementPct(out.DefaultWall, out.BestAt(min*60))
+		}
+		res.ImprovementAt[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SpaceResult holds Table 3: the search-space reduction numbers.
+type SpaceResult struct {
+	TotalFlags        int
+	TunableFlags      int
+	FlatLog10         float64
+	HierarchicalLog10 float64
+	ReductionLog10    float64
+	ActivePerBranch   map[string]int
+}
+
+// RunSpace produces Table 3 — pure accounting, no tuning.
+func RunSpace() *SpaceResult {
+	reg := flags.NewRegistry()
+	tree := hierarchy.Build(reg)
+	ss := tree.SpaceSize()
+	return &SpaceResult{
+		TotalFlags:        reg.Len(),
+		TunableFlags:      ss.TunableFlags,
+		FlatLog10:         ss.FlatLog10,
+		HierarchicalLog10: ss.HierarchicalLog10,
+		ReductionLog10:    ss.FlatLog10 - ss.HierarchicalLog10,
+		ActivePerBranch:   ss.ActivePerBranch,
+	}
+}
+
+// ComparisonRow is one benchmark × searcher outcome.
+type ComparisonRow struct {
+	Benchmark      string
+	Searcher       string
+	ImprovementPct float64
+	Trials         int
+	Failures       int
+}
+
+// ComparisonResult holds Figures 2 and 3: improvements per searcher.
+type ComparisonResult struct {
+	Rows []ComparisonRow
+	// AvgBySearcher is mean improvement per searcher across benchmarks.
+	AvgBySearcher map[string]float64
+}
+
+// DefaultComparisonBenchmarks mixes JIT-bound and GC-bound programs.
+var DefaultComparisonBenchmarks = []string{
+	"startup.compiler.compiler", "startup.xml.validation",
+	"startup.crypto.aes", "startup.scimark.sparse",
+	"h2", "eclipse", "xalan", "lusearch",
+}
+
+// RunComparison tunes each benchmark with each searcher — E5 uses
+// searchers {hierarchical, subset-hillclimb}, E6 the full strategy set.
+func RunComparison(benchmarks, searchers []string, cfg Config) (*ComparisonResult, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = DefaultComparisonBenchmarks
+	}
+	type task struct{ b, s int }
+	var tasks []task
+	for b := range benchmarks {
+		for s := range searchers {
+			tasks = append(tasks, task{b, s})
+		}
+	}
+	rows := make([]ComparisonRow, len(tasks))
+	err := forEach(len(tasks), cfg.workers(), func(i int) error {
+		t := tasks[i]
+		p, ok := workload.ByName(benchmarks[t.b])
+		if !ok {
+			return fmt.Errorf("experiments: unknown benchmark %q", benchmarks[t.b])
+		}
+		// Seed depends on the benchmark only, so searchers face identical
+		// noise draws where configs coincide.
+		out, err := tuneOne(p, searchers[t.s], cfg, cfg.subSeed(t.b))
+		if err != nil {
+			return err
+		}
+		rows[i] = ComparisonRow{
+			Benchmark:      benchmarks[t.b],
+			Searcher:       searchers[t.s],
+			ImprovementPct: out.ImprovementPct,
+			Trials:         out.Trials,
+			Failures:       out.Failures,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ComparisonResult{Rows: rows, AvgBySearcher: map[string]float64{}}
+	counts := map[string]int{}
+	for _, r := range rows {
+		res.AvgBySearcher[r.Searcher] += r.ImprovementPct
+		counts[r.Searcher]++
+	}
+	for s, sum := range res.AvgBySearcher {
+		res.AvgBySearcher[s] = sum / float64(counts[s])
+	}
+	return res, nil
+}
+
+// BestConfigRow is one line of Table 4: what the winning configuration
+// actually chose.
+type BestConfigRow struct {
+	Benchmark      string
+	Collector      string
+	Tiered         bool
+	HeapMB         int64
+	ImprovementPct float64
+	KeyChanges     []string // non-default flags, canonical order
+}
+
+// RunBestConfigs produces Table 4 for the given benchmarks (both suites if
+// empty).
+func RunBestConfigs(benchmarks []string, cfg Config) ([]BestConfigRow, error) {
+	if len(benchmarks) == 0 {
+		for _, p := range workload.All() {
+			benchmarks = append(benchmarks, p.Name)
+		}
+	}
+	rows := make([]BestConfigRow, len(benchmarks))
+	err := forEach(len(benchmarks), cfg.workers(), func(i int) error {
+		p, ok := workload.ByName(benchmarks[i])
+		if !ok {
+			return fmt.Errorf("experiments: unknown benchmark %q", benchmarks[i])
+		}
+		out, err := tuneOne(p, "hierarchical", cfg, cfg.subSeed(i))
+		if err != nil {
+			return err
+		}
+		col, _ := hierarchy.SelectedCollector(out.Best)
+		rows[i] = BestConfigRow{
+			Benchmark:      benchmarks[i],
+			Collector:      string(col),
+			Tiered:         out.Best.Bool("TieredCompilation"),
+			HeapMB:         out.Best.Int("MaxHeapSize") >> 20,
+			ImprovementPct: out.ImprovementPct,
+			KeyChanges:     out.Best.Diff(flags.NewConfig(out.Best.Registry())),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

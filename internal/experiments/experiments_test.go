@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns a config small enough for unit tests but large enough for
+// the searchers to find the big wins.
+func quick() Config {
+	return Config{BudgetSeconds: 1800, Reps: 2, Seed: 42}
+}
+
+func TestRunSuiteSPECjvm(t *testing.T) {
+	res, err := RunSuite("specjvm2008", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 16 {
+		t.Fatalf("expected 16 rows, got %d", len(res.Rows))
+	}
+	if res.AvgImprovement <= 0 {
+		t.Error("suite should improve on average")
+	}
+	if res.TopThree[0] < res.TopThree[1] || res.TopThree[1] < res.TopThree[2] {
+		t.Errorf("TopThree not sorted: %v", res.TopThree)
+	}
+	if res.MaxImprovement != res.TopThree[0] {
+		t.Error("max must equal the first of top three")
+	}
+	out := RenderSuite(res, "Table 1")
+	if !strings.Contains(out, "startup.compiler.compiler") || !strings.Contains(out, "average") {
+		t.Error("rendered table incomplete")
+	}
+}
+
+func TestRunSuiteDaCapo(t *testing.T) {
+	res, err := RunSuite("dacapo", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 13 {
+		t.Fatalf("expected 13 rows, got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.BestWall > r.DefaultWall {
+			t.Errorf("%s: tuned worse than default", r.Benchmark)
+		}
+		if r.Collector == "" {
+			t.Errorf("%s: missing collector", r.Benchmark)
+		}
+	}
+}
+
+func TestRunSuiteUnknown(t *testing.T) {
+	if _, err := RunSuite("nope", quick()); err == nil {
+		t.Error("unknown suite should error")
+	}
+}
+
+func TestRunSuiteDeterministic(t *testing.T) {
+	a, err := RunSuite("dacapo", Config{BudgetSeconds: 600, Reps: 1, Seed: 7, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSuite("dacapo", Config{BudgetSeconds: 600, Reps: 1, Seed: 7, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].BestWall != b.Rows[i].BestWall {
+			t.Fatalf("parallelism changed results for %s", a.Rows[i].Benchmark)
+		}
+	}
+}
+
+func TestRunConvergence(t *testing.T) {
+	res, err := RunConvergence([]string{"startup.xml.validation", "h2"}, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ImprovementAt) != 2 {
+		t.Fatal("expected 2 curves")
+	}
+	for i, curve := range res.ImprovementAt {
+		for m := 1; m < len(curve); m++ {
+			if curve[m] < curve[m-1]-1e-9 {
+				t.Errorf("curve %d not monotone at mark %d: %v", i, m, curve)
+			}
+		}
+	}
+	out := RenderConvergence(res)
+	if !strings.Contains(out, "minutes,") || !strings.Contains(out, "Figure 1") {
+		t.Error("rendered convergence missing parts")
+	}
+}
+
+func TestRunConvergenceUnknownBenchmark(t *testing.T) {
+	if _, err := RunConvergence([]string{"nope"}, quick()); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestRunSpace(t *testing.T) {
+	res := RunSpace()
+	if res.TotalFlags < 600 {
+		t.Errorf("registry should model 600+ flags, got %d", res.TotalFlags)
+	}
+	if res.ReductionLog10 < 3 {
+		t.Errorf("hierarchy should cut orders of magnitude, got %.1f", res.ReductionLog10)
+	}
+	if len(res.ActivePerBranch) != 8 {
+		t.Errorf("expected 8 branch combos, got %d", len(res.ActivePerBranch))
+	}
+	out := RenderSpace(res)
+	if !strings.Contains(out, "reduction") {
+		t.Error("rendered space table incomplete")
+	}
+}
+
+func TestRunComparison(t *testing.T) {
+	benches := []string{"startup.xml.validation", "h2"}
+	searchers := []string{"hierarchical", "subset-hillclimb"}
+	res, err := RunComparison(benches, searchers, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(res.Rows))
+	}
+	if res.AvgBySearcher["hierarchical"] <= res.AvgBySearcher["subset-hillclimb"] {
+		t.Errorf("whole-JVM tuning should beat the subset baseline on average: %v",
+			res.AvgBySearcher)
+	}
+	out := RenderComparison(res, "Figure 2", searchers)
+	if !strings.Contains(out, "hierarchical") || !strings.Contains(out, "average") {
+		t.Error("rendered comparison incomplete")
+	}
+}
+
+func TestRunBestConfigs(t *testing.T) {
+	rows, err := RunBestConfigs([]string{"h2", "startup.compiler.compiler"}, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("expected 2 rows")
+	}
+	for _, r := range rows {
+		if r.Collector == "" || r.HeapMB <= 0 {
+			t.Errorf("row incomplete: %+v", r)
+		}
+	}
+	// The startup benchmark's winner should enable tiered compilation or
+	// lower the compile threshold — i.e., actually change JIT flags.
+	if len(rows[1].KeyChanges) == 0 {
+		t.Error("winning config should differ from defaults")
+	}
+	out := RenderBestConfigs(rows)
+	if !strings.Contains(out, "h2") {
+		t.Error("rendered best-config table incomplete")
+	}
+}
+
+func TestForEachPropagatesErrors(t *testing.T) {
+	err := forEach(10, 4, func(i int) error {
+		if i == 5 {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Errorf("expected errTest, got %v", err)
+	}
+	if err := forEach(0, 4, func(int) error { return errTest }); err != nil {
+		t.Error("zero tasks should not error")
+	}
+}
+
+type testErr string
+
+func (e testErr) Error() string { return string(e) }
+
+var errTest = testErr("boom")

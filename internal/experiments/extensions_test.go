@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSeedVariance(t *testing.T) {
+	rows, err := RunSeedVariance([]string{"fop", "startup.scimark.fft"}, 3,
+		Config{BudgetSeconds: 900, Reps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Improvements) != 3 {
+			t.Errorf("%s: expected 3 seeds, got %d", r.Benchmark, len(r.Improvements))
+		}
+		if r.Min > r.Mean || r.Mean > r.Max {
+			t.Errorf("%s: min/mean/max inconsistent: %+v", r.Benchmark, r)
+		}
+		if r.Mean < 0 {
+			t.Errorf("%s: negative mean improvement %f", r.Benchmark, r.Mean)
+		}
+	}
+	out := RenderSeedVariance(rows, 3)
+	if !strings.Contains(out, "fop") || !strings.Contains(out, "CI") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunSeedVarianceDefaults(t *testing.T) {
+	if _, err := RunSeedVariance([]string{"nope"}, 2, quick()); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestRunParallelScaling(t *testing.T) {
+	rows, err := RunParallelScaling([]string{"fop"}, []int{1, 4},
+		Config{BudgetSeconds: 1200, Reps: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	if rows[1].Trials <= rows[0].Trials {
+		t.Errorf("4 workers should run more trials: %d vs %d", rows[1].Trials, rows[0].Trials)
+	}
+	if rows[1].ImprovementPct < rows[0].ImprovementPct-2 {
+		t.Errorf("more trials should not tune much worse: %.1f vs %.1f",
+			rows[1].ImprovementPct, rows[0].ImprovementPct)
+	}
+	out := RenderParallelScaling(rows)
+	if !strings.Contains(out, "Workers") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunParallelScalingUnknown(t *testing.T) {
+	if _, err := RunParallelScaling([]string{"nope"}, nil, quick()); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestRunGeneratedRobustness(t *testing.T) {
+	rows, err := RunGeneratedRobustness(2, Config{BudgetSeconds: 900, Reps: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 families, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MinImp < 0 {
+			t.Errorf("%s: tuning ended worse than default (%.1f%%)", r.Kind, r.MinImp)
+		}
+		if r.N != 2 {
+			t.Errorf("%s: N = %d", r.Kind, r.N)
+		}
+	}
+	out := RenderGeneratedRobustness(rows)
+	if !strings.Contains(out, "startup") || !strings.Contains(out, "mixed") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunCommonConfig(t *testing.T) {
+	res, err := RunCommonConfig("dacapo", Config{BudgetSeconds: 600, Reps: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 13 {
+		t.Fatalf("expected 13 rows, got %d", len(res.Rows))
+	}
+	if res.SuiteAvgCommonPct <= 0 {
+		t.Error("common config should still improve the suite")
+	}
+	if res.SuiteAvgCommonPct > res.SuiteAvgPerProgramPct+5 {
+		t.Errorf("common config (%.1f%%) should not dominate per-program tuning (%.1f%%)",
+			res.SuiteAvgCommonPct, res.SuiteAvgPerProgramPct)
+	}
+	if len(res.CommonFlags) == 0 {
+		t.Error("common config should change flags")
+	}
+	out := RenderCommonConfig(res)
+	if !strings.Contains(out, "common configuration") || !strings.Contains(out, "average") {
+		t.Error("render incomplete")
+	}
+	if _, err := RunCommonConfig("nope", quick()); err == nil {
+		t.Error("unknown suite should error")
+	}
+}
+
+func TestRunNoiseSensitivity(t *testing.T) {
+	rows, err := RunNoiseSensitivity([]string{"fop"}, []float64{0, 8}, Config{BudgetSeconds: 1200, Reps: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	zero, noisy := rows[0], rows[1]
+	if zero.NoisePct != 0 || noisy.NoisePct != 8 {
+		t.Fatalf("rows out of order: %+v", rows)
+	}
+	// Under zero noise, claimed == true.
+	if diff := zero.ImprovementPct - zero.TrueImpPct; diff > 0.01 || diff < -0.01 {
+		t.Errorf("zero noise should have claimed == true: %.2f vs %.2f",
+			zero.ImprovementPct, zero.TrueImpPct)
+	}
+	// Under heavy noise the claim drifts from the truth (usually inflating,
+	// but a noisy baseline can mask it on a single seed); the drift is
+	// bounded by the noise scale, and the *true* win survives.
+	if drift := noisy.ImprovementPct - noisy.TrueImpPct; drift > 25 || drift < -25 {
+		t.Errorf("claim drifted implausibly far from truth: %.2f vs %.2f",
+			noisy.ImprovementPct, noisy.TrueImpPct)
+	}
+	if noisy.TrueImpPct <= 0 {
+		t.Errorf("tuning under noise should still find a real win, got %.2f%%", noisy.TrueImpPct)
+	}
+	if noisy.TrueImpPct < zero.TrueImpPct-15 {
+		t.Errorf("noise degraded the true win too much: %.2f vs %.2f",
+			noisy.TrueImpPct, zero.TrueImpPct)
+	}
+	out := RenderNoiseSensitivity(rows)
+	if !strings.Contains(out, "Claimed") {
+		t.Error("render incomplete")
+	}
+	if _, err := RunNoiseSensitivity([]string{"nope"}, nil, quick()); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestRunObjectives(t *testing.T) {
+	rows, err := RunObjectives([]string{"tradebeans"}, Config{BudgetSeconds: 4000, Reps: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	thr, pause := rows[0], rows[1]
+	if thr.Objective != "throughput" || pause.Objective != "pause" {
+		t.Fatalf("rows out of order: %+v", rows)
+	}
+	if pause.MaxPauseMs >= thr.MaxPauseMs {
+		t.Errorf("pause tuning should cut the worst pause: %.0fms vs %.0fms",
+			pause.MaxPauseMs, thr.MaxPauseMs)
+	}
+	// Throughput tuning should be at least roughly as fast (the pause
+	// winner can land within noise of it at short budgets).
+	if thr.WallSeconds > pause.WallSeconds*1.05 {
+		t.Errorf("throughput tuning notably slower: %.1fs vs %.1fs",
+			thr.WallSeconds, pause.WallSeconds)
+	}
+	out := RenderObjectives(rows)
+	if !strings.Contains(out, "MaxPause") {
+		t.Error("render incomplete")
+	}
+	if _, err := RunObjectives([]string{"nope"}, quick()); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/jvmsim"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// ObjectiveRow is one (benchmark, objective) outcome of E13: the winning
+// configuration's wall time and worst GC pause under each tuning goal.
+type ObjectiveRow struct {
+	Benchmark   string
+	Objective   string
+	WallSeconds float64
+	MaxPauseMs  float64
+	Collector   string
+}
+
+// RunObjectives (E13) tunes GC-heavy benchmarks once for throughput and
+// once for pause latency. The expected shape is the classic trade-off:
+// pause tuning picks concurrent collectors and small young generations,
+// cutting worst-case pauses by an order of magnitude at some wall-time
+// cost; throughput tuning does the opposite.
+func RunObjectives(benchmarks []string, cfg Config) ([]ObjectiveRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"h2", "tradebeans", "tomcat"}
+	}
+	objectives := []core.Objective{core.ObjectiveThroughput, core.ObjectivePause}
+	type task struct{ b, o int }
+	var tasks []task
+	for b := range benchmarks {
+		for o := range objectives {
+			tasks = append(tasks, task{b, o})
+		}
+	}
+	rows := make([]ObjectiveRow, len(tasks))
+	err := forEach(len(tasks), cfg.workers(), func(i int) error {
+		t := tasks[i]
+		p, ok := workload.ByName(benchmarks[t.b])
+		if !ok {
+			return fmt.Errorf("experiments: unknown benchmark %q", benchmarks[t.b])
+		}
+		searcher, err := core.NewSearcher("hierarchical")
+		if err != nil {
+			return err
+		}
+		session := &core.Session{
+			Runner:        runner.NewInProcess(jvmsim.New(), p),
+			Searcher:      searcher,
+			BudgetSeconds: cfg.budget(),
+			Reps:          cfg.reps(),
+			Seed:          cfg.subSeed(t.b),
+			Objective:     objectives[t.o],
+		}
+		out, err := session.Run()
+		if err != nil {
+			return err
+		}
+		// Score the winner on a noiseless oracle for clean reporting.
+		oracle := jvmsim.New()
+		oracle.NoiseRelStdDev = 0
+		res := oracle.Run(out.Best, p, 0)
+		rows[i] = ObjectiveRow{
+			Benchmark:   benchmarks[t.b],
+			Objective:   string(objectives[t.o]),
+			WallSeconds: res.WallSeconds,
+			MaxPauseMs:  res.MaxPauseSeconds * 1000,
+			Collector:   res.Collector,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderObjectives renders E13.
+func RenderObjectives(rows []ObjectiveRow) string {
+	t := report.NewTable("E13: throughput-tuned vs pause-tuned winners",
+		"Benchmark", "Objective", "Wall(s)", "MaxPause(ms)", "GC")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.Objective,
+			fmt.Sprintf("%.1f", r.WallSeconds),
+			fmt.Sprintf("%.0f", r.MaxPauseMs),
+			r.Collector)
+	}
+	return t.String()
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// RenderSuite renders Table 1 / Table 2.
+func RenderSuite(r *SuiteResult, title string) string {
+	t := report.NewTable(title,
+		"Benchmark", "Default(s)", "Tuned(s)", "Speedup", "Improvement", "Trials", "GC", "Tiered")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark, row.DefaultWall, row.BestWall,
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.1f%%", row.ImprovementPct),
+			row.Trials, row.Collector, row.Tiered)
+	}
+	t.AddFooter("average", "", "", "",
+		fmt.Sprintf("%.1f%%", r.AvgImprovement), "", "", "")
+	t.AddFooter("maximum", "", "", "",
+		fmt.Sprintf("%.1f%%", r.MaxImprovement), "", "", "")
+	return t.String()
+}
+
+// RenderConvergence renders Figure 1 as a CSV block plus an ASCII chart.
+func RenderConvergence(r *ConvergenceResult) string {
+	series := make([]*report.Series, len(r.Benchmarks))
+	for i, b := range r.Benchmarks {
+		s := &report.Series{Name: b}
+		for m, min := range r.MinuteMarks {
+			s.Add(min, r.ImprovementAt[i][m])
+		}
+		series[i] = s
+	}
+	var b strings.Builder
+	b.WriteString(report.AsciiChart(
+		"Figure 1: best-found improvement (%) vs tuning time (min)", 60, 12, series...))
+	b.WriteByte('\n')
+	b.WriteString(report.CSV("minutes", series...))
+	return b.String()
+}
+
+// RenderSpace renders Table 3.
+func RenderSpace(r *SpaceResult) string {
+	t := report.NewTable("Table 3: configuration search-space reduction",
+		"Quantity", "Value")
+	t.AddRow("flags in the registry", r.TotalFlags)
+	t.AddRow("tunable flags", r.TunableFlags)
+	t.AddRow("flat space (log10 configs)", r.FlatLog10)
+	t.AddRow("hierarchy-guided space (log10 configs)", r.HierarchicalLog10)
+	t.AddRow("reduction (orders of magnitude)", r.ReductionLog10)
+	labels := make([]string, 0, len(r.ActivePerBranch))
+	for l := range r.ActivePerBranch {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		t.AddRow("active flags under "+l, r.ActivePerBranch[l])
+	}
+	return t.String()
+}
+
+// RenderComparison renders Figure 2 / Figure 3 as a benchmark × searcher
+// matrix.
+func RenderComparison(r *ComparisonResult, title string, searchers []string) string {
+	headers := append([]string{"Benchmark"}, searchers...)
+	t := report.NewTable(title, headers...)
+	byBench := map[string]map[string]float64{}
+	var order []string
+	for _, row := range r.Rows {
+		if byBench[row.Benchmark] == nil {
+			byBench[row.Benchmark] = map[string]float64{}
+			order = append(order, row.Benchmark)
+		}
+		byBench[row.Benchmark][row.Searcher] = row.ImprovementPct
+	}
+	for _, b := range order {
+		cells := []any{b}
+		for _, s := range searchers {
+			cells = append(cells, fmt.Sprintf("%.1f%%", byBench[b][s]))
+		}
+		t.AddRow(cells...)
+	}
+	footer := []any{"average"}
+	for _, s := range searchers {
+		footer = append(footer, fmt.Sprintf("%.1f%%", r.AvgBySearcher[s]))
+	}
+	t.AddFooter(footer...)
+	return t.String()
+}
+
+// RenderBestConfigs renders Table 4.
+func RenderBestConfigs(rows []BestConfigRow) string {
+	t := report.NewTable("Table 4: winning configurations",
+		"Benchmark", "Improvement", "GC", "Tiered", "Heap(MB)", "Flags changed")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%.1f%%", r.ImprovementPct),
+			r.Collector, r.Tiered, r.HeapMB, len(r.KeyChanges))
+	}
+	return t.String()
+}

@@ -1,0 +1,105 @@
+package flags
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The flag layer sits on the tuner's hottest paths: every proposal clones
+// and mutates a config, every cache lookup builds a canonical key, every
+// launch renders a command line.
+
+func benchConfig(b *testing.B) (*Registry, *Config) {
+	b.Helper()
+	reg := NewRegistry()
+	c := NewConfig(reg)
+	c.SetBool("UseG1GC", true)
+	c.SetBool("UseParallelGC", false)
+	c.SetInt("MaxHeapSize", 2<<30)
+	c.SetInt("CompileThreshold", 2500)
+	c.SetBool("TieredCompilation", true)
+	c.SetInt("SurvivorRatio", 6)
+	c.SetInt("MaxGCPauseMillis", 50)
+	c.SetInt("G1ReservePercent", 15)
+	return reg, c
+}
+
+func BenchmarkNewRegistry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if NewRegistry().Len() < 600 {
+			b.Fatal("registry too small")
+		}
+	}
+}
+
+func BenchmarkConfigClone(b *testing.B) {
+	_, c := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Clone() == nil {
+			b.Fatal("nil clone")
+		}
+	}
+}
+
+func BenchmarkConfigKeyCanonical(b *testing.B) {
+	_, c := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkCommandLineRender(b *testing.B) {
+	_, c := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.CommandLine()) == 0 {
+			b.Fatal("no args")
+		}
+	}
+}
+
+func BenchmarkParseArgs(b *testing.B) {
+	reg, c := benchConfig(b)
+	args := c.CommandLine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseArgs(reg, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMutateFlag(b *testing.B) {
+	reg, c := benchConfig(b)
+	rng := rand.New(rand.NewSource(1))
+	names := reg.TunableNames()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MutateFlag(c, names[i%len(names)], rng)
+	}
+}
+
+func BenchmarkSampleValueLogScale(b *testing.B) {
+	reg := NewRegistry()
+	f := reg.Lookup("MaxHeapSize")
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleValue(f, rng)
+	}
+}
+
+func BenchmarkDiff(b *testing.B) {
+	reg, c := benchConfig(b)
+	def := NewConfig(reg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Diff(def)) == 0 {
+			b.Fatal("empty diff")
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package flags
+
+// This file supplies the long tail of the HotSpot flag universe: flags that
+// exist, can be set, and occasionally cost performance when engaged, but
+// whose effect the simulator does not model in detail. They matter to the
+// reproduction for two reasons. First, the paper's headline difficulty —
+// "over 600 flags to choose from" — only holds if the universe really is
+// that large. Second, a whole-JVM tuner must *learn to leave these alone*:
+// engaging a verification flag slows the VM down, so a tuner that mutates
+// blindly pays for it.
+//
+// The list combines ~140 real, individually-named flags with systematically
+// generated Print/Trace/Verify/Check/Log/Profile families over VM
+// components, which is faithful to how HotSpot's develop-flag namespace is
+// actually organized.
+
+// overheadFor assigns the simulator's slowdown for engaging an inert flag,
+// by naming convention: verification is expensive, tracing is noticeable,
+// printing is nearly free.
+func overheadFor(name string) float64 {
+	switch {
+	case hasPrefix(name, "Verify"):
+		return 0.08
+	case hasPrefix(name, "Profile"):
+		return 0.03
+	case hasPrefix(name, "Check"):
+		return 0.02
+	case hasPrefix(name, "Trace"):
+		return 0.015
+	case hasPrefix(name, "Log"):
+		return 0.01
+	case hasPrefix(name, "Print"):
+		return 0.004
+	default:
+		return 0
+	}
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+// inertBool builds an inert boolean flag whose overhead follows its name.
+func inertBool(name string, kind Kind, cat Category, desc string) Flag {
+	return Flag{Name: name, Type: Bool, Kind: kind, Category: cat,
+		Default: BoolValue(false), Inert: true,
+		OverheadPct: overheadFor(name), Description: desc}
+}
+
+// inertInt builds an inert integer flag; moving it off its default charges
+// no overhead (it is simply ignored by the simulator).
+func inertInt(name string, kind Kind, cat Category, def, min, max int64, desc string) Flag {
+	return Flag{Name: name, Type: Int, Kind: kind, Category: cat,
+		Default: IntValue(def), Min: min, Max: max, Inert: true,
+		Description: desc}
+}
+
+// vmComponents are the subsystems over which HotSpot's develop-build
+// observability flag families are generated.
+var vmComponents = []string{
+	"ClassLoading", "ClassUnloading", "ClassResolution", "ClassInitialization",
+	"Monitor", "MonitorInflation", "MonitorMismatch", "BiasedLocking",
+	"Safepoint", "SafepointCleanup", "VMOperation", "HandshakeOperation",
+	"Deoptimization", "OSR", "Compilation", "CompilationPolicy",
+	"InlineCaches", "CodeCache", "CodeBlob", "Relocation",
+	"StubRoutines", "InterpreterEntries", "BytecodeVerification", "Dependencies",
+	"MethodData", "MethodHandles", "Invokedynamic", "ConstantPool",
+	"Exceptions", "StackWalk", "StackMaps", "JNICalls",
+	"JVMTIEvents", "ThreadEvents", "ThreadStates", "ParkEvents",
+	"Scavenge", "MarkSweep", "RefProcessing", "WeakReferences",
+	"FinalReferences", "PhantomReferences", "CardTable", "RememberedSets",
+	"TLABAllocation", "HumongousAllocation", "PromotionFailure", "Evacuation",
+	"ConcurrentMark", "ConcurrentSweep", "RegionLiveness", "CollectionSetChoice",
+	"HeapExpansion", "HeapShrinking", "MetaspaceAllocation", "StringTable",
+	"SymbolTable", "InternedStrings", "PerfCounters", "ArgumentProcessing",
+	"SignalHandling", "LibraryLoading", "AttachListener", "ManagementAgent",
+}
+
+// flagFamilies are the aspect prefixes generated per component.
+var flagFamilies = []struct {
+	prefix string
+	kind   Kind
+}{
+	{"Print", Diagnostic},
+	{"Trace", Develop},
+	{"Verify", Develop},
+	{"Check", Develop},
+	{"Log", Diagnostic},
+	{"Profile", Develop},
+}
+
+// inertCatalog returns the inert flag definitions.
+func inertCatalog() []Flag {
+	var defs []Flag
+
+	// Real, individually-named observability and policy flags.
+	named := []Flag{
+		// GC observability (all tunable Product flags a tuner could flip).
+		inertBool("PrintGC", Product, CatDebug, "one line per collection"),
+		inertBool("PrintGCDetails", Product, CatDebug, "detailed per-collection logging"),
+		inertBool("PrintGCTimeStamps", Product, CatDebug, "timestamps on GC log lines"),
+		inertBool("PrintGCDateStamps", Product, CatDebug, "wall-clock dates on GC log lines"),
+		inertBool("PrintGCApplicationStoppedTime", Product, CatDebug, "report stop-the-world durations"),
+		inertBool("PrintGCApplicationConcurrentTime", Product, CatDebug, "report time between pauses"),
+		inertBool("PrintGCTaskTimeStamps", Product, CatDebug, "per-GC-task timing"),
+		inertBool("PrintHeapAtGC", Product, CatDebug, "heap layout before/after each GC"),
+		inertBool("PrintHeapAtSIGBREAK", Product, CatDebug, "heap layout on SIGBREAK"),
+		inertBool("PrintTenuringDistribution", Product, CatDebug, "survivor age table per scavenge"),
+		inertBool("PrintAdaptiveSizePolicy", Product, CatDebug, "ergonomics decisions per collection"),
+		inertBool("PrintPromotionFailure", Product, CatDebug, "details when promotion fails"),
+		inertBool("PrintReferenceGC", Product, CatDebug, "reference-processing times"),
+		inertBool("PrintParallelOldGCPhaseTimes", Product, CatDebug, "phase times of parallel old GC"),
+		inertBool("PrintCMSStatistics", Product, CatDebug, "CMS cycle statistics"),
+		inertBool("PrintCMSInitiationStatistics", Product, CatDebug, "CMS start-trigger statistics"),
+		inertBool("PrintFLSStatistics", Product, CatDebug, "CMS free-list-space statistics"),
+		inertBool("PrintOldPLAB", Product, CatDebug, "old-gen promotion-buffer statistics"),
+		inertBool("PrintTLAB", Product, CatDebug, "TLAB sizing per scavenge"),
+		inertBool("PrintJNIGCStalls", Product, CatDebug, "report GC stalls caused by JNI critical sections"),
+		inertBool("PrintClassHistogram", Product, CatDebug, "class histogram on SIGQUIT"),
+		inertBool("PrintConcurrentLocks", Product, CatDebug, "j.u.c locks in thread dumps"),
+		inertBool("PrintCompilation", Product, CatDebug, "one line per JIT compilation"),
+		inertBool("PrintCompilation2", Diagnostic, CatDebug, "queue timing per compilation"),
+		inertBool("PrintInlining", Diagnostic, CatDebug, "inlining decisions per compile"),
+		inertBool("PrintIntrinsics", Diagnostic, CatDebug, "intrinsic substitution decisions"),
+		inertBool("PrintAssembly", Diagnostic, CatDebug, "disassemble generated code"),
+		inertBool("PrintNMethods", Diagnostic, CatDebug, "print nmethods as generated"),
+		inertBool("PrintNativeNMethods", Diagnostic, CatDebug, "print native wrappers as generated"),
+		inertBool("PrintSignatureHandlers", Diagnostic, CatDebug, "print signature handler stubs"),
+		inertBool("PrintStubCode", Diagnostic, CatDebug, "print generated stub code"),
+		inertBool("PrintCodeCache", Product, CatDebug, "code cache summary at exit"),
+		inertBool("PrintCodeCacheOnCompilation", Product, CatDebug, "code cache summary per compile"),
+		inertBool("PrintFlagsFinal", Product, CatDebug, "dump final flag values at startup"),
+		inertBool("PrintFlagsInitial", Product, CatDebug, "dump default flag values at startup"),
+		inertBool("PrintCommandLineFlags", Product, CatDebug, "print ergonomically-set flags"),
+		inertBool("PrintVMOptions", Product, CatDebug, "echo VM options at startup"),
+		inertBool("PrintVMQWaitTime", Product, CatDebug, "VM-operation queue wait times"),
+		inertBool("PrintSafepointStatistics", Product, CatDebug, "safepoint statistics at exit"),
+		inertBool("PrintStringTableStatistics", Product, CatDebug, "string table statistics at exit"),
+		inertBool("PrintBiasedLockingStatistics", Product, CatDebug, "biased-locking revocation counters"),
+		inertBool("PrintInterpreter", Diagnostic, CatDebug, "print interpreter code at startup"),
+		inertBool("PrintSharedSpaces", Product, CatDebug, "CDS space usage"),
+		inertBool("TraceClassLoadingPreorder", Product, CatDebug, "classes in load order"),
+		inertBool("TraceBiasedLocking", Product, CatDebug, "bias grants and revocations"),
+		inertBool("TraceMonitorInflation", Product, CatDebug, "monitor inflation events"),
+		inertBool("TraceSafepointCleanupTime", Product, CatDebug, "safepoint cleanup phases"),
+		inertBool("VerifyMergedCPBytecodes", Product, CatDebug, "verify merged constant-pool bytecodes"),
+
+		// Dump/abort behaviour.
+		inertBool("HeapDumpOnOutOfMemoryError", Product, CatRuntime, "write an hprof dump on OOM"),
+		inertBool("HeapDumpBeforeFullGC", Product, CatRuntime, "dump before every full GC"),
+		inertBool("HeapDumpAfterFullGC", Product, CatRuntime, "dump after every full GC"),
+		inertBool("CrashOnOutOfMemoryError", Product, CatRuntime, "abort and core-dump on OOM"),
+		inertBool("CreateMinidumpOnCrash", Product, CatRuntime, "write a minidump on crash"),
+		inertBool("ShowMessageBoxOnError", Product, CatRuntime, "suspend for a debugger on error"),
+		inertBool("SuppressFatalErrorMessage", Product, CatRuntime, "exit silently on fatal errors"),
+
+		// Policy flags with negligible modeled effect.
+		inertBool("UseGCLogFileRotation", Product, CatDebug, "rotate GC log files"),
+		inertBool("UseAdaptiveGCBoundary", Product, CatGC, "move the young/old boundary adaptively"),
+		inertBool("UseAdaptiveSizePolicyWithSystemGC", Product, CatGC, "feed System.gc() into ergonomics"),
+		inertBool("UseAdaptiveSizeDecayMajorGCCost", Product, CatGC, "decay major-GC cost estimates"),
+		inertBool("UseAdaptiveSizePolicyFootprintGoal", Product, CatGC, "ergonomics pursues footprint goal"),
+		inertBool("UseMaximumCompactionOnSystemGC", Product, CatGC, "full compaction on System.gc()"),
+		inertBool("UseParallelDensePrefixUpdate", Product, CatGC, "parallel dense-prefix update in parallel old GC"),
+		inertBool("UseSerialGCPromotionFailureHandling", Product, CatGC, "serial handling of promotion failure"),
+		inertBool("UseDynamicNumberOfGCThreads", Product, CatGC, "vary GC worker count per phase"),
+		inertBool("AlwaysTenure", Product, CatHeap, "promote every scavenge survivor immediately"),
+		inertBool("NeverTenure", Product, CatHeap, "never promote while survivor space suffices"),
+		inertBool("AlwaysActAsServerClassMachine", Product, CatRuntime, "force server-class ergonomics"),
+		inertBool("AggressiveHeap", Product, CatHeap, "preset heap flags for large machines"),
+		inertBool("UseSharedSpaces", Product, CatRuntime, "map the CDS archive"),
+		inertBool("RequireSharedSpaces", Product, CatRuntime, "fail unless CDS maps"),
+		inertBool("RestoreMXCSROnJNICalls", Product, CatRuntime, "restore MXCSR on JNI returns"),
+		inertBool("CheckJNICalls", Product, CatRuntime, "verify JNI argument validity"),
+		inertBool("LazyBootClassLoader", Product, CatRuntime, "open boot classpath jars lazily"),
+		inertBool("EagerXrunInit", Product, CatRuntime, "initialize -Xrun libraries eagerly"),
+		inertBool("PreferInterpreterNativeStubs", Product, CatJIT, "interpreter entries for natives"),
+		inertBool("UseInlineCaches", Product, CatJIT, "inline caches for virtual calls"),
+		inertBool("UseOnStackReplacement", Product, CatJIT, "compile loops mid-execution"),
+		inertBool("UseCompilerSafepoints", Product, CatJIT, "poll for safepoints in compiled loops"),
+		inertBool("CIPrintCompilerName", Diagnostic, CatDebug, "compiler name on CI log lines"),
+		inertBool("CITime", Product, CatDebug, "accumulate JIT compilation time"),
+		inertBool("DontCompileHugeMethods", Product, CatJIT, "skip methods over HugeMethodLimit"),
+		inertBool("DeoptimizeALot", Develop, CatJIT, "stress deoptimization paths"),
+		inertBool("VerifyOops", Develop, CatDebug, "verify object pointers on access"),
+		inertBool("VerifyStack", Develop, CatDebug, "verify stack frames at transitions"),
+		inertBool("VerifyBeforeGC", Diagnostic, CatDebug, "verify the heap before each GC"),
+		inertBool("VerifyAfterGC", Diagnostic, CatDebug, "verify the heap after each GC"),
+		inertBool("VerifyDuringGC", Diagnostic, CatDebug, "verify the heap during concurrent GC"),
+		inertBool("VerifyRememberedSets", Diagnostic, CatDebug, "verify remembered-set consistency"),
+		inertBool("VerifyObjectStartArray", Diagnostic, CatDebug, "verify the object start array"),
+		inertBool("ZeroTLAB", Product, CatHeap, "zero TLABs when allocated"),
+		inertBool("FastTLABRefill", Product, CatHeap, "compiled fast path refills TLABs"),
+		inertBool("UseAutoGCSelectPolicy", Product, CatGC, "pick a collector from pause goals"),
+		inertBool("ExtendedDTraceProbes", Product, CatRuntime, "enable costly DTrace probes"),
+		inertBool("DTraceMethodProbes", Product, CatRuntime, "method-entry/exit probes"),
+		inertBool("DTraceAllocProbes", Product, CatRuntime, "allocation probes"),
+		inertBool("DTraceMonitorProbes", Product, CatRuntime, "monitor probes"),
+		inertBool("RelaxAccessControlCheck", Product, CatRuntime, "relax verifier access checks"),
+		inertBool("UseSplitVerifier", Product, CatRuntime, "split-time bytecode verifier"),
+		inertBool("FailOverToOldVerifier", Product, CatRuntime, "fall back to the old verifier"),
+		inertBool("UseVMInterruptibleIO", Product, CatRuntime, "interruptible IO on Solaris"),
+		inertBool("UseLWPSynchronization", Product, CatThreads, "LWP-based synchronization on Solaris"),
+		inertBool("UseBoundThreads", Product, CatThreads, "bind user threads to kernel threads"),
+		inertBool("UseAltSigs", Product, CatRuntime, "alternate signals instead of SIGUSR1/2"),
+		inertBool("UseOprofile", Product, CatDebug, "oprofile JIT support"),
+		inertBool("UseLinuxPosixThreadCPUClocks", Product, CatThreads, "fast per-thread CPU clocks"),
+		inertBool("UseHugeTLBFS", Product, CatHeap, "hugetlbfs-backed large pages"),
+		inertBool("UseSHM", Product, CatHeap, "SysV SHM large pages"),
+		inertBool("UseMembar", Product, CatThreads, "real memory barriers instead of pseudo-membar"),
+		inertBool("ManagementServer", Product, CatRuntime, "start the JMX management agent"),
+		inertBool("DisableAttachMechanism", Product, CatRuntime, "refuse jcmd/jstack attach"),
+		inertBool("StartAttachListener", Product, CatRuntime, "start the attach listener eagerly"),
+		inertBool("EnableDynamicAgentLoading", Product, CatRuntime, "allow agents to attach at runtime"),
+		inertBool("PerfDisableSharedMem", Product, CatRuntime, "keep perf data off shared memory"),
+		inertBool("PerfBypassFileSystemCheck", Product, CatRuntime, "skip hsperfdata directory checks"),
+		inertBool("UsePopCountInstruction", Product, CatJIT, "hardware population count"),
+		inertBool("UseNewLongLShift", Product, CatJIT, "optimized long left-shift"),
+		inertBool("UseAddressNop", Product, CatJIT, "multi-byte nops for code alignment"),
+		inertBool("UseXmmLoadAndClearUpper", Product, CatJIT, "XMM loads clear upper halves"),
+		inertBool("UseXmmRegToRegMoveAll", Product, CatJIT, "full-width XMM register moves"),
+		inertBool("UseUnalignedLoadStores", Product, CatJIT, "SSE unaligned block moves"),
+		inertBool("UseCLMUL", Product, CatJIT, "carry-less multiply for CRC32"),
+		inertBool("UseAES", Product, CatJIT, "AES-NI intrinsics"),
+		inertBool("UseAESIntrinsics", Product, CatJIT, "compiler AES intrinsics"),
+		inertBool("UseSSE42Intrinsics", Product, CatJIT, "SSE4.2 string intrinsics"),
+		inertBool("UseVectoredExceptions", Product, CatRuntime, "vectored exception handling"),
+
+		// Numeric policy knobs kept inert (their modeled cousins carry the
+		// effect; these exist so the space is realistically wide).
+		inertInt("GCHeapFreeLimit", Product, CatGC, 2, 0, 100, "min free heap percent before OOM from overhead limit"),
+		inertInt("GCTimeLimit", Product, CatGC, 98, 0, 100, "max GC time percent before OOM from overhead limit"),
+		inertInt("SoftRefLRUPolicyMSPerMB", Product, CatGC, 1000, 0, 100000, "soft reference lifetime per free MB"),
+		inertInt("StringTableSize", Product, CatRuntime, 1009, 101, 1000003, "interned string hash buckets"),
+		inertInt("PerfDataMemorySize", Product, CatRuntime, 32*kb, 4*kb, 1*mb, "jvmstat counter segment size"),
+		inertInt("PerfDataSamplingInterval", Product, CatRuntime, 50, 1, 10000, "jvmstat sampling period (ms)"),
+		inertInt("MaxDirectMemorySize", Product, CatHeap, 0, 0, 8*gb, "NIO direct buffer limit (0 = heap-sized)"),
+		inertInt("ObjectAlignmentInBytes", Product, CatHeap, 8, 8, 256, "object alignment"),
+		inertInt("MarkSweepDeadRatio", Product, CatGC, 5, 0, 100, "dead space tolerated per region in mark-sweep"),
+		inertInt("MarkSweepAlwaysCompactCount", Product, CatGC, 4, 1, 64, "full GCs between clearing compaction skipping"),
+		inertInt("ParGCArrayScanChunk", Product, CatGC, 50, 1, 10000, "array chunking granularity in parallel scans"),
+		inertInt("ParallelGCBufferWastePct", Product, CatGC, 10, 0, 100, "tolerated promotion-buffer waste"),
+		inertInt("YoungPLABSize", Product, CatGC, 4096, 256, 1<<20, "young promotion-buffer size (words)"),
+		inertInt("OldPLABSize", Product, CatGC, 1024, 16, 1<<20, "old promotion-buffer size (words)"),
+		inertInt("MinHeapDeltaBytes", Product, CatHeap, 128*kb, 0, 64*mb, "min heap resize step"),
+		inertInt("LargePageSizeInBytes", Product, CatHeap, 0, 0, 1*gb, "large page size override"),
+		inertInt("StackYellowPages", Product, CatThreads, 2, 1, 16, "yellow guard zone pages"),
+		inertInt("StackRedPages", Product, CatThreads, 1, 1, 16, "red guard zone pages"),
+		inertInt("StackShadowPages", Product, CatThreads, 6, 1, 64, "shadow pages for native frames"),
+		inertInt("VMThreadStackSize", Product, CatThreads, 512, 64, 8192, "VM thread stack (KB)"),
+		inertInt("CompilerThreadStackSize", Product, CatThreads, 0, 0, 8192, "compiler thread stack (KB)"),
+		inertInt("SafepointTimeoutDelay", Product, CatRuntime, 10000, 100, 120000, "safepoint timeout (ms)"),
+		inertInt("GuaranteedSafepointInterval", Diagnostic, CatRuntime, 1000, 0, 60000, "max interval between safepoints (ms)"),
+		inertInt("BiasedLockingBulkRebiasThreshold", Product, CatThreads, 20, 1, 1000, "revocations before bulk rebias"),
+		inertInt("BiasedLockingBulkRevokeThreshold", Product, CatThreads, 40, 1, 1000, "revocations before bulk revoke"),
+		inertInt("BiasedLockingDecayTime", Product, CatThreads, 25000, 500, 120000, "bulk-rebias decay time (ms)"),
+		inertInt("HugeMethodLimit", Develop, CatJIT, 8000, 1000, 64000, "bytecode size beyond which methods are not compiled"),
+		inertInt("MaxNodeLimit", Develop, CatJIT, 80000, 1000, 1<<20, "C2 ideal-graph node budget"),
+		inertInt("NodeCountInliningCutoff", Develop, CatInline, 18000, 1000, 1<<20, "C2 node count that stops inlining"),
+		inertInt("LiveNodeCountInliningCutoff", Product, CatInline, 40000, 1000, 1<<20, "C2 live node count that stops inlining"),
+		inertInt("MinInliningThreshold", Product, CatInline, 250, 0, 10000, "min invocations before inlining"),
+		inertInt("InlineFrequencyCount", Develop, CatInline, 100, 1, 10000, "call-site frequency considered hot"),
+		inertInt("CompileCommandLineLimit", Develop, CatJIT, 1024, 64, 16384, "max .hotspot_compiler line length"),
+		inertInt("OSROnlyBCI", Develop, CatJIT, -1, -1, 1<<20, "restrict OSR to one bci (-1 = all)"),
+		inertInt("InterpreterSizeLimit", Develop, CatRuntime, 256*kb, 64*kb, 4*mb, "interpreter code budget"),
+		inertInt("NMethodSizeLimit", Develop, CatJIT, 256*kb, 4*kb, 4*mb, "max nmethod size"),
+		inertInt("TypeProfileWidth", Product, CatJIT, 2, 0, 8, "receiver types recorded per call site"),
+		inertInt("BciProfileWidth", Develop, CatJIT, 2, 0, 8, "bcis recorded per profile slot"),
+		inertInt("PerMethodRecompilationCutoff", Product, CatJIT, 400, -1, 100000, "recompiles allowed per method"),
+		inertInt("PerBytecodeRecompilationCutoff", Product, CatJIT, 200, -1, 100000, "recompiles allowed per bytecode"),
+		inertInt("ProfileMaturityPercentage", Product, CatJIT, 20, 0, 100, "profile maturity before C2 trusts it"),
+		inertInt("GCLogFileSize", Product, CatDebug, 8*kb, 0, 1*gb, "GC log rotation size"),
+		inertInt("NumberOfGCLogFiles", Product, CatDebug, 1, 1, 100, "GC log rotation count"),
+		inertInt("MaxJavaStackTraceDepth", Product, CatRuntime, 1024, 0, 1<<20, "frames captured in stack traces"),
+		inertInt("PreBlockSpin", Product, CatThreads, 10, 0, 1000, "spin iterations before blocking"),
+		inertInt("ReadSpinIterations", Product, CatThreads, 100, 0, 10000, "read-lock spin iterations"),
+		inertInt("MonitorBound", Product, CatThreads, 0, 0, 1<<20, "monitor population bound (0 = none)"),
+		inertInt("ClearFPUAtPark", Product, CatThreads, 0, 0, 2, "FPU clearing policy at park"),
+		inertInt("hashCode", Product, CatRuntime, 0, 0, 5, "identity hash generation algorithm"),
+	}
+	defs = append(defs, named...)
+	defs = append(defs, inertCatalogExtra()...)
+
+	// Generated develop/diagnostic families: Print/Trace/Verify/Check/Log/
+	// Profile per VM component. A few generated names coincide with real
+	// flags listed above (PrintCompilation, CheckJNICalls, …); the
+	// hand-written definition wins.
+	taken := make(map[string]bool, len(defs))
+	for _, f := range defs {
+		taken[f.Name] = true
+	}
+	for _, fam := range flagFamilies {
+		for _, comp := range vmComponents {
+			name := fam.prefix + comp
+			if taken[name] {
+				continue
+			}
+			taken[name] = true
+			defs = append(defs, inertBool(name, fam.kind, CatDebug,
+				fam.prefix+" instrumentation for "+comp))
+		}
+	}
+	return defs
+}

@@ -1,0 +1,196 @@
+package flags
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CommandLine renders the non-default assignments of c as java-style
+// arguments: -XX:+Flag / -XX:-Flag for booleans and -XX:Flag=value for
+// integers and enums. Byte-valued flags use the shortest exact k/m/g suffix.
+// The slice is sorted (by flag name) and deterministic.
+//
+// Experimental flags are preceded by -XX:+UnlockExperimentalVMOptions and
+// diagnostic flags by -XX:+UnlockDiagnosticVMOptions, exactly once, as a
+// real launch would require.
+func (c *Config) CommandLine() []string {
+	var args []string
+	needExperimental, needDiagnostic := false, false
+	for _, n := range c.ExplicitNames() {
+		f := c.reg.Lookup(n)
+		v := c.values[n]
+		if v.Equal(f.Type, f.Default) {
+			continue
+		}
+		switch f.Kind {
+		case Experimental:
+			needExperimental = true
+		case Diagnostic:
+			needDiagnostic = true
+		}
+		switch f.Type {
+		case Bool:
+			sign := "-"
+			if v.B {
+				sign = "+"
+			}
+			args = append(args, "-XX:"+sign+n)
+		case Int:
+			args = append(args, fmt.Sprintf("-XX:%s=%s", n, renderInt(f, v.I)))
+		case Enum:
+			args = append(args, fmt.Sprintf("-XX:%s=%s", n, v.S))
+		}
+	}
+	var prefix []string
+	if needExperimental {
+		prefix = append(prefix, "-XX:+UnlockExperimentalVMOptions")
+	}
+	if needDiagnostic {
+		prefix = append(prefix, "-XX:+UnlockDiagnosticVMOptions")
+	}
+	return append(prefix, args...)
+}
+
+func renderInt(f *Flag, v int64) string {
+	if f.Unit == Bytes {
+		switch {
+		case v != 0 && v%(1<<30) == 0:
+			return strconv.FormatInt(v>>30, 10) + "g"
+		case v != 0 && v%(1<<20) == 0:
+			return strconv.FormatInt(v>>20, 10) + "m"
+		case v != 0 && v%(1<<10) == 0:
+			return strconv.FormatInt(v>>10, 10) + "k"
+		}
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+// ParseArgs applies java-style arguments to a fresh configuration over reg.
+// Supported forms:
+//
+//	-XX:+Flag      -XX:-Flag      -XX:Flag=value
+//	-Xmx<size>     (MaxHeapSize)  -Xms<size> (InitialHeapSize)
+//	-Xmn<size>     (NewSize and MaxNewSize)
+//	-Xss<size>     (ThreadStackSize, stored in KB as HotSpot does)
+//
+// Sizes accept optional k/K, m/M, g/G suffixes. Unknown flags and malformed
+// values return an error identifying the offending argument, mirroring the
+// VM's "Unrecognized VM option" failure mode. The Unlock*VMOptions pseudo
+// flags are accepted and ignored (they gate, they don't tune).
+func ParseArgs(reg *Registry, args []string) (*Config, error) {
+	c := NewConfig(reg)
+	for _, a := range args {
+		if err := c.applyArg(a); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Config) applyArg(a string) error {
+	switch {
+	case strings.HasPrefix(a, "-XX:"):
+		return c.applyXX(a[len("-XX:"):], a)
+	case strings.HasPrefix(a, "-Xmx"):
+		return c.applySize("MaxHeapSize", a[len("-Xmx"):], a, 1)
+	case strings.HasPrefix(a, "-Xms"):
+		return c.applySize("InitialHeapSize", a[len("-Xms"):], a, 1)
+	case strings.HasPrefix(a, "-Xmn"):
+		if err := c.applySize("NewSize", a[len("-Xmn"):], a, 1); err != nil {
+			return err
+		}
+		return c.applySize("MaxNewSize", a[len("-Xmn"):], a, 1)
+	case strings.HasPrefix(a, "-Xss"):
+		// ThreadStackSize is kept in KB, as in HotSpot.
+		return c.applySize("ThreadStackSize", a[len("-Xss"):], a, 1024)
+	default:
+		return fmt.Errorf("flags: unrecognized option %q", a)
+	}
+}
+
+func (c *Config) applyXX(body, orig string) error {
+	if body == "" {
+		return fmt.Errorf("flags: malformed option %q", orig)
+	}
+	switch body[0] {
+	case '+', '-':
+		name := body[1:]
+		if name == "UnlockExperimentalVMOptions" || name == "UnlockDiagnosticVMOptions" {
+			return nil
+		}
+		f := c.reg.Lookup(name)
+		if f == nil {
+			return fmt.Errorf("flags: unrecognized VM option %q", name)
+		}
+		if f.Type != Bool {
+			return fmt.Errorf("flags: %s is not a boolean flag (%q)", name, orig)
+		}
+		c.values[name] = BoolValue(body[0] == '+')
+		return nil
+	}
+	eq := strings.IndexByte(body, '=')
+	if eq < 0 {
+		return fmt.Errorf("flags: malformed option %q", orig)
+	}
+	name, raw := body[:eq], body[eq+1:]
+	f := c.reg.Lookup(name)
+	if f == nil {
+		return fmt.Errorf("flags: unrecognized VM option %q", name)
+	}
+	switch f.Type {
+	case Int:
+		v, err := parseSize(raw)
+		if err != nil {
+			return fmt.Errorf("flags: bad value for %s in %q: %v", name, orig, err)
+		}
+		return c.Set(name, IntValue(v))
+	case Enum:
+		return c.Set(name, EnumValue(raw))
+	case Bool:
+		switch raw {
+		case "true":
+			c.values[name] = BoolValue(true)
+			return nil
+		case "false":
+			c.values[name] = BoolValue(false)
+			return nil
+		}
+		return fmt.Errorf("flags: bad boolean value for %s in %q", name, orig)
+	}
+	return fmt.Errorf("flags: %s has unknown type", name)
+}
+
+func (c *Config) applySize(name, raw, orig string, divisor int64) error {
+	v, err := parseSize(raw)
+	if err != nil {
+		return fmt.Errorf("flags: bad size in %q: %v", orig, err)
+	}
+	f := c.reg.Lookup(name)
+	if f == nil {
+		return fmt.Errorf("flags: option %q maps to unknown flag %s", orig, name)
+	}
+	return c.Set(name, IntValue(v/divisor))
+}
+
+// parseSize parses an integer with an optional k/m/g suffix (case
+// insensitive).
+func parseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}

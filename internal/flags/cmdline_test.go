@@ -1,0 +1,217 @@
+package flags
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCommandLineRendering(t *testing.T) {
+	r := NewRegistry()
+	c := NewConfig(r)
+	c.SetBool("UseG1GC", true)
+	c.SetBool("UseParallelGC", false)
+	c.SetInt("MaxHeapSize", 1<<30)
+	c.SetInt("CompileThreshold", 1500)
+	got := c.CommandLine()
+	want := []string{
+		"-XX:CompileThreshold=1500",
+		"-XX:MaxHeapSize=1g",
+		"-XX:+UseG1GC",
+		"-XX:-UseParallelGC",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CommandLine = %v, want %v", got, want)
+	}
+}
+
+func TestCommandLineOmitsDefaults(t *testing.T) {
+	r := NewRegistry()
+	c := NewConfig(r)
+	c.SetBool("UseParallelGC", true) // explicit, but equal to default
+	if got := c.CommandLine(); len(got) != 0 {
+		t.Errorf("default-valued assignment rendered: %v", got)
+	}
+}
+
+func TestCommandLineByteSuffixes(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		bytes int64
+		want  string
+	}{
+		{1 << 30, "-XX:MaxHeapSize=1g"},
+		{768 << 20, "-XX:MaxHeapSize=768m"},
+		{2 << 30, "-XX:MaxHeapSize=2g"},
+	}
+	for _, cse := range cases {
+		c := NewConfig(r)
+		c.SetInt("MaxHeapSize", cse.bytes)
+		got := c.CommandLine()
+		if len(got) != 1 || got[0] != cse.want {
+			t.Errorf("MaxHeapSize=%d rendered %v, want %s", cse.bytes, got, cse.want)
+		}
+	}
+}
+
+func TestCommandLineUnlockPrefixes(t *testing.T) {
+	r, err := NewCustomRegistry([]Flag{
+		{Name: "Exp", Type: Bool, Kind: Experimental, Default: BoolValue(false)},
+		{Name: "Diag", Type: Bool, Kind: Diagnostic, Default: BoolValue(false)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConfig(r)
+	c.SetBool("Exp", true)
+	c.SetBool("Diag", true)
+	got := c.CommandLine()
+	want := []string{
+		"-XX:+UnlockExperimentalVMOptions",
+		"-XX:+UnlockDiagnosticVMOptions",
+		"-XX:+Diag",
+		"-XX:+Exp",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CommandLine = %v, want %v", got, want)
+	}
+}
+
+func TestParseArgsBooleans(t *testing.T) {
+	r := NewRegistry()
+	c, err := ParseArgs(r, []string{"-XX:+UseG1GC", "-XX:-UseParallelGC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Bool("UseG1GC") || c.Bool("UseParallelGC") {
+		t.Error("boolean parse mismatch")
+	}
+}
+
+func TestParseArgsValues(t *testing.T) {
+	r := NewRegistry()
+	c, err := ParseArgs(r, []string{
+		"-XX:MaxHeapSize=2g",
+		"-XX:CompileThreshold=2500",
+		"-XX:NewRatio=3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Int("MaxHeapSize") != 2<<30 {
+		t.Errorf("MaxHeapSize = %d", c.Int("MaxHeapSize"))
+	}
+	if c.Int("CompileThreshold") != 2500 || c.Int("NewRatio") != 3 {
+		t.Error("int value parse mismatch")
+	}
+}
+
+func TestParseArgsXAliases(t *testing.T) {
+	r := NewRegistry()
+	c, err := ParseArgs(r, []string{"-Xmx1g", "-Xms256m", "-Xmn128m", "-Xss1m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Int("MaxHeapSize") != 1<<30 {
+		t.Errorf("-Xmx: %d", c.Int("MaxHeapSize"))
+	}
+	if c.Int("InitialHeapSize") != 256<<20 {
+		t.Errorf("-Xms: %d", c.Int("InitialHeapSize"))
+	}
+	if c.Int("NewSize") != 128<<20 || c.Int("MaxNewSize") != 128<<20 {
+		t.Error("-Xmn should set both NewSize and MaxNewSize")
+	}
+	if c.Int("ThreadStackSize") != 1024 {
+		t.Errorf("-Xss1m should store 1024 KB, got %d", c.Int("ThreadStackSize"))
+	}
+}
+
+func TestParseArgsBoolEquals(t *testing.T) {
+	r := NewRegistry()
+	c, err := ParseArgs(r, []string{"-XX:UseG1GC=true", "-XX:UseParallelGC=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Bool("UseG1GC") || c.Bool("UseParallelGC") {
+		t.Error("Flag=true/false form not honored")
+	}
+	if _, err := ParseArgs(r, []string{"-XX:UseG1GC=maybe"}); err == nil {
+		t.Error("bad boolean literal accepted")
+	}
+}
+
+func TestParseArgsUnlockIgnored(t *testing.T) {
+	r := NewRegistry()
+	c, err := ParseArgs(r, []string{"-XX:+UnlockExperimentalVMOptions", "-XX:+UnlockDiagnosticVMOptions"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ExplicitNames()) != 0 {
+		t.Error("unlock pseudo-flags should not create assignments")
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	r := NewRegistry()
+	bad := [][]string{
+		{"-XX:+NoSuchFlag"},
+		{"-XX:NoSuchFlag=1"},
+		{"-XX:MaxHeapSize=abc"},
+		{"-XX:MaxHeapSize=999999g"}, // out of domain
+		{"-XX:"},
+		{"-XX:MaxHeapSize"}, // missing =
+		{"-Xmxlots"},
+		{"--heap=1g"},
+		{"-XX:+CompileThreshold"}, // bool syntax on int flag
+	}
+	for _, args := range bad {
+		if _, err := ParseArgs(r, args); err == nil {
+			t.Errorf("ParseArgs(%v) should fail", args)
+		}
+	}
+}
+
+func TestRoundTripRenderParse(t *testing.T) {
+	r := NewRegistry()
+	c := NewConfig(r)
+	c.SetBool("UseConcMarkSweepGC", true)
+	c.SetBool("UseParallelGC", false)
+	c.SetBool("UseParNewGC", true)
+	c.SetInt("MaxHeapSize", 1536<<20)
+	c.SetInt("SurvivorRatio", 4)
+	c.SetInt("CMSInitiatingOccupancyFraction", 75)
+	c.SetBool("TieredCompilation", true)
+
+	parsed, err := ParseArgs(r, c.CommandLine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Key() != c.Key() {
+		t.Errorf("round trip changed config:\n  in:  %s\n  out: %s", c.Key(), parsed.Key())
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"123", 123, true},
+		{"1k", 1024, true},
+		{"2K", 2048, true},
+		{"3m", 3 << 20, true},
+		{"4G", 4 << 30, true},
+		{"", 0, false},
+		{"k", 0, false},
+		{"1.5g", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseSize(%q) should fail", c.in)
+		}
+	}
+}

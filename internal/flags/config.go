@@ -1,0 +1,201 @@
+package flags
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is a concrete assignment of values to flags in one registry.
+// Flags not explicitly set take their registry defaults; Get resolves that
+// transparently. Config is not safe for concurrent mutation; the tuner
+// clones before handing configs to worker goroutines.
+type Config struct {
+	reg    *Registry
+	values map[string]Value
+}
+
+// NewConfig returns an empty configuration (all defaults) over reg.
+func NewConfig(reg *Registry) *Config {
+	return &Config{reg: reg, values: make(map[string]Value)}
+}
+
+// Registry returns the registry this configuration is bound to.
+func (c *Config) Registry() *Registry { return c.reg }
+
+// Set assigns v to the named flag, validating both the name and the domain.
+func (c *Config) Set(name string, v Value) error {
+	f := c.reg.Lookup(name)
+	if f == nil {
+		return fmt.Errorf("flags: unknown flag %s", name)
+	}
+	if err := f.Validate(v); err != nil {
+		return err
+	}
+	c.values[name] = v
+	return nil
+}
+
+// SetBool assigns a boolean flag. It panics on unknown names or type
+// mismatches, which are programming errors in callers that hard-code names.
+func (c *Config) SetBool(name string, b bool) {
+	c.mustSet(name, Bool, BoolValue(b))
+}
+
+// SetInt assigns an integer flag, clamping into the flag's domain.
+func (c *Config) SetInt(name string, i int64) {
+	f := c.mustLookup(name, Int)
+	c.values[name] = f.Clamp(IntValue(i))
+}
+
+// SetEnum assigns an enum flag. It panics on an unknown choice.
+func (c *Config) SetEnum(name, choice string) {
+	c.mustSet(name, Enum, EnumValue(choice))
+}
+
+func (c *Config) mustLookup(name string, t Type) *Flag {
+	f := c.reg.Lookup(name)
+	if f == nil {
+		panic(fmt.Sprintf("flags: unknown flag %s", name))
+	}
+	if f.Type != t {
+		panic(fmt.Sprintf("flags: %s is %v, not %v", name, f.Type, t))
+	}
+	return f
+}
+
+func (c *Config) mustSet(name string, t Type, v Value) {
+	f := c.mustLookup(name, t)
+	if err := f.Validate(v); err != nil {
+		panic(err.Error())
+	}
+	c.values[name] = v
+}
+
+// Get returns the effective value of name (explicit or default) and whether
+// the flag exists.
+func (c *Config) Get(name string) (Value, bool) {
+	f := c.reg.Lookup(name)
+	if f == nil {
+		return Value{}, false
+	}
+	if v, ok := c.values[name]; ok {
+		return v, true
+	}
+	return f.Default, true
+}
+
+// Bool returns the effective boolean value of name.
+// It panics on unknown names or type mismatches.
+func (c *Config) Bool(name string) bool {
+	c.mustLookup(name, Bool)
+	v, _ := c.Get(name)
+	return v.B
+}
+
+// Int returns the effective integer value of name.
+// It panics on unknown names or type mismatches.
+func (c *Config) Int(name string) int64 {
+	c.mustLookup(name, Int)
+	v, _ := c.Get(name)
+	return v.I
+}
+
+// Enum returns the effective enum value of name.
+// It panics on unknown names or type mismatches.
+func (c *Config) Enum(name string) string {
+	c.mustLookup(name, Enum)
+	v, _ := c.Get(name)
+	return v.S
+}
+
+// IsExplicit reports whether name was explicitly assigned (as opposed to
+// inheriting its default).
+func (c *Config) IsExplicit(name string) bool {
+	_, ok := c.values[name]
+	return ok
+}
+
+// Unset removes an explicit assignment, reverting name to its default.
+func (c *Config) Unset(name string) {
+	delete(c.values, name)
+}
+
+// ExplicitNames returns the sorted names of explicitly assigned flags.
+func (c *Config) ExplicitNames() []string {
+	out := make([]string, 0, len(c.values))
+	for n := range c.values {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the configuration.
+func (c *Config) Clone() *Config {
+	cp := NewConfig(c.reg)
+	for n, v := range c.values {
+		cp.values[n] = v
+	}
+	return cp
+}
+
+// Key returns a canonical string identifying the *effective* configuration:
+// only assignments that differ from the default appear, sorted by name.
+// Two configs with equal Keys behave identically; the runner uses Key for
+// result caching.
+func (c *Config) Key() string {
+	var parts []string
+	for n, v := range c.values {
+		f := c.reg.Lookup(n)
+		if v.Equal(f.Type, f.Default) {
+			continue
+		}
+		parts = append(parts, n+"="+v.String(f.Type))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Diff returns, in sorted flag order, the names whose effective values
+// differ between c and o. Both configs must share a registry.
+func (c *Config) Diff(o *Config) []string {
+	if c.reg != o.reg {
+		panic("flags: Diff across registries")
+	}
+	var out []string
+	for _, n := range c.reg.Names() {
+		f := c.reg.Lookup(n)
+		a, _ := c.Get(n)
+		b, _ := o.Get(n)
+		if !a.Equal(f.Type, b) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Validate checks every explicit assignment against its flag's domain.
+// Structural validity only; semantic conflicts (e.g. two collectors
+// selected) are the hierarchy's and the VM's business.
+func (c *Config) Validate() error {
+	for n, v := range c.values {
+		f := c.reg.Lookup(n)
+		if f == nil {
+			return fmt.Errorf("flags: config contains unknown flag %s", n)
+		}
+		if err := f.Validate(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the non-default assignments as a human-readable list.
+func (c *Config) String() string {
+	k := c.Key()
+	if k == "" {
+		return "<defaults>"
+	}
+	return k
+}

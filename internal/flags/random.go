@@ -1,0 +1,158 @@
+package flags
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SampleValue draws a uniform random value from f's domain. Int flags marked
+// LogScale are drawn log-uniformly (so 128 MB and 4 GB heaps are equally
+// likely), then snapped to the flag's Step granularity. Int flags with a
+// zero minimum and LogScale sample zero (the "ergonomic/auto" sentinel) with
+// small probability, since log scales cannot reach it.
+func SampleValue(f *Flag, rng *rand.Rand) Value {
+	switch f.Type {
+	case Bool:
+		return BoolValue(rng.Intn(2) == 0)
+	case Enum:
+		return EnumValue(f.Choices[rng.Intn(len(f.Choices))])
+	case Int:
+		return IntValue(sampleInt(f, rng))
+	}
+	return f.Default
+}
+
+func sampleInt(f *Flag, rng *rand.Rand) int64 {
+	min, max := f.Min, f.Max
+	if min == max {
+		return min
+	}
+	if f.LogScale {
+		lo := min
+		if lo <= 0 {
+			// Reserve 10% of draws for the sentinel/zero region, sample the
+			// rest log-uniformly from a positive floor.
+			if rng.Float64() < 0.10 {
+				return min
+			}
+			lo = f.step()
+		}
+		lmin, lmax := math.Log(float64(lo)), math.Log(float64(max))
+		v := int64(math.Exp(lmin + rng.Float64()*(lmax-lmin)))
+		return snap(f, v)
+	}
+	span := (max - min) / f.step()
+	return min + rng.Int63n(span+1)*f.step()
+}
+
+// snap rounds v to the flag's step grid and clamps into the domain.
+func snap(f *Flag, v int64) int64 {
+	s := f.step()
+	v = (v / s) * s
+	if v < f.Min {
+		v = f.Min
+	}
+	if v > f.Max {
+		v = f.Max
+	}
+	return v
+}
+
+// NeighborValue returns a value near current in f's domain: Bool flips,
+// Enum re-draws a different choice, Int takes a geometric step of roughly
+// ±scale of the domain (scale in (0,1], e.g. 0.1 for local search).
+// The result always differs from current when the domain has >1 value.
+func NeighborValue(f *Flag, current Value, rng *rand.Rand) Value {
+	switch f.Type {
+	case Bool:
+		return BoolValue(!current.B)
+	case Enum:
+		if len(f.Choices) == 1 {
+			return current
+		}
+		for {
+			c := f.Choices[rng.Intn(len(f.Choices))]
+			if c != current.S {
+				return EnumValue(c)
+			}
+		}
+	case Int:
+		return IntValue(neighborInt(f, current.I, rng, 0.15))
+	}
+	return current
+}
+
+func neighborInt(f *Flag, cur int64, rng *rand.Rand, scale float64) int64 {
+	if f.Min == f.Max {
+		return cur
+	}
+	var v int64
+	if f.LogScale && cur > 0 {
+		// Multiplicative step: ×(1±scale…3·scale).
+		factor := 1 + scale*(1+2*rng.Float64())
+		if rng.Intn(2) == 0 {
+			factor = 1 / factor
+		}
+		v = snap(f, int64(float64(cur)*factor))
+	} else {
+		span := f.Max - f.Min
+		step := int64(float64(span)*scale*rng.Float64()) + f.step()
+		if rng.Intn(2) == 0 {
+			step = -step
+		}
+		v = snap(f, cur+step)
+	}
+	if v == cur {
+		// Force at least one grid step of movement.
+		if cur+f.step() <= f.Max {
+			return cur + f.step()
+		}
+		return cur - f.step()
+	}
+	return v
+}
+
+// RandomizeFlags assigns fresh uniform random values to the named flags in
+// c. Unknown names panic: callers derive names from the same registry.
+func RandomizeFlags(c *Config, names []string, rng *rand.Rand) {
+	for _, n := range names {
+		f := c.reg.Lookup(n)
+		if f == nil {
+			panic("flags: RandomizeFlags of unknown flag " + n)
+		}
+		c.values[n] = SampleValue(f, rng)
+	}
+}
+
+// MutateFlag replaces the named flag's value in c with a neighbor of its
+// current effective value.
+func MutateFlag(c *Config, name string, rng *rand.Rand) {
+	f := c.reg.Lookup(name)
+	if f == nil {
+		panic("flags: MutateFlag of unknown flag " + name)
+	}
+	cur, _ := c.Get(name)
+	c.values[name] = NeighborValue(f, cur, rng)
+}
+
+// Crossover returns a child configuration that inherits each of the named
+// flags' effective values from parent a or b with equal probability.
+// Flags outside names stay at their defaults.
+func Crossover(a, b *Config, names []string, rng *rand.Rand) *Config {
+	if a.reg != b.reg {
+		panic("flags: Crossover across registries")
+	}
+	child := NewConfig(a.reg)
+	for _, n := range names {
+		src := a
+		if rng.Intn(2) == 0 {
+			src = b
+		}
+		v, ok := src.Get(n)
+		if !ok {
+			panic("flags: Crossover of unknown flag " + n)
+		}
+		child.values[n] = v
+	}
+	return child
+}

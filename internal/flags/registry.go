@@ -1,0 +1,105 @@
+package flags
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry is an immutable catalog of flag definitions. Construct one with
+// NewRegistry (the standard HotSpot catalog) or NewCustomRegistry (tests).
+type Registry struct {
+	byName map[string]*Flag
+	names  []string // sorted, for deterministic iteration
+}
+
+// NewCustomRegistry builds a registry from an explicit flag list. Duplicate
+// names and invalid definitions are rejected.
+func NewCustomRegistry(defs []Flag) (*Registry, error) {
+	r := &Registry{byName: make(map[string]*Flag, len(defs))}
+	for i := range defs {
+		f := defs[i]
+		if f.Name == "" {
+			return nil, fmt.Errorf("flags: definition %d has empty name", i)
+		}
+		if _, dup := r.byName[f.Name]; dup {
+			return nil, fmt.Errorf("flags: duplicate flag %s", f.Name)
+		}
+		if f.Type == Int && f.Min > f.Max {
+			return nil, fmt.Errorf("flags: %s has Min %d > Max %d", f.Name, f.Min, f.Max)
+		}
+		if f.Type == Enum && len(f.Choices) == 0 {
+			return nil, fmt.Errorf("flags: enum %s has no choices", f.Name)
+		}
+		if err := f.Validate(f.Default); err != nil {
+			return nil, fmt.Errorf("flags: %s default out of domain: %v", f.Name, err)
+		}
+		cp := f
+		r.byName[f.Name] = &cp
+		r.names = append(r.names, f.Name)
+	}
+	sort.Strings(r.names)
+	return r, nil
+}
+
+// NewRegistry returns the standard HotSpot flag catalog: every modeled
+// tuning knob plus the long tail of observability/verification flags, 600+
+// definitions in total. The catalog is static, so failure is a programming
+// error and panics.
+func NewRegistry() *Registry {
+	defs := catalog()
+	defs = append(defs, inertCatalog()...)
+	r, err := NewCustomRegistry(defs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Lookup returns the definition of name, or nil if unknown.
+func (r *Registry) Lookup(name string) *Flag {
+	return r.byName[name]
+}
+
+// Names returns all flag names in sorted order. The returned slice is shared;
+// callers must not modify it.
+func (r *Registry) Names() []string {
+	return r.names
+}
+
+// Len returns the number of flags in the registry.
+func (r *Registry) Len() int {
+	return len(r.names)
+}
+
+// ByCategory returns the names of all flags in the given category, sorted.
+func (r *Registry) ByCategory(c Category) []string {
+	var out []string
+	for _, n := range r.names {
+		if r.byName[n].Category == c {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TunableNames returns the names of all tunable (Product/Experimental)
+// flags, sorted.
+func (r *Registry) TunableNames() []string {
+	var out []string
+	for _, n := range r.names {
+		if r.byName[n].Tunable() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// DefaultConfig returns a configuration with every flag explicitly set to
+// its HotSpot default.
+func (r *Registry) DefaultConfig() *Config {
+	c := NewConfig(r)
+	for _, n := range r.names {
+		c.values[n] = r.byName[n].Default
+	}
+	return c
+}

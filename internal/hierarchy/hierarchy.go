@@ -1,0 +1,275 @@
+// Package hierarchy implements the paper's first contribution: organizing
+// the JVM's flags into a tree that encodes their dependencies. A flag like
+// CMSInitiatingOccupancyFraction only means anything when the CMS collector
+// is selected; TieredStopAtLevel only when tiered compilation is on. The
+// tree makes those relationships explicit so that
+//
+//   - the tuner only mutates flags that are *active* under the current
+//     configuration (dependency resolution), and
+//   - the size of the space actually searched collapses from the flat
+//     product of all domains to the per-branch products (search-space
+//     reduction, the paper's Table 3 claim).
+//
+// The tree also owns semantic validation of flag combinations (collector
+// exclusivity, heap-geometry sanity): exactly the checks the real VM
+// performs at startup, shared here between the tuner and the simulator.
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/flags"
+)
+
+// Collector identifies the garbage collection algorithm a configuration
+// selects.
+type Collector string
+
+// The four collector families of the JDK-7-era HotSpot VM.
+const (
+	Serial   Collector = "serial"
+	Parallel Collector = "parallel"
+	CMS      Collector = "cms"
+	G1       Collector = "g1"
+)
+
+// SelectedCollector derives the collector a configuration selects, using
+// HotSpot's ergonomics: explicit selection wins; with nothing selected the
+// server VM defaults to the parallel (throughput) collector. The returned
+// error reports conflicting selections, mirroring the VM's
+// "Conflicting collector combinations" startup failure.
+func SelectedCollector(c *flags.Config) (Collector, error) {
+	var picked []Collector
+	if c.Bool("UseSerialGC") {
+		picked = append(picked, Serial)
+	}
+	if c.Bool("UseConcMarkSweepGC") {
+		picked = append(picked, CMS)
+	}
+	if c.Bool("UseG1GC") {
+		picked = append(picked, G1)
+	}
+	if len(picked) > 1 {
+		return "", fmt.Errorf("hierarchy: conflicting collector combinations: %v", picked)
+	}
+	if len(picked) == 1 {
+		// UseParallelGC defaults to true; an explicit collector choice
+		// overrides it only if parallel was not *also* explicitly forced.
+		if c.Bool("UseParallelGC") && c.IsExplicit("UseParallelGC") {
+			return "", fmt.Errorf("hierarchy: conflicting collector combinations: %v and parallel", picked)
+		}
+		return picked[0], nil
+	}
+	if c.Bool("UseParallelGC") {
+		return Parallel, nil
+	}
+	return Serial, nil
+}
+
+// Validate checks a configuration for the semantic rules a real VM enforces
+// at startup. A nil return means the VM would start.
+func Validate(c *flags.Config) error {
+	col, err := SelectedCollector(c)
+	if err != nil {
+		return err
+	}
+	if c.Bool("UseParNewGC") && col != CMS {
+		return fmt.Errorf("hierarchy: UseParNewGC is only valid with the CMS collector (selected %s)", col)
+	}
+	heap := c.Int("MaxHeapSize")
+	if init := c.Int("InitialHeapSize"); init > heap {
+		return fmt.Errorf("hierarchy: InitialHeapSize (%d) exceeds MaxHeapSize (%d)", init, heap)
+	}
+	if ns, ms := c.Int("NewSize"), c.Int("MaxNewSize"); ms != 0 && ns > ms {
+		return fmt.Errorf("hierarchy: NewSize (%d) exceeds MaxNewSize (%d)", ns, ms)
+	}
+	if ms := c.Int("MaxNewSize"); ms != 0 && ms >= heap {
+		return fmt.Errorf("hierarchy: MaxNewSize (%d) leaves no old generation in a %d-byte heap", ms, heap)
+	}
+	if c.Int("InitialCodeCacheSize") > c.Int("ReservedCodeCacheSize") {
+		return fmt.Errorf("hierarchy: InitialCodeCacheSize exceeds ReservedCodeCacheSize")
+	}
+	if c.Int("PermSize") > c.Int("MaxPermSize") {
+		return fmt.Errorf("hierarchy: PermSize exceeds MaxPermSize")
+	}
+	return nil
+}
+
+// Guard is a predicate deciding whether a tree node is active under a
+// configuration.
+type Guard func(c *flags.Config) bool
+
+// Node is one vertex of the flag tree. A node owns a set of flags (tuned
+// only while the node is active) and optionally children. A node with a
+// nil Guard is active whenever its parent is.
+type Node struct {
+	Name        string
+	Description string
+	Guard       Guard
+	Flags       []string
+	Children    []*Node
+}
+
+// Branch is one alternative of a Choice: a way to configure the flags that
+// select it.
+type Branch struct {
+	Name string
+	// Apply mutates a configuration to select this branch.
+	Apply func(c *flags.Config)
+	// Node is the subtree activated by this branch.
+	Node *Node
+}
+
+// Choice is a decision point of the tree: a small set of mutually exclusive
+// branches (collector selection, compilation mode). The hierarchical tuner
+// enumerates choices top-down before descending into numeric flags.
+type Choice struct {
+	Name     string
+	Branches []Branch
+}
+
+// Tree is the assembled flag hierarchy over one registry.
+type Tree struct {
+	Root    *Node
+	reg     *flags.Registry
+	choices []Choice
+}
+
+// Registry returns the registry the tree was built over.
+func (t *Tree) Registry() *flags.Registry { return t.reg }
+
+// Choices returns the tree's decision points in top-down order.
+func (t *Tree) Choices() []Choice { return t.choices }
+
+// ActiveFlags returns the sorted names of all *tunable* flags that are
+// active (their node's guard chain holds) under c. These are the flags a
+// dependency-respecting tuner may usefully mutate.
+func (t *Tree) ActiveFlags(c *flags.Config) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Guard != nil && !n.Guard(c) {
+			return
+		}
+		for _, name := range n.Flags {
+			if seen[name] {
+				continue
+			}
+			if f := t.reg.Lookup(name); f != nil && f.Tunable() {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(t.Root)
+	sort.Strings(out)
+	return out
+}
+
+// FlagActive reports whether the named flag is active under c.
+func (t *Tree) FlagActive(name string, c *flags.Config) bool {
+	for _, n := range t.ActiveFlags(c) {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AllTreeFlags returns the sorted names of every flag attached anywhere in
+// the tree (active or not).
+func (t *Tree) AllTreeFlags() []string {
+	seen := map[string]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, name := range n.Flags {
+			seen[name] = true
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(t.Root)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SpaceSize quantifies the paper's search-space-reduction claim.
+// FlatLog10 is log10 of the product of every tunable flag's domain size —
+// the space a hierarchy-ignorant tuner faces. HierarchicalLog10 is log10 of
+// the sum over leaf branch combinations of the active-flag domain products —
+// the space the tree-guided tuner faces.
+type SpaceSize struct {
+	FlatLog10         float64
+	HierarchicalLog10 float64
+	TunableFlags      int
+	ActivePerBranch   map[string]int
+}
+
+// SpaceSize computes flat and hierarchy-reduced search-space sizes.
+func (t *Tree) SpaceSize() SpaceSize {
+	ss := SpaceSize{ActivePerBranch: map[string]int{}}
+	for _, name := range t.reg.TunableNames() {
+		ss.FlatLog10 += math.Log10(float64(t.reg.Lookup(name).DomainSize()))
+		ss.TunableFlags++
+	}
+	// Enumerate the cross product of choice branches; for each combination,
+	// apply the branches to a default config and measure the active space.
+	combos := enumerateBranchCombos(t.choices)
+	var sumLog float64 // log10 of running sum, via log-sum-exp
+	first := true
+	for _, combo := range combos {
+		c := flags.NewConfig(t.reg)
+		var label string
+		for i, b := range combo {
+			b.Apply(c)
+			if i > 0 {
+				label += "+"
+			}
+			label += b.Name
+		}
+		var branchLog float64
+		active := t.ActiveFlags(c)
+		for _, name := range active {
+			branchLog += math.Log10(float64(t.reg.Lookup(name).DomainSize()))
+		}
+		ss.ActivePerBranch[label] = len(active)
+		if first {
+			sumLog, first = branchLog, false
+			continue
+		}
+		// log10(10^a + 10^b)
+		hi, lo := sumLog, branchLog
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		sumLog = hi + math.Log10(1+math.Pow(10, lo-hi))
+	}
+	ss.HierarchicalLog10 = sumLog
+	return ss
+}
+
+func enumerateBranchCombos(choices []Choice) [][]Branch {
+	if len(choices) == 0 {
+		return [][]Branch{{}}
+	}
+	rest := enumerateBranchCombos(choices[1:])
+	var out [][]Branch
+	for _, b := range choices[0].Branches {
+		for _, r := range rest {
+			combo := append([]Branch{b}, r...)
+			out = append(out, combo)
+		}
+	}
+	return out
+}

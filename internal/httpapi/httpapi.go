@@ -1,0 +1,225 @@
+// Package httpapi exposes the auto-tuner as an HTTP service: a tuning farm
+// front-end where clients submit budgeted tuning jobs and poll for results.
+// Jobs run asynchronously (tuning sessions are CPU-bound on the simulator,
+// but a 200-minute virtual session is still tens of real milliseconds, so
+// the API also supports synchronous mode for convenience).
+//
+// Routes:
+//
+//	GET  /v1/benchmarks          list the built-in workloads
+//	GET  /v1/searchers           list the search strategies
+//	POST /v1/tune                submit a job; ?sync=1 waits and returns it
+//	GET  /v1/jobs                list jobs
+//	GET  /v1/jobs/{id}           job status and, when done, the result
+//	POST /v1/measure             evaluate one flag set on one benchmark
+//
+// All bodies are JSON. The service is self-contained and uses only the
+// standard library.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/hotspot"
+)
+
+// TuneRequest is the body of POST /v1/tune.
+type TuneRequest struct {
+	Benchmark     string  `json:"benchmark"`
+	Searcher      string  `json:"searcher,omitempty"`
+	BudgetMinutes float64 `json:"budget_minutes,omitempty"`
+	Reps          int     `json:"reps,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+}
+
+// Job is the server's view of one tuning request.
+type Job struct {
+	ID      int             `json:"id"`
+	State   string          `json:"state"` // "running" | "done" | "failed"
+	Request TuneRequest     `json:"request"`
+	Error   string          `json:"error,omitempty"`
+	Result  *hotspot.Result `json:"result,omitempty"`
+}
+
+// MeasureRequest is the body of POST /v1/measure.
+type MeasureRequest struct {
+	Benchmark string   `json:"benchmark"`
+	Args      []string `json:"args"`
+	Rep       int      `json:"rep,omitempty"`
+}
+
+// MeasureResponse is the reply of POST /v1/measure.
+type MeasureResponse struct {
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Server is the HTTP front-end. Create with NewServer; it implements
+// http.Handler.
+type Server struct {
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[int]*Job
+	done   sync.WaitGroup
+}
+
+// NewServer builds a ready-to-serve handler.
+func NewServer() *Server {
+	s := &Server{mux: http.NewServeMux(), jobs: map[int]*Job{}, nextID: 1}
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/searchers", s.handleSearchers)
+	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/measure", s.handleMeasure)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Wait blocks until all asynchronous jobs have finished — for tests and
+// graceful shutdown.
+func (s *Server) Wait() { s.done.Wait() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, hotspot.Benchmarks())
+}
+
+func (s *Server) handleSearchers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, hotspot.Searchers())
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req TuneRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Benchmark == "" {
+		writeError(w, http.StatusBadRequest, "benchmark is required")
+		return
+	}
+	// Validate cheaply before accepting the job.
+	if !validBenchmark(req.Benchmark) {
+		writeError(w, http.StatusBadRequest, "unknown benchmark %q", req.Benchmark)
+		return
+	}
+
+	s.mu.Lock()
+	job := &Job{ID: s.nextID, State: "running", Request: req}
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	run := func() {
+		res, err := hotspot.Tune(hotspot.Options{
+			Benchmark:     req.Benchmark,
+			Searcher:      req.Searcher,
+			BudgetMinutes: req.BudgetMinutes,
+			Reps:          req.Reps,
+			Seed:          req.Seed,
+			Workers:       req.Workers,
+			Noise:         -1,
+		})
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			job.State, job.Error = "failed", err.Error()
+			return
+		}
+		job.State, job.Result = "done", res
+	}
+
+	if r.URL.Query().Get("sync") == "1" {
+		run()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		run()
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]int{"id": job.ID})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for id := 1; id < s.nextID; id++ {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var req MeasureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	wall, err := hotspot.Measure(req.Args, req.Benchmark, req.Rep)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "run failed") {
+			// The flag combination parsed but the VM failed: that is a
+			// legitimate measurement outcome, not a malformed request.
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MeasureResponse{WallSeconds: wall})
+}
+
+func validBenchmark(name string) bool {
+	for _, b := range hotspot.Benchmarks() {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}

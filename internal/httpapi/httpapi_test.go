@@ -1,0 +1,206 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/hotspot"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestListEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	var benches []string
+	if code := getJSON(t, ts.URL+"/v1/benchmarks", &benches); code != 200 {
+		t.Fatalf("benchmarks status %d", code)
+	}
+	if len(benches) != 29 {
+		t.Errorf("expected 29 benchmarks, got %d", len(benches))
+	}
+	var searchers []string
+	if code := getJSON(t, ts.URL+"/v1/searchers", &searchers); code != 200 {
+		t.Fatal("searchers endpoint failed")
+	}
+	if len(searchers) == 0 || searchers[0] != "hierarchical" {
+		t.Errorf("searchers: %v", searchers)
+	}
+}
+
+func TestTuneSync(t *testing.T) {
+	_, ts := newTestServer(t)
+	var job Job
+	code := postJSON(t, ts.URL+"/v1/tune?sync=1",
+		TuneRequest{Benchmark: "fop", BudgetMinutes: 15, Seed: 1}, &job)
+	if code != 200 {
+		t.Fatalf("sync tune status %d", code)
+	}
+	if job.State != "done" || job.Result == nil {
+		t.Fatalf("job not done: %+v", job)
+	}
+	if job.Result.ImprovementPct < 0 {
+		t.Error("negative improvement")
+	}
+	if job.Result.Benchmark != "fop" {
+		t.Errorf("result for %q", job.Result.Benchmark)
+	}
+}
+
+func TestTuneAsyncAndPoll(t *testing.T) {
+	s, ts := newTestServer(t)
+	var accepted map[string]int
+	code := postJSON(t, ts.URL+"/v1/tune",
+		TuneRequest{Benchmark: "startup.scimark.fft", BudgetMinutes: 10, Seed: 2}, &accepted)
+	if code != http.StatusAccepted {
+		t.Fatalf("async tune status %d", code)
+	}
+	id := accepted["id"]
+	if id == 0 {
+		t.Fatal("no job id returned")
+	}
+	s.Wait() // deterministic test: wait for the worker
+
+	var job Job
+	if code := getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id), &job); code != 200 {
+		t.Fatalf("job poll status %d", code)
+	}
+	if job.State != "done" {
+		t.Fatalf("job state %q (%s)", job.State, job.Error)
+	}
+
+	var jobs []Job
+	if code := getJSON(t, ts.URL+"/v1/jobs", &jobs); code != 200 || len(jobs) != 1 {
+		t.Fatalf("jobs list: %d, %d jobs", code, len(jobs))
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code := postJSON(t, ts.URL+"/v1/tune", TuneRequest{}, nil); code != 400 {
+		t.Errorf("missing benchmark: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/tune", TuneRequest{Benchmark: "nope"}, nil); code != 400 {
+		t.Errorf("unknown benchmark: status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/tune", "application/json", strings.NewReader("{garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("garbage body: status %d", resp.StatusCode)
+	}
+}
+
+func TestTuneBadSearcherFailsJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	var job Job
+	code := postJSON(t, ts.URL+"/v1/tune?sync=1",
+		TuneRequest{Benchmark: "fop", Searcher: "nope"}, &job)
+	if code != 200 || job.State != "failed" || job.Error == "" {
+		t.Errorf("bad searcher should fail the job: %d %+v", code, job)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code := getJSON(t, ts.URL+"/v1/jobs/999", nil); code != 404 {
+		t.Errorf("missing job: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/abc", nil); code != 400 {
+		t.Errorf("bad job id: status %d", code)
+	}
+}
+
+func TestMeasureEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var def, big MeasureResponse
+	if code := postJSON(t, ts.URL+"/v1/measure",
+		MeasureRequest{Benchmark: "h2"}, &def); code != 200 {
+		t.Fatalf("measure status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/measure",
+		MeasureRequest{Benchmark: "h2", Args: []string{"-Xmx4g", "-Xms4g"}}, &big); code != 200 {
+		t.Fatalf("measure status %d", code)
+	}
+	if big.WallSeconds >= def.WallSeconds {
+		t.Error("4g heap should beat defaults on h2")
+	}
+	// A crashing combination is a 422, not a 400.
+	if code := postJSON(t, ts.URL+"/v1/measure",
+		MeasureRequest{Benchmark: "h2", Args: []string{"-Xmx128m"}}, nil); code != 422 {
+		t.Errorf("OOM measure: status %d", code)
+	}
+	// A malformed flag is a 400.
+	if code := postJSON(t, ts.URL+"/v1/measure",
+		MeasureRequest{Benchmark: "h2", Args: []string{"-XX:+NoSuch"}}, nil); code != 400 {
+		t.Errorf("bad flag: status %d", code)
+	}
+}
+
+func TestResultRoundTripsThroughJSON(t *testing.T) {
+	// The job's embedded hotspot.Result must serialize usefully: command
+	// line, improvement, trace.
+	_, ts := newTestServer(t)
+	var job Job
+	postJSON(t, ts.URL+"/v1/tune?sync=1",
+		TuneRequest{Benchmark: "startup.xml.validation", BudgetMinutes: 20, Seed: 3}, &job)
+	if job.Result == nil {
+		t.Fatal("no result")
+	}
+	if len(job.Result.CommandLine) == 0 {
+		t.Error("command line missing from JSON result")
+	}
+	if len(job.Result.Trace) == 0 {
+		t.Error("trace missing from JSON result")
+	}
+	var r hotspot.Result = *job.Result
+	if r.Collector == "" {
+		t.Error("collector missing")
+	}
+}

@@ -1,0 +1,234 @@
+package jvmsim
+
+import (
+	"testing"
+
+	"repro/internal/flags"
+	"repro/internal/workload"
+)
+
+// speedOf computes compiledSpeed for a config against a profile.
+func speedOf(t *testing.T, p *workload.Profile, mod func(c *flags.Config)) float64 {
+	t.Helper()
+	return computeFeatures(cfgWith(t, mod), p, DefaultMachine()).compiledSpeed
+}
+
+func callBound(t *testing.T) *workload.Profile {
+	t.Helper()
+	p, _ := workload.ByName("jython") // call intensity 0.85
+	return p
+}
+
+func loopBound(t *testing.T) *workload.Profile {
+	t.Helper()
+	p, _ := workload.ByName("startup.scimark.sor") // loop intensity 0.95
+	return p
+}
+
+func TestInlineBudgetEffects(t *testing.T) {
+	p := callBound(t)
+	def := speedOf(t, p, nil)
+	starved := speedOf(t, p, func(c *flags.Config) {
+		c.SetInt("MaxInlineSize", 1)
+		c.SetInt("FreqInlineSize", 50)
+	})
+	generous := speedOf(t, p, func(c *flags.Config) {
+		c.SetInt("MaxInlineSize", 70)
+		c.SetInt("FreqInlineSize", 650)
+	})
+	if starved >= def {
+		t.Error("starving the inliner should slow call-bound code")
+	}
+	if generous <= def {
+		t.Error("doubling the budgets should help call-bound code")
+	}
+	// Diminishing returns: quadrupling adds little over doubling.
+	huge := speedOf(t, p, func(c *flags.Config) {
+		c.SetInt("MaxInlineSize", 140)
+		c.SetInt("FreqInlineSize", 1300)
+	})
+	if huge-generous > generous-def {
+		t.Error("inlining gains should saturate")
+	}
+	// But code expansion keeps growing.
+	fxG := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetInt("MaxInlineSize", 70)
+		c.SetInt("FreqInlineSize", 650)
+	}), p, DefaultMachine())
+	fxH := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetInt("MaxInlineSize", 140)
+		c.SetInt("FreqInlineSize", 1300)
+	}), p, DefaultMachine())
+	if fxH.codeExpansion <= fxG.codeExpansion {
+		t.Error("bigger budgets should keep expanding code")
+	}
+}
+
+func TestInlineDepthEffects(t *testing.T) {
+	p := callBound(t)
+	def := speedOf(t, p, nil)
+	shallow := speedOf(t, p, func(c *flags.Config) { c.SetInt("MaxInlineLevel", 2) })
+	if shallow >= def {
+		t.Error("shallow inlining should slow call-bound code")
+	}
+	noRec := speedOf(t, p, func(c *flags.Config) { c.SetInt("MaxRecursiveInlineLevel", 0) })
+	if noRec >= def {
+		t.Error("disabling recursive inlining should cost a little")
+	}
+}
+
+func TestLoopOptEffects(t *testing.T) {
+	p := loopBound(t)
+	def := speedOf(t, p, nil)
+	for _, f := range []string{"UseSuperWord", "UseLoopPredicate", "RangeCheckElimination"} {
+		off := speedOf(t, p, func(c *flags.Config) { c.SetBool(f, false) })
+		if off >= def {
+			t.Errorf("disabling %s should slow loop code", f)
+		}
+	}
+	lowUnroll := speedOf(t, p, func(c *flags.Config) { c.SetInt("LoopUnrollLimit", 5) })
+	highUnroll := speedOf(t, p, func(c *flags.Config) { c.SetInt("LoopUnrollLimit", 200) })
+	if lowUnroll >= def || highUnroll >= def {
+		t.Error("the unroll limit should have an interior optimum")
+	}
+}
+
+func TestEscapeAnalysisEffects(t *testing.T) {
+	p, _ := workload.ByName("sunflow") // escape fraction 0.45
+	m := DefaultMachine()
+	def := computeFeatures(cfgWith(t, nil), p, m)
+	off := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("DoEscapeAnalysis", false)
+	}), p, m)
+	if off.allocScale <= def.allocScale {
+		t.Error("disabling escape analysis should allocate more")
+	}
+	if off.compiledSpeed >= def.compiledSpeed {
+		t.Error("disabling escape analysis should run slower")
+	}
+	half := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("EliminateAllocations", false)
+	}), p, m)
+	if !(def.allocScale < half.allocScale && half.allocScale < off.allocScale) {
+		t.Errorf("EliminateAllocations=false should sit between: %v %v %v",
+			def.allocScale, half.allocScale, off.allocScale)
+	}
+}
+
+func TestCompressedOopsEffects(t *testing.T) {
+	p, _ := workload.ByName("h2") // pointer intensity 0.7
+	m := DefaultMachine()
+	def := computeFeatures(cfgWith(t, nil), p, m)
+	off := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("UseCompressedOops", false)
+	}), p, m)
+	if off.compiledSpeed >= def.compiledSpeed {
+		t.Error("fat oops should be slower on pointer-chasing code")
+	}
+	if off.allocScale <= def.allocScale {
+		t.Error("fat oops should allocate more bytes")
+	}
+}
+
+func TestBiasedLockingCoverage(t *testing.T) {
+	// Low contention: biasing helps; a long startup delay wastes it on a
+	// short run.
+	p, _ := workload.ByName("startup.serial") // sync 0.15, contention 0.03, 14 s run
+	withBias := speedOf(t, p, nil)            // default: on, 4 s delay
+	noDelay := speedOf(t, p, func(c *flags.Config) { c.SetInt("BiasedLockingStartupDelay", 0) })
+	off := speedOf(t, p, func(c *flags.Config) { c.SetBool("UseBiasedLocking", false) })
+	if noDelay <= withBias {
+		t.Error("removing the startup delay should increase the biasing benefit")
+	}
+	if off >= withBias {
+		t.Error("biasing should help low-contention code")
+	}
+
+	// High contention: revocations can make biasing a net loss.
+	contended := *p
+	contended.SyncIntensity = 0.8
+	contended.LockContention = 0.9
+	on := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetInt("BiasedLockingStartupDelay", 0)
+	}), &contended, DefaultMachine()).compiledSpeed
+	offC := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("UseBiasedLocking", false)
+	}), &contended, DefaultMachine()).compiledSpeed
+	if on >= offC {
+		t.Error("heavy contention should make biased locking a net loss")
+	}
+}
+
+func TestTLABEffects(t *testing.T) {
+	p, _ := workload.ByName("lusearch") // 190 MB/s allocation, 8 threads
+	m := DefaultMachine()
+	def := computeFeatures(cfgWith(t, nil), p, m)
+	noTLAB := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("UseTLAB", false)
+	}), p, m)
+	if noTLAB.appPenalty <= def.appPenalty {
+		t.Error("disabling TLABs should slow allocation-heavy code")
+	}
+	tiny := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetInt("TLABSize", 16<<10)
+	}), p, m)
+	if tiny.appPenalty <= def.appPenalty {
+		t.Error("undersized fixed TLABs should cost refill overhead")
+	}
+}
+
+func TestPreTouchTradesStartupForThroughput(t *testing.T) {
+	p, _ := workload.ByName("h2")
+	m := DefaultMachine()
+	fx := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("AlwaysPreTouch", true)
+		c.SetInt("MaxHeapSize", 4<<30)
+	}), p, m)
+	if fx.startupExtra <= 0 {
+		t.Error("pre-touching 4 GB should cost startup time")
+	}
+	if fx.compiledSpeed <= 1 {
+		t.Error("pre-touching should buy a little steady-state speed")
+	}
+}
+
+func TestObservabilityOverheadMultiplies(t *testing.T) {
+	p, _ := workload.ByName("fop")
+	m := DefaultMachine()
+	fx := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("PrintGCDetails", true) // 0.4%
+		c.SetBool("TraceClassLoadingPreorder", true)
+	}), p, m)
+	if fx.overhead <= 1.0 {
+		t.Error("engaged observability flags should cost time")
+	}
+	clean := computeFeatures(cfgWith(t, nil), p, m)
+	if clean.overhead != 1.0 {
+		t.Error("default config should have no observability overhead")
+	}
+}
+
+func TestStringOptEffects(t *testing.T) {
+	p, _ := workload.ByName("xalan") // string intensity 0.7
+	def := speedOf(t, p, nil)
+	noConcat := speedOf(t, p, func(c *flags.Config) { c.SetBool("OptimizeStringConcat", false) })
+	if noConcat >= def {
+		t.Error("disabling concat fusion should slow string code")
+	}
+	compact := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("CompactStrings", true)
+	}), p, DefaultMachine())
+	if compact.allocScale >= 1 {
+		t.Error("compact strings should shrink allocation")
+	}
+}
+
+func TestFastAccessorsHelpInterpreter(t *testing.T) {
+	p := callBound(t)
+	fx := computeFeatures(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("UseFastAccessorMethods", true)
+	}), p, DefaultMachine())
+	if fx.interpSpeed <= 1 {
+		t.Error("fast accessors should speed the interpreted phase")
+	}
+}

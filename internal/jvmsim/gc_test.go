@@ -1,0 +1,373 @@
+package jvmsim
+
+import (
+	"testing"
+
+	"repro/internal/flags"
+	"repro/internal/hierarchy"
+	"repro/internal/workload"
+)
+
+func gcProfile(t *testing.T) *workload.Profile {
+	t.Helper()
+	p, ok := workload.ByName("h2")
+	if !ok {
+		t.Fatal("no h2 profile")
+	}
+	return p
+}
+
+func cfgWith(t *testing.T, set func(c *flags.Config)) *flags.Config {
+	t.Helper()
+	c := flags.NewConfig(flags.NewRegistry())
+	if set != nil {
+		set(c)
+	}
+	return c
+}
+
+func TestResolveGeometryNewRatio(t *testing.T) {
+	p := gcProfile(t)
+	m := DefaultMachine()
+	c := cfgWith(t, func(c *flags.Config) {
+		c.SetBool("UseAdaptiveSizePolicy", false) // pin the geometry
+		c.SetInt("MaxHeapSize", 900<<20)
+		c.SetInt("NewRatio", 2)
+	})
+	g := resolveGeometry(c, p, hierarchy.Parallel, m)
+	if g.young < 290 || g.young > 310 {
+		t.Errorf("NewRatio=2 on 900 MB should give ~300 MB young, got %.0f", g.young)
+	}
+	if g.old != g.heapMB-g.young {
+		t.Error("old + young must cover the heap")
+	}
+	// Eden/survivor split follows SurvivorRatio (default 8): eden = 8/10.
+	if ratio := g.eden / g.young; ratio < 0.79 || ratio > 0.81 {
+		t.Errorf("eden fraction %.3f, want 0.8", ratio)
+	}
+}
+
+func TestResolveGeometryMaxNewSizeWins(t *testing.T) {
+	p := gcProfile(t)
+	c := cfgWith(t, func(c *flags.Config) {
+		c.SetInt("MaxHeapSize", 1024<<20)
+		c.SetInt("MaxNewSize", 128<<20)
+		c.SetInt("NewRatio", 1) // would give 512 MB; MaxNewSize must win
+	})
+	g := resolveGeometry(c, p, hierarchy.Parallel, DefaultMachine())
+	if g.young != 128 {
+		t.Errorf("explicit MaxNewSize ignored: young = %.0f", g.young)
+	}
+}
+
+func TestResolveGeometryAdaptivePullsEden(t *testing.T) {
+	p := gcProfile(t) // alloc 125 MB/s → good eden 250
+	on := cfgWith(t, nil)
+	off := cfgWith(t, func(c *flags.Config) { c.SetBool("UseAdaptiveSizePolicy", false) })
+	gOn := resolveGeometry(on, p, hierarchy.Parallel, DefaultMachine())
+	gOff := resolveGeometry(off, p, hierarchy.Parallel, DefaultMachine())
+	if gOn.eden <= gOff.eden {
+		t.Errorf("adaptive policy should grow eden toward the allocation rate: %.0f vs %.0f",
+			gOn.eden, gOff.eden)
+	}
+	// Explicit sizes disable adaptivity.
+	pinned := cfgWith(t, func(c *flags.Config) { c.SetInt("MaxNewSize", 170<<20) })
+	gPin := resolveGeometry(pinned, p, hierarchy.Parallel, DefaultMachine())
+	if gPin.young != 170 {
+		t.Errorf("explicit sizes should pin geometry, young = %.0f", gPin.young)
+	}
+	// Adaptivity is a parallel-collector feature.
+	gSerial := resolveGeometry(on, p, hierarchy.Serial, DefaultMachine())
+	if gSerial.eden != gOff.eden {
+		t.Error("serial collector should not size adaptively")
+	}
+}
+
+func TestResolveGeometryG1FollowsPauseGoal(t *testing.T) {
+	p := gcProfile(t)
+	tight := cfgWith(t, func(c *flags.Config) {
+		c.SetInt("MaxGCPauseMillis", 10)
+	})
+	loose := cfgWith(t, func(c *flags.Config) {
+		c.SetInt("MaxGCPauseMillis", 2000)
+	})
+	gT := resolveGeometry(tight, p, hierarchy.G1, DefaultMachine())
+	gL := resolveGeometry(loose, p, hierarchy.G1, DefaultMachine())
+	if gT.young >= gL.young {
+		t.Errorf("tighter pause goal should shrink the young set: %.0f vs %.0f", gT.young, gL.young)
+	}
+	// Bounded between 5% and 60% of the heap.
+	heap := gT.heapMB
+	if gT.young < 0.05*heap-1 || gL.young > 0.60*heap+1 {
+		t.Error("G1 young size outside its ergonomic bounds")
+	}
+}
+
+func TestG1RegionSize(t *testing.T) {
+	// Explicit power-of-two rounding.
+	c := cfgWith(t, func(c *flags.Config) { c.SetInt("G1HeapRegionSize", 7<<20) })
+	if r := g1RegionMB(c, 1024); r != 4 {
+		t.Errorf("7 MB request should round down to 4, got %.0f", r)
+	}
+	// Ergonomic: heap/2048 clamped to [1, 32].
+	d := cfgWith(t, nil)
+	if r := g1RegionMB(d, 1024); r != 1 {
+		t.Errorf("1 GB heap ergonomic region = %.0f, want 1", r)
+	}
+	if r := g1RegionMB(d, 8192); r != 4 {
+		t.Errorf("8 GB heap ergonomic region = %.0f, want 4", r)
+	}
+	big := cfgWith(t, func(c *flags.Config) { c.SetInt("G1HeapRegionSize", 32<<20) })
+	if r := g1RegionMB(big, 8192); r != 32 {
+		t.Errorf("explicit 32 MB region = %.0f", r)
+	}
+}
+
+func TestSurvivorOverflowPromotesPrematurely(t *testing.T) {
+	p := gcProfile(t) // mid-lived fraction 0.12: needs survivor room
+	m := DefaultMachine()
+	// TargetSurvivorRatio changes usable survivor capacity without moving
+	// the eden/survivor boundary, isolating the overflow effect.
+	small := cfgWith(t, func(c *flags.Config) {
+		c.SetInt("TargetSurvivorRatio", 1) // starve the survivor spaces
+		c.SetBool("UseAdaptiveSizePolicy", false)
+	})
+	roomy := cfgWith(t, func(c *flags.Config) {
+		c.SetInt("TargetSurvivorRatio", 100)
+		c.SetBool("UseAdaptiveSizePolicy", false)
+	})
+	gcS := computeGC(small, p, hierarchy.Parallel, m, 40, 1)
+	gcR := computeGC(roomy, p, hierarchy.Parallel, m, 40, 1)
+	if gcS.fullGCs <= gcR.fullGCs {
+		t.Errorf("starved survivors should promote more and trigger more full GCs: %.1f vs %.1f",
+			gcS.fullGCs, gcR.fullGCs)
+	}
+}
+
+func TestMaxTenuringThresholdZeroPromotesEverything(t *testing.T) {
+	p := gcProfile(t)
+	m := DefaultMachine()
+	mtt0 := cfgWith(t, func(c *flags.Config) { c.SetInt("MaxTenuringThreshold", 0) })
+	mtt15 := cfgWith(t, func(c *flags.Config) { c.SetInt("MaxTenuringThreshold", 15) })
+	g0 := computeGC(mtt0, p, hierarchy.Parallel, m, 40, 1)
+	g15 := computeGC(mtt15, p, hierarchy.Parallel, m, 40, 1)
+	if g0.fullGCs <= g15.fullGCs {
+		t.Errorf("MTT=0 should flood the old generation: %.1f vs %.1f full GCs",
+			g0.fullGCs, g15.fullGCs)
+	}
+}
+
+func TestCMSAdaptiveTriggerBlendsIOF(t *testing.T) {
+	p := gcProfile(t)
+	m := DefaultMachine()
+	base := func() *flags.Config {
+		return cfgWith(t, func(c *flags.Config) {
+			c.SetBool("UseConcMarkSweepGC", true)
+			c.SetBool("UseParallelGC", false)
+			c.SetBool("UseParNewGC", true)
+			c.SetInt("CMSInitiatingOccupancyFraction", 95)
+		})
+	}
+	occOnly := base()
+	occOnly.SetBool("UseCMSInitiatingOccupancyOnly", true)
+	adaptive := base()
+	gOnly := computeGC(occOnly, p, hierarchy.CMS, m, 40, 1)
+	gAdaptive := computeGC(adaptive, p, hierarchy.CMS, m, 40, 1)
+	// With adaptive triggering the VM hedges the user's reckless 95 toward
+	// its own estimate, so fewer concurrent-mode failures.
+	if gAdaptive.fullGCs >= gOnly.fullGCs {
+		t.Errorf("adaptive CMS trigger should hedge a reckless IOF: %.2f vs %.2f CMFs",
+			gAdaptive.fullGCs, gOnly.fullGCs)
+	}
+}
+
+func TestCMSWithoutParNewUsesSerialYoung(t *testing.T) {
+	p := gcProfile(t)
+	m := DefaultMachine()
+	withPar := cfgWith(t, func(c *flags.Config) {
+		c.SetBool("UseConcMarkSweepGC", true)
+		c.SetBool("UseParallelGC", false)
+		c.SetBool("UseParNewGC", true)
+	})
+	withoutPar := cfgWith(t, func(c *flags.Config) {
+		c.SetBool("UseConcMarkSweepGC", true)
+		c.SetBool("UseParallelGC", false)
+		c.SetBool("UseParNewGC", false)
+	})
+	gWith := computeGC(withPar, p, hierarchy.CMS, m, 40, 1)
+	gWithout := computeGC(withoutPar, p, hierarchy.CMS, m, 40, 1)
+	if gWithout.stopSeconds <= gWith.stopSeconds {
+		t.Errorf("serial young collections under CMS should pause more: %.2f vs %.2f",
+			gWithout.stopSeconds, gWith.stopSeconds)
+	}
+}
+
+func TestG1ReservePercentTradesCapacity(t *testing.T) {
+	p := gcProfile(t)
+	m := DefaultMachine()
+	mk := func(reserve int64) gcOutcome {
+		c := cfgWith(t, func(c *flags.Config) {
+			c.SetBool("UseG1GC", true)
+			c.SetBool("UseParallelGC", false)
+			c.SetInt("G1ReservePercent", reserve)
+		})
+		return computeGC(c, p, hierarchy.G1, m, 40, 1)
+	}
+	small := mk(0)
+	big := mk(45)
+	// A huge reserve on a crowded heap can push it into OOM or more cycles.
+	if !big.oom && big.stopSeconds <= small.stopSeconds {
+		t.Errorf("45%% reserve should cost capacity: %.2fs vs %.2fs (oom=%v)",
+			big.stopSeconds, small.stopSeconds, big.oom)
+	}
+}
+
+func TestExplicitGCVariants(t *testing.T) {
+	p := *gcProfile(t)
+	p.ExplicitGCCalls = 10
+	m := DefaultMachine()
+	mkCMS := func(mod func(c *flags.Config)) gcOutcome {
+		c := cfgWith(t, func(c *flags.Config) {
+			c.SetBool("UseConcMarkSweepGC", true)
+			c.SetBool("UseParallelGC", false)
+			c.SetBool("UseParNewGC", true)
+			if mod != nil {
+				mod(c)
+			}
+		})
+		return computeGC(c, &p, hierarchy.CMS, m, 40, 1)
+	}
+	plain := mkCMS(nil)
+	disabled := mkCMS(func(c *flags.Config) { c.SetBool("DisableExplicitGC", true) })
+	concurrent := mkCMS(func(c *flags.Config) { c.SetBool("ExplicitGCInvokesConcurrent", true) })
+	if disabled.stopSeconds >= plain.stopSeconds {
+		t.Error("DisableExplicitGC should remove the System.gc() pauses")
+	}
+	if concurrent.stopSeconds >= plain.stopSeconds {
+		t.Error("ExplicitGCInvokesConcurrent should shrink the System.gc() pauses")
+	}
+	if concurrent.stopSeconds <= disabled.stopSeconds {
+		t.Error("concurrent System.gc() still costs something")
+	}
+}
+
+func TestPretenuringDivertsLargeObjects(t *testing.T) {
+	p, _ := workload.ByName("startup.scimark.lu") // 45% large objects
+	m := DefaultMachine()
+	off := cfgWith(t, nil)
+	on := cfgWith(t, func(c *flags.Config) { c.SetInt("PretenureSizeThreshold", 512<<10) })
+	gOff := computeGC(off, p, hierarchy.Parallel, m, 12, 1)
+	gOn := computeGC(on, p, hierarchy.Parallel, m, 12, 1)
+	// Pretenuring trades young copy work for old-generation pressure; for a
+	// large-object kernel the copy saving must show up in minor pauses.
+	minorOff := gOff.stopSeconds / (gOff.minorGCs + 1)
+	minorOn := gOn.stopSeconds / (gOn.minorGCs + 1)
+	if gOn.minorGCs >= gOff.minorGCs && minorOn >= minorOff {
+		t.Errorf("pretenuring should relieve the young generation: %.4f vs %.4f", minorOn, minorOff)
+	}
+}
+
+func TestPermGenOOM(t *testing.T) {
+	p := *gcProfile(t)
+	p.ClassMetaMB = 200
+	m := DefaultMachine()
+	small := cfgWith(t, nil) // default MaxPermSize 85 MB
+	g := computeGC(small, &p, hierarchy.Parallel, m, 40, 1)
+	if !g.oom || g.oomMessage != "java.lang.OutOfMemoryError: PermGen space" {
+		t.Errorf("200 MB of classes in an 85 MB permgen should OOM, got %+v", g)
+	}
+	big := cfgWith(t, func(c *flags.Config) { c.SetInt("MaxPermSize", 512<<20) })
+	if g := computeGC(big, &p, hierarchy.Parallel, m, 40, 1); g.oom {
+		t.Errorf("512 MB permgen should fit: %+v", g)
+	}
+}
+
+func TestPermGenPressureCausesFullGCs(t *testing.T) {
+	p := *gcProfile(t)
+	p.ClassMetaMB = 80 // 94% of the default 85 MB
+	m := DefaultMachine()
+	crowded := computeGC(cfgWith(t, nil), &p, hierarchy.Parallel, m, 40, 1)
+	p2 := p
+	p2.ClassMetaMB = 30
+	relaxed := computeGC(cfgWith(t, nil), &p2, hierarchy.Parallel, m, 40, 1)
+	if crowded.fullGCs <= relaxed.fullGCs {
+		t.Errorf("permgen pressure should add class-unloading full GCs: %.1f vs %.1f",
+			crowded.fullGCs, relaxed.fullGCs)
+	}
+	// Disabling class unloading makes it worse.
+	noUnload := cfgWith(t, func(c *flags.Config) { c.SetBool("ClassUnloading", false) })
+	worse := computeGC(noUnload, &p, hierarchy.Parallel, m, 40, 1)
+	if worse.fullGCs <= crowded.fullGCs {
+		t.Error("ClassUnloading=false should aggravate permgen pressure")
+	}
+}
+
+func TestHeapGrowthStartupCost(t *testing.T) {
+	p := gcProfile(t)
+	m := DefaultMachine()
+	grown := cfgWith(t, func(c *flags.Config) {
+		c.SetInt("MaxHeapSize", 4<<30)
+		c.SetInt("InitialHeapSize", 64<<20)
+	})
+	pinned := cfgWith(t, func(c *flags.Config) {
+		c.SetInt("MaxHeapSize", 4<<30)
+		c.SetInt("InitialHeapSize", 4<<30)
+	})
+	gG := computeGC(grown, p, hierarchy.Parallel, m, 40, 1)
+	gP := computeGC(pinned, p, hierarchy.Parallel, m, 40, 1)
+	if gG.startup <= gP.startup {
+		t.Error("growing the heap from 64 MB should cost startup time")
+	}
+	// Eager expansion (high MinHeapFreeRatio) softens it.
+	eager := cfgWith(t, func(c *flags.Config) {
+		c.SetInt("MaxHeapSize", 4<<30)
+		c.SetInt("InitialHeapSize", 64<<20)
+		c.SetInt("MinHeapFreeRatio", 70)
+	})
+	gE := computeGC(eager, p, hierarchy.Parallel, m, 40, 1)
+	if gE.startup >= gG.startup {
+		t.Error("eager expansion should cheapen heap growth")
+	}
+}
+
+func TestZeroAllocationShortCircuits(t *testing.T) {
+	p := *gcProfile(t)
+	p.AllocRateMBps = 0
+	g := computeGC(cfgWith(t, nil), &p, hierarchy.Parallel, DefaultMachine(), 40, 1)
+	if g.stopSeconds != 0 || g.minorGCs != 0 {
+		t.Errorf("no allocation should mean no collections: %+v", g)
+	}
+}
+
+func TestGCOverheadLimitKillsThrashingRuns(t *testing.T) {
+	s := quietSim()
+	reg := flags.NewRegistry()
+	// A tiny old generation with a big live set right at the OOM boundary
+	// thrashes; construct via huge young gen.
+	p := *gcProfile(t)
+	p.LiveSetMB = 60
+	p.MidLivedFrac = 0.3
+	p.ShortLivedFrac = 0.6
+	c := flags.NewConfig(reg)
+	c.SetInt("MaxHeapSize", 128<<20)
+	c.SetInt("InitialHeapSize", 128<<20)
+	c.SetInt("NewRatio", 1)
+	c.SetInt("MaxTenuringThreshold", 0)
+	c.SetBool("UseAdaptiveSizePolicy", false)
+	r := s.Run(c, &p, 0)
+	if !r.Failed {
+		// Thrash but not over the 98% line: acceptable, but GC must dominate.
+		if r.GCStopSeconds < r.AppSeconds {
+			t.Skipf("configuration not extreme enough to test the limit: %+v", r)
+		}
+	} else if r.Failure != OOMFailure {
+		t.Errorf("expected OOM-class failure, got %s", r.Failure)
+	}
+	// With the limit off, the same run must complete (slowly).
+	c2 := c.Clone()
+	c2.SetBool("UseGCOverheadLimit", false)
+	r2 := s.Run(c2, &p, 0)
+	if r2.Failed && r2.FailureMessage == "java.lang.OutOfMemoryError: GC overhead limit exceeded" {
+		t.Error("limit disabled but still enforced")
+	}
+}

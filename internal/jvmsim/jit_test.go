@@ -1,0 +1,188 @@
+package jvmsim
+
+import (
+	"testing"
+
+	"repro/internal/flags"
+	"repro/internal/workload"
+)
+
+func jitProfile(t *testing.T) *workload.Profile {
+	t.Helper()
+	p, ok := workload.ByName("startup.compiler.compiler")
+	if !ok {
+		t.Fatal("no profile")
+	}
+	return p
+}
+
+func fxDefault() featureEffects {
+	return featureEffects{
+		compiledSpeed: 1, interpSpeed: 1, allocScale: 1,
+		codeExpansion: 1, overhead: 1, appPenalty: 1,
+	}
+}
+
+func TestJITThresholdScalesWarmup(t *testing.T) {
+	p := jitProfile(t)
+	m := DefaultMachine()
+	times := map[int64]float64{}
+	for _, thr := range []int64{100, 1000, 10000, 100000} {
+		c := cfgWith(t, func(c *flags.Config) { c.SetInt("CompileThreshold", thr) })
+		times[thr] = computeJIT(c, p, m, fxDefault()).appSeconds
+	}
+	if !(times[100] < times[1000] && times[1000] < times[10000] && times[10000] < times[100000]) {
+		t.Errorf("app time should grow with CompileThreshold: %v", times)
+	}
+	// Warm-up is capped: even an absurd threshold cannot exceed ~90% of the
+	// run interpreted.
+	if times[100000] > p.BaseSeconds*0.1+p.BaseSeconds*0.9*interpreterSlowdown+1 {
+		t.Errorf("warm-up cap violated: %.1fs", times[100000])
+	}
+}
+
+func TestJITTieredBeatsDefaultClassicOnWarmupBoundCode(t *testing.T) {
+	p := jitProfile(t)
+	m := DefaultMachine()
+	classic := computeJIT(cfgWith(t, nil), p, m, fxDefault())
+	tiered := computeJIT(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("TieredCompilation", true)
+	}), p, m, fxDefault())
+	if tiered.appSeconds >= classic.appSeconds*0.6 {
+		t.Errorf("tiered %.1fs vs classic %.1fs", tiered.appSeconds, classic.appSeconds)
+	}
+	// But tiered compiles more methods into more code.
+	if tiered.codeCacheUsedKB <= classic.codeCacheUsedKB {
+		t.Error("tiered should have the bigger code footprint")
+	}
+}
+
+func TestJITTieredStopAtLevel1(t *testing.T) {
+	// Stopping at C1 helps only short runs; the steady state runs at C1
+	// speed, so a compute-bound run is slower overall.
+	p := *jitProfile(t)
+	p.WarmupWork = 0.1 // little warm-up to win
+	m := DefaultMachine()
+	full := computeJIT(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("TieredCompilation", true)
+	}), &p, m, fxDefault())
+	stopped := computeJIT(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("TieredCompilation", true)
+		c.SetInt("TieredStopAtLevel", 1)
+	}), &p, m, fxDefault())
+	if stopped.appSeconds <= full.appSeconds {
+		t.Errorf("C1-only should lose on a compute-bound run: %.1f vs %.1f",
+			stopped.appSeconds, full.appSeconds)
+	}
+}
+
+func TestJITOSRReliefForLoops(t *testing.T) {
+	p, _ := workload.ByName("startup.scimark.fft") // loop intensity 0.9
+	m := DefaultMachine()
+	def := computeJIT(cfgWith(t, nil), p, m, fxDefault())
+	noOSR := computeJIT(cfgWith(t, func(c *flags.Config) {
+		c.SetInt("OnStackReplacePercentage", 1000) // delay OSR massively
+	}), p, m, fxDefault())
+	if noOSR.appSeconds <= def.appSeconds {
+		t.Errorf("delaying OSR should hurt loop kernels: %.2f vs %.2f",
+			noOSR.appSeconds, def.appSeconds)
+	}
+}
+
+func TestJITCounterDecay(t *testing.T) {
+	p := jitProfile(t)
+	m := DefaultMachine()
+	decay := computeJIT(cfgWith(t, nil), p, m, fxDefault())
+	noDecay := computeJIT(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("UseCounterDecay", false)
+	}), p, m, fxDefault())
+	if noDecay.appSeconds >= decay.appSeconds {
+		t.Error("disabling counter decay should reach thresholds sooner")
+	}
+}
+
+func TestJITBackgroundCompilation(t *testing.T) {
+	p := jitProfile(t)
+	m := DefaultMachine()
+	bg := computeJIT(cfgWith(t, nil), p, m, fxDefault())
+	fg := computeJIT(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("BackgroundCompilation", false)
+	}), p, m, fxDefault())
+	if fg.compileStall <= bg.compileStall*2 {
+		t.Errorf("foreground compilation should stall much more: %.2f vs %.2f",
+			fg.compileStall, bg.compileStall)
+	}
+}
+
+func TestJITCompilerThreads(t *testing.T) {
+	p := jitProfile(t)
+	m := DefaultMachine()
+	stall := func(ci int64) float64 {
+		c := cfgWith(t, func(c *flags.Config) {
+			c.SetInt("CICompilerCount", ci)
+			c.SetBool("BackgroundCompilation", false)
+		})
+		return computeJIT(c, p, m, fxDefault()).compileStall
+	}
+	if !(stall(1) > stall(2) && stall(2) > stall(4)) {
+		t.Error("more compiler threads should drain the queue faster")
+	}
+	if stall(12) >= stall(8)*1.05 {
+		// 12 threads on 8 cores thrash; the stall should not improve and
+		// may regress.
+		t.Log("oversubscribed compiler threads regressed, as modeled")
+	}
+}
+
+func TestJITCodeCacheFlushingVsShutoff(t *testing.T) {
+	p, _ := workload.ByName("eclipse") // 4200 hot methods
+	m := DefaultMachine()
+	base := func(mod func(c *flags.Config)) jitOutcome {
+		c := cfgWith(t, func(c *flags.Config) {
+			c.SetBool("TieredCompilation", true)
+			c.SetInt("ReservedCodeCacheSize", 8<<20)
+			if mod != nil {
+				mod(c)
+			}
+		})
+		return computeJIT(c, p, m, fxDefault())
+	}
+	shutoff := base(nil)
+	flushing := base(func(c *flags.Config) { c.SetBool("UseCodeCacheFlushing", true) })
+	roomy := computeJIT(cfgWith(t, func(c *flags.Config) {
+		c.SetBool("TieredCompilation", true)
+		c.SetInt("ReservedCodeCacheSize", 256<<20)
+	}), p, m, fxDefault())
+	if shutoff.appSeconds <= roomy.appSeconds {
+		t.Error("code-cache shutoff should be painful")
+	}
+	if flushing.appSeconds >= shutoff.appSeconds {
+		t.Error("flushing should beat shutting compilation off")
+	}
+	if flushing.appSeconds <= roomy.appSeconds {
+		t.Error("flushing still costs recompilation churn")
+	}
+}
+
+func TestJITInterpreterProfilePercentage(t *testing.T) {
+	p := jitProfile(t)
+	m := DefaultMachine()
+	def := computeJIT(cfgWith(t, nil), p, m, fxDefault())
+	long := computeJIT(cfgWith(t, func(c *flags.Config) {
+		c.SetInt("InterpreterProfilePercentage", 90)
+	}), p, m, fxDefault())
+	if long.appSeconds <= def.appSeconds {
+		t.Error("long profiling should extend warm-up")
+	}
+}
+
+func TestJITTinyInitialCodeCache(t *testing.T) {
+	p := jitProfile(t)
+	m := DefaultMachine()
+	tiny := computeJIT(cfgWith(t, func(c *flags.Config) {
+		c.SetInt("InitialCodeCacheSize", 160<<10)
+	}), p, m, fxDefault())
+	if tiny.startupExtra <= 0 {
+		t.Error("undersized initial code cache should cost startup time")
+	}
+}

@@ -1,0 +1,87 @@
+// Package jvmsim is the substrate of the reproduction: an analytical
+// performance model of a JDK-7-era HotSpot JVM. Given a flag configuration
+// (internal/flags) and a workload profile (internal/workload) it produces
+// the wall-clock time one run would take, or the startup/OOM failure the
+// real VM would produce.
+//
+// The model is not a cycle-accurate simulator. It reproduces the properties
+// that make JVM auto-tuning a hard search problem, which is all the tuner
+// can observe:
+//
+//   - conditional relevance: CMS knobs do nothing under the parallel
+//     collector; CompileThreshold does nothing under tiered compilation;
+//   - non-convex interactions: heap size × young-generation geometry ×
+//     allocation rate; inlining budgets × code-cache capacity;
+//   - cliffs: out-of-memory when the live set outgrows the old generation,
+//     concurrent-mode failure when CMS triggers too late, code-cache
+//     exhaustion when inlining is too aggressive;
+//   - invalid combinations: conflicting collector selections refuse to
+//     start, exactly like the real VM;
+//   - noise: deterministic pseudo-random run-to-run variation.
+//
+// All sizes are MB and all times seconds unless a name says otherwise.
+package jvmsim
+
+// Machine describes the host the simulated JVM runs on. The zero value is
+// not useful; use DefaultMachine.
+type Machine struct {
+	// Cores is the number of hardware threads.
+	Cores int
+	// RAMMB is physical memory; heaps close to it pay a paging penalty.
+	RAMMB float64
+}
+
+// DefaultMachine is the reference host: an 8-core, 16 GB box comparable to
+// the paper's testbed.
+func DefaultMachine() Machine {
+	return Machine{Cores: 8, RAMMB: 16384}
+}
+
+// Model constants. Rates are per-thread and deliberately conservative; what
+// matters to the tuner is their ratios, not their absolute values.
+const (
+	// interpreterSlowdown is how much slower interpreted bytecode runs than
+	// C2-compiled code.
+	interpreterSlowdown = 15.0
+	// c1Slowdown is how much slower C1-compiled code runs than C2 code.
+	c1Slowdown = 2.2
+	// copyRateMBps is young-collection evacuation throughput per GC thread.
+	copyRateMBps = 250.0
+	// fullRateMBps is full-collection mark-compact throughput per thread.
+	fullRateMBps = 60.0
+	// concRateMBps is concurrent marking throughput per concurrent thread.
+	concRateMBps = 110.0
+	// remarkRateMBps is CMS remark scanning throughput per thread.
+	remarkRateMBps = 2500.0
+	// compileSecPerKBC2 is C2 compilation cost per KB of emitted code.
+	compileSecPerKBC2 = 0.004
+	// compileSecPerKBC1 is C1 compilation cost per KB of emitted code.
+	compileSecPerKBC1 = 0.0008
+	// jvmBootSeconds is fixed process start + bootstrap class loading.
+	jvmBootSeconds = 0.35
+	// minorFixedPause is the per-scavenge fixed cost (root scanning, etc.).
+	minorFixedPause = 0.002
+)
+
+// parallelEfficiency converts a worker-thread count into an effective
+// speedup, with sub-linear scaling inside the core budget and a
+// context-switching penalty beyond it.
+func parallelEfficiency(threads, cores int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	useful := threads
+	if useful > cores {
+		useful = cores
+	}
+	eff := pow(float64(useful), 0.88)
+	if threads > cores {
+		over := float64(threads - cores)
+		penalty := 1 - 0.06*over
+		if penalty < 0.4 {
+			penalty = 0.4
+		}
+		eff *= penalty
+	}
+	return eff
+}

@@ -1,0 +1,187 @@
+package jvmsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flags"
+	"repro/internal/hierarchy"
+	"repro/internal/workload"
+)
+
+// TestMatrixEveryWorkloadEveryBranch runs all 29 built-in workloads under
+// every collector × JIT-mode branch combination the hierarchy can select.
+// Every combination must either complete with a sane wall time or fail
+// with a classified failure — the totality guarantee the tuner's branch
+// survey depends on.
+func TestMatrixEveryWorkloadEveryBranch(t *testing.T) {
+	s := quietSim()
+	reg := flags.NewRegistry()
+	tree := hierarchy.Build(reg)
+	choices := tree.Choices()
+
+	for _, p := range workload.All() {
+		for _, col := range choices[0].Branches {
+			for _, jit := range choices[1].Branches {
+				cfg := flags.NewConfig(reg)
+				col.Apply(cfg)
+				jit.Apply(cfg)
+				r := s.Run(cfg, p, 0)
+				label := p.Name + "/" + col.Name + "+" + jit.Name
+				if r.Failed {
+					if r.Failure == NoFailure || r.FailureMessage == "" {
+						t.Errorf("%s: failed without classification: %+v", label, r)
+					}
+					continue
+				}
+				if !r.Valid() {
+					t.Errorf("%s: invalid result %+v", label, r)
+					continue
+				}
+				if r.WallSeconds < p.BaseSeconds*0.5 {
+					t.Errorf("%s: wall %.2f below half the compute floor %.2f",
+						label, r.WallSeconds, p.BaseSeconds)
+				}
+				if r.WallSeconds > p.BaseSeconds*100 {
+					t.Errorf("%s: implausible wall %.2f", label, r.WallSeconds)
+				}
+				if string(hierarchy.Collector(r.Collector)) != col.Name &&
+					!(col.Name == "parallel" && r.Collector == "parallel") {
+					t.Errorf("%s: reported collector %q", label, r.Collector)
+				}
+				if r.GCStopSeconds < 0 || r.CompileStallSeconds < 0 || r.StartupSeconds <= 0 {
+					t.Errorf("%s: negative component in %+v", label, r)
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixDefaultsAreNeverTheBestBranch checks the premise of the whole
+// paper on at least a few benchmarks: some non-default branch combination
+// beats the default configuration.
+func TestMatrixDefaultsAreNeverTheBestBranch(t *testing.T) {
+	s := quietSim()
+	reg := flags.NewRegistry()
+	tree := hierarchy.Build(reg)
+	choices := tree.Choices()
+
+	for _, name := range []string{"startup.compiler.compiler", "h2", "jython"} {
+		p, _ := workload.ByName(name)
+		def := s.Run(flags.NewConfig(reg), p, 0).WallSeconds
+		best := math.Inf(1)
+		for _, col := range choices[0].Branches {
+			for _, jit := range choices[1].Branches {
+				cfg := flags.NewConfig(reg)
+				col.Apply(cfg)
+				jit.Apply(cfg)
+				if r := s.Run(cfg, p, 0); !r.Failed && r.WallSeconds < best {
+					best = r.WallSeconds
+				}
+			}
+		}
+		if best >= def {
+			t.Errorf("%s: no branch combination beats the default (%.1f vs %.1f)",
+				name, best, def)
+		}
+	}
+}
+
+// TestMatrixMonotoneHeapOnPressuredWorkloads: for heap-pressured programs,
+// growing the heap (everything else default) never makes things worse
+// until the paging boundary.
+func TestMatrixMonotoneHeapOnPressuredWorkloads(t *testing.T) {
+	s := quietSim()
+	reg := flags.NewRegistry()
+	for _, name := range []string{"h2", "tradebeans", "eclipse"} {
+		p, _ := workload.ByName(name)
+		prev := math.Inf(1)
+		for _, gb := range []int64{1, 2, 4, 8} {
+			cfg := flags.NewConfig(reg)
+			cfg.SetInt("MaxHeapSize", gb<<30)
+			cfg.SetInt("InitialHeapSize", gb<<30)
+			// Relieve permgen pressure: its class-unloading full GCs scale
+			// with heap size (full collections scan the young generation
+			// too), which would mask the heap-size monotonicity this test
+			// isolates. eclipse exhibits exactly that trade-off — see
+			// TestMatrixPermgenHeapTradeoff.
+			cfg.SetInt("MaxPermSize", 256<<20)
+			r := s.Run(cfg, p, 0)
+			if r.Failed {
+				t.Fatalf("%s at %dg failed: %+v", name, gb, r)
+			}
+			// Allow a small locality-penalty wiggle.
+			if r.WallSeconds > prev*1.02 {
+				t.Errorf("%s: wall grew from %.2f to %.2f at %dg", name, prev, r.WallSeconds, gb)
+			}
+			prev = r.WallSeconds
+		}
+	}
+}
+
+// TestMatrixPermgenHeapTradeoff documents a deliberate interaction: for a
+// program with permgen pressure (eclipse, 72 MB of classes in the default
+// 85 MB permgen), growing only the heap makes things *worse* — the
+// class-unloading full collections it keeps triggering scan a larger young
+// generation each time. The fix requires MaxPermSize, which is exactly the
+// kind of coupled move whole-JVM tuning finds and subset tuning misses.
+func TestMatrixPermgenHeapTradeoff(t *testing.T) {
+	s := quietSim()
+	reg := flags.NewRegistry()
+	p, _ := workload.ByName("eclipse")
+	heapOnly := flags.NewConfig(reg)
+	heapOnly.SetInt("MaxHeapSize", 8<<30)
+	heapOnly.SetInt("InitialHeapSize", 8<<30)
+	both := heapOnly.Clone()
+	both.SetInt("MaxPermSize", 256<<20)
+	rHeap := s.Run(heapOnly, p, 0)
+	rBoth := s.Run(both, p, 0)
+	if rBoth.WallSeconds >= rHeap.WallSeconds {
+		t.Errorf("raising MaxPermSize should rescue the big-heap config: %.1f vs %.1f",
+			rBoth.WallSeconds, rHeap.WallSeconds)
+	}
+	if rHeap.FullGCs <= rBoth.FullGCs {
+		t.Error("permgen pressure should show up as full GCs")
+	}
+}
+
+// TestMatrixGCThreadSweetSpot: pause time improves up to the core count
+// and degrades under heavy oversubscription, for every parallel-capable
+// collector.
+func TestMatrixGCThreadSweetSpot(t *testing.T) {
+	s := quietSim()
+	reg := flags.NewRegistry()
+	p, _ := workload.ByName("tradebeans")
+	for _, sel := range []struct {
+		name  string
+		apply func(c *flags.Config)
+	}{
+		{"parallel", func(c *flags.Config) {}},
+		{"cms", func(c *flags.Config) {
+			c.SetBool("UseConcMarkSweepGC", true)
+			c.SetBool("UseParallelGC", false)
+			c.SetBool("UseParNewGC", true)
+		}},
+		{"g1", func(c *flags.Config) {
+			c.SetBool("UseG1GC", true)
+			c.SetBool("UseParallelGC", false)
+		}},
+	} {
+		gc := func(threads int64) float64 {
+			cfg := flags.NewConfig(reg)
+			sel.apply(cfg)
+			cfg.SetInt("ParallelGCThreads", threads)
+			r := s.Run(cfg, p, 0)
+			if r.Failed {
+				t.Fatalf("%s with %d threads failed: %+v", sel.name, threads, r)
+			}
+			return r.GCStopSeconds
+		}
+		if gc(1) <= gc(8) {
+			t.Errorf("%s: 8 GC threads should pause less than 1", sel.name)
+		}
+		if gc(64) <= gc(8) {
+			t.Errorf("%s: 64 GC threads on 8 cores should pause more than 8", sel.name)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package jvmsim
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// noiseFactor returns a deterministic multiplicative noise term for one
+// (configuration, workload, repetition) triple: lognormal-ish with the given
+// relative standard deviation. The same triple always observes the same
+// noise, so experiments replay exactly; different repetitions of the same
+// configuration observe different noise, so the tuner faces real
+// measurement uncertainty.
+func noiseFactor(configKey, workload string, rep int, relStdDev float64) float64 {
+	if relStdDev <= 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	h.Write([]byte(configKey))
+	h.Write([]byte{0})
+	h.Write([]byte(workload))
+	h.Write([]byte{0})
+	var buf [8]byte
+	v := uint64(rep)
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+	u := h.Sum64()
+
+	// Two U(0,1) draws from the hash, Box–Muller to a standard normal.
+	u1 := float64(u>>11) / float64(1<<53)
+	h.Write([]byte{1})
+	u2 := float64(h.Sum64()>>11) / float64(1<<53)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	// Clamp to ±3σ so a single unlucky draw cannot dominate a tuning run.
+	if z > 3 {
+		z = 3
+	}
+	if z < -3 {
+		z = -3
+	}
+	return math.Exp(relStdDev * z)
+}
+
+// pow is math.Pow, aliased so model files read compactly.
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// clamp limits v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// expDecay returns exp(-x), guarding against negative x.
+func expDecay(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return math.Exp(-x)
+}

@@ -1,0 +1,70 @@
+package jvmsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// FailureKind classifies why a run produced no valid measurement.
+type FailureKind string
+
+// The ways a simulated run can fail, mirroring real JVM behaviour.
+const (
+	// NoFailure means the run completed.
+	NoFailure FailureKind = ""
+	// StartupFailure: the VM refused the flag combination and exited
+	// immediately ("Conflicting collector combinations", bad sizes, …).
+	StartupFailure FailureKind = "startup"
+	// OOMFailure: the heap could not hold the live set; the run died with
+	// java.lang.OutOfMemoryError partway through.
+	OOMFailure FailureKind = "oom"
+	// StackOverflowFailure: the configured thread stacks were too small for
+	// the program's call depth.
+	StackOverflowFailure FailureKind = "stackoverflow"
+)
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// WallSeconds is the end-to-end run time the harness would measure.
+	// For failed runs it is the time until the failure surfaced.
+	WallSeconds float64
+
+	// Failed reports whether the run produced a usable measurement.
+	Failed bool
+	// Failure classifies the failure; NoFailure when Failed is false.
+	Failure FailureKind
+	// FailureMessage is the diagnostic a real VM would print.
+	FailureMessage string
+
+	// Component breakdown (successful runs only).
+	StartupSeconds      float64 // boot, class loading, pre-touch, heap growth
+	AppSeconds          float64 // application compute including warm-up penalty
+	GCStopSeconds       float64 // sum of stop-the-world pauses
+	ConcurrentSlowdown  float64 // fractional app slowdown from concurrent GC + barriers
+	CompileStallSeconds float64 // JIT time on the critical path
+
+	// Model diagnostics.
+	Collector       string
+	MinorGCs        float64
+	FullGCs         float64
+	MaxPauseSeconds float64
+	CodeCacheUsedKB float64
+	YoungMB         float64
+	OldMB           float64
+}
+
+// failed builds a failure result.
+func failed(kind FailureKind, wall float64, format string, args ...any) Result {
+	return Result{
+		WallSeconds:    wall,
+		Failed:         true,
+		Failure:        kind,
+		FailureMessage: fmt.Sprintf(format, args...),
+	}
+}
+
+// Valid reports whether the result carries a finite, positive measurement.
+func (r Result) Valid() bool {
+	return !r.Failed && r.WallSeconds > 0 &&
+		!math.IsNaN(r.WallSeconds) && !math.IsInf(r.WallSeconds, 0)
+}

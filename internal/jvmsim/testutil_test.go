@@ -1,0 +1,6 @@
+package jvmsim
+
+import "math/rand"
+
+// newTestRand returns a seeded PRNG for tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,114 @@
+// Package persist serializes tuning outcomes to JSON so sessions can be
+// archived, diffed, and re-applied: the winning flag set is stored as the
+// exact java-style command line, which round-trips through
+// flags.ParseArgs back into a Config.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/flags"
+)
+
+// FormatVersion identifies the on-disk schema; bump on breaking change.
+const FormatVersion = 1
+
+// SavedOutcome is the JSON form of a tuning session's result.
+type SavedOutcome struct {
+	Version        int               `json:"version"`
+	Workload       string            `json:"workload"`
+	Searcher       string            `json:"searcher"`
+	DefaultWall    float64           `json:"default_wall_seconds"`
+	BestWall       float64           `json:"best_wall_seconds"`
+	ImprovementPct float64           `json:"improvement_pct"`
+	Speedup        float64           `json:"speedup"`
+	Trials         int               `json:"trials"`
+	Failures       int               `json:"failures"`
+	CacheHits      int               `json:"cache_hits"`
+	ElapsedSeconds float64           `json:"elapsed_seconds"`
+	CommandLine    []string          `json:"command_line"`
+	BestFlags      map[string]string `json:"best_flags"`
+	Trace          []core.TracePoint `json:"trace,omitempty"`
+}
+
+// FromOutcome converts a session outcome for serialization.
+func FromOutcome(o *core.Outcome) *SavedOutcome {
+	s := &SavedOutcome{
+		Version:        FormatVersion,
+		Workload:       o.Workload,
+		Searcher:       o.Searcher,
+		DefaultWall:    o.DefaultWall,
+		BestWall:       o.BestWall,
+		ImprovementPct: o.ImprovementPct,
+		Speedup:        o.Speedup,
+		Trials:         o.Trials,
+		Failures:       o.Failures,
+		CacheHits:      o.CacheHits,
+		ElapsedSeconds: o.Elapsed,
+		Trace:          o.Trace,
+		BestFlags:      map[string]string{},
+	}
+	if o.Best != nil {
+		s.CommandLine = o.Best.CommandLine()
+		reg := o.Best.Registry()
+		for _, name := range o.Best.Diff(flags.NewConfig(reg)) {
+			f := reg.Lookup(name)
+			v, _ := o.Best.Get(name)
+			s.BestFlags[name] = v.String(f.Type)
+		}
+	}
+	return s
+}
+
+// Config rebuilds the winning configuration over reg from the stored
+// command line.
+func (s *SavedOutcome) Config(reg *flags.Registry) (*flags.Config, error) {
+	return flags.ParseArgs(reg, s.CommandLine)
+}
+
+// Write serializes to w as indented JSON.
+func (s *SavedOutcome) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read deserializes from r, rejecting unknown schema versions.
+func Read(r io.Reader) (*SavedOutcome, error) {
+	var s SavedOutcome
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if s.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported format version %d (want %d)",
+			s.Version, FormatVersion)
+	}
+	return &s, nil
+}
+
+// SaveFile writes the outcome to path (0644, truncating).
+func SaveFile(path string, o *core.Outcome) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	if err := FromOutcome(o).Write(f); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads an outcome from path.
+func LoadFile(path string) (*SavedOutcome, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

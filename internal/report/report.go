@@ -1,0 +1,312 @@
+// Package report renders the experiment results as aligned ASCII tables
+// (what cmd/experiments prints, mirroring the paper's tables) and CSV
+// series (the data behind the paper's figures).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+	footers [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a data row. Cells render with %v; float64 cells render
+// with two decimals.
+func (t *Table) AddRow(cells ...any) {
+	t.rows = append(t.rows, formatCells(cells))
+}
+
+// AddFooter appends a summary row, separated from the data rows by a rule.
+func (t *Table) AddFooter(cells ...any) {
+	t.footers = append(t.footers, formatCells(cells))
+}
+
+func formatCells(cells []any) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			out[i] = v
+		default:
+			out[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	return out
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	grow := func(rows [][]string) {
+		for _, r := range rows {
+			for i, c := range r {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+	}
+	grow(t.rows)
+	grow(t.footers)
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Right-align numeric-looking cells, left-align text.
+			if isNumeric(c) {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := 0
+	for _, w := range widths {
+		rule += w + 2
+	}
+	b.WriteString(strings.Repeat("-", rule-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	if len(t.footers) > 0 {
+		b.WriteString(strings.Repeat("-", rule-2))
+		b.WriteByte('\n')
+		for _, r := range t.footers {
+			writeRow(r)
+		}
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown: title as a
+// heading, footer rows in bold.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	writeRow := func(cells []string, bold bool) {
+		b.WriteByte('|')
+		for i := range t.Headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			c = strings.ReplaceAll(c, "|", "\\|")
+			if bold && c != "" {
+				c = "**" + c + "**"
+			}
+			b.WriteByte(' ')
+			b.WriteString(c)
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers, false)
+	b.WriteByte('|')
+	for range t.Headers {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r, false)
+	}
+	for _, r := range t.footers {
+		writeRow(r, true)
+	}
+	return b.String()
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot, digit := false, false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digit = true
+		case r == '-' && i == 0:
+		case r == '.' && !dot:
+			dot = true
+		case r == '%' && i == len(s)-1:
+		default:
+			return false
+		}
+	}
+	return digit
+}
+
+// Series is a named sequence of (x, y) points for figure data.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct{ X, Y float64 }
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// CSV renders one or more series sharing an x column into CSV text:
+// x,<name1>,<name2>,… with one row per distinct x (missing values empty).
+func CSV(xLabel string, series ...*Series) string {
+	var b strings.Builder
+	b.WriteString(xLabel)
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+
+	// Collect distinct x values in order of first appearance, ascending.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sortFloats(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			b.WriteByte(',')
+			if y, ok := valueAt(s, x); ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func valueAt(s *Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// AsciiChart renders series as a crude monospace line chart, good enough to
+// eyeball convergence curves in a terminal. Height is rows, width columns.
+func AsciiChart(title string, width, height int, series ...*Series) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX, minY, maxY := bounds(series)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*+ox#@"
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((p.Y-minY)/(maxY-minY)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "y: %.4g .. %.4g\n", minY, maxY)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "x: %.4g .. %.4g", minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "   [%c] %s", marks[si%len(marks)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func bounds(series []*Series) (minX, maxX, minY, maxY float64) {
+	first := true
+	for _, s := range series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+				first = false
+				continue
+			}
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,151 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Results", "Benchmark", "Default(s)", "Tuned(s)", "Improvement")
+	tb.AddRow("h2", 73.5, 41.2, "44.0%")
+	tb.AddRow("fop", 27.8, 21.9, "21.3%")
+	tb.AddFooter("average", "", "", "32.6%")
+	out := tb.String()
+
+	for _, want := range []string{"Results", "Benchmark", "h2", "73.50", "21.3%", "average"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Data and footer separated by rules: at least two rule lines.
+	if strings.Count(out, "---") < 2 {
+		t.Error("expected separators in output")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "Name", "Value")
+	tb.AddRow("a-very-long-benchmark-name", 1.0)
+	tb.AddRow("b", 100.0)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// All lines equal width for the first column block: the short name must
+	// be padded. Verify the numeric column is right-aligned (ends aligned).
+	if len(lines) < 4 {
+		t.Fatalf("unexpected shape: %v", lines)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned: %q vs %q", lines[2], lines[3])
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	cases := map[string]bool{
+		"123": true, "-1.5": true, "42.0%": true, "": false,
+		"abc": false, "1.2.3": false, "%": false, "12x": false, "-": false,
+	}
+	for in, want := range cases {
+		if got := isNumeric(in); got != want {
+			t.Errorf("isNumeric(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := &Series{Name: "hier"}
+	a.Add(0, 100)
+	a.Add(10, 80)
+	b := &Series{Name: "flat"}
+	b.Add(0, 100)
+	b.Add(20, 90)
+	got := CSV("minutes", a, b)
+	want := "minutes,hier,flat\n0,100,100\n10,80,\n20,,90\n"
+	if got != want {
+		t.Errorf("CSV output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	if got := CSV("x"); got != "x\n" {
+		t.Errorf("empty CSV = %q", got)
+	}
+}
+
+func TestCSVSortsX(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(30, 3)
+	s.Add(10, 1)
+	s.Add(20, 2)
+	got := CSV("x", s)
+	want := "x,s\n10,1\n20,2\n30,3\n"
+	if got != want {
+		t.Errorf("CSV sorting:\n%q", got)
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	s := &Series{Name: "conv"}
+	for i := 0; i < 20; i++ {
+		s.Add(float64(i), 100-float64(i))
+	}
+	out := AsciiChart("convergence", 40, 8, s)
+	if !strings.Contains(out, "convergence") || !strings.Contains(out, "conv") {
+		t.Error("chart missing labels")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("chart missing data marks")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestAsciiChartDegenerate(t *testing.T) {
+	s := &Series{Name: "flatline"}
+	s.Add(1, 5)
+	s.Add(2, 5)
+	out := AsciiChart("", 5, 2, s) // forces min width/height clamps
+	if out == "" {
+		t.Error("degenerate chart should still render")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Results", "Benchmark", "Improvement")
+	tb.AddRow("h2", "44.0%")
+	tb.AddRow("a|b", "1%") // pipe must be escaped
+	tb.AddFooter("average", "24.3%")
+	out := tb.Markdown()
+	for _, want := range []string{
+		"### Results",
+		"| Benchmark | Improvement |",
+		"|---|---|",
+		"| h2 | 44.0% |",
+		"| a\\|b | 1% |",
+		"| **average** | **24.3%** |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdownNoTitle(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.AddRow("x")
+	if strings.Contains(tb.Markdown(), "###") {
+		t.Error("no heading expected without a title")
+	}
+}
+
+func TestTableMarkdownShortRow(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("only-one") // fewer cells than headers must not panic
+	out := tb.Markdown()
+	if !strings.Contains(out, "| only-one |  |  |") {
+		t.Errorf("short row rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,171 @@
+// Package runner executes measurement trials for the tuner: it runs a flag
+// configuration against one workload for a number of repetitions and
+// reports the aggregate, while accounting every simulated second against a
+// virtual clock. The paper's tuning sessions are wall-clock budgeted
+// (200 minutes per program); the virtual clock reproduces that economy —
+// slow configurations eat more budget, crashed ones eat little — while the
+// whole experiment finishes in real milliseconds.
+//
+// Two runners are provided. InProcess calls the simulator directly and is
+// what the experiments use. Subprocess launches the cmd/jvmsim binary with
+// real -XX: command-line flags, exercising the same orchestration path the
+// paper used against a real java launcher.
+package runner
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/workload"
+)
+
+// TimeoutFailure marks runs cut off by the harness timeout. It extends the
+// simulator's failure kinds.
+const TimeoutFailure jvmsim.FailureKind = "timeout"
+
+// Measurement is the aggregate outcome of measuring one configuration.
+type Measurement struct {
+	// Key is the canonical configuration key the measurement belongs to.
+	Key string
+	// Walls are the per-repetition wall times of successful repetitions.
+	Walls []float64
+	// Mean is the mean of Walls; meaningless when Failed.
+	Mean float64
+	// Pauses are the per-repetition maximum GC pause times (seconds) of
+	// successful repetitions; MeanPause is their mean. They feed the
+	// pause-latency tuning objective.
+	Pauses    []float64
+	MeanPause float64
+	// Failed reports that the configuration produced no usable measurement.
+	Failed bool
+	// Failure classifies the first failure encountered.
+	Failure jvmsim.FailureKind
+	// FailureMessage is the diagnostic of the first failure.
+	FailureMessage string
+	// CostSeconds is the virtual time the measurement consumed.
+	CostSeconds float64
+	// FromCache reports the measurement was replayed from the cache at
+	// zero cost.
+	FromCache bool
+}
+
+// Runner measures configurations against one workload.
+type Runner interface {
+	// Measure runs reps repetitions of cfg and returns the aggregate.
+	Measure(cfg *flags.Config, reps int) Measurement
+	// Workload returns the profile being measured.
+	Workload() *workload.Profile
+	// Elapsed returns total virtual seconds consumed so far.
+	Elapsed() float64
+}
+
+// launchOverheadSeconds is harness overhead per repetition (process launch,
+// result collection) beyond the JVM's own run time.
+const launchOverheadSeconds = 0.5
+
+// InProcess measures via direct calls into the simulator.
+// It is safe for concurrent use.
+type InProcess struct {
+	sim     *jvmsim.Simulator
+	profile *workload.Profile
+
+	// TimeoutSeconds cuts off runs; configurations slower than this count
+	// as failures but still consume the full timeout from the budget,
+	// exactly like a real harness kill. Zero means no timeout.
+	TimeoutSeconds float64
+	// DisableCache turns off config-key memoization.
+	DisableCache bool
+
+	mu      sync.Mutex
+	elapsed float64
+	reps    map[string]int // next noise-rep index per config
+	cache   map[string]Measurement
+}
+
+// NewInProcess builds an in-process runner. The timeout defaults to 6× the
+// default configuration's wall time, matching the paper's practice of
+// killing configurations that are clearly hopeless.
+func NewInProcess(sim *jvmsim.Simulator, p *workload.Profile) *InProcess {
+	r := &InProcess{
+		sim:     sim,
+		profile: p,
+		reps:    make(map[string]int),
+		cache:   make(map[string]Measurement),
+	}
+	r.TimeoutSeconds = 6 * sim.DefaultWall(flags.NewRegistry(), p, 1)
+	return r
+}
+
+// Workload returns the profile being measured.
+func (r *InProcess) Workload() *workload.Profile { return r.profile }
+
+// Elapsed returns total virtual seconds consumed.
+func (r *InProcess) Elapsed() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.elapsed
+}
+
+// Measure implements Runner.
+func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
+	if reps < 1 {
+		reps = 1
+	}
+	key := cfg.Key()
+
+	r.mu.Lock()
+	if !r.DisableCache {
+		if m, ok := r.cache[key]; ok && len(m.Walls) >= reps {
+			r.mu.Unlock()
+			m.FromCache = true
+			m.CostSeconds = 0
+			return m
+		}
+	}
+	repBase := r.reps[key]
+	r.reps[key] = repBase + reps
+	r.mu.Unlock()
+
+	m := Measurement{Key: key}
+	for i := 0; i < reps; i++ {
+		res := r.sim.Run(cfg, r.profile, repBase+i)
+		cost := res.WallSeconds + launchOverheadSeconds
+		if r.TimeoutSeconds > 0 && !res.Failed && res.WallSeconds > r.TimeoutSeconds {
+			res.Failed = true
+			res.Failure = TimeoutFailure
+			res.FailureMessage = fmt.Sprintf("killed after %.0fs (timeout)", r.TimeoutSeconds)
+			cost = r.TimeoutSeconds + launchOverheadSeconds
+		}
+		m.CostSeconds += cost
+		if res.Failed {
+			if !m.Failed {
+				m.Failed = true
+				m.Failure = res.Failure
+				m.FailureMessage = res.FailureMessage
+			}
+			// One failure condemns the configuration; don't waste budget.
+			break
+		}
+		m.Walls = append(m.Walls, res.WallSeconds)
+		m.Pauses = append(m.Pauses, res.MaxPauseSeconds)
+	}
+	if len(m.Walls) > 0 && !m.Failed {
+		sum, psum := 0.0, 0.0
+		for i, w := range m.Walls {
+			sum += w
+			psum += m.Pauses[i]
+		}
+		m.Mean = sum / float64(len(m.Walls))
+		m.MeanPause = psum / float64(len(m.Pauses))
+	}
+
+	r.mu.Lock()
+	r.elapsed += m.CostSeconds
+	if !r.DisableCache {
+		r.cache[key] = m
+	}
+	r.mu.Unlock()
+	return m
+}

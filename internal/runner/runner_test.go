@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/workload"
+)
+
+func newRunner(t *testing.T, name string) (*InProcess, *flags.Registry) {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("no workload %s", name)
+	}
+	sim := jvmsim.New()
+	sim.NoiseRelStdDev = 0
+	return NewInProcess(sim, p), flags.NewRegistry()
+}
+
+func TestMeasureDefaults(t *testing.T) {
+	r, reg := newRunner(t, "fop")
+	m := r.Measure(flags.NewConfig(reg), 3)
+	if m.Failed {
+		t.Fatalf("default config failed: %+v", m)
+	}
+	if len(m.Walls) != 3 {
+		t.Fatalf("expected 3 walls, got %d", len(m.Walls))
+	}
+	if m.Mean <= 0 || math.IsNaN(m.Mean) {
+		t.Error("mean not computed")
+	}
+	// Cost = walls + per-launch overhead.
+	wantCost := m.Walls[0] + m.Walls[1] + m.Walls[2] + 3*launchOverheadSeconds
+	if math.Abs(m.CostSeconds-wantCost) > 1e-9 {
+		t.Errorf("cost %.3f, want %.3f", m.CostSeconds, wantCost)
+	}
+	if r.Elapsed() != m.CostSeconds {
+		t.Error("runner clock should equal the measurement cost")
+	}
+}
+
+func TestMeasureCacheReplaysAtZeroCost(t *testing.T) {
+	r, reg := newRunner(t, "fop")
+	cfg := flags.NewConfig(reg)
+	cfg.SetInt("MaxHeapSize", 1<<30)
+	first := r.Measure(cfg, 2)
+	elapsed := r.Elapsed()
+	second := r.Measure(cfg.Clone(), 2)
+	if !second.FromCache {
+		t.Error("identical config should hit the cache")
+	}
+	if second.CostSeconds != 0 || r.Elapsed() != elapsed {
+		t.Error("cache hits must not consume budget")
+	}
+	if second.Mean != first.Mean {
+		t.Error("cache should replay the same aggregate")
+	}
+}
+
+func TestMeasureCacheUpgradesOnMoreReps(t *testing.T) {
+	r, reg := newRunner(t, "fop")
+	cfg := flags.NewConfig(reg)
+	if m := r.Measure(cfg, 1); len(m.Walls) != 1 {
+		t.Fatalf("warmup measure: %+v", m)
+	}
+	m := r.Measure(cfg, 3)
+	if m.FromCache {
+		t.Error("asking for more reps than cached must re-measure")
+	}
+	if len(m.Walls) != 3 {
+		t.Errorf("expected 3 fresh walls, got %d", len(m.Walls))
+	}
+}
+
+func TestMeasureDisableCache(t *testing.T) {
+	r, reg := newRunner(t, "fop")
+	r.DisableCache = true
+	cfg := flags.NewConfig(reg)
+	r.Measure(cfg, 1)
+	if m := r.Measure(cfg, 1); m.FromCache {
+		t.Error("cache disabled but hit")
+	}
+}
+
+func TestMeasureFailureStopsEarlyAndChargesLittle(t *testing.T) {
+	r, reg := newRunner(t, "h2")
+	bad := flags.NewConfig(reg)
+	bad.SetBool("UseG1GC", true)
+	bad.SetBool("UseSerialGC", true) // conflicting collectors
+	m := r.Measure(bad, 3)
+	if !m.Failed || m.Failure != jvmsim.StartupFailure {
+		t.Fatalf("expected startup failure, got %+v", m)
+	}
+	if len(m.Walls) != 0 {
+		t.Error("failed measurement should carry no walls")
+	}
+	// One aborted launch only — not three.
+	if m.CostSeconds > 2 {
+		t.Errorf("failure cost %.2fs; crashes should be cheap", m.CostSeconds)
+	}
+}
+
+func TestMeasureTimeout(t *testing.T) {
+	r, reg := newRunner(t, "h2")
+	r.TimeoutSeconds = 1 // absurd: everything times out
+	m := r.Measure(flags.NewConfig(reg), 3)
+	if !m.Failed || m.Failure != TimeoutFailure {
+		t.Fatalf("expected timeout, got %+v", m)
+	}
+	if m.CostSeconds > 2*(1+launchOverheadSeconds) {
+		t.Errorf("timeout should cap the charge, cost %.2f", m.CostSeconds)
+	}
+}
+
+func TestTimeoutDefaultsToSixTimesBaseline(t *testing.T) {
+	r, reg := newRunner(t, "fop")
+	base := r.Measure(flags.NewConfig(reg), 1)
+	if r.TimeoutSeconds < 5*base.Mean || r.TimeoutSeconds > 7*base.Mean {
+		t.Errorf("timeout %.1f not ≈6× baseline %.1f", r.TimeoutSeconds, base.Mean)
+	}
+}
+
+func TestNoiseVariesAcrossRepsNotAcrossCalls(t *testing.T) {
+	p, _ := workload.ByName("fop")
+	sim := jvmsim.New() // noisy
+	r := NewInProcess(sim, p)
+	m := r.Measure(flags.NewConfig(flags.NewRegistry()), 3)
+	if m.Failed {
+		t.Fatal("unexpected failure")
+	}
+	if m.Walls[0] == m.Walls[1] && m.Walls[1] == m.Walls[2] {
+		t.Error("repetitions should observe different noise")
+	}
+}
+
+func TestMeasureRepsClamped(t *testing.T) {
+	r, reg := newRunner(t, "fop")
+	m := r.Measure(flags.NewConfig(reg), 0)
+	if len(m.Walls) != 1 {
+		t.Errorf("reps=0 should clamp to 1, got %d walls", len(m.Walls))
+	}
+}
+
+func TestConcurrentMeasureIsSafe(t *testing.T) {
+	r, reg := newRunner(t, "fop")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := flags.NewConfig(reg)
+			cfg.SetInt("NewRatio", int64(1+i%8))
+			r.Measure(cfg, 2)
+		}(i)
+	}
+	wg.Wait()
+	if r.Elapsed() <= 0 {
+		t.Error("no virtual time consumed")
+	}
+}

@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/workload"
+)
+
+// RunReport is the JSON document cmd/jvmsim prints for every run. It is the
+// wire format between the subprocess runner and the fake launcher.
+type RunReport struct {
+	Benchmark      string  `json:"benchmark"`
+	Rep            int     `json:"rep"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Failed         bool    `json:"failed"`
+	Failure        string  `json:"failure,omitempty"`
+	FailureMessage string  `json:"failure_message,omitempty"`
+	Collector      string  `json:"collector,omitempty"`
+	GCStopSeconds  float64 `json:"gc_stop_seconds"`
+	MaxPauseSecs   float64 `json:"max_pause_seconds"`
+	MinorGCs       float64 `json:"minor_gcs"`
+	FullGCs        float64 `json:"full_gcs"`
+}
+
+// RepEnvVar carries the repetition index to the jvmsim subprocess, keeping
+// its argv purely java-shaped.
+const RepEnvVar = "JVMSIM_REP"
+
+// Subprocess measures by launching the cmd/jvmsim binary with java-style
+// arguments, exercising the same orchestration code path a tuner driving a
+// real `java` would use: argument rendering, environment, exit codes, and
+// output scraping. It is safe for concurrent use.
+type Subprocess struct {
+	// BinPath is the jvmsim executable.
+	BinPath string
+	// RealTimeout bounds each launch in real time (not virtual time).
+	RealTimeout time.Duration
+	// TimeoutSeconds is the virtual harness timeout, as in InProcess.
+	TimeoutSeconds float64
+
+	profile *workload.Profile
+
+	mu      sync.Mutex
+	elapsed float64
+	reps    map[string]int
+	cache   map[string]Measurement
+}
+
+// NewSubprocess builds a subprocess runner for the given binary and profile.
+func NewSubprocess(binPath string, p *workload.Profile) *Subprocess {
+	return &Subprocess{
+		BinPath:     binPath,
+		RealTimeout: 30 * time.Second,
+		profile:     p,
+		reps:        make(map[string]int),
+		cache:       make(map[string]Measurement),
+	}
+}
+
+// Workload returns the profile being measured.
+func (r *Subprocess) Workload() *workload.Profile { return r.profile }
+
+// Elapsed returns total virtual seconds consumed.
+func (r *Subprocess) Elapsed() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.elapsed
+}
+
+// Measure implements Runner.
+func (r *Subprocess) Measure(cfg *flags.Config, reps int) Measurement {
+	if reps < 1 {
+		reps = 1
+	}
+	key := cfg.Key()
+
+	r.mu.Lock()
+	if m, ok := r.cache[key]; ok && len(m.Walls) >= reps {
+		r.mu.Unlock()
+		m.FromCache = true
+		m.CostSeconds = 0
+		return m
+	}
+	repBase := r.reps[key]
+	r.reps[key] = repBase + reps
+	r.mu.Unlock()
+
+	m := Measurement{Key: key}
+	for i := 0; i < reps; i++ {
+		rep, err := r.launch(cfg, repBase+i)
+		if err != nil {
+			m.Failed = true
+			m.Failure = jvmsim.StartupFailure
+			m.FailureMessage = err.Error()
+			m.CostSeconds += launchOverheadSeconds
+			break
+		}
+		cost := rep.WallSeconds + launchOverheadSeconds
+		failed, kind, msg := rep.Failed, jvmsim.FailureKind(rep.Failure), rep.FailureMessage
+		if r.TimeoutSeconds > 0 && !failed && rep.WallSeconds > r.TimeoutSeconds {
+			failed = true
+			kind = TimeoutFailure
+			msg = fmt.Sprintf("killed after %.0fs (timeout)", r.TimeoutSeconds)
+			cost = r.TimeoutSeconds + launchOverheadSeconds
+		}
+		m.CostSeconds += cost
+		if failed {
+			if !m.Failed {
+				m.Failed, m.Failure, m.FailureMessage = true, kind, msg
+			}
+			break
+		}
+		m.Walls = append(m.Walls, rep.WallSeconds)
+		m.Pauses = append(m.Pauses, rep.MaxPauseSecs)
+	}
+	if len(m.Walls) > 0 && !m.Failed {
+		sum, psum := 0.0, 0.0
+		for i, w := range m.Walls {
+			sum += w
+			psum += m.Pauses[i]
+		}
+		m.Mean = sum / float64(len(m.Walls))
+		m.MeanPause = psum / float64(len(m.Pauses))
+	}
+
+	r.mu.Lock()
+	r.elapsed += m.CostSeconds
+	r.cache[key] = m
+	r.mu.Unlock()
+	return m
+}
+
+// launch runs the binary once and parses its report. The binary exits 1 on
+// simulated JVM failures but still prints a report, exactly like scraping a
+// crashed java run's output; only missing/corrupt output is an error here.
+func (r *Subprocess) launch(cfg *flags.Config, rep int) (*RunReport, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.RealTimeout)
+	defer cancel()
+	args := append(cfg.CommandLine(), r.profile.Name)
+	cmd := exec.CommandContext(ctx, r.BinPath, args...)
+	cmd.Env = append(cmd.Environ(), RepEnvVar+"="+strconv.Itoa(rep))
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	runErr := cmd.Run()
+
+	var report RunReport
+	if jsonErr := json.Unmarshal(stdout.Bytes(), &report); jsonErr != nil {
+		if runErr != nil {
+			return nil, fmt.Errorf("runner: jvmsim failed without a report: %v (stderr: %s)",
+				runErr, bytes.TrimSpace(stderr.Bytes()))
+		}
+		return nil, fmt.Errorf("runner: cannot parse jvmsim report: %v", jsonErr)
+	}
+	return &report, nil
+}

@@ -1,0 +1,93 @@
+package stats
+
+import "math"
+
+// WelchT computes Welch's unequal-variance t-test for the difference of two
+// sample means. It returns the t statistic and the Welch–Satterthwaite
+// degrees of freedom. Callers compare |t| against a critical value (see
+// TCritical95) to decide whether two configurations genuinely differ — the
+// guard the tuner's reports use before claiming an improvement is real
+// rather than measurement noise.
+//
+// NaN is returned when either sample has fewer than two points.
+func WelchT(a, b []float64) (t, df float64) {
+	if len(a) < 2 || len(b) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a)/float64(len(a)), Variance(b)/float64(len(b))
+	if va+vb == 0 {
+		if ma == mb {
+			return 0, float64(len(a) + len(b) - 2)
+		}
+		return math.Inf(sign(ma - mb)), float64(len(a) + len(b) - 2)
+	}
+	t = (ma - mb) / math.Sqrt(va+vb)
+	df = (va + vb) * (va + vb) /
+		(va*va/float64(len(a)-1) + vb*vb/float64(len(b)-1))
+	return t, df
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// TCritical95 returns the two-sided 95% critical value of Student's t for
+// the given degrees of freedom, from a table with interpolation. Above 120
+// degrees of freedom the normal value 1.96 is used.
+func TCritical95(df float64) float64 {
+	table := []struct{ df, t float64 }{
+		{1, 12.706}, {2, 4.303}, {3, 3.182}, {4, 2.776}, {5, 2.571},
+		{6, 2.447}, {7, 2.365}, {8, 2.306}, {9, 2.262}, {10, 2.228},
+		{12, 2.179}, {15, 2.131}, {20, 2.086}, {25, 2.060}, {30, 2.042},
+		{40, 2.021}, {60, 2.000}, {120, 1.980},
+	}
+	if math.IsNaN(df) || df < 1 {
+		return math.NaN()
+	}
+	if df >= 120 {
+		return 1.96
+	}
+	for i := 1; i < len(table); i++ {
+		if df <= table[i].df {
+			lo, hi := table[i-1], table[i]
+			frac := (df - lo.df) / (hi.df - lo.df)
+			return lo.t + frac*(hi.t-lo.t)
+		}
+	}
+	return 1.96
+}
+
+// SignificantlyFaster reports whether sample a's mean is smaller than
+// sample b's with 95% confidence under Welch's test.
+func SignificantlyFaster(a, b []float64) bool {
+	t, df := WelchT(a, b)
+	if math.IsNaN(t) {
+		return false
+	}
+	return t < 0 && math.Abs(t) > TCritical95(df)
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// mean of xs at the given confidence level (e.g. 0.95), using the supplied
+// deterministic uint64 source for resampling (pass a seeded PRNG's Uint64).
+// It returns (lo, hi); both are NaN for empty input.
+func BootstrapCI(xs []float64, confidence float64, resamples int, next func() uint64) (lo, hi float64) {
+	if len(xs) == 0 || confidence <= 0 || confidence >= 1 || resamples < 1 {
+		return math.NaN(), math.NaN()
+	}
+	means := make([]float64, resamples)
+	n := uint64(len(xs))
+	for r := 0; r < resamples; r++ {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[next()%n]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	alpha := (1 - confidence) / 2
+	return Percentile(means, alpha*100), Percentile(means, (1-alpha)*100)
+}

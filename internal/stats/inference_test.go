@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchTDegenerate(t *testing.T) {
+	if tt, _ := WelchT([]float64{1}, []float64{1, 2}); !math.IsNaN(tt) {
+		t.Error("one-point sample should yield NaN")
+	}
+	tt, df := WelchT([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if tt != 0 || df <= 0 {
+		t.Errorf("identical constant samples: t=%v df=%v", tt, df)
+	}
+	tt, _ = WelchT([]float64{9, 9}, []float64{5, 5})
+	if !math.IsInf(tt, 1) {
+		t.Errorf("zero-variance different means should be ±Inf, got %v", tt)
+	}
+	tt, _ = WelchT([]float64{1, 1}, []float64{5, 5})
+	if !math.IsInf(tt, -1) {
+		t.Errorf("sign should follow mean difference, got %v", tt)
+	}
+}
+
+func TestWelchTKnownValue(t *testing.T) {
+	// Classic example: clearly separated samples give a large |t|.
+	a := []float64{10.1, 10.3, 9.9, 10.0, 10.2}
+	b := []float64{12.0, 12.2, 11.8, 12.1, 11.9}
+	tt, df := WelchT(a, b)
+	if tt >= 0 {
+		t.Errorf("a is faster; t should be negative, got %v", tt)
+	}
+	if math.Abs(tt) < 10 {
+		t.Errorf("separation should be strong, |t|=%v", math.Abs(tt))
+	}
+	if df < 4 || df > 8 {
+		t.Errorf("df=%v outside plausible Welch range", df)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct{ df, want float64 }{
+		{1, 12.706}, {2, 4.303}, {10, 2.228}, {120, 1.96}, {1e6, 1.96},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TCritical95(%v) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// Interpolation is monotone decreasing.
+	prev := TCritical95(1)
+	for df := 2.0; df <= 120; df++ {
+		cur := TCritical95(df)
+		if cur > prev+1e-12 {
+			t.Fatalf("critical value increased at df=%v", df)
+		}
+		prev = cur
+	}
+	if !math.IsNaN(TCritical95(0.5)) || !math.IsNaN(TCritical95(math.NaN())) {
+		t.Error("df<1 should be NaN")
+	}
+}
+
+func TestSignificantlyFaster(t *testing.T) {
+	fast := []float64{10.0, 10.1, 9.9, 10.05, 9.95}
+	slow := []float64{12.0, 12.1, 11.9, 12.05, 11.95}
+	if !SignificantlyFaster(fast, slow) {
+		t.Error("clear separation should be significant")
+	}
+	if SignificantlyFaster(slow, fast) {
+		t.Error("direction matters")
+	}
+	noisyA := []float64{10.0, 12.0, 11.0}
+	noisyB := []float64{10.5, 11.5, 11.2}
+	if SignificantlyFaster(noisyA, noisyB) {
+		t.Error("overlapping samples should not be significant")
+	}
+	if SignificantlyFaster([]float64{1}, []float64{2, 3}) {
+		t.Error("insufficient data should not be significant")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 50 + rng.NormFloat64()*5
+	}
+	lo, hi := BootstrapCI(xs, 0.95, 2000, rng.Uint64)
+	m := Mean(xs)
+	if !(lo < m && m < hi) {
+		t.Errorf("mean %v outside CI [%v, %v]", m, lo, hi)
+	}
+	// CI half-width should be near 1.96·σ/√n ≈ 1.
+	if hi-lo < 0.5 || hi-lo > 5 {
+		t.Errorf("CI width %v implausible", hi-lo)
+	}
+	// Degenerate inputs.
+	if l, h := BootstrapCI(nil, 0.95, 100, rng.Uint64); !math.IsNaN(l) || !math.IsNaN(h) {
+		t.Error("empty input should be NaN")
+	}
+	if l, _ := BootstrapCI(xs, 0, 100, rng.Uint64); !math.IsNaN(l) {
+		t.Error("bad confidence should be NaN")
+	}
+	if l, _ := BootstrapCI(xs, 0.95, 0, rng.Uint64); !math.IsNaN(l) {
+		t.Error("zero resamples should be NaN")
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	a1, b1 := BootstrapCI(xs, 0.9, 500, rand.New(rand.NewSource(7)).Uint64)
+	a2, b2 := BootstrapCI(xs, 0.9, 500, rand.New(rand.NewSource(7)).Uint64)
+	if a1 != a2 || b1 != b2 {
+		t.Error("same source must reproduce the interval")
+	}
+}

@@ -1,0 +1,191 @@
+// Package stats provides the small set of summary statistics the tuner and
+// the experiment harness need: central tendency, dispersion, normal-theory
+// confidence intervals, and speedup/improvement arithmetic.
+//
+// All functions are pure and operate on float64 slices. Functions that are
+// undefined on empty input return NaN rather than panicking, so callers can
+// propagate "no data" without special cases.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs, or NaN if xs is empty.
+// The input slice is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Min returns the smallest element of xs, or NaN if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Variance returns the unbiased sample variance of xs.
+// It returns NaN for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+// It returns NaN for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// StdErr returns the standard error of the mean of xs.
+// It returns NaN for fewer than two samples.
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns NaN if xs is empty or p is
+// out of range. The input slice is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// CI95 returns the half-width of a 95% normal-theory confidence interval for
+// the mean of xs. It returns 0 for fewer than two samples, which lets callers
+// print "x ± 0" for single measurements.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdErr(xs)
+}
+
+// Speedup returns baseline/tuned: how many times faster the tuned time is.
+// A result of 1.25 means "25% faster". Returns NaN when tuned is zero.
+func Speedup(baseline, tuned float64) float64 {
+	if tuned == 0 {
+		return math.NaN()
+	}
+	return baseline / tuned
+}
+
+// ImprovementPct returns the relative reduction in execution time as a
+// percentage: 100 * (baseline - tuned) / baseline. Positive values mean the
+// tuned configuration is faster. Returns NaN when baseline is zero.
+//
+// This matches the paper's reporting convention ("improved by 19%").
+func ImprovementPct(baseline, tuned float64) float64 {
+	if baseline == 0 {
+		return math.NaN()
+	}
+	return 100 * (baseline - tuned) / baseline
+}
+
+// GeoMean returns the geometric mean of xs. All inputs must be positive;
+// non-positive inputs yield NaN. Returns NaN if xs is empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Summary bundles the statistics the report package prints for a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	StdDev float64
+	CI95   float64
+}
+
+// Summarize computes a Summary for xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: Median(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		StdDev: StdDev(xs),
+		CI95:   CI95(xs),
+	}
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, math.NaN()},
+		{[]float64{}, math.NaN()},
+		{[]float64{3}, 3},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, math.NaN()},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	in := []float64{3, -1, 7, 2}
+	if got := Min(in); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(in); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty slice should be NaN")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	in := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic dataset is 32/7.
+	if got, want := Variance(in), 32.0/7.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got, want := StdDev(in), math.Sqrt(32.0/7.0); !almostEqual(got, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of one sample should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(in, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(in, -1)) || !math.IsNaN(Percentile(in, 101)) {
+		t.Error("out-of-range percentile should be NaN")
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty slice should be NaN")
+	}
+	if got := Percentile([]float64{42}, 99); got != 42 {
+		t.Errorf("Percentile of singleton = %v, want 42", got)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if got := CI95([]float64{5}); got != 0 {
+		t.Errorf("CI95 of one sample = %v, want 0", got)
+	}
+	in := []float64{10, 12, 11, 13}
+	want := 1.96 * StdDev(in) / 2 // sqrt(4) = 2
+	if got := CI95(in); !almostEqual(got, want, 1e-12) {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestSpeedupAndImprovement(t *testing.T) {
+	if got := Speedup(200, 100); got != 2 {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+	if !math.IsNaN(Speedup(1, 0)) {
+		t.Error("Speedup with zero tuned time should be NaN")
+	}
+	if got := ImprovementPct(100, 81); !almostEqual(got, 19, 1e-12) {
+		t.Errorf("ImprovementPct = %v, want 19", got)
+	}
+	if got := ImprovementPct(100, 120); !almostEqual(got, -20, 1e-12) {
+		t.Errorf("ImprovementPct regression = %v, want -20", got)
+	}
+	if !math.IsNaN(ImprovementPct(0, 1)) {
+		t.Error("ImprovementPct with zero baseline should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("GeoMean with zero should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean of empty slice should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	in := []float64{1, 2, 3}
+	s := Summarize(in)
+	if s.N != 3 || s.Mean != 2 || s.Median != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+// Property: the mean always lies within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifting every element by c shifts the mean by c and leaves the
+// standard deviation unchanged.
+func TestShiftInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		c := rng.Float64()*100 - 50
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+			ys[i] = xs[i] + c
+		}
+		if !almostEqual(Mean(ys), Mean(xs)+c, 1e-6) {
+			t.Fatalf("mean shift violated: %v vs %v + %v", Mean(ys), Mean(xs), c)
+		}
+		if !almostEqual(StdDev(ys), StdDev(xs), 1e-6) {
+			t.Fatalf("stddev shift-invariance violated")
+		}
+	}
+}
+
+// Property: Speedup and ImprovementPct are consistent:
+// improvement = 100*(1 - 1/speedup).
+func TestSpeedupImprovementConsistency(t *testing.T) {
+	f := func(b, tn uint16) bool {
+		baseline := float64(b) + 1
+		tuned := float64(tn) + 1
+		s := Speedup(baseline, tuned)
+		imp := ImprovementPct(baseline, tuned)
+		return almostEqual(imp, 100*(1-1/s), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GeoMean of positive values lies within [min, max].
+func TestGeoMeanBoundedProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenKind selects the family of a generated workload.
+type GenKind string
+
+// Generated workload families.
+const (
+	// GenStartup resembles the SPECjvm2008 startup programs: short,
+	// warm-up dominated, modest heaps.
+	GenStartup GenKind = "startup"
+	// GenServer resembles long-running services: allocation-heavy,
+	// sizeable live sets, contended locks.
+	GenServer GenKind = "server"
+	// GenBatch resembles loop-bound batch computation: little allocation,
+	// deep loops, large arrays.
+	GenBatch GenKind = "batch"
+	// GenMixed draws every parameter from its full plausible range.
+	GenMixed GenKind = "mixed"
+)
+
+// GenKinds lists the generator families.
+func GenKinds() []GenKind {
+	return []GenKind{GenStartup, GenServer, GenBatch, GenMixed}
+}
+
+// Generate synthesizes a random but internally consistent workload profile
+// of the given family. The same (kind, seed) always yields the identical
+// profile. Every generated profile validates and runs under default flags
+// (live sets and class metadata stay inside the default heap and permgen).
+func Generate(kind GenKind, seed int64) (*Profile, error) {
+	rng := rand.New(rand.NewSource(seed))
+	between := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+	p := &Profile{
+		Name:        fmt.Sprintf("gen.%s.%d", kind, seed),
+		Suite:       "generated",
+		Description: fmt.Sprintf("generated %s workload (seed %d)", kind, seed),
+	}
+	switch kind {
+	case GenStartup:
+		p.BaseSeconds = between(8, 25)
+		p.StartupFraction = between(0.7, 0.95)
+		p.WarmupWork = between(0.02, 0.25) * p.BaseSeconds
+		p.HotMethods = 300 + rng.Intn(3500)
+		p.CallIntensity = between(0.3, 0.85)
+		p.LoopIntensity = between(0.05, 0.6)
+		p.AllocRateMBps = between(15, 150)
+		p.LiveSetMB = between(15, 80)
+		p.AppThreads = 1 + rng.Intn(4)
+		p.ClassMetaMB = between(8, 45)
+	case GenServer:
+		p.BaseSeconds = between(25, 70)
+		p.StartupFraction = between(0.05, 0.25)
+		p.WarmupWork = between(0.01, 0.04) * p.BaseSeconds
+		p.HotMethods = 800 + rng.Intn(3500)
+		p.CallIntensity = between(0.5, 0.9)
+		p.LoopIntensity = between(0.05, 0.4)
+		p.AllocRateMBps = between(60, 200)
+		p.LiveSetMB = between(60, 250)
+		p.AppThreads = 2 + rng.Intn(14)
+		p.ClassMetaMB = between(20, 70)
+	case GenBatch:
+		p.BaseSeconds = between(15, 60)
+		p.StartupFraction = between(0.1, 0.4)
+		p.WarmupWork = between(0.005, 0.02) * p.BaseSeconds
+		p.HotMethods = 100 + rng.Intn(600)
+		p.CallIntensity = between(0.05, 0.3)
+		p.LoopIntensity = between(0.6, 0.98)
+		p.AllocRateMBps = between(5, 50)
+		p.LiveSetMB = between(20, 150)
+		p.AppThreads = 1 + rng.Intn(8)
+		p.ClassMetaMB = between(6, 25)
+		p.LargeObjectFrac = between(0.1, 0.5)
+	case GenMixed:
+		p.BaseSeconds = between(8, 70)
+		p.StartupFraction = between(0.05, 0.95)
+		p.WarmupWork = between(0.005, 0.25) * p.BaseSeconds
+		p.HotMethods = 100 + rng.Intn(4000)
+		p.CallIntensity = between(0.05, 0.9)
+		p.LoopIntensity = between(0.05, 0.95)
+		p.AllocRateMBps = between(5, 200)
+		p.LiveSetMB = between(15, 250)
+		p.AppThreads = 1 + rng.Intn(16)
+		p.ClassMetaMB = between(6, 70)
+	default:
+		return nil, fmt.Errorf("workload: unknown generator kind %q", kind)
+	}
+
+	// Shared secondary characteristics, correlated with the primary draw.
+	p.CodeKBPerMethod = between(1.2, 2.3)
+	p.EscapeFrac = between(0.05, 0.45)
+	p.ShortLivedFrac = between(0.78, 0.96)
+	p.MidLivedFrac = between(0.02, minf(0.14, 0.99-p.ShortLivedFrac))
+	p.MidLifeRounds = between(2, 5)
+	p.EdenHalfLifeMB = between(10, 70)
+	if p.LargeObjectFrac == 0 {
+		p.LargeObjectFrac = between(0, 0.15)
+	}
+	p.PointerIntensity = between(0.15, 0.75)
+	p.RefIntensity = between(0, 0.2)
+	p.StringIntensity = between(0, 0.7)
+	p.SyncIntensity = between(0.02, 0.65)
+	p.LockContention = between(0, 0.35)
+	if p.AppThreads == 1 {
+		p.LockContention = 0
+	}
+	if rng.Float64() < 0.1 {
+		p.ExplicitGCCalls = 1 + rng.Intn(10)
+	}
+
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generator produced an invalid profile: %w", err)
+	}
+	return p, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestGenerateAllKindsValid(t *testing.T) {
+	for _, kind := range GenKinds() {
+		for seed := int64(0); seed < 50; seed++ {
+			p, err := Generate(kind, seed)
+			if err != nil {
+				t.Fatalf("Generate(%s, %d): %v", kind, seed, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("generated profile invalid: %v", err)
+			}
+			if p.Suite != "generated" {
+				t.Errorf("suite = %q", p.Suite)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenServer, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenServer, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Error("same (kind, seed) must reproduce the profile exactly")
+	}
+	c, _ := Generate(GenServer, 43)
+	if *a == *c {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateKindShapes(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		st, _ := Generate(GenStartup, seed)
+		if st.StartupFraction < 0.5 {
+			t.Errorf("startup kind with StartupFraction %.2f", st.StartupFraction)
+		}
+		sv, _ := Generate(GenServer, seed)
+		if sv.StartupFraction > 0.5 {
+			t.Errorf("server kind with StartupFraction %.2f", sv.StartupFraction)
+		}
+		bt, _ := Generate(GenBatch, seed)
+		if bt.LoopIntensity < 0.5 {
+			t.Errorf("batch kind with LoopIntensity %.2f", bt.LoopIntensity)
+		}
+		if bt.LargeObjectFrac < 0.1 {
+			t.Errorf("batch kind should carry large objects, got %.2f", bt.LargeObjectFrac)
+		}
+	}
+}
+
+func TestGenerateLiveSetsFitDefaultHeap(t *testing.T) {
+	// Every generated profile must run under default flags (the tuner
+	// baseline); live sets stay under the ~270 MB the ergonomic old
+	// generation provides, and class metadata under the 85 MB permgen.
+	for _, kind := range GenKinds() {
+		for seed := int64(0); seed < 100; seed++ {
+			p, _ := Generate(kind, seed)
+			if p.LiveSetMB > 255 {
+				t.Errorf("%s seed %d: live set %.0f MB too big for the default heap",
+					kind, seed, p.LiveSetMB)
+			}
+			if p.ClassMetaMB > 80 {
+				t.Errorf("%s seed %d: class metadata %.0f MB too big for the default permgen",
+					kind, seed, p.ClassMetaMB)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, err := Generate("nope", 1); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestGenerateSingleThreadNoContention(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p, _ := Generate(GenStartup, seed)
+		if p.AppThreads == 1 && p.LockContention != 0 {
+			t.Errorf("single-threaded profile with contention %.2f", p.LockContention)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuiteSizesMatchPaper(t *testing.T) {
+	if n := len(SPECjvm2008()); n != 16 {
+		t.Errorf("SPECjvm2008 startup suite has %d programs, paper used 16", n)
+	}
+	if n := len(DaCapo()); n != 13 {
+		t.Errorf("DaCapo suite has %d programs, paper used 13", n)
+	}
+	if n := len(All()); n != 29 {
+		t.Errorf("All() returned %d profiles, want 29", n)
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileNamesUniqueAndSuitesLabelled(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %s", p.Name)
+		}
+		seen[p.Name] = true
+		switch p.Suite {
+		case "specjvm2008":
+			if !strings.HasPrefix(p.Name, "startup.") {
+				t.Errorf("SPECjvm2008 startup program %s should carry the startup. prefix", p.Name)
+			}
+		case "dacapo":
+			if strings.HasPrefix(p.Name, "startup.") {
+				t.Errorf("DaCapo program %s should not carry the startup. prefix", p.Name)
+			}
+		default:
+			t.Errorf("profile %s has unexpected suite %q", p.Name, p.Suite)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("h2")
+	if !ok || p.Suite != "dacapo" {
+		t.Error("ByName(h2) failed")
+	}
+	p, ok = ByName("startup.compiler.compiler")
+	if !ok || p.Suite != "specjvm2008" {
+		t.Error("ByName(startup.compiler.compiler) failed")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName should miss on unknown names")
+	}
+}
+
+func TestNamesSortedComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(All()) {
+		t.Fatalf("Names() has %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not strictly sorted at %d", i)
+		}
+	}
+}
+
+func TestSuiteShapesAreDistinct(t *testing.T) {
+	// Startup programs must be warm-up shaped; DaCapo must be GC shaped.
+	for _, p := range SPECjvm2008() {
+		if p.StartupFraction < 0.5 {
+			t.Errorf("%s: startup program with StartupFraction %.2f", p.Name, p.StartupFraction)
+		}
+	}
+	var maxLive float64
+	for _, p := range DaCapo() {
+		if p.StartupFraction > 0.5 {
+			t.Errorf("%s: iterating program with StartupFraction %.2f", p.Name, p.StartupFraction)
+		}
+		if p.LiveSetMB > maxLive {
+			maxLive = p.LiveSetMB
+		}
+	}
+	// At least one DaCapo program must crowd the default 512 MB heap's old
+	// generation (~280 MB once ergonomics grow the young generation) —
+	// that is where the paper's large GC wins come from.
+	if maxLive < 220 {
+		t.Errorf("largest DaCapo live set is only %.0f MB; nothing stresses the default heap", maxLive)
+	}
+}
+
+func TestLongLivedFrac(t *testing.T) {
+	p := Profile{ShortLivedFrac: 0.9, MidLivedFrac: 0.06}
+	if got := p.LongLivedFrac(); got < 0.0399 || got > 0.0401 {
+		t.Errorf("LongLivedFrac = %v, want 0.04", got)
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	good := *SPECjvm2008()[0]
+	cases := []struct {
+		name   string
+		mutate func(p *Profile)
+	}{
+		{"no name", func(p *Profile) { p.Name = "" }},
+		{"zero base", func(p *Profile) { p.BaseSeconds = 0 }},
+		{"negative warmup", func(p *Profile) { p.WarmupWork = -1 }},
+		{"zero hot methods", func(p *Profile) { p.HotMethods = 0 }},
+		{"negative alloc", func(p *Profile) { p.AllocRateMBps = -1 }},
+		{"negative live", func(p *Profile) { p.LiveSetMB = -1 }},
+		{"fractions over 1", func(p *Profile) { p.ShortLivedFrac, p.MidLivedFrac = 0.8, 0.3 }},
+		{"startup over 1", func(p *Profile) { p.StartupFraction = 1.5 }},
+		{"zero threads", func(p *Profile) { p.AppThreads = 0 }},
+		{"zero halflife", func(p *Profile) { p.EdenHalfLifeMB = 0 }},
+		{"zero midlife", func(p *Profile) { p.MidLifeRounds = 0 }},
+		{"intensity over 1", func(p *Profile) { p.CallIntensity = 1.5 }},
+		{"negative contention", func(p *Profile) { p.LockContention = -0.1 }},
+	}
+	for _, c := range cases {
+		p := good
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad profile", c.name)
+		}
+	}
+}
