@@ -1,0 +1,15 @@
+# Developer entry points. `make verify` is the tier-1 gate (see ROADMAP.md).
+
+.PHONY: verify build test bench
+
+verify:
+	./scripts/verify.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem

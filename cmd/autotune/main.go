@@ -5,7 +5,8 @@
 // Usage:
 //
 //	autotune -benchmark h2 [-budget 200] [-searcher hierarchical]
-//	         [-reps 3] [-seed 0] [-trace] [-jvmsim path/to/jvmsim]
+//	         [-reps 3] [-seed 0] [-workers 4] [-objective throughput]
+//	         [-trace] [-jvmsim path/to/jvmsim]
 //	autotune -list
 package main
 
@@ -27,7 +28,8 @@ func main() {
 		seed     = flag.Int64("seed", 0, "random seed")
 		trace    = flag.Bool("trace", false, "print the convergence trace")
 		jvmsim   = flag.String("jvmsim", "", "path to the jvmsim binary; measure via subprocesses")
-		workers  = flag.Int("workers", 1, "parallel virtual evaluation slots")
+		workers  = flag.Int("workers", 1, "parallel evaluation workers (goroutines and virtual slots)")
+		objectiv = flag.String("objective", "throughput", "what to minimize: throughput (wall time) or pause (worst GC pause)")
 		explain  = flag.Bool("explain", false, "attribute the improvement to individual flags")
 		out      = flag.String("out", "", "save the result as JSON to this file")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
@@ -54,6 +56,7 @@ func main() {
 		Noise:         -1,
 		JVMSimPath:    *jvmsim,
 		Workers:       *workers,
+		Objective:     *objectiv,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "autotune: %v\n", err)

@@ -3,31 +3,76 @@
 //
 // Usage:
 //
-//	tuned [-addr :8425]
+//	tuned [-addr :8425] [-max-concurrent 4] [-max-jobs 256]
 //
 // Example session:
 //
 //	curl localhost:8425/v1/benchmarks
-//	curl -X POST localhost:8425/v1/tune?sync=1 \
+//	curl -X POST localhost:8425/v1/tune \
 //	     -d '{"benchmark":"h2","budget_minutes":200}'
+//	curl localhost:8425/v1/jobs/1              # poll progress and result
+//	curl -X DELETE localhost:8425/v1/jobs/1    # cancel
 //	curl -X POST localhost:8425/v1/measure \
 //	     -d '{"benchmark":"h2","args":["-Xmx4g","-XX:+UseG1GC"]}'
+//
+// At most -max-concurrent tuning sessions run at once; further jobs queue.
+// The job store keeps at most -max-jobs entries, evicting the oldest
+// finished jobs first. SIGINT/SIGTERM trigger a graceful shutdown: running
+// jobs get a grace period to finish, then are canceled.
 //
 // See internal/httpapi for the full route list.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/httpapi"
 )
 
 func main() {
-	addr := flag.String("addr", ":8425", "listen address")
+	var (
+		addr          = flag.String("addr", ":8425", "listen address")
+		maxConcurrent = flag.Int("max-concurrent", httpapi.DefaultConfig().MaxConcurrent, "tuning sessions run simultaneously")
+		maxJobs       = flag.Int("max-jobs", httpapi.DefaultConfig().MaxJobs, "job store capacity (oldest finished jobs evicted first)")
+		grace         = flag.Duration("grace", 30*time.Second, "shutdown grace period before running jobs are canceled")
+	)
 	flag.Parse()
-	fmt.Printf("tuned: serving the HotSpot auto-tuner on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.NewServer()))
+
+	api := httpapi.NewServerWith(httpapi.Config{
+		MaxConcurrent: *maxConcurrent,
+		MaxJobs:       *maxJobs,
+	})
+	srv := &http.Server{Addr: *addr, Handler: api}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("tuned: serving the HotSpot auto-tuner on %s (max %d concurrent sessions, %d stored jobs)\n",
+		*addr, *maxConcurrent, *maxJobs)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-stop:
+		fmt.Printf("tuned: %v — draining (grace %s)\n", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("tuned: http shutdown: %v", err)
+		}
+		if err := api.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("tuned: job shutdown: %v", err)
+		}
+	}
 }

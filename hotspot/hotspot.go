@@ -12,6 +12,7 @@
 package hotspot
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/jvmsim"
 	"repro/internal/persist"
 	"repro/internal/runner"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -58,12 +60,31 @@ type Options struct {
 	// JVMSimPath, when non-empty, measures through the cmd/jvmsim binary at
 	// this path via subprocesses instead of in-process calls.
 	JVMSimPath string
-	// Workers is the number of parallel virtual evaluation slots; default 1
-	// (the paper's single-machine setup). See core.Session.Workers.
+	// Workers is the number of parallel evaluation slots; default 1 (the
+	// paper's single-machine setup). With Workers > 1 the session measures
+	// up to that many configurations concurrently on real goroutines while
+	// staying deterministic for a fixed Seed. See core.Session.Workers.
 	Workers int
 	// Objective selects what to minimize: "throughput" (default, the
 	// paper's metric) or "pause" (worst GC pause, for latency tuning).
 	Objective string
+	// OnProgress, when non-nil, receives a live snapshot after every
+	// measurement — trials so far, virtual time consumed, and the best
+	// result yet. It is called from the session's goroutine.
+	OnProgress func(Progress)
+}
+
+// Progress is a live snapshot of a running tuning session.
+type Progress struct {
+	// Trials is the number of measurements delivered so far.
+	Trials int
+	// ElapsedMinutes is the virtual tuning time consumed so far.
+	ElapsedMinutes float64
+	// BestWall is the best objective score observed so far.
+	BestWall float64
+	// ImprovementPct is the improvement over the default configuration so
+	// far (0 until something beats the baseline).
+	ImprovementPct float64
 }
 
 // Result is the outcome of a tuning session.
@@ -122,6 +143,12 @@ func LoadResult(path string) (*persist.SavedOutcome, *Config, error) {
 
 // Tune runs one budgeted tuning session.
 func Tune(opts Options) (*Result, error) {
+	return TuneContext(context.Background(), opts)
+}
+
+// TuneContext is Tune with cancellation: the session stops between
+// evaluation rounds once ctx is done and returns the context's error.
+func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 	prof := opts.Workload
 	if prof == nil {
 		p, ok := workload.ByName(opts.Benchmark)
@@ -165,6 +192,8 @@ func Tune(opts Options) (*Result, error) {
 		Seed:          opts.Seed,
 		Workers:       opts.Workers,
 		Objective:     core.Objective(opts.Objective),
+		Ctx:           ctx,
+		OnProgress:    progressAdapter(opts.OnProgress),
 	}
 	out, err := session.Run()
 	if err != nil {
@@ -231,12 +260,38 @@ func Minimize(res *Result, w *Profile, tolerancePct float64) (*Config, []string,
 	return min, min.CommandLine(), nil
 }
 
+// progressAdapter bridges the session's trace-point callback to the public
+// Progress snapshot. The first trace point is the baseline, which fixes the
+// denominator for the improvement percentage.
+func progressAdapter(f func(Progress)) func(core.TracePoint) {
+	if f == nil {
+		return nil
+	}
+	defaultWall := 0.0
+	return func(tp core.TracePoint) {
+		if defaultWall == 0 {
+			defaultWall = tp.BestWall
+		}
+		f(Progress{
+			Trials:         tp.Trial,
+			ElapsedMinutes: tp.Elapsed / 60,
+			BestWall:       tp.BestWall,
+			ImprovementPct: stats.ImprovementPct(defaultWall, tp.BestWall),
+		})
+	}
+}
+
 // TuneCommon searches for a single configuration that serves every given
 // workload, scored by mean normalized wall time across them. The returned
 // Result's walls are normalized (DefaultWall is 1.0), so ImprovementPct
 // reads as the suite-average improvement. Budget applies to the aggregate:
 // each trial measures every member.
 func TuneCommon(profiles []*Profile, opts Options) (*Result, error) {
+	return TuneCommonContext(context.Background(), profiles, opts)
+}
+
+// TuneCommonContext is TuneCommon with cancellation, like TuneContext.
+func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (*Result, error) {
 	for _, p := range profiles {
 		if err := p.Validate(); err != nil {
 			return nil, err
@@ -269,6 +324,8 @@ func TuneCommon(profiles []*Profile, opts Options) (*Result, error) {
 		Reps:          opts.Reps,
 		Seed:          opts.Seed,
 		Workers:       opts.Workers,
+		Ctx:           ctx,
+		OnProgress:    progressAdapter(opts.OnProgress),
 	}
 	out, err := session.Run()
 	if err != nil {

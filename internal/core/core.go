@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -27,8 +28,14 @@ import (
 )
 
 // Searcher proposes configurations and learns from their measurements.
-// Implementations are not safe for concurrent use; a Session drives one
-// searcher sequentially.
+// Implementations are not safe for concurrent use; a Session calls Propose
+// and Observe only from its own goroutine. In multi-worker sessions the
+// searcher may be asked for several proposals before any of them is
+// observed, and observations arrive in virtual-completion order rather than
+// proposal order — implementations must track outstanding proposals (see
+// the pending maps in the built-in searchers) instead of assuming the next
+// observation answers the latest proposal. Searchers that can exploit
+// parallelism natively also implement BatchSearcher.
 type Searcher interface {
 	// Name identifies the strategy in reports.
 	Name() string
@@ -161,14 +168,24 @@ type Session struct {
 	MaxTrials int
 	// Objective is what the session minimizes; default ObjectiveThroughput.
 	Objective Objective
-	// Workers is the number of parallel virtual evaluation slots
-	// (default 1, the paper's setup). With W > 1 the session models a
-	// tuning farm: each measurement occupies one slot for its virtual
-	// cost, trials start on the earliest-free slot, and the budget bounds
-	// the *makespan* rather than total machine time. The searcher still
-	// observes results in proposal order — an idealized synchronous-
-	// information assumption, noted in DESIGN.md.
+	// Workers is the number of parallel evaluation slots (default 1, the
+	// paper's single-machine setup). With W > 1 the session is a tuning
+	// farm: each round it dispatches up to W Runner.Measure calls on real
+	// goroutines, charges each to a virtual slot for its virtual cost, and
+	// delivers the observations in virtual-completion order. Trials start
+	// on the earliest-free slot, so the budget bounds the *makespan*
+	// rather than total machine time. The Runner must be safe for
+	// concurrent use (all built-in runners are). Sessions stay
+	// deterministic for a fixed seed at any W; see executor.go.
 	Workers int
+	// Ctx optionally cancels the session between evaluation rounds. A
+	// canceled session returns the context's error; measurements already
+	// in flight complete first (cancellation granularity is one round).
+	Ctx context.Context
+	// OnProgress, when non-nil, is called from the session goroutine after
+	// every delivered observation with the trace point just recorded —
+	// live progress for long sessions (the HTTP API's job status).
+	OnProgress func(TracePoint)
 }
 
 // Run executes the session to budget exhaustion and returns the outcome.
@@ -213,6 +230,13 @@ func (s *Session) Run() (*Outcome, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	runCtx := s.Ctx
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+	if err := runCtx.Err(); err != nil {
+		return nil, fmt.Errorf("core: session canceled before baseline: %w", err)
+	}
 	// slotFree[i] is the virtual time at which evaluation slot i becomes
 	// available. With one worker this degenerates to a running total.
 	slotFree := make([]float64, workers)
@@ -232,60 +256,14 @@ func (s *Session) Run() (*Outcome, error) {
 	out.Objective = objective
 	out.BaseMeasurement = base
 	out.BestMeasurement = base
-	out.Trace = append(out.Trace, TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall})
+	tp := TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall}
+	out.Trace = append(out.Trace, tp)
+	if s.OnProgress != nil {
+		s.OnProgress(tp)
+	}
 
-	// Cache hits are free, so a searcher that re-proposes known
-	// configurations forever would never consume budget; bound the
-	// consecutive free trials to keep the loop total.
-	freeTrials := 0
-	const maxFreeTrials = 1000
-
-	for {
-		// The next trial starts on the earliest-free slot; stop once that
-		// start time would exceed the budget.
-		slot := 0
-		for i := 1; i < workers; i++ {
-			if slotFree[i] < slotFree[slot] {
-				slot = i
-			}
-		}
-		if slotFree[slot] >= budget {
-			break
-		}
-		if s.MaxTrials > 0 && ctx.Trial >= s.MaxTrials {
-			break
-		}
-		if freeTrials >= maxFreeTrials {
-			break
-		}
-		ctx.Elapsed = slotFree[slot]
-		cfg := s.Searcher.Propose(ctx)
-		if cfg == nil {
-			break
-		}
-		m := s.Runner.Measure(cfg, reps)
-		ctx.Trial++
-		slotFree[slot] += m.CostSeconds
-		ctx.Elapsed = slotFree[slot]
-		if m.FromCache {
-			out.CacheHits++
-		}
-		if m.CostSeconds == 0 {
-			freeTrials++
-		} else {
-			freeTrials = 0
-		}
-		if m.Failed {
-			out.Failures++
-		}
-		s.Searcher.Observe(ctx, cfg, m)
-		if sc := objective.Score(m); sc < ctx.BestWall {
-			ctx.Best, ctx.BestWall = cfg.Clone(), sc
-			out.BestMeasurement = m
-		}
-		out.Trace = append(out.Trace, TracePoint{
-			Elapsed: ctx.Elapsed, BestWall: ctx.BestWall, Trial: ctx.Trial,
-		})
+	if err := s.runLoop(runCtx, ctx, out, slotFree, reps, budget); err != nil {
+		return nil, err
 	}
 	// Report the makespan: the time the busiest slot finishes.
 	for _, f := range slotFree {

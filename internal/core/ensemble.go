@@ -24,8 +24,8 @@ type Ensemble struct {
 	ExplorationC float64
 
 	arms    []ensembleArm
-	pending *flags.Config
-	history []armOutcome
+	pending map[*flags.Config]*armOutcome
+	history []*armOutcome
 	trialN  int
 }
 
@@ -34,6 +34,10 @@ type ensembleArm struct {
 	uses     int
 }
 
+// armOutcome credits one proposal to the arm that made it. Entries are
+// shared between the sliding history window and the pending map, so an
+// observation that arrives after the window slid past it (multi-worker
+// sessions deliver out of proposal order) still reaches the right arm.
 type armOutcome struct {
 	arm      int
 	improved bool
@@ -80,8 +84,12 @@ func (e *Ensemble) Propose(ctx *Context) *flags.Config {
 		cfg = Random{}.Propose(ctx)
 	}
 	e.arms[arm].uses++
-	e.pending = cfg
-	e.history = append(e.history, armOutcome{arm: arm})
+	if e.pending == nil {
+		e.pending = make(map[*flags.Config]*armOutcome)
+	}
+	out := &armOutcome{arm: arm}
+	e.pending[cfg] = out
+	e.history = append(e.history, out)
 	if len(e.history) > e.window() {
 		e.history = e.history[1:]
 	}
@@ -126,12 +134,13 @@ func (e *Ensemble) pickArm(ctx *Context) int {
 // Observe implements Searcher: forward the measurement to the arm that made
 // the proposal and record credit.
 func (e *Ensemble) Observe(ctx *Context, cfg *flags.Config, m runner.Measurement) {
-	if cfg != e.pending || len(e.history) == 0 {
+	out, ok := e.pending[cfg]
+	if !ok {
 		return
 	}
-	last := &e.history[len(e.history)-1]
-	e.arms[last.arm].searcher.Observe(ctx, cfg, m)
+	delete(e.pending, cfg)
+	e.arms[out.arm].searcher.Observe(ctx, cfg, m)
 	if sc := ctx.Score(m); sc < ctx.BestWall {
-		last.improved = true
+		out.improved = true
 	}
 }

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/flags"
+	"repro/internal/runner"
+)
+
+// BatchSearcher is an optional Searcher extension for multi-worker
+// sessions. A searcher that implements it is asked for up to n proposals at
+// once, which the session evaluates concurrently on real goroutines; a
+// searcher that does not is driven through repeated Propose calls instead.
+//
+// Returning fewer than n configurations leaves the remaining slots idle for
+// one round (useful at phase boundaries — the hierarchical searcher stops a
+// batch at the end of its branch survey so refinement only starts once every
+// survey measurement has been observed). Returning an empty batch means the
+// searcher is exhausted and ends the session.
+type BatchSearcher interface {
+	Searcher
+	// ProposeBatch returns up to n configurations to evaluate concurrently.
+	ProposeBatch(ctx *Context, n int) []*flags.Config
+}
+
+// trial is one dispatched measurement occupying a virtual evaluation slot.
+type trial struct {
+	seq   int     // dispatch order, the deterministic tie-break
+	slot  int     // virtual slot charged for the measurement
+	start float64 // virtual time the slot became free
+	cfg   *flags.Config
+	m     runner.Measurement
+}
+
+// runLoop is the session's evaluation engine: a bulk-synchronous batched
+// executor. Each round it fills every budget-eligible slot with a proposal
+// (earliest-free slot first), measures the whole batch concurrently on
+// goroutines, then delivers the observations in virtual-completion order.
+//
+// Determinism for a fixed seed holds because every source of randomness is
+// serialized deterministically: proposals draw from the session RNG on the
+// session goroutine in slot order, noise-rep indices are allocated per
+// configuration key by the runner, and a key is measured at most once per
+// round (duplicates are deferred), so concurrent Measure calls never race on
+// a key's rep sequence. Real goroutine scheduling only changes when results
+// arrive in wall-clock time, never what they are or the order the searcher
+// sees them in.
+func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
+	slotFree []float64, reps int, budget float64) error {
+	workers := len(slotFree)
+
+	// Cache hits are free, so a searcher that re-proposes known
+	// configurations forever would never consume budget; bound the
+	// consecutive free trials to keep the loop total.
+	freeTrials := 0
+	const maxFreeTrials = 1000
+
+	dispatched := 0
+	seq := 0
+	exhausted := false
+	// carry holds proposals deferred from the previous round: duplicates of
+	// a key already measuring in that round, or overflow past the round's
+	// slot count. It is bounded by the slot count per round.
+	var carry []*flags.Config
+
+	for {
+		if err := runCtx.Err(); err != nil {
+			return fmt.Errorf("core: session canceled after %d trials: %w", ctx.Trial, err)
+		}
+		if freeTrials >= maxFreeTrials {
+			break
+		}
+
+		// Pick the slots that can still start a trial inside the budget,
+		// earliest-free first. Rounds are barriers, so each slot hosts at
+		// most one trial per round.
+		type pick struct {
+			slot  int
+			start float64
+		}
+		var picks []pick
+		used := make([]bool, workers)
+		for len(picks) < workers {
+			sel := -1
+			for i := 0; i < workers; i++ {
+				if !used[i] && (sel < 0 || slotFree[i] < slotFree[sel]) {
+					sel = i
+				}
+			}
+			if sel < 0 || slotFree[sel] >= budget {
+				break
+			}
+			if s.MaxTrials > 0 && dispatched+len(picks) >= s.MaxTrials {
+				break
+			}
+			used[sel] = true
+			picks = append(picks, pick{sel, slotFree[sel]})
+		}
+		if len(picks) == 0 {
+			break
+		}
+
+		// Gather proposals: deferred ones first, then the searcher.
+		proposals := carry
+		carry = nil
+		if !exhausted && len(proposals) < len(picks) {
+			if bs, ok := s.Searcher.(BatchSearcher); ok {
+				ctx.Elapsed = picks[len(proposals)].start
+				got := bs.ProposeBatch(ctx, len(picks)-len(proposals))
+				if len(got) == 0 {
+					exhausted = true
+				}
+				proposals = append(proposals, got...)
+			} else {
+				for len(proposals) < len(picks) {
+					ctx.Elapsed = picks[len(proposals)].start
+					cfg := s.Searcher.Propose(ctx)
+					if cfg == nil {
+						exhausted = true
+						break
+					}
+					proposals = append(proposals, cfg)
+				}
+			}
+		}
+
+		// Assign proposals to slots. A configuration key runs at most once
+		// per round: concurrent measurements of one key would race on its
+		// noise-rep sequence and break determinism, so duplicates wait for
+		// the next round (where they replay from the runner's cache).
+		batch := make([]*trial, 0, len(picks))
+		inRound := make(map[string]bool, len(picks))
+		for _, cfg := range proposals {
+			key := cfg.Key()
+			if len(batch) == len(picks) || inRound[key] {
+				carry = append(carry, cfg)
+				continue
+			}
+			inRound[key] = true
+			p := picks[len(batch)]
+			batch = append(batch, &trial{seq: seq, slot: p.slot, start: p.start, cfg: cfg})
+			seq++
+		}
+		if len(batch) == 0 {
+			break
+		}
+		dispatched += len(batch)
+
+		// Measure the whole batch concurrently. This is where the session
+		// overlaps real work: up to `workers` Runner.Measure calls in flight.
+		if len(batch) == 1 {
+			batch[0].m = s.Runner.Measure(batch[0].cfg, reps)
+		} else {
+			var wg sync.WaitGroup
+			for _, tr := range batch {
+				wg.Add(1)
+				go func(tr *trial) {
+					defer wg.Done()
+					tr.m = s.Runner.Measure(tr.cfg, reps)
+				}(tr)
+			}
+			wg.Wait()
+		}
+
+		// Deliver observations in virtual-completion order (dispatch order
+		// breaks ties), charging each trial to its slot. The searcher sees
+		// results as they would complete on a real farm, not in proposal
+		// order — the synchronous-information assumption is gone.
+		sort.Slice(batch, func(i, j int) bool {
+			fi := batch[i].start + batch[i].m.CostSeconds
+			fj := batch[j].start + batch[j].m.CostSeconds
+			if fi != fj {
+				return fi < fj
+			}
+			return batch[i].seq < batch[j].seq
+		})
+		for _, tr := range batch {
+			slotFree[tr.slot] = tr.start + tr.m.CostSeconds
+			ctx.Trial++
+			ctx.Elapsed = slotFree[tr.slot]
+			if tr.m.FromCache {
+				out.CacheHits++
+			}
+			if tr.m.CostSeconds == 0 {
+				freeTrials++
+			} else {
+				freeTrials = 0
+			}
+			if tr.m.Failed {
+				out.Failures++
+			}
+			s.Searcher.Observe(ctx, tr.cfg, tr.m)
+			if sc := ctx.Objective.Score(tr.m); sc < ctx.BestWall {
+				ctx.Best, ctx.BestWall = tr.cfg.Clone(), sc
+				out.BestMeasurement = tr.m
+			}
+			tp := TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall, Trial: ctx.Trial}
+			out.Trace = append(out.Trace, tp)
+			if s.OnProgress != nil {
+				s.OnProgress(tp)
+			}
+		}
+	}
+	return nil
+}

@@ -39,9 +39,17 @@ type Hierarchical struct {
 	combos    []branchCombo
 	surveyIdx int
 	beams     []*beam
-	pending   *flags.Config
-	pendingIn *beam
+	pending   map[*flags.Config]pendingRef
 	proposals int
+}
+
+// pendingRef remembers what an outstanding proposal was for, so its
+// observation — which in multi-worker sessions may arrive after further
+// proposals — lands in the right place: a survey combo, a beam's
+// population, or (both nil) an exploration trial.
+type pendingRef struct {
+	combo *branchCombo
+	beam  *beam
 }
 
 type branchCombo struct {
@@ -126,7 +134,7 @@ func (h *Hierarchical) Propose(ctx *Context) *flags.Config {
 		if h.surveyIdx < len(h.combos) {
 			c := &h.combos[h.surveyIdx]
 			h.surveyIdx++
-			h.pending, h.pendingIn = c.base, nil
+			h.note(c.base, pendingRef{combo: c})
 			return c.base
 		}
 		h.finishSurvey(ctx)
@@ -135,7 +143,7 @@ func (h *Hierarchical) Propose(ctx *Context) *flags.Config {
 	// Occasional exploration of a non-beam branch with a random mutation.
 	if ee := h.exploreEvery(); ee > 0 && h.proposals%ee == 0 {
 		if cfg := h.exploreProposal(ctx); cfg != nil {
-			h.pending, h.pendingIn = cfg, nil
+			h.note(cfg, pendingRef{})
 			return cfg
 		}
 	}
@@ -143,8 +151,40 @@ func (h *Hierarchical) Propose(ctx *Context) *flags.Config {
 	// Phase 2: guided refinement within a beam.
 	b := h.pickBeam(ctx)
 	cfg := h.refineProposal(ctx, b)
-	h.pending, h.pendingIn = cfg, b
+	h.note(cfg, pendingRef{beam: b})
 	return cfg
+}
+
+// ProposeBatch implements BatchSearcher. During the branch survey it hands
+// out the remaining un-surveyed combos (they are independent, so the farm
+// measures them in parallel) but stops the batch at the survey boundary:
+// the beams must be seeded from *observed* survey results, and the session
+// delivers every observation of a round before asking for the next batch.
+// After the survey, refinement proposals are drawn normally.
+func (h *Hierarchical) ProposeBatch(ctx *Context, n int) []*flags.Config {
+	if h.combos == nil {
+		h.initCombos(ctx)
+	}
+	var out []*flags.Config
+	for len(out) < n {
+		boundary := !h.surveyed && h.surveyIdx == len(h.combos)
+		if boundary && len(out) > 0 {
+			return out // finish the survey next round, fully informed
+		}
+		cfg := h.Propose(ctx)
+		if cfg == nil {
+			return out
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+func (h *Hierarchical) note(cfg *flags.Config, ref pendingRef) {
+	if h.pending == nil {
+		h.pending = make(map[*flags.Config]pendingRef)
+	}
+	h.pending[cfg] = ref
 }
 
 // finishSurvey ranks the surveyed combos and seeds the beams.
@@ -257,17 +297,19 @@ func (h *Hierarchical) exploreProposal(ctx *Context) *flags.Config {
 
 // Observe implements Searcher.
 func (h *Hierarchical) Observe(ctx *Context, cfg *flags.Config, m runner.Measurement) {
-	if cfg != h.pending {
+	ref, ok := h.pending[cfg]
+	if !ok {
 		return
 	}
+	delete(h.pending, cfg)
 	sc := ctx.Score(m)
-	if !h.surveyed {
+	if ref.combo != nil {
 		// Survey phase: attach the result to its combo.
-		h.combos[h.surveyIdx-1].wall = sc
-		h.combos[h.surveyIdx-1].seen = !m.Failed
+		ref.combo.wall = sc
+		ref.combo.seen = !m.Failed
 		return
 	}
-	b := h.pendingIn
+	b := ref.beam
 	if b == nil {
 		return // exploration trial: best-tracking happens in the session
 	}

@@ -27,6 +27,16 @@ func (Random) Propose(ctx *Context) *flags.Config {
 	return cfg
 }
 
+// ProposeBatch implements BatchSearcher: independent draws parallelize
+// trivially.
+func (r Random) ProposeBatch(ctx *Context, n int) []*flags.Config {
+	out := make([]*flags.Config, n)
+	for i := range out {
+		out[i] = r.Propose(ctx)
+	}
+	return out
+}
+
 // Observe implements Searcher.
 func (Random) Observe(*Context, *flags.Config, runner.Measurement) {}
 
@@ -47,7 +57,7 @@ type HillClimb struct {
 	current     *flags.Config
 	currentWall float64
 	stagnant    int
-	pending     *flags.Config
+	pending     map[*flags.Config]bool
 }
 
 // Name implements Searcher.
@@ -91,15 +101,21 @@ func (h *HillClimb) Propose(ctx *Context) *flags.Config {
 	for i := 0; i < n; i++ {
 		flags.MutateFlag(next, pool[ctx.Rng.Intn(len(pool))], ctx.Rng)
 	}
-	h.pending = next
+	if h.pending == nil {
+		h.pending = make(map[*flags.Config]bool)
+	}
+	h.pending[next] = true
 	return next
 }
 
-// Observe implements Searcher.
+// Observe implements Searcher. Observations may arrive for any outstanding
+// proposal (multi-worker sessions deliver out of proposal order); each is
+// judged against the climber's current position.
 func (h *HillClimb) Observe(ctx *Context, cfg *flags.Config, m runner.Measurement) {
-	if cfg != h.pending {
+	if !h.pending[cfg] {
 		return
 	}
+	delete(h.pending, cfg)
 	if sc := ctx.Score(m); sc < h.currentWall {
 		h.current, h.currentWall = cfg, sc
 		h.stagnant = 0
@@ -137,7 +153,7 @@ type Anneal struct {
 
 	current     *flags.Config
 	currentWall float64
-	pending     *flags.Config
+	pending     map[*flags.Config]bool
 }
 
 // Name implements Searcher.
@@ -155,15 +171,19 @@ func (a *Anneal) Propose(ctx *Context) *flags.Config {
 	for i := 0; i < n; i++ {
 		flags.MutateFlag(next, pool[ctx.Rng.Intn(len(pool))], ctx.Rng)
 	}
-	a.pending = next
+	if a.pending == nil {
+		a.pending = make(map[*flags.Config]bool)
+	}
+	a.pending[next] = true
 	return next
 }
 
 // Observe implements Searcher.
 func (a *Anneal) Observe(ctx *Context, cfg *flags.Config, m runner.Measurement) {
-	if cfg != a.pending {
+	if !a.pending[cfg] {
 		return
 	}
+	delete(a.pending, cfg)
 	sc := ctx.Score(m)
 	if sc < a.currentWall {
 		a.current, a.currentWall = cfg, sc
@@ -198,7 +218,7 @@ type GeneticFlat struct {
 	PopSize int
 
 	pop     []individual
-	pending *flags.Config
+	pending map[*flags.Config]bool
 }
 
 type individual struct {
@@ -225,7 +245,7 @@ func (g *GeneticFlat) Propose(ctx *Context) *flags.Config {
 		for i := 0; i < len(g.pop); i++ { // 0 mutations for the first
 			flags.MutateFlag(cfg, pool[ctx.Rng.Intn(len(pool))], ctx.Rng)
 		}
-		g.pending = cfg
+		g.note(cfg)
 		return cfg
 	}
 	// Tournament-select two parents, crossover, mutate.
@@ -236,8 +256,15 @@ func (g *GeneticFlat) Propose(ctx *Context) *flags.Config {
 	for i := 0; i < n; i++ {
 		flags.MutateFlag(child, pool[ctx.Rng.Intn(len(pool))], ctx.Rng)
 	}
-	g.pending = child
+	g.note(child)
 	return child
+}
+
+func (g *GeneticFlat) note(cfg *flags.Config) {
+	if g.pending == nil {
+		g.pending = make(map[*flags.Config]bool)
+	}
+	g.pending[cfg] = true
 }
 
 func (g *GeneticFlat) tournament(ctx *Context) individual {
@@ -253,9 +280,10 @@ func (g *GeneticFlat) tournament(ctx *Context) individual {
 
 // Observe implements Searcher.
 func (g *GeneticFlat) Observe(ctx *Context, cfg *flags.Config, m runner.Measurement) {
-	if cfg != g.pending {
+	if !g.pending[cfg] {
 		return
 	}
+	delete(g.pending, cfg)
 	ind := individual{cfg: cfg, wall: ctx.Score(m)}
 	if len(g.pop) < g.popSize() {
 		g.pop = append(g.pop, ind)

@@ -27,7 +27,7 @@ type Surrogate struct {
 
 	models  map[string]*flagModel
 	names   []string
-	pending *flags.Config
+	pending map[*flags.Config]bool
 	seeded  int
 }
 
@@ -159,7 +159,7 @@ func (s *Surrogate) Propose(ctx *Context) *flags.Config {
 			n := s.names[ctx.Rng.Intn(len(s.names))]
 			flags.MutateFlag(cfg, n, ctx.Rng)
 		}
-		s.pending = cfg
+		s.note(cfg)
 		return cfg
 	}
 
@@ -194,7 +194,7 @@ func (s *Surrogate) Propose(ctx *Context) *flags.Config {
 		}
 		if hierarchy.Validate(cfg) == nil {
 			if _, err := hierarchy.SelectedCollector(cfg); err == nil {
-				s.pending = cfg
+				s.note(cfg)
 				return cfg
 			}
 		}
@@ -202,16 +202,24 @@ func (s *Surrogate) Propose(ctx *Context) *flags.Config {
 	// Could not assemble a valid proposal; fall back to a best-config mutant.
 	cfg := ctx.Best.Clone()
 	flags.MutateFlag(cfg, s.names[ctx.Rng.Intn(len(s.names))], ctx.Rng)
-	s.pending = cfg
+	s.note(cfg)
 	return cfg
+}
+
+func (s *Surrogate) note(cfg *flags.Config) {
+	if s.pending == nil {
+		s.pending = make(map[*flags.Config]bool)
+	}
+	s.pending[cfg] = true
 }
 
 // Observe implements Searcher: credit every explicit flag of the proposal
 // with the (normalized) score.
 func (s *Surrogate) Observe(ctx *Context, cfg *flags.Config, m runner.Measurement) {
-	if cfg != s.pending || s.models == nil {
+	if !s.pending[cfg] || s.models == nil {
 		return
 	}
+	delete(s.pending, cfg)
 	sc := ctx.Score(m)
 	if math.IsInf(sc, 1) {
 		// Failures teach too: charge a large penalty to the slots used.

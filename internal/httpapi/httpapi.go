@@ -1,23 +1,32 @@
 // Package httpapi exposes the auto-tuner as an HTTP service: a tuning farm
 // front-end where clients submit budgeted tuning jobs and poll for results.
-// Jobs run asynchronously (tuning sessions are CPU-bound on the simulator,
-// but a 200-minute virtual session is still tens of real milliseconds, so
-// the API also supports synchronous mode for convenience).
+//
+// Jobs run asynchronously on a bounded worker pool (Config.MaxConcurrent
+// sessions at a time; further jobs wait in a queue), report live progress
+// while they run, can be canceled, and survive panicking searchers — a
+// panic fails the job, never the server. The job store itself is bounded
+// (Config.MaxJobs): once full, the oldest finished jobs are evicted to make
+// room, and if every stored job is still active, new submissions are
+// rejected with 503 rather than growing without limit. Tuning sessions are
+// CPU-bound on the simulator — a 200-minute virtual session is tens of real
+// milliseconds — so the API also supports synchronous mode for convenience.
 //
 // Routes:
 //
-//	GET  /v1/benchmarks          list the built-in workloads
-//	GET  /v1/searchers           list the search strategies
-//	POST /v1/tune                submit a job; ?sync=1 waits and returns it
-//	GET  /v1/jobs                list jobs
-//	GET  /v1/jobs/{id}           job status and, when done, the result
-//	POST /v1/measure             evaluate one flag set on one benchmark
+//	GET    /v1/benchmarks          list the built-in workloads
+//	GET    /v1/searchers           list the search strategies
+//	POST   /v1/tune                submit a job; ?sync=1 waits and returns it
+//	GET    /v1/jobs                list jobs
+//	GET    /v1/jobs/{id}           job status, live progress, and the result
+//	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	POST   /v1/measure             evaluate one flag set on one benchmark
 //
 // All bodies are JSON. The service is self-contained and uses only the
 // standard library.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -40,11 +49,24 @@ type TuneRequest struct {
 
 // Job is the server's view of one tuning request.
 type Job struct {
-	ID      int             `json:"id"`
-	State   string          `json:"state"` // "running" | "done" | "failed"
-	Request TuneRequest     `json:"request"`
-	Error   string          `json:"error,omitempty"`
-	Result  *hotspot.Result `json:"result,omitempty"`
+	ID      int         `json:"id"`
+	State   string      `json:"state"` // "queued" | "running" | "done" | "failed" | "canceled"
+	Request TuneRequest `json:"request"`
+	Error   string      `json:"error,omitempty"`
+	// Progress is the live best-so-far snapshot of a running job.
+	Progress *hotspot.Progress `json:"progress,omitempty"`
+	Result   *hotspot.Result   `json:"result,omitempty"`
+
+	cancel context.CancelFunc
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *Job) terminal() bool {
+	switch j.State {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
 }
 
 // MeasureRequest is the body of POST /v1/measure.
@@ -59,26 +81,75 @@ type MeasureResponse struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// Server is the HTTP front-end. Create with NewServer; it implements
-// http.Handler.
-type Server struct {
-	mux *http.ServeMux
-
-	mu     sync.Mutex
-	nextID int
-	jobs   map[int]*Job
-	done   sync.WaitGroup
+// Config bounds the server's resources.
+type Config struct {
+	// MaxConcurrent is the number of tuning sessions run simultaneously;
+	// further accepted jobs wait in the queue. Default 4.
+	MaxConcurrent int
+	// MaxJobs caps the job store (and the queue). When the store is full,
+	// the oldest finished jobs are evicted; if every job is still queued or
+	// running, new submissions are rejected with 503. Default 256.
+	MaxJobs int
 }
 
-// NewServer builds a ready-to-serve handler.
-func NewServer() *Server {
-	s := &Server{mux: http.NewServeMux(), jobs: map[int]*Job{}, nextID: 1}
+// DefaultConfig returns the default resource bounds.
+func DefaultConfig() Config { return Config{MaxConcurrent: 4, MaxJobs: 256} }
+
+// tuneFn runs one tuning session. It is a variable so tests can substitute
+// slow, failing, or panicking implementations.
+var tuneFn = hotspot.TuneContext
+
+// Server is the HTTP front-end. Create with NewServer or NewServerWith; it
+// implements http.Handler.
+type Server struct {
+	mux     *http.ServeMux
+	cfg     Config
+	queue   chan *Job
+	workers sync.WaitGroup // the worker pool goroutines
+
+	mu        sync.Mutex
+	closed    bool
+	nextID    int
+	jobs      map[int]*Job
+	doneOrder []int          // terminal job IDs, oldest first — the LRU eviction order
+	inflight  sync.WaitGroup // accepted jobs that have not reached a terminal state
+}
+
+// NewServer builds a ready-to-serve handler with default bounds.
+func NewServer() *Server { return NewServerWith(DefaultConfig()) }
+
+// NewServerWith builds a ready-to-serve handler with the given bounds and
+// starts its worker pool.
+func NewServerWith(cfg Config) *Server {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = DefaultConfig().MaxConcurrent
+	}
+	if cfg.MaxJobs < 1 {
+		cfg.MaxJobs = DefaultConfig().MaxJobs
+	}
+	s := &Server{
+		mux:    http.NewServeMux(),
+		cfg:    cfg,
+		queue:  make(chan *Job, cfg.MaxJobs),
+		jobs:   map[int]*Job{},
+		nextID: 1,
+	}
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/searchers", s.handleSearchers)
 	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/measure", s.handleMeasure)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
 	return s
 }
 
@@ -87,9 +158,125 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Wait blocks until all asynchronous jobs have finished — for tests and
-// graceful shutdown.
-func (s *Server) Wait() { s.done.Wait() }
+// Wait blocks until every accepted job has reached a terminal state — for
+// tests and simple embedders.
+func (s *Server) Wait() { s.inflight.Wait() }
+
+// Shutdown gracefully stops the server: new submissions are rejected,
+// queued and running jobs are given until ctx's deadline to finish, and
+// once the deadline passes the remainder are canceled. It returns ctx's
+// error if the deadline forced cancellations, nil otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			switch {
+			case j.State == "queued":
+				j.State, j.Error = "canceled", "server shutdown"
+				s.markTerminalLocked(j)
+			case j.cancel != nil:
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// markTerminalLocked records a job's arrival in a terminal state for LRU
+// eviction and releases its Wait ticket. Caller holds s.mu; the job's State
+// must already be terminal, and each job passes through exactly once.
+func (s *Server) markTerminalLocked(job *Job) {
+	s.doneOrder = append(s.doneOrder, job.ID)
+	s.inflight.Done()
+}
+
+// evictLocked drops finished jobs, oldest first, until the store has room.
+// Caller holds s.mu. Returns false if the store is still full — every job
+// is queued or running.
+func (s *Server) evictLocked() bool {
+	for len(s.jobs) >= s.cfg.MaxJobs && len(s.doneOrder) > 0 {
+		id := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		delete(s.jobs, id)
+	}
+	return len(s.jobs) < s.cfg.MaxJobs
+}
+
+// runJob executes one tuning job: on a pool worker for async submissions,
+// inline for ?sync=1.
+func (s *Server) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s.mu.Lock()
+	if job.State != "queued" {
+		// Canceled (or evicted and canceled) while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	job.State = "running"
+	job.cancel = cancel
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if r := recover(); r != nil {
+			// A panicking searcher fails its job, never the server.
+			job.State, job.Error = "failed", fmt.Sprintf("panic: %v", r)
+		}
+		job.cancel = nil
+		s.markTerminalLocked(job)
+	}()
+
+	req := job.Request
+	res, err := tuneFn(ctx, hotspot.Options{
+		Benchmark:     req.Benchmark,
+		Searcher:      req.Searcher,
+		BudgetMinutes: req.BudgetMinutes,
+		Reps:          req.Reps,
+		Seed:          req.Seed,
+		Workers:       req.Workers,
+		Noise:         -1,
+		OnProgress: func(p hotspot.Progress) {
+			s.mu.Lock()
+			// Replace the pointer rather than mutating through it: job
+			// snapshots taken for serialization stay consistent.
+			job.Progress = &p
+			s.mu.Unlock()
+		},
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err != nil && ctx.Err() != nil:
+		job.State, job.Error = "canceled", err.Error()
+	case err != nil:
+		job.State, job.Error = "failed", err.Error()
+	default:
+		job.State, job.Result = "done", res
+	}
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -126,56 +313,60 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown benchmark %q", req.Benchmark)
 		return
 	}
+	sync := r.URL.Query().Get("sync") == "1"
 
 	s.mu.Lock()
-	job := &Job{ID: s.nextID, State: "running", Request: req}
-	s.nextID++
-	s.jobs[job.ID] = job
-	s.mu.Unlock()
-
-	run := func() {
-		res, err := hotspot.Tune(hotspot.Options{
-			Benchmark:     req.Benchmark,
-			Searcher:      req.Searcher,
-			BudgetMinutes: req.BudgetMinutes,
-			Reps:          req.Reps,
-			Seed:          req.Seed,
-			Workers:       req.Workers,
-			Noise:         -1,
-		})
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if err != nil {
-			job.State, job.Error = "failed", err.Error()
-			return
-		}
-		job.State, job.Result = "done", res
-	}
-
-	if r.URL.Query().Get("sync") == "1" {
-		run()
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		writeJSON(w, http.StatusOK, job)
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
-	s.done.Add(1)
-	go func() {
-		defer s.done.Done()
-		run()
-	}()
+	if len(s.jobs) >= s.cfg.MaxJobs && !s.evictLocked() {
+		n := len(s.jobs)
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable,
+			"job store full: %d jobs queued or running", n)
+		return
+	}
+	job := &Job{ID: s.nextID, State: "queued", Request: req}
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.inflight.Add(1)
+	if !sync {
+		select {
+		case s.queue <- job:
+		default:
+			// Cannot happen while the store cap holds the queue below its
+			// capacity, but never block a handler on a full channel.
+			delete(s.jobs, job.ID)
+			s.inflight.Done()
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "job queue full")
+			return
+		}
+	}
+	s.mu.Unlock()
+
+	if sync {
+		s.runJob(job)
+		s.mu.Lock()
+		snap := *job
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, map[string]int{"id": job.ID})
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*Job, 0, len(s.jobs))
+	out := make([]Job, 0, len(s.jobs))
 	for id := 1; id < s.nextID; id++ {
 		if j, ok := s.jobs[id]; ok {
-			out = append(out, j)
+			out = append(out, *j)
 		}
 	}
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -186,13 +377,54 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	job, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		writeError(w, http.StatusNotFound, "no job %d", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	snap := *job
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	switch job.State {
+	case "queued":
+		// Not started: cancel immediately. The worker that eventually pops
+		// it from the queue skips it.
+		job.State, job.Error = "canceled", "canceled before start"
+		s.markTerminalLocked(job)
+		snap := *job
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, snap)
+	case "running":
+		cancel := job.cancel
+		snap := *job
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		// Cancellation is asynchronous: the session stops at its next
+		// evaluation round; poll the job until its state is "canceled".
+		writeJSON(w, http.StatusAccepted, snap)
+	default:
+		state := job.State
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "job %d already %s", id, state)
+	}
 }
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {

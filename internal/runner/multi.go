@@ -65,11 +65,13 @@ func NewMulti(sim *jvmsim.Simulator, profiles []*workload.Profile) (*Multi, erro
 		name += p.Name
 	}
 	// The pseudo-profile identifies the aggregate in session outputs. It
-	// borrows the first member's shape so it validates.
-	pseudo := *profiles[0]
+	// borrows the first member's shape so it validates. Clone guarantees
+	// independence: renaming the aggregate (or any future mutation) can
+	// never corrupt the first member workload.
+	pseudo := profiles[0].Clone()
 	pseudo.Name = name
 	pseudo.Suite = "multi"
-	m.pseudo = &pseudo
+	m.pseudo = pseudo
 	return m, nil
 }
 
@@ -123,7 +125,8 @@ func (m *Multi) Measure(cfg *flags.Config, reps int) Measurement {
 	key := cfg.Key()
 
 	m.mu.Lock()
-	if cached, ok := m.cache[key]; ok && len(cached.Walls) >= reps {
+	// Failed measurements replay from the cache too; see InProcess.Measure.
+	if cached, ok := m.cache[key]; ok && (cached.Failed || len(cached.Walls) >= reps) {
 		m.mu.Unlock()
 		cached.FromCache = true
 		cached.CostSeconds = 0

@@ -117,7 +117,11 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 
 	r.mu.Lock()
 	if !r.DisableCache {
-		if m, ok := r.cache[key]; ok && len(m.Walls) >= reps {
+		// A failed measurement is as cacheable as a successful one: one
+		// failure condemns the configuration, so a re-proposal replays the
+		// verdict at zero cost instead of re-charging the budget for a
+		// known crash.
+		if m, ok := r.cache[key]; ok && (m.Failed || len(m.Walls) >= reps) {
 			r.mu.Unlock()
 			m.FromCache = true
 			m.CostSeconds = 0

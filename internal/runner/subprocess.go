@@ -84,7 +84,8 @@ func (r *Subprocess) Measure(cfg *flags.Config, reps int) Measurement {
 	key := cfg.Key()
 
 	r.mu.Lock()
-	if m, ok := r.cache[key]; ok && len(m.Walls) >= reps {
+	// Failed measurements replay from the cache too; see InProcess.Measure.
+	if m, ok := r.cache[key]; ok && (m.Failed || len(m.Walls) >= reps) {
 		r.mu.Unlock()
 		m.FromCache = true
 		m.CostSeconds = 0

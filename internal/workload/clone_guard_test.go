@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Profile.Clone relies on every field being a value type: a struct copy of
+// such a Profile is a deep copy. Multiple runners share cloned profiles
+// across goroutines, so a silently-aliased slice or map field would be a
+// data race. This guard fails the moment a reference-typed field is added,
+// pointing at the method that must then copy it explicitly.
+func TestProfileHasOnlyValueFields(t *testing.T) {
+	typ := reflect.TypeOf(Profile{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Slice, reflect.Map, reflect.Pointer, reflect.Chan,
+			reflect.Func, reflect.Interface, reflect.UnsafePointer:
+			t.Errorf("Profile.%s is a %s: struct copy now aliases it — update Profile.Clone to copy it explicitly, then extend this guard",
+				f.Name, f.Type.Kind())
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p, ok := ByName("h2")
+	if !ok {
+		t.Fatal("no h2 profile")
+	}
+	c := p.Clone()
+	if !reflect.DeepEqual(*p, *c) {
+		t.Fatal("clone differs from the original")
+	}
+	c.Name, c.BaseSeconds = "mutant", p.BaseSeconds*2
+	if p.Name == "mutant" || p.BaseSeconds == c.BaseSeconds {
+		t.Error("mutating a clone must not affect the original")
+	}
+}

@@ -142,6 +142,16 @@ func (p *Profile) Validate() error {
 	return nil
 }
 
+// Clone returns an independent copy of the profile. Profile holds only
+// value fields (strings, numbers), so a struct copy is a deep copy; the
+// reflection guard in workload_test.go fails the build's tests if a
+// reference-typed field (slice, map, pointer) is ever added without
+// updating this method to copy it explicitly.
+func (p *Profile) Clone() *Profile {
+	c := *p
+	return &c
+}
+
 // LongLivedFrac is the fraction of allocation that lives until (at least)
 // the program's steady state and must be promoted eventually.
 func (p *Profile) LongLivedFrac() float64 {

@@ -1,0 +1,12 @@
+#!/bin/sh
+# The repo's verification gate: build everything, vet everything, and run
+# the full test suite under the race detector. The engine runs real
+# goroutines (core executor, httpapi worker pool), so -race is part of the
+# gate, not an optional extra.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
