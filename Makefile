@@ -1,9 +1,12 @@
 # Developer entry points. `make verify` is the tier-1 gate (see ROADMAP.md).
 
-.PHONY: verify build test bench
+.PHONY: verify build test bench cover
 
 verify:
 	./scripts/verify.sh
+
+cover:
+	./scripts/cover.sh
 
 build:
 	go build ./...

@@ -6,8 +6,18 @@
 //
 //	autotune -benchmark h2 [-budget 200] [-searcher hierarchical]
 //	         [-reps 3] [-seed 0] [-workers 4] [-objective throughput]
+//	         [-chaos unstable-farm] [-retries 3]
 //	         [-trace] [-jvmsim path/to/jvmsim]
 //	autotune -list
+//	autotune -scenarios
+//
+// -chaos runs the session under the deterministic fault-injection layer
+// (internal/faultinject): transient launch failures, corrupt reports,
+// spurious crashes, hangs, and latency spikes are injected on a schedule
+// derived from -seed, so chaos sessions reproduce exactly. It accepts a
+// named scenario (see -scenarios) or a fault-plan DSL spec like
+// "launch=0.1,spike=0.2". -retries bounds launch attempts per measurement
+// when transient failures strike.
 package main
 
 import (
@@ -31,14 +41,23 @@ func main() {
 		workers  = flag.Int("workers", 1, "parallel evaluation workers (goroutines and virtual slots)")
 		objectiv = flag.String("objective", "throughput", "what to minimize: throughput (wall time) or pause (worst GC pause)")
 		explain  = flag.Bool("explain", false, "attribute the improvement to individual flags")
+		chaos    = flag.String("chaos", "", "fault-injection plan: a scenario (see -scenarios) or DSL like launch=0.1,spike=0.2")
+		retries  = flag.Int("retries", 0, "max launch attempts per measurement on transient failures (0 = default 3)")
 		out      = flag.String("out", "", "save the result as JSON to this file")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
+		scens    = flag.Bool("scenarios", false, "list fault-injection scenarios and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, b := range hotspot.Benchmarks() {
 			fmt.Println(b)
+		}
+		return
+	}
+	if *scens {
+		for _, s := range hotspot.ChaosScenarios() {
+			fmt.Println(s)
 		}
 		return
 	}
@@ -57,6 +76,8 @@ func main() {
 		JVMSimPath:    *jvmsim,
 		Workers:       *workers,
 		Objective:     *objectiv,
+		Chaos:         *chaos,
+		RetryAttempts: *retries,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "autotune: %v\n", err)
@@ -76,6 +97,13 @@ func main() {
 	fmt.Printf("improvement:  %.1f%%  (%.2fx speedup)\n", res.ImprovementPct, res.Speedup)
 	fmt.Printf("collector:    %s\n", res.Collector)
 	fmt.Printf("trials:       %d  (%d failures, %d cache hits)\n", res.Trials, res.Failures, res.CacheHits)
+	if res.Chaos != "" && res.Chaos != "none" {
+		fmt.Printf("chaos:        %s\n", res.Chaos)
+		fmt.Printf("resilience:   %d flakes absorbed over %d launch attempts (%d unresolved transients)\n",
+			res.Flakes, res.Attempts, res.TransientFailures)
+	} else if res.Flakes > 0 {
+		fmt.Printf("resilience:   %d flakes absorbed over %d launch attempts\n", res.Flakes, res.Attempts)
+	}
 	fmt.Printf("tuning time:  %.0f virtual minutes\n", res.ElapsedMinutes)
 	fmt.Printf("winning flags:\n")
 	if len(res.CommandLine) == 0 {

@@ -15,6 +15,14 @@
 //	curl -X POST localhost:8425/v1/measure \
 //	     -d '{"benchmark":"h2","args":["-Xmx4g","-XX:+UseG1GC"]}'
 //
+// Jobs can opt into the deterministic fault-injection layer with the
+// "chaos" option — a named scenario (GET /v1/scenarios) or a fault-plan DSL
+// spec — plus "retry_attempts" to bound transient-failure retries; polls
+// then report flake counts alongside progress:
+//
+//	curl -X POST localhost:8425/v1/tune \
+//	     -d '{"benchmark":"h2","chaos":"unstable-farm","retry_attempts":4}'
+//
 // At most -max-concurrent tuning sessions run at once; further jobs queue.
 // The job store keeps at most -max-jobs entries, evicting the oldest
 // finished jobs first. SIGINT/SIGTERM trigger a graceful shutdown: running

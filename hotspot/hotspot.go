@@ -17,6 +17,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/flags"
 	"repro/internal/hierarchy"
 	"repro/internal/jvmsim"
@@ -68,6 +69,15 @@ type Options struct {
 	// Objective selects what to minimize: "throughput" (default, the
 	// paper's metric) or "pause" (worst GC pause, for latency tuning).
 	Objective string
+	// Chaos, when non-empty, runs the session under the deterministic
+	// fault-injection layer: a named scenario (see ChaosScenarios()) or a
+	// fault-plan DSL spec like "launch=0.1,spike=0.2". Faults are scheduled
+	// by Seed, so chaos sessions are exactly as reproducible as clean ones.
+	Chaos string
+	// RetryAttempts bounds attempts per measurement for transient failures
+	// (flaky launches, corrupt reports, injected faults); 0 means the
+	// default, 3. Deterministic failures are never retried.
+	RetryAttempts int
 	// OnProgress, when non-nil, receives a live snapshot after every
 	// measurement — trials so far, virtual time consumed, and the best
 	// result yet. It is called from the session's goroutine.
@@ -85,6 +95,9 @@ type Progress struct {
 	// ImprovementPct is the improvement over the default configuration so
 	// far (0 until something beats the baseline).
 	ImprovementPct float64
+	// Flakes is the cumulative count of transient failures absorbed by
+	// retries so far.
+	Flakes int
 }
 
 // Result is the outcome of a tuning session.
@@ -108,6 +121,13 @@ type Result struct {
 	Collector string
 	// Trials, Failures and CacheHits describe the session's economy.
 	Trials, Failures, CacheHits int
+	// Flakes counts transient failures absorbed by retries; Attempts is
+	// total launch attempts (≥ Trials); TransientFailures counts trials
+	// still failing transiently after retry exhaustion (the configuration
+	// is not condemned).
+	Flakes, Attempts, TransientFailures int
+	// Chaos names the fault plan the session ran under ("none" when off).
+	Chaos string
 	// ElapsedMinutes is the virtual tuning time consumed.
 	ElapsedMinutes float64
 	// Trace is the anytime convergence curve (virtual seconds → best wall).
@@ -169,15 +189,29 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	retry := runner.RetryPolicy{MaxAttempts: opts.RetryAttempts}
 	var run runner.Runner
 	if opts.JVMSimPath != "" {
-		run = runner.NewSubprocess(opts.JVMSimPath, prof)
+		sub := runner.NewSubprocess(opts.JVMSimPath, prof)
+		sub.Retry = retry
+		run = sub
 	} else {
 		sim := jvmsim.New()
 		if opts.Noise >= 0 {
 			sim.NoiseRelStdDev = opts.Noise
 		}
-		run = runner.NewInProcess(sim, prof)
+		ip := runner.NewInProcess(sim, prof)
+		ip.Retry = retry
+		run = ip
+	}
+	plan, err := faultinject.ParsePlan(opts.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Active() {
+		chaos := faultinject.New(run, plan, opts.Seed)
+		chaos.Retry = retry
+		run = chaos
 	}
 
 	budget := opts.BudgetMinutes * 60
@@ -201,21 +235,25 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 	}
 	col, _ := hierarchy.SelectedCollector(out.Best)
 	return &Result{
-		outcome:        out,
-		Benchmark:      out.Workload,
-		Searcher:       out.Searcher,
-		DefaultWall:    out.DefaultWall,
-		BestWall:       out.BestWall,
-		ImprovementPct: out.ImprovementPct,
-		Speedup:        out.Speedup,
-		Best:           out.Best,
-		CommandLine:    out.Best.CommandLine(),
-		Collector:      string(col),
-		Trials:         out.Trials,
-		Failures:       out.Failures,
-		CacheHits:      out.CacheHits,
-		ElapsedMinutes: out.Elapsed / 60,
-		Trace:          out.Trace,
+		outcome:           out,
+		Benchmark:         out.Workload,
+		Searcher:          out.Searcher,
+		DefaultWall:       out.DefaultWall,
+		BestWall:          out.BestWall,
+		ImprovementPct:    out.ImprovementPct,
+		Speedup:           out.Speedup,
+		Best:              out.Best,
+		CommandLine:       out.Best.CommandLine(),
+		Collector:         string(col),
+		Trials:            out.Trials,
+		Failures:          out.Failures,
+		CacheHits:         out.CacheHits,
+		Flakes:            out.Flakes,
+		Attempts:          out.Attempts,
+		TransientFailures: out.TransientFailures,
+		Chaos:             plan.Name,
+		ElapsedMinutes:    out.Elapsed / 60,
+		Trace:             out.Trace,
 	}, nil
 }
 
@@ -277,6 +315,7 @@ func progressAdapter(f func(Progress)) func(core.TracePoint) {
 			ElapsedMinutes: tp.Elapsed / 60,
 			BestWall:       tp.BestWall,
 			ImprovementPct: stats.ImprovementPct(defaultWall, tp.BestWall),
+			Flakes:         tp.Flakes,
 		})
 	}
 }
@@ -305,6 +344,18 @@ func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (
 	if err != nil {
 		return nil, err
 	}
+	retry := runner.RetryPolicy{MaxAttempts: opts.RetryAttempts}
+	multi.Retry = retry
+	var run runner.Runner = multi
+	plan, err := faultinject.ParsePlan(opts.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Active() {
+		chaos := faultinject.New(run, plan, opts.Seed)
+		chaos.Retry = retry
+		run = chaos
+	}
 	searcherName := opts.Searcher
 	if searcherName == "" {
 		searcherName = "hierarchical"
@@ -318,7 +369,7 @@ func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (
 		budget = core.DefaultBudgetSeconds * float64(len(profiles))
 	}
 	session := &core.Session{
-		Runner:        multi,
+		Runner:        run,
 		Searcher:      searcher,
 		BudgetSeconds: budget,
 		Reps:          opts.Reps,
@@ -333,21 +384,25 @@ func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (
 	}
 	col, _ := hierarchy.SelectedCollector(out.Best)
 	return &Result{
-		outcome:        out,
-		Benchmark:      out.Workload,
-		Searcher:       out.Searcher,
-		DefaultWall:    out.DefaultWall,
-		BestWall:       out.BestWall,
-		ImprovementPct: out.ImprovementPct,
-		Speedup:        out.Speedup,
-		Best:           out.Best,
-		CommandLine:    out.Best.CommandLine(),
-		Collector:      string(col),
-		Trials:         out.Trials,
-		Failures:       out.Failures,
-		CacheHits:      out.CacheHits,
-		ElapsedMinutes: out.Elapsed / 60,
-		Trace:          out.Trace,
+		outcome:           out,
+		Benchmark:         out.Workload,
+		Searcher:          out.Searcher,
+		DefaultWall:       out.DefaultWall,
+		BestWall:          out.BestWall,
+		ImprovementPct:    out.ImprovementPct,
+		Speedup:           out.Speedup,
+		Best:              out.Best,
+		CommandLine:       out.Best.CommandLine(),
+		Collector:         string(col),
+		Trials:            out.Trials,
+		Failures:          out.Failures,
+		CacheHits:         out.CacheHits,
+		Flakes:            out.Flakes,
+		Attempts:          out.Attempts,
+		TransientFailures: out.TransientFailures,
+		Chaos:             plan.Name,
+		ElapsedMinutes:    out.Elapsed / 60,
+		Trace:             out.Trace,
 	}, nil
 }
 
@@ -370,6 +425,10 @@ func Suite(name string) ([]*Profile, error) {
 
 // Searchers lists the available strategies, the paper's tuner first.
 func Searchers() []string { return core.SearcherNames() }
+
+// ChaosScenarios lists the named fault plans Options.Chaos accepts (it also
+// accepts the fault-plan DSL; see internal/faultinject.ParsePlan).
+func ChaosScenarios() []string { return faultinject.Scenarios() }
 
 // Measure runs the given java-style arguments against a built-in benchmark
 // once on the simulated VM, without any tuning — useful to check what a

@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/flags"
 	"repro/internal/hierarchy"
+	"repro/internal/jvmsim"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -115,6 +117,31 @@ type TracePoint struct {
 	BestWall float64
 	// Trial is the measurement count at that moment.
 	Trial int
+	// Flakes is the cumulative count of transient failures absorbed by
+	// retries up to that moment.
+	Flakes int
+}
+
+// AttemptRecord summarizes one configuration's measurement attempts across a
+// session — how many times it was (re)measured, how many launch attempts
+// that took, and how it ultimately fared. Cache replays involve no launches
+// and are not recorded.
+type AttemptRecord struct {
+	// Key identifies the configuration.
+	Key string
+	// Trials is the number of fresh (non-cached) measurements delivered.
+	Trials int
+	// Attempts is the total launch attempts across those trials, retries
+	// included.
+	Attempts int
+	// Flakes is how many of those attempts failed transiently and were
+	// retried (or exhausted the retry budget).
+	Flakes int
+	// Failed and Transient describe the latest verdict; Failure names its
+	// kind when Failed.
+	Failed    bool
+	Transient bool
+	Failure   jvmsim.FailureKind
 }
 
 // Outcome is the result of one tuning session.
@@ -137,6 +164,17 @@ type Outcome struct {
 	Failures       int
 	CacheHits      int
 	Elapsed        float64
+	// Flakes is the total count of transient failures absorbed by retries;
+	// Attempts is the total launch attempts (every trial costs at least
+	// one); TransientFailures counts trials that were still failing
+	// transiently when the retry budget ran out (the configuration is NOT
+	// condemned — a later proposal may re-measure it).
+	Flakes            int
+	Attempts          int
+	TransientFailures int
+	// AttemptHistory summarizes per-configuration attempt accounting,
+	// sorted by configuration key.
+	AttemptHistory []AttemptRecord
 	Trace          []TracePoint
 	// BaseMeasurement and BestMeasurement are the default config's and the
 	// winner's raw measurements (walls and pauses).
@@ -242,12 +280,14 @@ func (s *Session) Run() (*Outcome, error) {
 	slotFree := make([]float64, workers)
 
 	// Baseline: the default configuration, measured under the same economy.
+	history := make(map[string]*AttemptRecord)
 	def := flags.NewConfig(reg)
 	base := s.Runner.Measure(def, reps)
 	if base.Failed {
 		return nil, fmt.Errorf("core: default configuration fails on %s: %s",
 			out.Workload, base.FailureMessage)
 	}
+	out.recordAttempts(history, def.Key(), base)
 	ctx.DefaultWall = objective.Score(base)
 	ctx.Best, ctx.BestWall = def, ctx.DefaultWall
 	slotFree[0] = base.CostSeconds
@@ -256,15 +296,22 @@ func (s *Session) Run() (*Outcome, error) {
 	out.Objective = objective
 	out.BaseMeasurement = base
 	out.BestMeasurement = base
-	tp := TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall}
+	tp := TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall, Flakes: out.Flakes}
 	out.Trace = append(out.Trace, tp)
 	if s.OnProgress != nil {
 		s.OnProgress(tp)
 	}
 
-	if err := s.runLoop(runCtx, ctx, out, slotFree, reps, budget); err != nil {
+	if err := s.runLoop(runCtx, ctx, out, slotFree, reps, budget, history); err != nil {
 		return nil, err
 	}
+	out.AttemptHistory = make([]AttemptRecord, 0, len(history))
+	for _, rec := range history {
+		out.AttemptHistory = append(out.AttemptHistory, *rec)
+	}
+	sort.Slice(out.AttemptHistory, func(i, j int) bool {
+		return out.AttemptHistory[i].Key < out.AttemptHistory[j].Key
+	})
 	// Report the makespan: the time the busiest slot finishes.
 	for _, f := range slotFree {
 		if f > ctx.Elapsed {
@@ -279,6 +326,34 @@ func (s *Session) Run() (*Outcome, error) {
 	out.ImprovementPct = stats.ImprovementPct(out.DefaultWall, out.BestWall)
 	out.Speedup = stats.Speedup(out.DefaultWall, out.BestWall)
 	return out, nil
+}
+
+// recordAttempts folds a fresh measurement into the session's flake
+// accounting. Cache replays involve no launches and are skipped.
+func (o *Outcome) recordAttempts(history map[string]*AttemptRecord, key string, m runner.Measurement) {
+	if m.FromCache {
+		return
+	}
+	attempts := m.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	o.Flakes += m.Flakes
+	o.Attempts += attempts
+	if m.Transient {
+		o.TransientFailures++
+	}
+	rec := history[key]
+	if rec == nil {
+		rec = &AttemptRecord{Key: key}
+		history[key] = rec
+	}
+	rec.Trials++
+	rec.Attempts += attempts
+	rec.Flakes += m.Flakes
+	rec.Failed = m.Failed
+	rec.Transient = m.Transient
+	rec.Failure = m.Failure
 }
 
 // BestAt returns the best wall time known at the given virtual time, for

@@ -49,7 +49,7 @@ type trial struct {
 // arrive in wall-clock time, never what they are or the order the searcher
 // sees them in.
 func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
-	slotFree []float64, reps int, budget float64) error {
+	slotFree []float64, reps int, budget float64, history map[string]*AttemptRecord) error {
 	workers := len(slotFree)
 
 	// Cache hits are free, so a searcher that re-proposes known
@@ -192,12 +192,13 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			if tr.m.Failed {
 				out.Failures++
 			}
+			out.recordAttempts(history, tr.cfg.Key(), tr.m)
 			s.Searcher.Observe(ctx, tr.cfg, tr.m)
 			if sc := ctx.Objective.Score(tr.m); sc < ctx.BestWall {
 				ctx.Best, ctx.BestWall = tr.cfg.Clone(), sc
 				out.BestMeasurement = tr.m
 			}
-			tp := TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall, Trial: ctx.Trial}
+			tp := TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall, Trial: ctx.Trial, Flakes: out.Flakes}
 			out.Trace = append(out.Trace, tp)
 			if s.OnProgress != nil {
 				s.OnProgress(tp)

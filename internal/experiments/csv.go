@@ -52,11 +52,11 @@ func CSVComparison(r *ComparisonResult, searchers []string) string {
 
 // CSVSuite renders a Table 1/2 result as CSV.
 func CSVSuite(r *SuiteResult) string {
-	out := "benchmark,default_seconds,tuned_seconds,speedup,improvement_pct,trials,collector,tiered\n"
+	out := "benchmark,default_seconds,tuned_seconds,speedup,improvement_pct,trials,flakes,collector,tiered\n"
 	for _, row := range r.Rows {
-		out += fmt.Sprintf("%s,%.3f,%.3f,%.3f,%.2f,%d,%s,%v\n",
+		out += fmt.Sprintf("%s,%.3f,%.3f,%.3f,%.2f,%d,%d,%s,%v\n",
 			row.Benchmark, row.DefaultWall, row.BestWall, row.Speedup,
-			row.ImprovementPct, row.Trials, row.Collector, row.Tiered)
+			row.ImprovementPct, row.Trials, row.Flakes, row.Collector, row.Tiered)
 	}
 	return out
 }

@@ -129,8 +129,11 @@ type SuiteRow struct {
 	ImprovementPct float64
 	Speedup        float64
 	Trials         int
-	Collector      string
-	Tiered         bool
+	// Flakes counts transient failures absorbed by measurement retries
+	// (always 0 on a healthy farm; nonzero under fault injection).
+	Flakes    int
+	Collector string
+	Tiered    bool
 }
 
 // SuiteResult is a whole suite's tuning outcome.
@@ -169,6 +172,7 @@ func RunSuite(suite string, cfg Config) (*SuiteResult, error) {
 			ImprovementPct: out.ImprovementPct,
 			Speedup:        out.Speedup,
 			Trials:         out.Trials,
+			Flakes:         out.Flakes,
 			Collector:      string(col),
 			Tiered:         out.Best.Bool("TieredCompilation"),
 		}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file instead when -update is set:
+//
+//	go test ./internal/experiments -run Golden -update
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden file (re-run with -update if intended)\n--- got\n%s\n--- want\n%s",
+			name, got, want)
+	}
+}
+
+// Synthetic fixtures: hand-built results with exact values so the goldens
+// pin the *rendering*, not the tuner.
+func goldenSuiteResult() *SuiteResult {
+	return &SuiteResult{
+		Suite: "specjvm2008",
+		Rows: []SuiteRow{
+			{Benchmark: "startup.helloworld", DefaultWall: 0.875, BestWall: 0.8125,
+				ImprovementPct: 7.14, Speedup: 1.08, Trials: 118, Flakes: 0,
+				Collector: "serial", Tiered: true},
+			{Benchmark: "compress", DefaultWall: 6.5, BestWall: 5.25,
+				ImprovementPct: 19.23, Speedup: 1.24, Trials: 301, Flakes: 4,
+				Collector: "parallel", Tiered: false},
+			{Benchmark: "xml.validation", DefaultWall: 11.25, BestWall: 8.5,
+				ImprovementPct: 24.44, Speedup: 1.32, Trials: 276, Flakes: 11,
+				Collector: "g1", Tiered: true},
+		},
+		AvgImprovement: 16.94,
+		MaxImprovement: 24.44,
+		TopThree:       [3]float64{24.44, 19.23, 7.14},
+	}
+}
+
+func TestSuiteGoldenText(t *testing.T) {
+	checkGolden(t, "suite_table", RenderSuite(goldenSuiteResult(), "Table 1: SPECjvm2008 (golden fixture)"))
+}
+
+func TestSuiteGoldenCSV(t *testing.T) {
+	checkGolden(t, "suite_csv", CSVSuite(goldenSuiteResult()))
+}
+
+func TestComparisonGoldenCSV(t *testing.T) {
+	r := &ComparisonResult{
+		Rows: []ComparisonRow{
+			{Benchmark: "h2", Searcher: "hierarchical", ImprovementPct: 21.5, Trials: 290, Failures: 12},
+			{Benchmark: "h2", Searcher: "random", ImprovementPct: 9.75, Trials: 310, Failures: 40},
+			{Benchmark: "eclipse", Searcher: "hierarchical", ImprovementPct: 14.25, Trials: 265, Failures: 8},
+			{Benchmark: "eclipse", Searcher: "random", ImprovementPct: 5.5, Trials: 330, Failures: 51},
+		},
+		AvgBySearcher: map[string]float64{"hierarchical": 17.875, "random": 7.625},
+	}
+	checkGolden(t, "comparison_csv", CSVComparison(r, []string{"hierarchical", "random"}))
+}
+
+func TestScalingGoldenCSV(t *testing.T) {
+	rows := []ScalingRow{
+		{Benchmark: "h2", Workers: 1, Trials: 240, ImprovementPct: 18.5, MakespanMin: 200},
+		{Benchmark: "h2", Workers: 4, Trials: 705, ImprovementPct: 21.25, MakespanMin: 200},
+		{Benchmark: "h2", Workers: 16, Trials: 2030, ImprovementPct: 22.0, MakespanMin: 200},
+	}
+	checkGolden(t, "scaling_csv", CSVScaling(rows))
+}
+
+func TestConvergenceGoldenCSV(t *testing.T) {
+	r := &ConvergenceResult{
+		Benchmarks:  []string{"h2", "eclipse"},
+		MinuteMarks: []float64{25, 50, 100, 200},
+		ImprovementAt: [][]float64{
+			{4.5, 11.25, 17.5, 21.5},
+			{2.25, 6.5, 10.75, 14.25},
+		},
+	}
+	checkGolden(t, "convergence_csv", CSVConvergence(r))
+}

@@ -11,17 +11,17 @@ import (
 // RenderSuite renders Table 1 / Table 2.
 func RenderSuite(r *SuiteResult, title string) string {
 	t := report.NewTable(title,
-		"Benchmark", "Default(s)", "Tuned(s)", "Speedup", "Improvement", "Trials", "GC", "Tiered")
+		"Benchmark", "Default(s)", "Tuned(s)", "Speedup", "Improvement", "Trials", "Flakes", "GC", "Tiered")
 	for _, row := range r.Rows {
 		t.AddRow(row.Benchmark, row.DefaultWall, row.BestWall,
 			fmt.Sprintf("%.2fx", row.Speedup),
 			fmt.Sprintf("%.1f%%", row.ImprovementPct),
-			row.Trials, row.Collector, row.Tiered)
+			row.Trials, row.Flakes, row.Collector, row.Tiered)
 	}
 	t.AddFooter("average", "", "", "",
-		fmt.Sprintf("%.1f%%", r.AvgImprovement), "", "", "")
+		fmt.Sprintf("%.1f%%", r.AvgImprovement), "", "", "", "")
 	t.AddFooter("maximum", "", "", "",
-		fmt.Sprintf("%.1f%%", r.MaxImprovement), "", "", "")
+		fmt.Sprintf("%.1f%%", r.MaxImprovement), "", "", "", "")
 	return t.String()
 }
 

@@ -1,0 +1,272 @@
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/flags"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// faultKind is what one attempt suffers.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultLaunch
+	faultCorrupt
+	faultCrash
+	faultHang
+	faultSpike
+)
+
+// ChaosRunner wraps a Runner and injects the Plan's faults into its
+// measurement attempts, retrying the transient ones under its RetryPolicy
+// and charging every attempt — and its backoff — to the virtual budget.
+// It implements runner.Runner and is safe for concurrent use.
+//
+// Determinism: the fault for attempt n of configuration key k is a pure
+// hash of (Seed, k, n). Attempt numbering per key only depends on that
+// key's own history, never on goroutine scheduling, so sessions stay
+// reproducible at any worker count. Keys that have reached a definitive
+// verdict (success or deterministic failure) are left alone afterwards:
+// replays of the inner runner's cache involve no launch to sabotage.
+type ChaosRunner struct {
+	// Retry bounds re-attempts of transiently failed measurements. The
+	// zero value means the defaults; the effective attempt count is always
+	// large enough to outlast the plan's MaxConsecutive streak, so a
+	// configuration that only ever failed transiently is never condemned.
+	Retry runner.RetryPolicy
+	// HangDeadline bounds injected hangs in real time — the chaos layer
+	// really blocks, the way a wedged launch really blocks a worker, and
+	// the deadline really cuts it down. Values ≤ 0 mean 25ms.
+	HangDeadline time.Duration
+
+	inner runner.Runner
+	plan  Plan
+	seed  int64
+
+	mu       sync.Mutex
+	elapsed  float64
+	attempts map[string]int  // per-key launch-attempt counter
+	streaks  map[string]int  // consecutive injected failures per key
+	settled  map[string]bool // keys with a definitive (cacheable) verdict
+	stats    Stats
+}
+
+// Stats counts the chaos layer's activity.
+type Stats struct {
+	// Attempts is the number of launch attempts scheduled through the
+	// chaos layer (injected or clean).
+	Attempts int
+	// Injected faults by kind.
+	Launch, Corrupt, Crash, Hang, Spike int
+	// Suppressed counts failure faults skipped by the MaxConsecutive cap.
+	Suppressed int
+}
+
+// Injected is the total number of injected failure faults (spikes are
+// slowdowns, not failures, and are counted separately).
+func (s Stats) Injected() int { return s.Launch + s.Corrupt + s.Crash + s.Hang }
+
+// New wraps inner in a chaos layer driven by plan and seed.
+func New(inner runner.Runner, plan Plan, seed int64) *ChaosRunner {
+	return &ChaosRunner{
+		inner:    inner,
+		plan:     plan.normalized(),
+		seed:     seed,
+		attempts: make(map[string]int),
+		streaks:  make(map[string]int),
+		settled:  make(map[string]bool),
+	}
+}
+
+// Plan returns the normalized fault plan in effect.
+func (c *ChaosRunner) Plan() Plan { return c.plan }
+
+// Workload returns the wrapped runner's profile.
+func (c *ChaosRunner) Workload() *workload.Profile { return c.inner.Workload() }
+
+// Elapsed returns total virtual seconds consumed, including synthesized
+// fault costs and retry backoffs the inner runner never saw.
+func (c *ChaosRunner) Elapsed() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
+
+// Stats returns a snapshot of the injection counters.
+func (c *ChaosRunner) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Measure implements runner.Runner.
+func (c *ChaosRunner) Measure(cfg *flags.Config, reps int) runner.Measurement {
+	key := cfg.Key()
+	c.mu.Lock()
+	settled := c.settled[key]
+	c.mu.Unlock()
+
+	var m runner.Measurement
+	if !c.plan.Active() || settled {
+		m = c.inner.Measure(cfg, reps)
+	} else {
+		// Leave the policy un-normalized here — Run normalizes exactly once,
+		// and normalizing twice would turn an explicit "no backoff" (-1 → 0)
+		// back into the default charge.
+		policy := c.Retry
+		// Guarantee the retry budget outlasts the longest possible streak
+		// of injected failures: the plan caps consecutive faults per key at
+		// MaxConsecutive, so MaxConsecutive+1 attempts always reach a clean
+		// one. Without this a transient-only config could be condemned.
+		if policy.Normalized().MaxAttempts <= c.plan.MaxConsecutive {
+			policy.MaxAttempts = c.plan.MaxConsecutive + 1
+		}
+		m = policy.Run(func(int) runner.Measurement {
+			return c.attempt(cfg, reps, key)
+		})
+		m.Key = key
+	}
+
+	c.mu.Lock()
+	if !m.Transient {
+		c.settled[key] = true
+	}
+	c.elapsed += m.CostSeconds
+	c.mu.Unlock()
+	return m
+}
+
+// attempt performs one launch attempt of key, consulting the seeded
+// schedule for what (if anything) to inject.
+func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key string) runner.Measurement {
+	c.mu.Lock()
+	n := c.attempts[key]
+	c.attempts[key] = n + 1
+	kind := c.faultFor(key, n)
+	if isFailureFault(kind) {
+		if c.streaks[key] >= c.plan.MaxConsecutive {
+			c.stats.Suppressed++
+			kind = faultNone
+		} else {
+			c.streaks[key]++
+		}
+	}
+	if !isFailureFault(kind) {
+		c.streaks[key] = 0
+	}
+	c.stats.Attempts++
+	switch kind {
+	case faultLaunch:
+		c.stats.Launch++
+	case faultCorrupt:
+		c.stats.Corrupt++
+	case faultCrash:
+		c.stats.Crash++
+	case faultHang:
+		c.stats.Hang++
+	case faultSpike:
+		c.stats.Spike++
+	}
+	c.mu.Unlock()
+
+	switch kind {
+	case faultLaunch:
+		return runner.Measurement{
+			Key: key, Failed: true, Failure: runner.LaunchFlakeFailure,
+			FailureMessage: fmt.Sprintf("faultinject: launch failed (attempt %d)", n),
+			CostSeconds:    runner.LaunchOverheadSeconds,
+		}
+	case faultCorrupt:
+		return runner.Measurement{
+			Key: key, Failed: true, Failure: runner.CorruptReportFailure,
+			FailureMessage: fmt.Sprintf("faultinject: report truncated (attempt %d)", n),
+			CostSeconds:    c.plan.CrashSeconds + runner.LaunchOverheadSeconds,
+		}
+	case faultCrash:
+		return runner.Measurement{
+			Key: key, Failed: true, Failure: runner.InjectedCrashFailure,
+			FailureMessage: fmt.Sprintf("faultinject: spurious crash (attempt %d)", n),
+			CostSeconds:    c.plan.CrashSeconds + runner.LaunchOverheadSeconds,
+		}
+	case faultHang:
+		// Really block, really get killed by the real deadline.
+		deadline := c.HangDeadline
+		if deadline <= 0 {
+			deadline = 25 * time.Millisecond
+		}
+		timer := time.NewTimer(deadline)
+		<-timer.C
+		return runner.Measurement{
+			Key: key, Failed: true, Failure: runner.InjectedHangFailure,
+			FailureMessage: fmt.Sprintf("faultinject: hung, killed after %s (attempt %d)", deadline, n),
+			CostSeconds:    c.plan.HangSeconds + runner.LaunchOverheadSeconds,
+		}
+	case faultSpike:
+		m := c.inner.Measure(cfg, reps)
+		if m.Failed || len(m.Walls) == 0 {
+			return m
+		}
+		f := c.plan.SpikeFactor
+		for i := range m.Walls {
+			m.Walls[i] *= f
+		}
+		for i := range m.Pauses {
+			m.Pauses[i] *= f
+		}
+		m.Mean *= f
+		m.MeanPause *= f
+		m.CostSeconds *= f
+		return m
+	default:
+		return c.inner.Measure(cfg, reps)
+	}
+}
+
+func isFailureFault(k faultKind) bool {
+	switch k {
+	case faultLaunch, faultCorrupt, faultCrash, faultHang:
+		return true
+	}
+	return false
+}
+
+// faultFor is the seeded schedule: a pure hash of (seed, key, attempt)
+// mapped onto the plan's cumulative fault probabilities.
+func (c *ChaosRunner) faultFor(key string, attempt int) faultKind {
+	u := hash01(c.seed, key, attempt)
+	for _, f := range []struct {
+		p float64
+		k faultKind
+	}{
+		{c.plan.Launch, faultLaunch},
+		{c.plan.Corrupt, faultCorrupt},
+		{c.plan.Crash, faultCrash},
+		{c.plan.Hang, faultHang},
+		{c.plan.Spike, faultSpike},
+	} {
+		if u < f.p {
+			return f.k
+		}
+		u -= f.p
+	}
+	return faultNone
+}
+
+// hash01 maps (seed, key, attempt) to a uniform float in [0, 1).
+func hash01(seed int64, key string, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+		buf[8+i] = byte(uint64(attempt) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}

@@ -1,0 +1,245 @@
+// Package faultinject is the tuner's deterministic chaos layer: a
+// ChaosRunner wraps any runner.Runner and sabotages measurement attempts —
+// transient launch failures, corrupted reports, spurious crashes, hangs
+// killed at a real deadline, and latency spikes — according to a seeded,
+// per-configuration schedule described by a Plan.
+//
+// The paper's 200-minute tuning sessions only work because the harness
+// survives hostile configurations; this package makes that survivable
+// hostility reproducible. Every fault decision is a pure hash of
+// (seed, configuration key, attempt index), so a chaos-wrapped session is
+// exactly as deterministic as a clean one: the same seed yields the same
+// faults, the same retries, the same budget spend, and the same winning
+// configuration at any worker count.
+//
+// Plans are built three ways: literally, from a named scenario
+// (Scenario("unstable-farm")), or from the fault-plan DSL — a comma list of
+// key=value items, e.g.
+//
+//	launch=0.1,corrupt=0.05,crash=0.02,hang=0.01,spike=0.2,spike-factor=3
+//
+// ParsePlan accepts either a scenario name or a DSL spec, which is what the
+// CLI's -chaos flag and the HTTP API's "chaos" job option pass through.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plan describes what the chaos layer injects. Probabilities apply
+// independently per launch attempt (one draw decides which fault, if any,
+// an attempt suffers), so their sum must stay ≤ 1.
+//
+// The zero value injects nothing. Cost knobs at zero mean their defaults.
+type Plan struct {
+	// Name labels the plan in reports; ParsePlan fills it.
+	Name string
+
+	// Launch is the probability a launch fails before the run starts
+	// (transient; charged the launch overhead).
+	Launch float64
+	// Corrupt is the probability a completed run's report arrives
+	// unparseable (transient; charged CrashSeconds of wasted run time).
+	Corrupt float64
+	// Crash is the probability the run dies spuriously partway through
+	// (transient; charged CrashSeconds).
+	Crash float64
+	// Hang is the probability the run hangs until the harness kills it at
+	// its real-time deadline (transient; charged HangSeconds).
+	Hang float64
+	// Spike is the probability a successful run is slowed by a machine
+	// latency spike: walls and cost multiply by SpikeFactor. Spikes are
+	// noise, not failures — they are never retried.
+	Spike float64
+
+	// SpikeFactor multiplies wall times on a spike; values < 1 mean the
+	// default, 3.
+	SpikeFactor float64
+	// HangSeconds is the virtual budget a killed hang charges; values ≤ 0
+	// mean the default, 300 (the paper-scale harness timeout).
+	HangSeconds float64
+	// CrashSeconds is the virtual run time wasted by a spurious crash or a
+	// corrupted report; values ≤ 0 mean the default, 5.
+	CrashSeconds float64
+	// MaxConsecutive caps consecutive injected failures per configuration,
+	// guaranteeing a clean attempt eventually gets through — a transient-
+	// only configuration can never be condemned. Values < 1 mean the
+	// default, 2.
+	MaxConsecutive int
+}
+
+// Plan knob defaults.
+const (
+	DefaultSpikeFactor    = 3.0
+	DefaultHangSeconds    = 300.0
+	DefaultCrashSeconds   = 5.0
+	DefaultMaxConsecutive = 2
+)
+
+// normalized resolves defaulted knobs.
+func (p Plan) normalized() Plan {
+	if p.SpikeFactor < 1 {
+		p.SpikeFactor = DefaultSpikeFactor
+	}
+	if p.HangSeconds <= 0 {
+		p.HangSeconds = DefaultHangSeconds
+	}
+	if p.CrashSeconds <= 0 {
+		p.CrashSeconds = DefaultCrashSeconds
+	}
+	if p.MaxConsecutive < 1 {
+		p.MaxConsecutive = DefaultMaxConsecutive
+	}
+	return p
+}
+
+// Active reports whether the plan injects anything at all.
+func (p Plan) Active() bool {
+	return p.Launch > 0 || p.Corrupt > 0 || p.Crash > 0 || p.Hang > 0 || p.Spike > 0
+}
+
+// failureProb is the total probability an attempt suffers an injected
+// *failure* (spikes slow a run down but still succeed).
+func (p Plan) failureProb() float64 {
+	return p.Launch + p.Corrupt + p.Crash + p.Hang
+}
+
+// Validate rejects impossible plans.
+func (p Plan) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"launch", p.Launch}, {"corrupt", p.Corrupt}, {"crash", p.Crash},
+		{"hang", p.Hang}, {"spike", p.Spike},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("faultinject: %s probability %g outside [0,1]", f.name, f.v)
+		}
+	}
+	if sum := p.failureProb() + p.Spike; sum > 1 {
+		return fmt.Errorf("faultinject: fault probabilities sum to %g (> 1)", sum)
+	}
+	return nil
+}
+
+// String renders the plan in canonical DSL form (scenario name omitted).
+func (p Plan) String() string {
+	n := p.normalized()
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add("launch", p.Launch)
+	add("corrupt", p.Corrupt)
+	add("crash", p.Crash)
+	add("hang", p.Hang)
+	add("spike", p.Spike)
+	if len(parts) == 0 {
+		return "none"
+	}
+	parts = append(parts,
+		fmt.Sprintf("spike-factor=%g", n.SpikeFactor),
+		fmt.Sprintf("hang-cost=%g", n.HangSeconds),
+		fmt.Sprintf("crash-cost=%g", n.CrashSeconds),
+		fmt.Sprintf("streak=%d", n.MaxConsecutive))
+	return strings.Join(parts, ",")
+}
+
+// scenarios are the named fault plans tests and operators reach for.
+var scenarios = map[string]Plan{
+	"none":            {},
+	"flaky-launch":    {Launch: 0.15},
+	"corrupt-reports": {Corrupt: 0.10},
+	"crashy":          {Crash: 0.10},
+	"hangs":           {Hang: 0.08},
+	"latency-spikes":  {Spike: 0.20},
+	"unstable-farm":   {Launch: 0.06, Corrupt: 0.03, Crash: 0.03, Hang: 0.02, Spike: 0.08},
+	"hostile":         {Launch: 0.12, Corrupt: 0.06, Crash: 0.06, Hang: 0.04, Spike: 0.12, SpikeFactor: 4},
+}
+
+// Scenarios lists the named plans, sorted.
+func Scenarios() []string {
+	out := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scenario returns a named plan.
+func Scenario(name string) (Plan, bool) {
+	p, ok := scenarios[name]
+	p.Name = name
+	return p, ok
+}
+
+// ParsePlan builds a plan from a scenario name or a DSL spec. The empty
+// string is the empty plan. DSL keys: launch, corrupt, crash, hang, spike
+// (probabilities in [0,1]); spike-factor, hang-cost, crash-cost (floats);
+// streak (max consecutive injected failures per config, int ≥ 1).
+func ParsePlan(spec string) (Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Plan{Name: "none"}, nil
+	}
+	if p, ok := Scenario(spec); ok {
+		return p, nil
+	}
+	p := Plan{Name: spec}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(item, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf(
+				"faultinject: bad plan item %q (want key=value, or a scenario: %s)",
+				item, strings.Join(Scenarios(), ", "))
+		}
+		k = strings.TrimSpace(k)
+		if k == "streak" {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil || n < 1 {
+				return Plan{}, fmt.Errorf("faultinject: streak needs an integer ≥ 1, got %q", v)
+			}
+			p.MaxConsecutive = n
+			continue
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faultinject: bad value in %q: %v", item, err)
+		}
+		switch k {
+		case "launch":
+			p.Launch = x
+		case "corrupt":
+			p.Corrupt = x
+		case "crash":
+			p.Crash = x
+		case "hang":
+			p.Hang = x
+		case "spike":
+			p.Spike = x
+		case "spike-factor":
+			p.SpikeFactor = x
+		case "hang-cost":
+			p.HangSeconds = x
+		case "crash-cost":
+			p.CrashSeconds = x
+		default:
+			return Plan{}, fmt.Errorf("faultinject: unknown plan key %q", k)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePlanDSL(t *testing.T) {
+	p, err := ParsePlan("launch=0.1, corrupt=0.05,crash=0.02,hang=0.01,spike=0.2,spike-factor=4,hang-cost=120,crash-cost=7,streak=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Launch != 0.1 || p.Corrupt != 0.05 || p.Crash != 0.02 || p.Hang != 0.01 || p.Spike != 0.2 {
+		t.Errorf("probabilities wrong: %+v", p)
+	}
+	if p.SpikeFactor != 4 || p.HangSeconds != 120 || p.CrashSeconds != 7 || p.MaxConsecutive != 3 {
+		t.Errorf("knobs wrong: %+v", p)
+	}
+	if !p.Active() {
+		t.Error("plan should be active")
+	}
+}
+
+func TestParsePlanEmptyAndScenarios(t *testing.T) {
+	p, err := ParsePlan("")
+	if err != nil || p.Active() {
+		t.Errorf("empty spec should be the inactive plan: %+v err=%v", p, err)
+	}
+	for _, name := range Scenarios() {
+		p, err := ParsePlan(name)
+		if err != nil {
+			t.Errorf("scenario %q failed to parse: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("scenario %q parsed with name %q", name, p.Name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", name, err)
+		}
+	}
+	if p, _ := ParsePlan("unstable-farm"); !p.Active() {
+		t.Error("unstable-farm should inject something")
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",              // neither scenario nor key=value
+		"launch",             // missing value
+		"launch=x",           // bad float
+		"launch=1.5",         // probability out of range
+		"launch=-0.1",        // negative
+		"warp=0.1",           // unknown key
+		"streak=0",           // streak below 1
+		"streak=two",         // non-integer streak
+		"launch=0.6,spike=0.6", // probabilities sum past 1
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", spec)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	if s := (Plan{}).String(); s != "none" {
+		t.Errorf("empty plan renders %q", s)
+	}
+	p, _ := ParsePlan("launch=0.1,spike=0.2")
+	s := p.String()
+	for _, want := range []string{"launch=0.1", "spike=0.2", "spike-factor=3", "streak=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	// The canonical form round-trips.
+	q, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("canonical form %q does not re-parse: %v", s, err)
+	}
+	if q.Launch != p.Launch || q.Spike != p.Spike {
+		t.Errorf("round-trip changed the plan: %+v vs %+v", q, p)
+	}
+}
+
+func TestHash01Deterministic(t *testing.T) {
+	a := hash01(42, "k", 3)
+	if b := hash01(42, "k", 3); a != b {
+		t.Error("hash01 must be pure")
+	}
+	if a < 0 || a >= 1 {
+		t.Errorf("hash01 out of range: %g", a)
+	}
+	if hash01(42, "k", 3) == hash01(43, "k", 3) ||
+		hash01(42, "k", 3) == hash01(42, "k2", 3) ||
+		hash01(42, "k", 3) == hash01(42, "k", 4) {
+		t.Error("hash01 should vary with every input")
+	}
+	// The schedule is roughly uniform: over many draws about p of them
+	// land below p.
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if hash01(7, "uniformity", i) < 0.25 {
+			hits++
+		}
+	}
+	if hits < 2200 || hits > 2800 {
+		t.Errorf("hash01 badly non-uniform: %d/10000 below 0.25", hits)
+	}
+}

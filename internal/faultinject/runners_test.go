@@ -1,0 +1,145 @@
+package faultinject_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func jvmsimBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "faultinject-jvmsim")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "jvmsim")
+		cmd := exec.Command("go", "build", "-o", binPath, "repro/cmd/jvmsim")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			t.Logf("build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building jvmsim: %v", buildErr)
+	}
+	return binPath
+}
+
+func mustProfile(t *testing.T, name string) *workload.Profile {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("no workload %s", name)
+	}
+	return p
+}
+
+// oomConfig returns a configuration that OOMs the h2 workload: a heap far
+// below its live set.
+func oomConfig() *flags.Config {
+	cfg := flags.NewConfig(flags.NewRegistry())
+	cfg.SetInt("MaxHeapSize", 128<<20)
+	cfg.SetInt("InitialHeapSize", 64<<20)
+	return cfg
+}
+
+// TestChaosOverRealRunners is the acceptance regression matrix: through the
+// chaos layer, every real runner retries transient injected failures
+// (charging each attempt plus backoff) and still condemns-and-caches
+// deterministic failures.
+func TestChaosOverRealRunners(t *testing.T) {
+	quietSim := func() *jvmsim.Simulator {
+		sim := jvmsim.New()
+		sim.NoiseRelStdDev = 0
+		return sim
+	}
+	cases := []struct {
+		name string
+		make func(t *testing.T) runner.Runner
+	}{
+		{"inprocess", func(t *testing.T) runner.Runner {
+			return runner.NewInProcess(quietSim(), mustProfile(t, "h2"))
+		}},
+		{"subprocess", func(t *testing.T) runner.Runner {
+			return runner.NewSubprocess(jvmsimBinary(t), mustProfile(t, "h2"))
+		}},
+		{"multi", func(t *testing.T) runner.Runner {
+			m, err := runner.NewMulti(quietSim(),
+				[]*workload.Profile{mustProfile(t, "startup.scimark.monte_carlo"), mustProfile(t, "h2")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+	}
+	plan, err := faultinject.ParsePlan("launch=1,streak=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ch := faultinject.New(tc.make(t), plan, 5)
+
+			// Every key's first two attempts are injected launch flakes; the
+			// streak cap lets the third through. The measurement succeeds,
+			// and the flakes' overhead and backoff are charged.
+			good := flags.NewConfig(flags.NewRegistry())
+			m := ch.Measure(good, 2)
+			if m.Failed {
+				t.Fatalf("transient flakes must be absorbed: %+v", m)
+			}
+			if m.Flakes != 2 || m.Attempts != 3 {
+				t.Errorf("expected 2 flakes over 3 attempts: %+v", m)
+			}
+			// 2 injected launches (0.5 each) + 2s and 4s backoff + real run.
+			if floor := 2*runner.LaunchOverheadSeconds + 6; m.CostSeconds <= floor {
+				t.Errorf("attempts not charged: cost %.2f ≤ %.2f", m.CostSeconds, floor)
+			}
+			if ch.Elapsed() != m.CostSeconds {
+				t.Errorf("elapsed %.2f != measurement cost %.2f", ch.Elapsed(), m.CostSeconds)
+			}
+
+			// The verdict settles the key: the replay comes from the inner
+			// cache, costs nothing, and suffers no further injection.
+			elapsed := ch.Elapsed()
+			if m2 := ch.Measure(good.Clone(), 2); !m2.FromCache || m2.CostSeconds != 0 || ch.Elapsed() != elapsed {
+				t.Errorf("settled success must replay from cache for free: %+v", m2)
+			}
+
+			// A deterministically bad config still flakes twice on launch,
+			// then fails for real — and that verdict is final.
+			bad := oomConfig()
+			f := ch.Measure(bad, 2)
+			if !f.Failed || f.Transient || runner.Transient(f.Failure) {
+				t.Fatalf("expected a deterministic failure verdict: %+v", f)
+			}
+			if f.Flakes != 2 {
+				t.Errorf("the injected flakes still count: %+v", f)
+			}
+			elapsed = ch.Elapsed()
+			f2 := ch.Measure(bad.Clone(), 2)
+			if !f2.FromCache || f2.CostSeconds != 0 || ch.Elapsed() != elapsed {
+				t.Errorf("condemned config must replay from cache for free: %+v", f2)
+			}
+			if !f2.Failed || f2.Failure != f.Failure {
+				t.Errorf("cached replay must preserve the failure: %+v", f2)
+			}
+		})
+	}
+}

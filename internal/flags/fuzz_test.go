@@ -1,0 +1,50 @@
+package flags
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCommandLineRoundTrip checks the command-line codec's core invariant:
+// any argument list that parses renders (via CommandLine) to a form that
+// re-parses to the identical configuration key. The seed corpus in
+// testdata/fuzz replays on every normal `go test` run.
+func FuzzCommandLineRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"-Xmx4g",
+		"-Xms512m -Xmx2g",
+		"-XX:+UseG1GC -XX:MaxGCPauseMillis=50",
+		"-XX:+UseParallelGC -XX:ParallelGCThreads=8",
+		"-XX:-TieredCompilation -XX:CICompilerCount=2",
+		"-XX:NewRatio=3 -XX:SurvivorRatio=6",
+		"-XX:MaxHeapSize=1536m -Xss2m",
+		"-XX:+UseSerialGC -XX:TargetSurvivorRatio=60",
+		"-XX:GCTimeRatio=19 -XX:+UseStringDeduplication",
+	} {
+		f.Add(seed)
+	}
+	reg := NewRegistry()
+	f.Fuzz(func(t *testing.T, line string) {
+		args := strings.Fields(line)
+		cfg, err := ParseArgs(reg, args)
+		if err != nil {
+			// Rejected input is fine; the invariant covers accepted input.
+			t.Skip()
+		}
+		rendered := cfg.CommandLine()
+		back, err := ParseArgs(reg, rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", args, rendered, err)
+		}
+		if back.Key() != cfg.Key() {
+			t.Fatalf("round trip changed the configuration:\n  in   %q\n  out  %q\n  key  %q\n  key' %q",
+				args, rendered, cfg.Key(), back.Key())
+		}
+		// Rendering must be a fixed point: rendering the re-parse gives the
+		// same command line again.
+		if again := strings.Join(back.CommandLine(), " "); again != strings.Join(rendered, " ") {
+			t.Fatalf("rendering is not canonical: %q then %q", rendered, again)
+		}
+	})
+}

@@ -15,6 +15,7 @@
 //
 //	GET    /v1/benchmarks          list the built-in workloads
 //	GET    /v1/searchers           list the search strategies
+//	GET    /v1/scenarios           list the named fault-injection scenarios
 //	POST   /v1/tune                submit a job; ?sync=1 waits and returns it
 //	GET    /v1/jobs                list jobs
 //	GET    /v1/jobs/{id}           job status, live progress, and the result
@@ -35,6 +36,7 @@ import (
 	"sync"
 
 	"repro/hotspot"
+	"repro/internal/faultinject"
 )
 
 // TuneRequest is the body of POST /v1/tune.
@@ -45,6 +47,14 @@ type TuneRequest struct {
 	Reps          int     `json:"reps,omitempty"`
 	Seed          int64   `json:"seed,omitempty"`
 	Workers       int     `json:"workers,omitempty"`
+	// Chaos runs the job under the deterministic fault-injection layer: a
+	// named scenario (GET /v1/scenarios) or a fault-plan DSL spec such as
+	// "launch=0.1,spike=0.2". Empty means no injected faults. Job polls
+	// then surface retry/flake stats in progress and the final result.
+	Chaos string `json:"chaos,omitempty"`
+	// RetryAttempts bounds attempts per measurement for transient failures;
+	// 0 means the default (3).
+	RetryAttempts int `json:"retry_attempts,omitempty"`
 }
 
 // Job is the server's view of one tuning request.
@@ -136,6 +146,7 @@ func NewServerWith(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/searchers", s.handleSearchers)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -257,6 +268,8 @@ func (s *Server) runJob(job *Job) {
 		Reps:          req.Reps,
 		Seed:          req.Seed,
 		Workers:       req.Workers,
+		Chaos:         req.Chaos,
+		RetryAttempts: req.RetryAttempts,
 		Noise:         -1,
 		OnProgress: func(p hotspot.Progress) {
 			s.mu.Lock()
@@ -298,6 +311,10 @@ func (s *Server) handleSearchers(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, hotspot.Searchers())
 }
 
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, hotspot.ChaosScenarios())
+}
+
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	var req TuneRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -311,6 +328,14 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	// Validate cheaply before accepting the job.
 	if !validBenchmark(req.Benchmark) {
 		writeError(w, http.StatusBadRequest, "unknown benchmark %q", req.Benchmark)
+		return
+	}
+	if _, err := faultinject.ParsePlan(req.Chaos); err != nil {
+		writeError(w, http.StatusBadRequest, "bad chaos plan: %v", err)
+		return
+	}
+	if req.RetryAttempts < 0 {
+		writeError(w, http.StatusBadRequest, "retry_attempts must be ≥ 0")
 		return
 	}
 	sync := r.URL.Query().Get("sync") == "1"

@@ -70,6 +70,50 @@ func TestListEndpoints(t *testing.T) {
 	if len(searchers) == 0 || searchers[0] != "hierarchical" {
 		t.Errorf("searchers: %v", searchers)
 	}
+	var scenarios []string
+	if code := getJSON(t, ts.URL+"/v1/scenarios", &scenarios); code != 200 {
+		t.Fatal("scenarios endpoint failed")
+	}
+	found := false
+	for _, sc := range scenarios {
+		found = found || sc == "unstable-farm"
+	}
+	if !found {
+		t.Errorf("scenarios missing unstable-farm: %v", scenarios)
+	}
+}
+
+func TestTuneChaosJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	var job Job
+	code := postJSON(t, ts.URL+"/v1/tune?sync=1",
+		TuneRequest{Benchmark: "fop", BudgetMinutes: 15, Seed: 7,
+			Chaos: "unstable-farm", Workers: 2}, &job)
+	if code != 200 {
+		t.Fatalf("chaos tune status %d", code)
+	}
+	if job.State != "done" || job.Result == nil {
+		t.Fatalf("chaos job not done: %+v", job)
+	}
+	if job.Result.Chaos != "unstable-farm" {
+		t.Errorf("result chaos plan %q", job.Result.Chaos)
+	}
+	if job.Result.Flakes == 0 || job.Result.Attempts <= job.Result.Trials {
+		t.Errorf("an unstable farm should have flaked: flakes=%d attempts=%d trials=%d",
+			job.Result.Flakes, job.Result.Attempts, job.Result.Trials)
+	}
+	// Same request, same seed: the flake accounting reproduces exactly.
+	var again Job
+	if code := postJSON(t, ts.URL+"/v1/tune?sync=1",
+		TuneRequest{Benchmark: "fop", BudgetMinutes: 15, Seed: 7,
+			Chaos: "unstable-farm", Workers: 2}, &again); code != 200 {
+		t.Fatalf("repeat chaos tune status %d", code)
+	}
+	if again.Result.Flakes != job.Result.Flakes ||
+		again.Result.BestWall != job.Result.BestWall ||
+		again.Result.ElapsedMinutes != job.Result.ElapsedMinutes {
+		t.Errorf("chaos job not reproducible: %+v vs %+v", job.Result, again.Result)
+	}
 }
 
 func TestTuneSync(t *testing.T) {
@@ -126,6 +170,14 @@ func TestTuneValidation(t *testing.T) {
 	}
 	if code := postJSON(t, ts.URL+"/v1/tune", TuneRequest{Benchmark: "nope"}, nil); code != 400 {
 		t.Errorf("unknown benchmark: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/tune",
+		TuneRequest{Benchmark: "fop", Chaos: "launch=2"}, nil); code != 400 {
+		t.Errorf("bad chaos plan: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/tune",
+		TuneRequest{Benchmark: "fop", RetryAttempts: -1}, nil); code != 400 {
+		t.Errorf("negative retry_attempts: status %d", code)
 	}
 	resp, err := http.Post(ts.URL+"/v1/tune", "application/json", strings.NewReader("{garbage"))
 	if err != nil {

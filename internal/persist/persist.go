@@ -29,6 +29,8 @@ type SavedOutcome struct {
 	Trials         int               `json:"trials"`
 	Failures       int               `json:"failures"`
 	CacheHits      int               `json:"cache_hits"`
+	Flakes         int               `json:"flakes,omitempty"`
+	Attempts       int               `json:"attempts,omitempty"`
 	ElapsedSeconds float64           `json:"elapsed_seconds"`
 	CommandLine    []string          `json:"command_line"`
 	BestFlags      map[string]string `json:"best_flags"`
@@ -48,6 +50,8 @@ func FromOutcome(o *core.Outcome) *SavedOutcome {
 		Trials:         o.Trials,
 		Failures:       o.Failures,
 		CacheHits:      o.CacheHits,
+		Flakes:         o.Flakes,
+		Attempts:       o.Attempts,
 		ElapsedSeconds: o.Elapsed,
 		Trace:          o.Trace,
 		BestFlags:      map[string]string{},

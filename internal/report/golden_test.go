@@ -1,0 +1,78 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file instead when -update is set:
+//
+//	go test ./internal/report -run Golden -update
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden file (re-run with -update if intended)\n--- got\n%s\n--- want\n%s",
+			name, got, want)
+	}
+}
+
+// goldenTable is a fixed table exercising every cell type and alignment
+// path: strings, floats, ints, bools, footers, and a numeric-looking string
+// column.
+func goldenTable() *Table {
+	t := NewTable("Table G: deterministic rendering",
+		"Benchmark", "Wall(s)", "Speedup", "Trials", "GC", "Tiered")
+	t.AddRow("fop", 2.375, "1.18x", 412, "g1", true)
+	t.AddRow("h2", 11.5, "1.30x", 388, "parallel", false)
+	t.AddRow("startup.helloworld", 0.875, "1.02x", 95, "serial", true)
+	t.AddFooter("average", "", "1.17x", "", "", "")
+	return t
+}
+
+func TestTableGoldenText(t *testing.T) {
+	checkGolden(t, "table_text", goldenTable().String())
+}
+
+func TestTableGoldenMarkdown(t *testing.T) {
+	checkGolden(t, "table_markdown", goldenTable().Markdown())
+}
+
+func goldenSeries() []*Series {
+	a := &Series{Name: "h2"}
+	b := &Series{Name: "fop"}
+	for i := 0; i <= 8; i++ {
+		x := float64(i * 25)
+		a.Add(x, float64(i)*1.25)
+		b.Add(x, 8-float64(i)*0.5)
+	}
+	return []*Series{a, b}
+}
+
+func TestCSVGolden(t *testing.T) {
+	s := goldenSeries()
+	checkGolden(t, "series_csv", CSV("minutes", s...))
+}
+
+func TestAsciiChartGolden(t *testing.T) {
+	s := goldenSeries()
+	checkGolden(t, "ascii_chart", AsciiChart("improvement vs time", 48, 10, s...))
+}

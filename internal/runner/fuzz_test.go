@@ -1,0 +1,50 @@
+package runner
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRunReportDecode hardens the subprocess wire format: any bytes that
+// decode into a RunReport must re-encode and decode to the same value —
+// the scraper never invents or loses fields on valid input, and invalid
+// input fails cleanly instead of panicking. The seed corpus in testdata/fuzz
+// replays on every normal `go test` run.
+func FuzzRunReportDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"benchmark":"fop","rep":2,"wall_seconds":3.25}`,
+		`{"benchmark":"h2","failed":true,"failure":"oom","failure_message":"OutOfMemoryError: heap"}`,
+		`{"benchmark":"avrora","wall_seconds":1.5,"collector":"g1","gc_stop_seconds":0.12,"max_pause_seconds":0.03,"minor_gcs":14,"full_gcs":1}`,
+		`{"benchmark":"фоп","wall_seconds":-1e308}`,
+		`{"rep":-1,"wall_seconds":0.0000001}`,
+		`{"benchmark":"x","unknown_field":[1,2,{"a":null}]}`,
+		`[1,2,3]`,
+		`{"wall_seconds":"not a number"}`,
+		`{"benchmark":`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var report RunReport
+		if err := json.Unmarshal(data, &report); err != nil {
+			// Corrupt input must be rejected, not crash — which is exactly
+			// what the subprocess runner's corrupt-report path relies on.
+			t.Skip()
+		}
+		out, err := json.Marshal(report)
+		if err != nil {
+			// Fuzzed JSON can smuggle values Go decodes but cannot re-encode
+			// (NaN/Inf are not among them, but be explicit about the
+			// invariant: a decoded report is always re-encodable).
+			t.Fatalf("decoded report does not re-encode: %v (%+v)", err, report)
+		}
+		var back RunReport
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-encoded report does not decode: %v (%s)", err, out)
+		}
+		if back != report {
+			t.Fatalf("report round trip changed values:\n  %+v\n  %+v", report, back)
+		}
+	})
+}

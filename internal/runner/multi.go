@@ -29,6 +29,10 @@ type Multi struct {
 	// TimeoutSeconds per member run; defaults to 6× that member's baseline.
 	timeouts []float64
 
+	// Retry bounds re-attempts of transient failures; the zero value means
+	// the defaults (see RetryPolicy). Set before the first Measure call.
+	Retry RetryPolicy
+
 	mu      sync.Mutex
 	elapsed float64
 	reps    map[string]int
@@ -132,46 +136,55 @@ func (m *Multi) Measure(cfg *flags.Config, reps int) Measurement {
 		cached.CostSeconds = 0
 		return cached
 	}
-	repBase := m.reps[key]
-	m.reps[key] = repBase + reps
 	m.mu.Unlock()
 
-	out := Measurement{Key: key}
-	for rep := 0; rep < reps && !out.Failed; rep++ {
-		normSum := 0.0
-		for i, p := range m.profiles {
-			res := m.sim.Run(cfg, p, repBase+rep)
-			cost := res.WallSeconds + launchOverheadSeconds
-			if !res.Failed && res.WallSeconds > m.timeouts[i] {
-				res.Failed = true
-				res.Failure = TimeoutFailure
-				res.FailureMessage = fmt.Sprintf("%s killed after %.0fs", p.Name, m.timeouts[i])
-				cost = m.timeouts[i] + launchOverheadSeconds
+	out := m.Retry.Run(func(int) Measurement {
+		m.mu.Lock()
+		repBase := m.reps[key]
+		m.reps[key] = repBase + reps
+		m.mu.Unlock()
+
+		out := Measurement{Key: key}
+		for rep := 0; rep < reps && !out.Failed; rep++ {
+			normSum := 0.0
+			for i, p := range m.profiles {
+				res := m.sim.Run(cfg, p, repBase+rep)
+				cost := res.WallSeconds + LaunchOverheadSeconds
+				if !res.Failed && res.WallSeconds > m.timeouts[i] {
+					res.Failed = true
+					res.Failure = TimeoutFailure
+					res.FailureMessage = fmt.Sprintf("%s killed after %.0fs", p.Name, m.timeouts[i])
+					cost = m.timeouts[i] + LaunchOverheadSeconds
+				}
+				out.CostSeconds += cost
+				if res.Failed {
+					out.Failed = true
+					out.Failure = res.Failure
+					out.FailureMessage = fmt.Sprintf("%s: %s", p.Name, res.FailureMessage)
+					break
+				}
+				normSum += res.WallSeconds / m.baseline[i]
 			}
-			out.CostSeconds += cost
-			if res.Failed {
-				out.Failed = true
-				out.Failure = res.Failure
-				out.FailureMessage = fmt.Sprintf("%s: %s", p.Name, res.FailureMessage)
-				break
+			if !out.Failed {
+				out.Walls = append(out.Walls, normSum/float64(len(m.profiles)))
 			}
-			normSum += res.WallSeconds / m.baseline[i]
 		}
-		if !out.Failed {
-			out.Walls = append(out.Walls, normSum/float64(len(m.profiles)))
+		if len(out.Walls) > 0 && !out.Failed {
+			sum := 0.0
+			for _, w := range out.Walls {
+				sum += w
+			}
+			out.Mean = sum / float64(len(out.Walls))
 		}
-	}
-	if len(out.Walls) > 0 && !out.Failed {
-		sum := 0.0
-		for _, w := range out.Walls {
-			sum += w
-		}
-		out.Mean = sum / float64(len(out.Walls))
-	}
+		return out
+	})
 
 	m.mu.Lock()
 	m.elapsed += out.CostSeconds
-	m.cache[key] = out
+	// Transient failures are not verdicts; see InProcess.Measure.
+	if !out.Transient {
+		m.cache[key] = out
+	}
 	m.mu.Unlock()
 	return out
 }

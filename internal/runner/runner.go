@@ -44,11 +44,22 @@ type Measurement struct {
 	Failure jvmsim.FailureKind
 	// FailureMessage is the diagnostic of the first failure.
 	FailureMessage string
-	// CostSeconds is the virtual time the measurement consumed.
+	// CostSeconds is the virtual time the measurement consumed, including
+	// every failed attempt and retry backoff.
 	CostSeconds float64
 	// FromCache reports the measurement was replayed from the cache at
 	// zero cost.
 	FromCache bool
+	// Attempts is the number of measurement attempts behind this result
+	// (at least 1 for a fresh measurement; retries add more).
+	Attempts int
+	// Flakes is the number of transient failures absorbed by retries on
+	// the way to this result.
+	Flakes int
+	// Transient reports that Failure is a transient kind and the retry
+	// budget ran out before a definitive verdict: the configuration is not
+	// condemned, and runners do not cache the failure.
+	Transient bool
 }
 
 // Runner measures configurations against one workload.
@@ -61,9 +72,11 @@ type Runner interface {
 	Elapsed() float64
 }
 
-// launchOverheadSeconds is harness overhead per repetition (process launch,
-// result collection) beyond the JVM's own run time.
-const launchOverheadSeconds = 0.5
+// LaunchOverheadSeconds is harness overhead per repetition (process launch,
+// result collection) beyond the JVM's own run time. It is also what a
+// launch that never produced a run costs. Exported for the chaos layer
+// (internal/faultinject), which synthesizes launch failures.
+const LaunchOverheadSeconds = 0.5
 
 // InProcess measures via direct calls into the simulator.
 // It is safe for concurrent use.
@@ -77,6 +90,10 @@ type InProcess struct {
 	TimeoutSeconds float64
 	// DisableCache turns off config-key memoization.
 	DisableCache bool
+	// Retry bounds re-attempts of transient failures; the zero value means
+	// the defaults (see RetryPolicy). The simulator itself never fails
+	// transiently, but a fault-injection layer beneath this runner can.
+	Retry RetryPolicy
 
 	mu      sync.Mutex
 	elapsed float64
@@ -128,48 +145,69 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 			return m
 		}
 	}
-	repBase := r.reps[key]
-	r.reps[key] = repBase + reps
 	r.mu.Unlock()
 
-	m := Measurement{Key: key}
-	for i := 0; i < reps; i++ {
-		res := r.sim.Run(cfg, r.profile, repBase+i)
-		cost := res.WallSeconds + launchOverheadSeconds
-		if r.TimeoutSeconds > 0 && !res.Failed && res.WallSeconds > r.TimeoutSeconds {
-			res.Failed = true
-			res.Failure = TimeoutFailure
-			res.FailureMessage = fmt.Sprintf("killed after %.0fs (timeout)", r.TimeoutSeconds)
-			cost = r.TimeoutSeconds + launchOverheadSeconds
-		}
-		m.CostSeconds += cost
-		if res.Failed {
-			if !m.Failed {
-				m.Failed = true
-				m.Failure = res.Failure
-				m.FailureMessage = res.FailureMessage
+	m := r.Retry.Run(func(int) Measurement {
+		// Each attempt draws fresh noise-rep indices so a retried run is a
+		// genuinely new measurement, not a replay.
+		r.mu.Lock()
+		repBase := r.reps[key]
+		r.reps[key] = repBase + reps
+		r.mu.Unlock()
+
+		m := Measurement{Key: key}
+		for i := 0; i < reps; i++ {
+			res := r.sim.Run(cfg, r.profile, repBase+i)
+			cost := res.WallSeconds + LaunchOverheadSeconds
+			if r.TimeoutSeconds > 0 && !res.Failed && res.WallSeconds > r.TimeoutSeconds {
+				res.Failed = true
+				res.Failure = TimeoutFailure
+				res.FailureMessage = fmt.Sprintf("killed after %.0fs (timeout)", r.TimeoutSeconds)
+				cost = r.TimeoutSeconds + LaunchOverheadSeconds
 			}
-			// One failure condemns the configuration; don't waste budget.
-			break
+			m.CostSeconds += cost
+			if res.Failed {
+				if !m.Failed {
+					m.Failed = true
+					m.Failure = res.Failure
+					m.FailureMessage = res.FailureMessage
+				}
+				// One failure condemns the configuration; don't waste budget.
+				break
+			}
+			m.Walls = append(m.Walls, res.WallSeconds)
+			m.Pauses = append(m.Pauses, res.MaxPauseSeconds)
 		}
-		m.Walls = append(m.Walls, res.WallSeconds)
-		m.Pauses = append(m.Pauses, res.MaxPauseSeconds)
-	}
-	if len(m.Walls) > 0 && !m.Failed {
-		sum, psum := 0.0, 0.0
-		for i, w := range m.Walls {
-			sum += w
-			psum += m.Pauses[i]
-		}
-		m.Mean = sum / float64(len(m.Walls))
-		m.MeanPause = psum / float64(len(m.Pauses))
-	}
+		finalizeMeans(&m)
+		return m
+	})
 
 	r.mu.Lock()
 	r.elapsed += m.CostSeconds
-	if !r.DisableCache {
+	// A transient failure is no verdict: caching it would condemn a
+	// configuration that merely hit a flaky launch, so only definitive
+	// outcomes are memoized.
+	if !r.DisableCache && !m.Transient {
 		r.cache[key] = m
 	}
 	r.mu.Unlock()
 	return m
+}
+
+// finalizeMeans fills Mean and MeanPause from the collected walls.
+func finalizeMeans(m *Measurement) {
+	if len(m.Walls) == 0 || m.Failed {
+		return
+	}
+	sum, psum := 0.0, 0.0
+	for i, w := range m.Walls {
+		sum += w
+		if i < len(m.Pauses) {
+			psum += m.Pauses[i]
+		}
+	}
+	m.Mean = sum / float64(len(m.Walls))
+	if len(m.Pauses) > 0 {
+		m.MeanPause = psum / float64(len(m.Pauses))
+	}
 }

@@ -34,7 +34,7 @@ func TestMeasureDefaults(t *testing.T) {
 		t.Error("mean not computed")
 	}
 	// Cost = walls + per-launch overhead.
-	wantCost := m.Walls[0] + m.Walls[1] + m.Walls[2] + 3*launchOverheadSeconds
+	wantCost := m.Walls[0] + m.Walls[1] + m.Walls[2] + 3*LaunchOverheadSeconds
 	if math.Abs(m.CostSeconds-wantCost) > 1e-9 {
 		t.Errorf("cost %.3f, want %.3f", m.CostSeconds, wantCost)
 	}
@@ -111,7 +111,7 @@ func TestMeasureTimeout(t *testing.T) {
 	if !m.Failed || m.Failure != TimeoutFailure {
 		t.Fatalf("expected timeout, got %+v", m)
 	}
-	if m.CostSeconds > 2*(1+launchOverheadSeconds) {
+	if m.CostSeconds > 2*(1+LaunchOverheadSeconds) {
 		t.Errorf("timeout should cap the charge, cost %.2f", m.CostSeconds)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os/exec"
 	"strconv"
@@ -42,10 +43,17 @@ const RepEnvVar = "JVMSIM_REP"
 type Subprocess struct {
 	// BinPath is the jvmsim executable.
 	BinPath string
-	// RealTimeout bounds each launch in real time (not virtual time).
+	// RealTimeout bounds each launch in real time (not virtual time). A
+	// run killed by this deadline is a TimeoutFailure and charges
+	// TimeoutSeconds of virtual budget, exactly like the virtual-timeout
+	// path.
 	RealTimeout time.Duration
 	// TimeoutSeconds is the virtual harness timeout, as in InProcess.
 	TimeoutSeconds float64
+	// Retry bounds re-attempts of transient failures — launches that die
+	// without a report and corrupt reports. The zero value means the
+	// defaults (see RetryPolicy).
+	Retry RetryPolicy
 
 	profile *workload.Profile
 
@@ -91,54 +99,77 @@ func (r *Subprocess) Measure(cfg *flags.Config, reps int) Measurement {
 		m.CostSeconds = 0
 		return m
 	}
-	repBase := r.reps[key]
-	r.reps[key] = repBase + reps
 	r.mu.Unlock()
 
-	m := Measurement{Key: key}
-	for i := 0; i < reps; i++ {
-		rep, err := r.launch(cfg, repBase+i)
-		if err != nil {
-			m.Failed = true
-			m.Failure = jvmsim.StartupFailure
-			m.FailureMessage = err.Error()
-			m.CostSeconds += launchOverheadSeconds
-			break
-		}
-		cost := rep.WallSeconds + launchOverheadSeconds
-		failed, kind, msg := rep.Failed, jvmsim.FailureKind(rep.Failure), rep.FailureMessage
-		if r.TimeoutSeconds > 0 && !failed && rep.WallSeconds > r.TimeoutSeconds {
-			failed = true
-			kind = TimeoutFailure
-			msg = fmt.Sprintf("killed after %.0fs (timeout)", r.TimeoutSeconds)
-			cost = r.TimeoutSeconds + launchOverheadSeconds
-		}
-		m.CostSeconds += cost
-		if failed {
-			if !m.Failed {
-				m.Failed, m.Failure, m.FailureMessage = true, kind, msg
+	m := r.Retry.Run(func(int) Measurement {
+		r.mu.Lock()
+		repBase := r.reps[key]
+		r.reps[key] = repBase + reps
+		r.mu.Unlock()
+
+		m := Measurement{Key: key}
+		for i := 0; i < reps; i++ {
+			rep, err := r.launch(cfg, repBase+i)
+			if err != nil {
+				m.Failed = true
+				m.Failure, m.CostSeconds = classifyLaunchError(err, r.TimeoutSeconds, m.CostSeconds)
+				m.FailureMessage = err.Error()
+				break
 			}
-			break
+			cost := rep.WallSeconds + LaunchOverheadSeconds
+			failed, kind, msg := rep.Failed, jvmsim.FailureKind(rep.Failure), rep.FailureMessage
+			if r.TimeoutSeconds > 0 && !failed && rep.WallSeconds > r.TimeoutSeconds {
+				failed = true
+				kind = TimeoutFailure
+				msg = fmt.Sprintf("killed after %.0fs (timeout)", r.TimeoutSeconds)
+				cost = r.TimeoutSeconds + LaunchOverheadSeconds
+			}
+			m.CostSeconds += cost
+			if failed {
+				if !m.Failed {
+					m.Failed, m.Failure, m.FailureMessage = true, kind, msg
+				}
+				break
+			}
+			m.Walls = append(m.Walls, rep.WallSeconds)
+			m.Pauses = append(m.Pauses, rep.MaxPauseSecs)
 		}
-		m.Walls = append(m.Walls, rep.WallSeconds)
-		m.Pauses = append(m.Pauses, rep.MaxPauseSecs)
-	}
-	if len(m.Walls) > 0 && !m.Failed {
-		sum, psum := 0.0, 0.0
-		for i, w := range m.Walls {
-			sum += w
-			psum += m.Pauses[i]
-		}
-		m.Mean = sum / float64(len(m.Walls))
-		m.MeanPause = psum / float64(len(m.Pauses))
-	}
+		finalizeMeans(&m)
+		return m
+	})
 
 	r.mu.Lock()
 	r.elapsed += m.CostSeconds
-	r.cache[key] = m
+	// Transient failures are not verdicts; see InProcess.Measure.
+	if !m.Transient {
+		r.cache[key] = m
+	}
 	r.mu.Unlock()
 	return m
 }
+
+// classifyLaunchError maps a launch error to a failure kind and the cost to
+// add for the attempt. A kill by the real-time deadline is a timeout: the
+// harness waited the full timeout out, so it charges TimeoutSeconds like
+// the virtual-timeout path (the launch overhead rides on top either way).
+// Anything else — the process never ran, or its report was unreadable — is
+// transient and charges only the wasted launch overhead.
+func classifyLaunchError(err error, timeoutSeconds, cost float64) (jvmsim.FailureKind, float64) {
+	switch {
+	case errors.Is(err, errRealTimeout):
+		return TimeoutFailure, cost + timeoutSeconds + LaunchOverheadSeconds
+	case errors.Is(err, errCorruptReport):
+		return CorruptReportFailure, cost + LaunchOverheadSeconds
+	default:
+		return LaunchFlakeFailure, cost + LaunchOverheadSeconds
+	}
+}
+
+// Sentinel launch errors; Measure classifies them via classifyLaunchError.
+var (
+	errRealTimeout   = errors.New("runner: killed by the real-time launch deadline")
+	errCorruptReport = errors.New("runner: corrupt report")
+)
 
 // launch runs the binary once and parses its report. The binary exits 1 on
 // simulated JVM failures but still prints a report, exactly like scraping a
@@ -152,6 +183,11 @@ func (r *Subprocess) launch(cfg *flags.Config, rep int) (*RunReport, error) {
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &stdout, &stderr
 	runErr := cmd.Run()
+	if ctx.Err() == context.DeadlineExceeded {
+		// The harness killed the run: whatever output exists is from a
+		// process that was cut down mid-write, so don't trust it.
+		return nil, fmt.Errorf("%w after %s", errRealTimeout, r.RealTimeout)
+	}
 
 	var report RunReport
 	if jsonErr := json.Unmarshal(stdout.Bytes(), &report); jsonErr != nil {
@@ -159,7 +195,7 @@ func (r *Subprocess) launch(cfg *flags.Config, rep int) (*RunReport, error) {
 			return nil, fmt.Errorf("runner: jvmsim failed without a report: %v (stderr: %s)",
 				runErr, bytes.TrimSpace(stderr.Bytes()))
 		}
-		return nil, fmt.Errorf("runner: cannot parse jvmsim report: %v", jsonErr)
+		return nil, fmt.Errorf("%w: cannot parse jvmsim report: %v", errCorruptReport, jsonErr)
 	}
 	return &report, nil
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Coverage floors for the measurement pipeline: the retry/fault-injection
+# machinery is exactly the code whose edge cases only show up on a bad day,
+# so its packages must stay well covered. Fails if any listed package drops
+# below the floor.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FLOOR=80
+
+status=0
+for pkg in ./internal/runner ./internal/faultinject; do
+    line=$(go test -cover "$pkg" | tail -1)
+    echo "$line"
+    pct=$(echo "$line" | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')
+    if [ -z "$pct" ]; then
+        echo "cover: no coverage figure for $pkg" >&2
+        status=1
+        continue
+    fi
+    below=$(awk -v p="$pct" -v f="$FLOOR" 'BEGIN { print (p < f) ? 1 : 0 }')
+    if [ "$below" = 1 ]; then
+        echo "cover: $pkg at ${pct}% is below the ${FLOOR}% floor" >&2
+        status=1
+    fi
+done
+exit $status

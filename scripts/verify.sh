@@ -10,3 +10,9 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Replay the checked-in fuzz seed corpora (no fuzzing engine, just the
+# corpus as regular tests) and enforce the coverage floors on the
+# measurement pipeline.
+go test -run 'Fuzz' ./internal/flags ./internal/runner
+./scripts/cover.sh
