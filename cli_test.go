@@ -54,14 +54,17 @@ func TestCLIAutotuneList(t *testing.T) {
 }
 
 func TestCLIAutotuneTunesAndSaves(t *testing.T) {
-	outPath := filepath.Join(t.TempDir(), "result.json")
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "result.json")
+	tracePath := filepath.Join(dir, "trace.jsonl")
 	cmd := exec.Command(cliBinary(t, "autotune"),
-		"-benchmark", "fop", "-budget", "20", "-seed", "1", "-out", outPath, "-trace")
+		"-benchmark", "fop", "-budget", "20", "-seed", "1",
+		"-out", outPath, "-trace", tracePath, "-convergence")
 	out, err := cmd.Output()
 	if err != nil {
 		t.Fatalf("autotune failed: %v", err)
 	}
-	for _, want := range []string{"benchmark:    fop", "improvement:", "winning flags:", "convergence"} {
+	for _, want := range []string{"benchmark:    fop", "improvement:", "winning flags:", "convergence", "telemetry:"} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
@@ -76,6 +79,46 @@ func TestCLIAutotuneTunesAndSaves(t *testing.T) {
 	}
 	if saved["workload"] != "fop" {
 		t.Errorf("saved workload = %v", saved["workload"])
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	first, _, _ := strings.Cut(string(trace), "\n")
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(first), &ev); err != nil {
+		t.Fatalf("trace is not JSONL: %v (line %q)", err, first)
+	}
+	if _, ok := ev["kind"]; !ok {
+		t.Errorf("trace events carry no kind: %q", first)
+	}
+}
+
+// TestCLIAutotuneTraceDeterministic is the acceptance check for the trace
+// recorder: a fixed-seed chaos session at a multi-worker count writes a
+// byte-identical trace file on every run.
+func TestCLIAutotuneTraceDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(path string) []byte {
+		cmd := exec.Command(cliBinary(t, "autotune"),
+			"-benchmark", "fop", "-budget", "20", "-seed", "7", "-workers", "3",
+			"-chaos", "unstable-farm", "-trace", path)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("autotune failed: %v\n%s", err, out)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatal("empty trace file")
+		}
+		return data
+	}
+	a := runOnce(filepath.Join(dir, "a.jsonl"))
+	b := runOnce(filepath.Join(dir, "b.jsonl"))
+	if string(a) != string(b) {
+		t.Error("fixed-seed chaos traces differ between runs")
 	}
 }
 

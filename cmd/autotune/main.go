@@ -7,7 +7,7 @@
 //	autotune -benchmark h2 [-budget 200] [-searcher hierarchical]
 //	         [-reps 3] [-seed 0] [-workers 4] [-objective throughput]
 //	         [-chaos unstable-farm] [-retries 3]
-//	         [-trace] [-jvmsim path/to/jvmsim]
+//	         [-trace out.jsonl] [-convergence] [-jvmsim path/to/jvmsim]
 //	autotune -list
 //	autotune -scenarios
 //
@@ -18,6 +18,13 @@
 // named scenario (see -scenarios) or a fault-plan DSL spec like
 // "launch=0.1,spike=0.2". -retries bounds launch attempts per measurement
 // when transient failures strike.
+//
+// -trace writes the session's structured event stream (proposals, launch
+// attempts, retries, injected faults, observations — each stamped with its
+// virtual time) as JSONL to the given file. For a fixed -seed the file is
+// byte-identical across runs at any -workers count, so traces diff cleanly.
+// -convergence prints the best-so-far curve; a telemetry summary of the
+// measurement economy is printed after every run.
 package main
 
 import (
@@ -29,6 +36,11 @@ import (
 	"repro/hotspot"
 )
 
+// traceCap bounds the event trace; generous enough that even a long chaos
+// session at full budget keeps every event (the recorder drops oldest
+// deterministically if ever exceeded).
+const traceCap = 1 << 18
+
 func main() {
 	var (
 		bench    = flag.String("benchmark", "", "benchmark to tune (see -list)")
@@ -36,7 +48,8 @@ func main() {
 		searcher = flag.String("searcher", "hierarchical", "search strategy: "+strings.Join(hotspot.Searchers(), ", "))
 		reps     = flag.Int("reps", 3, "repetitions per measurement")
 		seed     = flag.Int64("seed", 0, "random seed")
-		trace    = flag.Bool("trace", false, "print the convergence trace")
+		trace    = flag.String("trace", "", "write the session's event trace as JSONL to this file")
+		converge = flag.Bool("convergence", false, "print the convergence trace")
 		jvmsim   = flag.String("jvmsim", "", "path to the jvmsim binary; measure via subprocesses")
 		workers  = flag.Int("workers", 1, "parallel evaluation workers (goroutines and virtual slots)")
 		objectiv = flag.String("objective", "throughput", "what to minimize: throughput (wall time) or pause (worst GC pause)")
@@ -66,6 +79,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := hotspot.NewMetricsRegistry()
+	var tracer *hotspot.Tracer
+	if *trace != "" {
+		tracer = hotspot.NewTracer(traceCap)
+	}
 	res, err := hotspot.Tune(hotspot.Options{
 		Benchmark:     *bench,
 		Searcher:      *searcher,
@@ -78,6 +96,8 @@ func main() {
 		Objective:     *objectiv,
 		Chaos:         *chaos,
 		RetryAttempts: *retries,
+		Telemetry:     reg,
+		Trace:         tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "autotune: %v\n", err)
@@ -105,6 +125,16 @@ func main() {
 		fmt.Printf("resilience:   %d flakes absorbed over %d launch attempts\n", res.Flakes, res.Attempts)
 	}
 	fmt.Printf("tuning time:  %.0f virtual minutes\n", res.ElapsedMinutes)
+	snap := reg.Snapshot()
+	faults := 0.0
+	for name, v := range snap {
+		if strings.HasPrefix(name, "chaos_faults_total") {
+			faults += v
+		}
+	}
+	fmt.Printf("telemetry:    %.0f launch attempts, %.0f retries, %.0f cache hits, %.0f condemned, %.0f faults injected\n",
+		snap["runner_attempts_total"], snap["runner_retries_total"],
+		snap["runner_cache_hits_total"], snap["runner_condemned_total"], faults)
 	fmt.Printf("winning flags:\n")
 	if len(res.CommandLine) == 0 {
 		fmt.Printf("  (defaults)\n")
@@ -112,7 +142,24 @@ func main() {
 	for _, a := range res.CommandLine {
 		fmt.Printf("  %s\n", a)
 	}
-	if *trace {
+	if tracer != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autotune: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteJSONL(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autotune: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:        %d events → %s\n", tracer.Len(), *trace)
+	}
+	if *converge {
 		fmt.Printf("convergence (virtual minutes → best wall seconds):\n")
 		for _, tp := range res.Trace {
 			fmt.Printf("  %7.1f  %8.2f\n", tp.Elapsed/60, tp.BestWall)

@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	tuned [-addr :8425] [-max-concurrent 4] [-max-jobs 256]
+//	tuned [-addr :8425] [-max-concurrent 4] [-max-jobs 256] [-pprof]
+//
+// GET /metrics serves farm metrics (queue depth, running sessions, job
+// verdicts, plus each job's runner/session series in its poll responses) in
+// Prometheus text format. -pprof additionally mounts the net/http/pprof
+// profiling handlers under /debug/pprof/ — off by default, since profiling
+// endpoints expose internals.
 //
 // Example session:
 //
@@ -52,12 +58,14 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", httpapi.DefaultConfig().MaxConcurrent, "tuning sessions run simultaneously")
 		maxJobs       = flag.Int("max-jobs", httpapi.DefaultConfig().MaxJobs, "job store capacity (oldest finished jobs evicted first)")
 		grace         = flag.Duration("grace", 30*time.Second, "shutdown grace period before running jobs are canceled")
+		pprofOn       = flag.Bool("pprof", false, "serve net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
 	api := httpapi.NewServerWith(httpapi.Config{
 		MaxConcurrent: *maxConcurrent,
 		MaxJobs:       *maxJobs,
+		EnablePprof:   *pprofOn,
 	})
 	srv := &http.Server{Addr: *addr, Handler: api}
 
@@ -68,6 +76,11 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("tuned: serving the HotSpot auto-tuner on %s (max %d concurrent sessions, %d stored jobs)\n",
 		*addr, *maxConcurrent, *maxJobs)
+	fmt.Printf("tuned: metrics at /metrics")
+	if *pprofOn {
+		fmt.Printf(", profiling at /debug/pprof/")
+	}
+	fmt.Println()
 
 	select {
 	case err := <-errc:
@@ -82,5 +95,8 @@ func main() {
 		if err := api.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("tuned: job shutdown: %v", err)
 		}
+		// api.Shutdown drains the telemetry collector before returning: every
+		// job lifecycle event accepted so far is committed to the trace.
+		fmt.Println("tuned: drained; telemetry flushed")
 	}
 }

@@ -24,8 +24,30 @@ import (
 	"repro/internal/persist"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// MetricsRegistry collects tuning-farm metrics (counters, gauges,
+// histograms) and exposes them in Prometheus text format; see
+// internal/telemetry. Pass one via Options.Telemetry.
+type MetricsRegistry = telemetry.Registry
+
+// Tracer records the structured event stream of a session — proposals,
+// attempts, retries, injected faults, observations — with virtual-time
+// stamps. Its JSONL output is byte-deterministic for a fixed seed at any
+// worker count. Pass one via Options.Trace.
+type Tracer = telemetry.Tracer
+
+// TraceEvent is one entry of a Tracer's event stream.
+type TraceEvent = telemetry.Event
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.New() }
+
+// NewTracer returns a trace recorder holding up to capacity events
+// (0 means the default, 16384; the buffer drops oldest when full).
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
 
 // Profile describes a benchmark program; see the field documentation in
 // the exported type for how each parameter shapes simulated behaviour.
@@ -82,6 +104,15 @@ type Options struct {
 	// measurement — trials so far, virtual time consumed, and the best
 	// result yet. It is called from the session's goroutine.
 	OnProgress func(Progress)
+	// Telemetry, when non-nil, receives the session's metrics: the
+	// session_* and searcher_* series plus the runner_* (and, under Chaos,
+	// chaos_*) series from the measurement layer. Expose it with
+	// MetricsRegistry.WritePrometheus.
+	Telemetry *MetricsRegistry
+	// Trace, when non-nil, records the session's structured event stream;
+	// write it out with Tracer.WriteJSONL. For a fixed Seed the stream is
+	// byte-identical across runs at any Workers count.
+	Trace *Tracer
 }
 
 // Progress is a live snapshot of a running tuning session.
@@ -189,11 +220,21 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	plan, err := faultinject.ParsePlan(opts.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	// Telemetry wires to the outermost measurement layer only: the chaos
+	// layer when active (it sees every attempt, injected and clean),
+	// otherwise the runner itself.
 	retry := runner.RetryPolicy{MaxAttempts: opts.RetryAttempts}
 	var run runner.Runner
 	if opts.JVMSimPath != "" {
 		sub := runner.NewSubprocess(opts.JVMSimPath, prof)
 		sub.Retry = retry
+		if !plan.Active() {
+			sub.Telemetry, sub.Trace = opts.Telemetry, opts.Trace
+		}
 		run = sub
 	} else {
 		sim := jvmsim.New()
@@ -202,15 +243,15 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		}
 		ip := runner.NewInProcess(sim, prof)
 		ip.Retry = retry
+		if !plan.Active() {
+			ip.Telemetry, ip.Trace = opts.Telemetry, opts.Trace
+		}
 		run = ip
-	}
-	plan, err := faultinject.ParsePlan(opts.Chaos)
-	if err != nil {
-		return nil, err
 	}
 	if plan.Active() {
 		chaos := faultinject.New(run, plan, opts.Seed)
 		chaos.Retry = retry
+		chaos.Telemetry, chaos.Trace = opts.Telemetry, opts.Trace
 		run = chaos
 	}
 
@@ -228,6 +269,8 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		Objective:     core.Objective(opts.Objective),
 		Ctx:           ctx,
 		OnProgress:    progressAdapter(opts.OnProgress),
+		Telemetry:     opts.Telemetry,
+		Trace:         opts.Trace,
 	}
 	out, err := session.Run()
 	if err != nil {
@@ -354,7 +397,10 @@ func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (
 	if plan.Active() {
 		chaos := faultinject.New(run, plan, opts.Seed)
 		chaos.Retry = retry
+		chaos.Telemetry, chaos.Trace = opts.Telemetry, opts.Trace
 		run = chaos
+	} else {
+		multi.Telemetry, multi.Trace = opts.Telemetry, opts.Trace
 	}
 	searcherName := opts.Searcher
 	if searcherName == "" {
@@ -377,6 +423,8 @@ func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (
 		Workers:       opts.Workers,
 		Ctx:           ctx,
 		OnProgress:    progressAdapter(opts.OnProgress),
+		Telemetry:     opts.Telemetry,
+		Trace:         opts.Trace,
 	}
 	out, err := session.Run()
 	if err != nil {

@@ -1,0 +1,77 @@
+package hotspot
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chaosTrace runs a small deterministic chaos session and returns its trace
+// as JSONL bytes.
+func chaosTrace(t *testing.T, workers int) []byte {
+	t.Helper()
+	tr := NewTracer(0)
+	_, err := Tune(Options{
+		Benchmark:     "fop",
+		Searcher:      "hierarchical",
+		BudgetMinutes: 20,
+		Reps:          1,
+		Seed:          7,
+		Workers:       workers,
+		Chaos:         "unstable-farm",
+		Telemetry:     NewMetricsRegistry(),
+		Trace:         tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceGolden pins the full event stream of a fixed-seed chaos session:
+// any change to event content, ordering, or serialization shows up as a
+// golden-file diff. Repeated runs must be byte-identical (the determinism
+// contract), so the golden file doubles as a cross-run regression check.
+func TestTraceGolden(t *testing.T) {
+	got := chaosTrace(t, 3)
+	if again := chaosTrace(t, 3); !bytes.Equal(got, again) {
+		t.Fatal("repeated fixed-seed runs produced different traces")
+	}
+
+	path := filepath.Join("testdata", "trace_unstable_farm.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		gotLines, wantLines := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		n := len(gotLines)
+		if len(wantLines) < n {
+			n = len(wantLines)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Fatalf("trace drifted from golden at line %d (re-run with -update if intended)\n--- got\n%s\n--- want\n%s",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("trace length drifted: got %d lines, want %d", len(gotLines), len(wantLines))
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/jvmsim"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Searcher proposes configurations and learns from their measurements.
@@ -224,6 +225,16 @@ type Session struct {
 	// every delivered observation with the trace point just recorded —
 	// live progress for long sessions (the HTTP API's job status).
 	OnProgress func(TracePoint)
+	// Telemetry optionally receives session metrics (session_* series and
+	// the searcher_propose_seconds histogram); Trace optionally receives the
+	// structured event stream (baseline/proposal/observe/barrier, plus the
+	// runner-side events it commits at delivery time). Share the same
+	// instances with the instrumented runner or chaos layer: the session
+	// stamps their per-key pending events with virtual completion times,
+	// which is what makes the trace byte-deterministic at any worker count.
+	// Both are nil-safe no-ops when unset.
+	Telemetry *telemetry.Registry
+	Trace     *telemetry.Tracer
 }
 
 // Run executes the session to budget exhaustion and returns the outcome.
@@ -296,6 +307,15 @@ func (s *Session) Run() (*Outcome, error) {
 	out.Objective = objective
 	out.BaseMeasurement = base
 	out.BestMeasurement = base
+	s.Telemetry.Gauge("session_budget_virtual_seconds").Set(budget)
+	s.Telemetry.Gauge("session_workers").Set(float64(workers))
+	// Stamp the runner-side events of the baseline measurement, then mark
+	// the baseline itself.
+	s.Trace.Commit(def.Key(), base.CostSeconds)
+	s.Trace.Emit(telemetry.Event{
+		T: base.CostSeconds, Kind: telemetry.EvBaseline, Key: def.Key(),
+		Cost: base.CostSeconds, Score: ctx.DefaultWall,
+	})
 	tp := TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall, Flakes: out.Flakes}
 	out.Trace = append(out.Trace, tp)
 	if s.OnProgress != nil {
@@ -318,6 +338,9 @@ func (s *Session) Run() (*Outcome, error) {
 			ctx.Elapsed = f
 		}
 	}
+
+	s.Telemetry.Gauge("session_elapsed_virtual_seconds").Set(ctx.Elapsed)
+	s.Telemetry.Gauge("session_best_score").Set(ctx.BestWall)
 
 	out.Best = ctx.Best
 	out.BestWall = ctx.BestWall

@@ -3,11 +3,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/flags"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 // BatchSearcher is an optional Searcher extension for multi-worker
@@ -103,13 +106,18 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			break
 		}
 
-		// Gather proposals: deferred ones first, then the searcher.
+		// Gather proposals: deferred ones first, then the searcher. Proposal
+		// latency is real time (the searcher thinking), not virtual time, and
+		// feeds the searcher_propose_seconds histogram only — never the trace.
 		proposals := carry
 		carry = nil
+		proposeHist := s.Telemetry.Histogram("searcher_propose_seconds", telemetry.DefLatencyBuckets)
 		if !exhausted && len(proposals) < len(picks) {
 			if bs, ok := s.Searcher.(BatchSearcher); ok {
 				ctx.Elapsed = picks[len(proposals)].start
+				t0 := time.Now()
 				got := bs.ProposeBatch(ctx, len(picks)-len(proposals))
+				proposeHist.Observe(time.Since(t0).Seconds())
 				if len(got) == 0 {
 					exhausted = true
 				}
@@ -117,7 +125,9 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			} else {
 				for len(proposals) < len(picks) {
 					ctx.Elapsed = picks[len(proposals)].start
+					t0 := time.Now()
 					cfg := s.Searcher.Propose(ctx)
+					proposeHist.Observe(time.Since(t0).Seconds())
 					if cfg == nil {
 						exhausted = true
 						break
@@ -142,6 +152,9 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			inRound[key] = true
 			p := picks[len(batch)]
 			batch = append(batch, &trial{seq: seq, slot: p.slot, start: p.start, cfg: cfg})
+			s.Trace.Emit(telemetry.Event{
+				T: p.start, Kind: telemetry.EvProposal, Key: key, Worker: p.slot,
+			})
 			seq++
 		}
 		if len(batch) == 0 {
@@ -181,8 +194,10 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			slotFree[tr.slot] = tr.start + tr.m.CostSeconds
 			ctx.Trial++
 			ctx.Elapsed = slotFree[tr.slot]
+			s.Telemetry.Counter("session_trials_total").Inc()
 			if tr.m.FromCache {
 				out.CacheHits++
+				s.Telemetry.Counter("session_cache_hits_total").Inc()
 			}
 			if tr.m.CostSeconds == 0 {
 				freeTrials++
@@ -191,6 +206,7 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			}
 			if tr.m.Failed {
 				out.Failures++
+				s.Telemetry.Counter("session_failures_total").Inc()
 			}
 			out.recordAttempts(history, tr.cfg.Key(), tr.m)
 			s.Searcher.Observe(ctx, tr.cfg, tr.m)
@@ -198,12 +214,31 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 				ctx.Best, ctx.BestWall = tr.cfg.Clone(), sc
 				out.BestMeasurement = tr.m
 			}
+			// Commit the trial's runner-side events (attempts, retries,
+			// faults) stamped with the virtual completion time, then mark the
+			// observation. Failed scores are +Inf, which JSON cannot carry —
+			// the failure kind rides in Detail instead.
+			s.Trace.Commit(tr.cfg.Key(), ctx.Elapsed)
+			ev := telemetry.Event{
+				T: ctx.Elapsed, Kind: telemetry.EvObserve, Key: tr.cfg.Key(),
+				Worker: tr.slot, Trial: ctx.Trial, Cost: tr.m.CostSeconds,
+			}
+			if sc := ctx.Objective.Score(tr.m); !math.IsInf(sc, 1) {
+				ev.Score = sc
+			} else {
+				ev.Detail = string(tr.m.Failure)
+			}
+			s.Trace.Emit(ev)
+			s.Telemetry.Gauge("session_best_score").Set(ctx.BestWall)
+			s.Telemetry.Gauge("session_elapsed_virtual_seconds").Set(ctx.Elapsed)
 			tp := TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall, Trial: ctx.Trial, Flakes: out.Flakes}
 			out.Trace = append(out.Trace, tp)
 			if s.OnProgress != nil {
 				s.OnProgress(tp)
 			}
 		}
+		s.Telemetry.Counter("session_rounds_total").Inc()
+		s.Trace.Emit(telemetry.Event{T: ctx.Elapsed, Kind: telemetry.EvBarrier, Trial: ctx.Trial})
 	}
 	return nil
 }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// instrumentedSession wires one shared Registry+Tracer through both the
+// runner and the session — the wiring every binary uses.
+func instrumentedSession(t testing.TB, bench, searcher string, budget float64, seed int64, workers int) *Session {
+	t.Helper()
+	p, ok := workload.ByName(bench)
+	if !ok {
+		t.Fatalf("no workload %s", bench)
+	}
+	s, err := NewSearcher(searcher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	tr := telemetry.NewTracer(0)
+	r := runner.NewInProcess(jvmsim.New(), p)
+	r.Telemetry, r.Trace = tel, tr
+	return &Session{
+		Runner:        r,
+		Searcher:      s,
+		BudgetSeconds: budget,
+		Seed:          seed,
+		Workers:       workers,
+		Telemetry:     tel,
+		Trace:         tr,
+	}
+}
+
+func TestSessionTelemetryMatchesOutcome(t *testing.T) {
+	s := instrumentedSession(t, "fop", "hierarchical", 2000, 7, 3)
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Telemetry.Snapshot()
+	if got := snap["session_trials_total"]; got != float64(out.Trials) {
+		t.Errorf("session_trials_total = %g, want %d", got, out.Trials)
+	}
+	if got := snap["session_failures_total"]; got != float64(out.Failures) {
+		t.Errorf("session_failures_total = %g, want %d", got, out.Failures)
+	}
+	if got := snap["session_cache_hits_total"]; got != float64(out.CacheHits) {
+		t.Errorf("session_cache_hits_total = %g, want %d", got, out.CacheHits)
+	}
+	if got := snap["session_best_score"]; got != out.BestWall {
+		t.Errorf("session_best_score = %g, want %g", got, out.BestWall)
+	}
+	if got := snap["session_elapsed_virtual_seconds"]; got != out.Elapsed {
+		t.Errorf("session_elapsed_virtual_seconds = %g, want %g", got, out.Elapsed)
+	}
+	if snap["session_budget_virtual_seconds"] != 2000 {
+		t.Errorf("budget gauge = %g", snap["session_budget_virtual_seconds"])
+	}
+	if snap["session_workers"] != 3 {
+		t.Errorf("workers gauge = %g", snap["session_workers"])
+	}
+	if snap["session_rounds_total"] < 1 {
+		t.Error("no rounds counted")
+	}
+	if snap["searcher_propose_seconds_count"] < 1 {
+		t.Error("no propose latencies observed")
+	}
+	// The runner series rides in the same registry: baseline + trials.
+	got := snap["runner_measures_total"] + snap["runner_cache_hits_total"]
+	if want := float64(out.Trials + 1); got != want {
+		t.Errorf("runner measures+cache hits = %g, want %g (trials+baseline)", got, want)
+	}
+}
+
+func TestSessionTraceEventStream(t *testing.T) {
+	s := instrumentedSession(t, "fop", "hierarchical", 1500, 3, 2)
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := s.Trace.Events()
+	if len(evs) == 0 {
+		t.Fatal("no trace events")
+	}
+	kinds := map[string]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	if kinds[telemetry.EvBaseline] != 1 {
+		t.Errorf("baseline events = %d, want 1", kinds[telemetry.EvBaseline])
+	}
+	if kinds[telemetry.EvObserve] != out.Trials {
+		t.Errorf("observe events = %d, want %d trials", kinds[telemetry.EvObserve], out.Trials)
+	}
+	if kinds[telemetry.EvProposal] != out.Trials {
+		t.Errorf("proposal events = %d, want %d", kinds[telemetry.EvProposal], out.Trials)
+	}
+	if kinds[telemetry.EvAttempt] == 0 {
+		t.Error("runner attempt events missing — commit wiring broken")
+	}
+	if kinds[telemetry.EvBarrier] == 0 {
+		t.Error("no barrier events")
+	}
+	// Seq must be strictly increasing, and virtual times non-decreasing is
+	// NOT required (delivery order is completion order within rounds), but
+	// every event must carry a stamped virtual time.
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.T < 0 {
+			t.Fatalf("event %d left unstamped: %+v", i, ev)
+		}
+	}
+}
+
+func traceBytes(t testing.TB, workers int, seed int64) []byte {
+	s := instrumentedSession(t, "fop", "hierarchical", 1500, seed, workers)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Trace.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSessionTraceByteDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		a := traceBytes(t, workers, 11)
+		b := traceBytes(t, workers, 11)
+		if !bytes.Equal(a, b) {
+			t.Errorf("workers=%d: repeated runs differ", workers)
+			la, lb := strings.Split(string(a), "\n"), strings.Split(string(b), "\n")
+			for i := 0; i < len(la) && i < len(lb); i++ {
+				if la[i] != lb[i] {
+					t.Fatalf("first divergence at line %d:\n  %s\n  %s", i, la[i], lb[i])
+				}
+			}
+		}
+	}
+}
+
+func benchInstrumentedSession(b *testing.B, instrument bool) {
+	p, ok := workload.ByName("xalan")
+	if !ok {
+		b.Fatal("no workload")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := runner.NewInProcess(jvmsim.New(), p)
+		session := &Session{
+			Runner:        r,
+			Searcher:      NewHierarchical(),
+			BudgetSeconds: 6000,
+			Seed:          int64(i),
+			Workers:       4,
+		}
+		if instrument {
+			tel := telemetry.New()
+			tr := telemetry.NewTracer(0)
+			r.Telemetry, r.Trace = tel, tr
+			session.Telemetry, session.Trace = tel, tr
+		}
+		if _, err := session.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The pair quantifies full-session instrumentation overhead: metrics +
+// trace recording versus the nil fast path.
+func BenchmarkSessionInstrumented(b *testing.B) { benchInstrumentedSession(b, true) }
+func BenchmarkSessionNoTelemetry(b *testing.B)  { benchInstrumentedSession(b, false) }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/flags"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -44,6 +45,13 @@ type ChaosRunner struct {
 	// really blocks, the way a wedged launch really blocks a worker, and
 	// the deadline really cuts it down. Values ≤ 0 mean 25ms.
 	HangDeadline time.Duration
+	// Telemetry and Trace optionally receive metrics and trace events. The
+	// chaos layer reports the shared runner_* series (it sees every attempt,
+	// injected and clean, with global attempt indices — so leave the inner
+	// runner's telemetry unset) plus its own chaos_faults_total{kind=...}
+	// and chaos_suppressed_total.
+	Telemetry *telemetry.Registry
+	Trace     *telemetry.Tracer
 
 	inner runner.Runner
 	plan  Plan
@@ -115,6 +123,11 @@ func (c *ChaosRunner) Measure(cfg *flags.Config, reps int) runner.Measurement {
 	var m runner.Measurement
 	if !c.plan.Active() || settled {
 		m = c.inner.Measure(cfg, reps)
+		if m.FromCache {
+			runner.NoteCacheHit(c.Telemetry, c.Trace, key)
+		} else {
+			runner.NoteMeasured(c.Telemetry, c.Trace, key, m)
+		}
 	} else {
 		// Leave the policy un-normalized here — Run normalizes exactly once,
 		// and normalizing twice would turn an explicit "no backoff" (-1 → 0)
@@ -127,10 +140,13 @@ func (c *ChaosRunner) Measure(cfg *flags.Config, reps int) runner.Measurement {
 		if policy.Normalized().MaxAttempts <= c.plan.MaxConsecutive {
 			policy.MaxAttempts = c.plan.MaxConsecutive + 1
 		}
-		m = policy.Run(func(int) runner.Measurement {
-			return c.attempt(cfg, reps, key)
+		m = policy.Run(func(retryN int) runner.Measurement {
+			return c.attempt(cfg, reps, key, retryN)
 		})
 		m.Key = key
+		if !m.FromCache {
+			runner.NoteMeasured(c.Telemetry, c.Trace, key, m)
+		}
 	}
 
 	c.mu.Lock()
@@ -142,9 +158,27 @@ func (c *ChaosRunner) Measure(cfg *flags.Config, reps int) runner.Measurement {
 	return m
 }
 
+// faultName labels kinds in metrics and trace events.
+func faultName(k faultKind) string {
+	switch k {
+	case faultLaunch:
+		return "launch"
+	case faultCorrupt:
+		return "corrupt"
+	case faultCrash:
+		return "crash"
+	case faultHang:
+		return "hang"
+	case faultSpike:
+		return "spike"
+	}
+	return "none"
+}
+
 // attempt performs one launch attempt of key, consulting the seeded
-// schedule for what (if anything) to inject.
-func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key string) runner.Measurement {
+// schedule for what (if anything) to inject. retryN is the retry-loop
+// index of the surrounding policy (0 for a fresh measurement's first try).
+func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key string, retryN int) runner.Measurement {
 	c.mu.Lock()
 	n := c.attempts[key]
 	c.attempts[key] = n + 1
@@ -152,6 +186,7 @@ func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key string) runner.Me
 	if isFailureFault(kind) {
 		if c.streaks[key] >= c.plan.MaxConsecutive {
 			c.stats.Suppressed++
+			c.Telemetry.Counter("chaos_suppressed_total").Inc()
 			kind = faultNone
 		} else {
 			c.streaks[key]++
@@ -175,25 +210,36 @@ func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key string) runner.Me
 	}
 	c.mu.Unlock()
 
+	if kind != faultNone {
+		c.Telemetry.Counter(`chaos_faults_total{kind="` + faultName(kind) + `"}`).Inc()
+		c.Trace.Record(key, telemetry.Event{
+			Kind: telemetry.EvFault, Attempt: n, Detail: faultName(kind),
+		})
+	}
+	note := func(m runner.Measurement) runner.Measurement {
+		runner.NoteAttempt(c.Telemetry, c.Trace, key, n, retryN > 0, m)
+		return m
+	}
+
 	switch kind {
 	case faultLaunch:
-		return runner.Measurement{
+		return note(runner.Measurement{
 			Key: key, Failed: true, Failure: runner.LaunchFlakeFailure,
 			FailureMessage: fmt.Sprintf("faultinject: launch failed (attempt %d)", n),
 			CostSeconds:    runner.LaunchOverheadSeconds,
-		}
+		})
 	case faultCorrupt:
-		return runner.Measurement{
+		return note(runner.Measurement{
 			Key: key, Failed: true, Failure: runner.CorruptReportFailure,
 			FailureMessage: fmt.Sprintf("faultinject: report truncated (attempt %d)", n),
 			CostSeconds:    c.plan.CrashSeconds + runner.LaunchOverheadSeconds,
-		}
+		})
 	case faultCrash:
-		return runner.Measurement{
+		return note(runner.Measurement{
 			Key: key, Failed: true, Failure: runner.InjectedCrashFailure,
 			FailureMessage: fmt.Sprintf("faultinject: spurious crash (attempt %d)", n),
 			CostSeconds:    c.plan.CrashSeconds + runner.LaunchOverheadSeconds,
-		}
+		})
 	case faultHang:
 		// Really block, really get killed by the real deadline.
 		deadline := c.HangDeadline
@@ -202,15 +248,15 @@ func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key string) runner.Me
 		}
 		timer := time.NewTimer(deadline)
 		<-timer.C
-		return runner.Measurement{
+		return note(runner.Measurement{
 			Key: key, Failed: true, Failure: runner.InjectedHangFailure,
 			FailureMessage: fmt.Sprintf("faultinject: hung, killed after %s (attempt %d)", deadline, n),
 			CostSeconds:    c.plan.HangSeconds + runner.LaunchOverheadSeconds,
-		}
+		})
 	case faultSpike:
 		m := c.inner.Measure(cfg, reps)
 		if m.Failed || len(m.Walls) == 0 {
-			return m
+			return note(m)
 		}
 		f := c.plan.SpikeFactor
 		for i := range m.Walls {
@@ -222,9 +268,16 @@ func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key string) runner.Me
 		m.Mean *= f
 		m.MeanPause *= f
 		m.CostSeconds *= f
-		return m
+		return note(m)
 	default:
-		return c.inner.Measure(cfg, reps)
+		m := c.inner.Measure(cfg, reps)
+		if m.FromCache {
+			// The inner cache answered: no launch happened, so this is a
+			// replay, not an attempt.
+			runner.NoteCacheHit(c.Telemetry, c.Trace, key)
+			return m
+		}
+		return note(m)
 	}
 }
 

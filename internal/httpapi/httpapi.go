@@ -19,8 +19,22 @@
 //	POST   /v1/tune                submit a job; ?sync=1 waits and returns it
 //	GET    /v1/jobs                list jobs
 //	GET    /v1/jobs/{id}           job status, live progress, and the result
+//	GET    /v1/jobs/{id}/trace     a finished job's event trace as JSONL
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
 //	POST   /v1/measure             evaluate one flag set on one benchmark
+//	GET    /metrics                farm metrics in Prometheus text format
+//	GET    /v1/trace               the server's job-lifecycle trace as JSONL
+//
+// With Config.EnablePprof the net/http/pprof profiling handlers are also
+// mounted under /debug/pprof/ (off by default: profiling endpoints leak
+// internals and cost CPU, so production deployments opt in explicitly).
+//
+// Every job runs with its own metrics registry and tracer: job polls carry a
+// point-in-time snapshot of the job's series, and a finished job's full
+// event trace is available at /v1/jobs/{id}/trace. Server-wide farm state
+// (queue depth, running sessions, job verdicts) lives in the /metrics
+// registry, and job lifecycle transitions stream through an asynchronous
+// collector that Shutdown drains — no event is lost on graceful shutdown.
 //
 // All bodies are JSON. The service is self-contained and uses only the
 // standard library.
@@ -31,12 +45,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
 
 	"repro/hotspot"
 	"repro/internal/faultinject"
+	"repro/internal/telemetry"
 )
 
 // TuneRequest is the body of POST /v1/tune.
@@ -66,8 +82,14 @@ type Job struct {
 	// Progress is the live best-so-far snapshot of a running job.
 	Progress *hotspot.Progress `json:"progress,omitempty"`
 	Result   *hotspot.Result   `json:"result,omitempty"`
+	// Telemetry is a point-in-time snapshot of the job's own metric series
+	// (runner_*, session_*, and under chaos the chaos_* counters), taken
+	// when the job is serialized. Histograms appear as name_count/name_sum.
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 
 	cancel context.CancelFunc
+	tel    *telemetry.Registry
+	trace  *telemetry.Tracer
 }
 
 // terminal reports whether the job has reached a final state.
@@ -100,6 +122,10 @@ type Config struct {
 	// the oldest finished jobs are evicted; if every job is still queued or
 	// running, new submissions are rejected with 503. Default 256.
 	MaxJobs int
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: profiling endpoints expose internals and burn CPU, so
+	// deployments opt in (the tuned binary's -pprof flag).
+	EnablePprof bool
 }
 
 // DefaultConfig returns the default resource bounds.
@@ -116,6 +142,19 @@ type Server struct {
 	cfg     Config
 	queue   chan *Job
 	workers sync.WaitGroup // the worker pool goroutines
+
+	// reg holds the server-wide farm metrics served at /metrics; evTrace
+	// records job lifecycle transitions, fed through the events channel by
+	// an asynchronous collector so handlers never block on trace writes.
+	// Shutdown closes the channel and waits the collector out, so a
+	// graceful shutdown loses no events; late events (rejections during
+	// shutdown) fall back to a synchronous Emit.
+	reg      *telemetry.Registry
+	evTrace  *telemetry.Tracer
+	events   chan telemetry.Event
+	evWG     sync.WaitGroup
+	evMu     sync.RWMutex
+	evClosed bool
 
 	mu        sync.Mutex
 	closed    bool
@@ -138,11 +177,14 @@ func NewServerWith(cfg Config) *Server {
 		cfg.MaxJobs = DefaultConfig().MaxJobs
 	}
 	s := &Server{
-		mux:    http.NewServeMux(),
-		cfg:    cfg,
-		queue:  make(chan *Job, cfg.MaxJobs),
-		jobs:   map[int]*Job{},
-		nextID: 1,
+		mux:     http.NewServeMux(),
+		cfg:     cfg,
+		queue:   make(chan *Job, cfg.MaxJobs),
+		jobs:    map[int]*Job{},
+		nextID:  1,
+		reg:     telemetry.New(),
+		evTrace: telemetry.NewTracer(4 * cfg.MaxJobs),
+		events:  make(chan telemetry.Event, 4*cfg.MaxJobs),
 	}
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/searchers", s.handleSearchers)
@@ -150,8 +192,26 @@ func NewServerWith(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/measure", s.handleMeasure)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.reg.Gauge("httpapi_workers").Set(float64(cfg.MaxConcurrent))
+	s.evWG.Add(1)
+	go func() {
+		defer s.evWG.Done()
+		for ev := range s.events {
+			s.evTrace.Emit(ev)
+		}
+	}()
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.workers.Add(1)
 		go func() {
@@ -162,6 +222,33 @@ func NewServerWith(cfg Config) *Server {
 		}()
 	}
 	return s
+}
+
+// noteJob streams one job lifecycle transition to the collector. After the
+// collector is closed (shutdown), the event is committed synchronously so
+// nothing is ever dropped.
+func (s *Server) noteJob(id int, state string) {
+	ev := telemetry.Event{Kind: "job", Trial: id, Detail: state}
+	s.evMu.RLock()
+	if !s.evClosed {
+		s.events <- ev
+		s.evMu.RUnlock()
+		return
+	}
+	s.evMu.RUnlock()
+	s.evTrace.Emit(ev)
+}
+
+// drainEvents closes the lifecycle-event collector and waits until every
+// queued event has been committed to the trace buffer.
+func (s *Server) drainEvents() {
+	s.evMu.Lock()
+	if !s.evClosed {
+		s.evClosed = true
+		close(s.events)
+	}
+	s.evMu.Unlock()
+	s.evWG.Wait()
 }
 
 // ServeHTTP implements http.Handler.
@@ -195,6 +282,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.drainEvents()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -202,13 +290,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			switch {
 			case j.State == "queued":
 				j.State, j.Error = "canceled", "server shutdown"
-				s.markTerminalLocked(j)
+				s.jobTerminalLocked(j)
 			case j.cancel != nil:
 				j.cancel()
 			}
 		}
 		s.mu.Unlock()
 		<-done
+		s.drainEvents()
 		return ctx.Err()
 	}
 }
@@ -221,6 +310,14 @@ func (s *Server) markTerminalLocked(job *Job) {
 	s.inflight.Done()
 }
 
+// jobTerminalLocked is markTerminalLocked plus the farm accounting: the
+// per-verdict counter and the lifecycle trace event. Caller holds s.mu.
+func (s *Server) jobTerminalLocked(job *Job) {
+	s.reg.Counter(`httpapi_jobs_total{state="` + job.State + `"}`).Inc()
+	s.noteJob(job.ID, job.State)
+	s.markTerminalLocked(job)
+}
+
 // evictLocked drops finished jobs, oldest first, until the store has room.
 // Caller holds s.mu. Returns false if the store is still full — every job
 // is queued or running.
@@ -229,6 +326,7 @@ func (s *Server) evictLocked() bool {
 		id := s.doneOrder[0]
 		s.doneOrder = s.doneOrder[1:]
 		delete(s.jobs, id)
+		s.reg.Counter("httpapi_jobs_evicted_total").Inc()
 	}
 	return len(s.jobs) < s.cfg.MaxJobs
 }
@@ -247,6 +345,9 @@ func (s *Server) runJob(job *Job) {
 	}
 	job.State = "running"
 	job.cancel = cancel
+	s.reg.Gauge("httpapi_queue_depth").Set(float64(len(s.queue)))
+	s.reg.Gauge("httpapi_jobs_running").Inc()
+	s.noteJob(job.ID, "running")
 	s.mu.Unlock()
 
 	defer func() {
@@ -257,7 +358,8 @@ func (s *Server) runJob(job *Job) {
 			job.State, job.Error = "failed", fmt.Sprintf("panic: %v", r)
 		}
 		job.cancel = nil
-		s.markTerminalLocked(job)
+		s.reg.Gauge("httpapi_jobs_running").Dec()
+		s.jobTerminalLocked(job)
 	}()
 
 	req := job.Request
@@ -271,6 +373,8 @@ func (s *Server) runJob(job *Job) {
 		Chaos:         req.Chaos,
 		RetryAttempts: req.RetryAttempts,
 		Noise:         -1,
+		Telemetry:     job.tel,
+		Trace:         job.trace,
 		OnProgress: func(p hotspot.Progress) {
 			s.mu.Lock()
 			// Replace the pointer rather than mutating through it: job
@@ -353,7 +457,11 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 			"job store full: %d jobs queued or running", n)
 		return
 	}
-	job := &Job{ID: s.nextID, State: "queued", Request: req}
+	job := &Job{
+		ID: s.nextID, State: "queued", Request: req,
+		tel:   telemetry.New(),
+		trace: telemetry.NewTracer(0),
+	}
 	s.nextID++
 	s.jobs[job.ID] = job
 	s.inflight.Add(1)
@@ -370,12 +478,15 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.reg.Counter("httpapi_jobs_submitted_total").Inc()
+	s.reg.Gauge("httpapi_queue_depth").Set(float64(len(s.queue)))
+	s.noteJob(job.ID, "submitted")
 	s.mu.Unlock()
 
 	if sync {
 		s.runJob(job)
 		s.mu.Lock()
-		snap := *job
+		snap := s.snapshotLocked(job)
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, snap)
 		return
@@ -383,12 +494,61 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]int{"id": job.ID})
 }
 
+// snapshotLocked copies a job for serialization, attaching a point-in-time
+// snapshot of its metric series. Caller holds s.mu.
+func (s *Server) snapshotLocked(job *Job) Job {
+	snap := *job
+	if job.tel != nil {
+		snap.Telemetry = job.tel.Snapshot()
+	}
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleTrace serves the server's job-lifecycle trace as JSONL.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = s.evTrace.WriteJSONL(w)
+}
+
+// handleJobTrace serves a finished job's full event trace as JSONL. Running
+// jobs conflict: exporting flushes the tracer's pending groups, which would
+// corrupt the live session's event stream.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	if !job.terminal() {
+		state := job.State
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "job %d is still %s; trace is available once it finishes", id, state)
+		return
+	}
+	trace := job.trace
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = trace.WriteJSONL(w)
+}
+
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	out := make([]Job, 0, len(s.jobs))
 	for id := 1; id < s.nextID; id++ {
 		if j, ok := s.jobs[id]; ok {
-			out = append(out, *j)
+			out = append(out, s.snapshotLocked(j))
 		}
 	}
 	s.mu.Unlock()
@@ -408,7 +568,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no job %d", id)
 		return
 	}
-	snap := *job
+	snap := s.snapshotLocked(job)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, snap)
 }
@@ -431,13 +591,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// Not started: cancel immediately. The worker that eventually pops
 		// it from the queue skips it.
 		job.State, job.Error = "canceled", "canceled before start"
-		s.markTerminalLocked(job)
-		snap := *job
+		s.jobTerminalLocked(job)
+		snap := s.snapshotLocked(job)
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, snap)
 	case "running":
 		cancel := job.cancel
-		snap := *job
+		snap := s.snapshotLocked(job)
 		s.mu.Unlock()
 		if cancel != nil {
 			cancel()

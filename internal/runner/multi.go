@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/flags"
 	"repro/internal/jvmsim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,10 @@ type Multi struct {
 	// Retry bounds re-attempts of transient failures; the zero value means
 	// the defaults (see RetryPolicy). Set before the first Measure call.
 	Retry RetryPolicy
+	// Telemetry and Trace optionally receive runner metrics and per-attempt
+	// trace events; see telemetry.go.
+	Telemetry *telemetry.Registry
+	Trace     *telemetry.Tracer
 
 	mu      sync.Mutex
 	elapsed float64
@@ -134,11 +139,12 @@ func (m *Multi) Measure(cfg *flags.Config, reps int) Measurement {
 		m.mu.Unlock()
 		cached.FromCache = true
 		cached.CostSeconds = 0
+		NoteCacheHit(m.Telemetry, m.Trace, key)
 		return cached
 	}
 	m.mu.Unlock()
 
-	out := m.Retry.Run(func(int) Measurement {
+	out := m.Retry.Run(func(n int) Measurement {
 		m.mu.Lock()
 		repBase := m.reps[key]
 		m.reps[key] = repBase + reps
@@ -176,8 +182,10 @@ func (m *Multi) Measure(cfg *flags.Config, reps int) Measurement {
 			}
 			out.Mean = sum / float64(len(out.Walls))
 		}
+		NoteAttempt(m.Telemetry, m.Trace, key, n, n > 0, out)
 		return out
 	})
+	NoteMeasured(m.Telemetry, m.Trace, key, out)
 
 	m.mu.Lock()
 	m.elapsed += out.CostSeconds

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/flags"
 	"repro/internal/jvmsim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -94,6 +95,12 @@ type InProcess struct {
 	// the defaults (see RetryPolicy). The simulator itself never fails
 	// transiently, but a fault-injection layer beneath this runner can.
 	Retry RetryPolicy
+	// Telemetry optionally receives the runner metric series (see
+	// telemetry.go); Trace optionally receives per-attempt trace events.
+	// Both are nil-safe no-ops when unset. When a ChaosRunner wraps this
+	// runner, wire telemetry to the chaos layer instead.
+	Telemetry *telemetry.Registry
+	Trace     *telemetry.Tracer
 
 	mu      sync.Mutex
 	elapsed float64
@@ -142,12 +149,13 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 			r.mu.Unlock()
 			m.FromCache = true
 			m.CostSeconds = 0
+			NoteCacheHit(r.Telemetry, r.Trace, key)
 			return m
 		}
 	}
 	r.mu.Unlock()
 
-	m := r.Retry.Run(func(int) Measurement {
+	m := r.Retry.Run(func(n int) Measurement {
 		// Each attempt draws fresh noise-rep indices so a retried run is a
 		// genuinely new measurement, not a replay.
 		r.mu.Lock()
@@ -179,8 +187,10 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 			m.Pauses = append(m.Pauses, res.MaxPauseSeconds)
 		}
 		finalizeMeans(&m)
+		NoteAttempt(r.Telemetry, r.Trace, key, n, n > 0, m)
 		return m
 	})
+	NoteMeasured(r.Telemetry, r.Trace, key, m)
 
 	r.mu.Lock()
 	r.elapsed += m.CostSeconds

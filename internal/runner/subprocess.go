@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/flags"
 	"repro/internal/jvmsim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -54,6 +55,10 @@ type Subprocess struct {
 	// without a report and corrupt reports. The zero value means the
 	// defaults (see RetryPolicy).
 	Retry RetryPolicy
+	// Telemetry and Trace optionally receive runner metrics and per-attempt
+	// trace events, including real-deadline kills; see telemetry.go.
+	Telemetry *telemetry.Registry
+	Trace     *telemetry.Tracer
 
 	profile *workload.Profile
 
@@ -97,11 +102,12 @@ func (r *Subprocess) Measure(cfg *flags.Config, reps int) Measurement {
 		r.mu.Unlock()
 		m.FromCache = true
 		m.CostSeconds = 0
+		NoteCacheHit(r.Telemetry, r.Trace, key)
 		return m
 	}
 	r.mu.Unlock()
 
-	m := r.Retry.Run(func(int) Measurement {
+	m := r.Retry.Run(func(n int) Measurement {
 		r.mu.Lock()
 		repBase := r.reps[key]
 		r.reps[key] = repBase + reps
@@ -135,8 +141,10 @@ func (r *Subprocess) Measure(cfg *flags.Config, reps int) Measurement {
 			m.Pauses = append(m.Pauses, rep.MaxPauseSecs)
 		}
 		finalizeMeans(&m)
+		NoteAttempt(r.Telemetry, r.Trace, key, n, n > 0, m)
 		return m
 	})
+	NoteMeasured(r.Telemetry, r.Trace, key, m)
 
 	r.mu.Lock()
 	r.elapsed += m.CostSeconds

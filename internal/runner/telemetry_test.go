@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func instrumented(t *testing.T, name string) (*InProcess, *flags.Registry, *telemetry.Registry, *telemetry.Tracer) {
+	t.Helper()
+	r, reg := newRunner(t, name)
+	r.Telemetry = telemetry.New()
+	r.Trace = telemetry.NewTracer(0)
+	return r, reg, r.Telemetry, r.Trace
+}
+
+func TestTelemetryCountsMeasureAndCacheHit(t *testing.T) {
+	r, reg, tel, tr := instrumented(t, "fop")
+	cfg := flags.NewConfig(reg)
+
+	first := r.Measure(cfg, 2)
+	if first.Failed {
+		t.Fatalf("measure failed: %+v", first)
+	}
+	tr.Commit(cfg.Key(), 10)
+	second := r.Measure(cfg.Clone(), 2)
+	if !second.FromCache {
+		t.Fatal("second measure should replay from cache")
+	}
+	tr.Commit(cfg.Key(), 20)
+
+	snap := tel.Snapshot()
+	for name, want := range map[string]float64{
+		"runner_measures_total":             1,
+		"runner_attempts_total":             1,
+		"runner_cache_hits_total":           1,
+		"runner_measure_cost_seconds_count": 1,
+	} {
+		if snap[name] != want {
+			t.Errorf("%s = %g, want %g", name, snap[name], want)
+		}
+	}
+	if snap["runner_measure_cost_seconds_sum"] != first.CostSeconds {
+		t.Errorf("cost histogram sum = %g, want %g",
+			snap["runner_measure_cost_seconds_sum"], first.CostSeconds)
+	}
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("want 2 events, got %d: %+v", len(evs), evs)
+	}
+	if evs[0].Kind != telemetry.EvAttempt || evs[0].T != 10 || evs[0].Detail != "ok" {
+		t.Errorf("first event wrong: %+v", evs[0])
+	}
+	if evs[1].Kind != telemetry.EvCacheHit || evs[1].T != 20 {
+		t.Errorf("second event wrong: %+v", evs[1])
+	}
+}
+
+func TestTelemetryCountsTimeoutAndCondemnation(t *testing.T) {
+	r, reg, tel, tr := instrumented(t, "fop")
+	r.TimeoutSeconds = 1e-6 // every run is hopeless
+	cfg := flags.NewConfig(reg)
+
+	m := r.Measure(cfg, 1)
+	if !m.Failed || m.Failure != TimeoutFailure {
+		t.Fatalf("expected a timeout failure, got %+v", m)
+	}
+	tr.Commit(cfg.Key(), 5)
+
+	snap := tel.Snapshot()
+	for name, want := range map[string]float64{
+		"runner_timeouts_total":  1,
+		"runner_condemned_total": 1,
+		"runner_measures_total":  1,
+	} {
+		if snap[name] != want {
+			t.Errorf("%s = %g, want %g", name, snap[name], want)
+		}
+	}
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("want attempt+condemned, got %+v", evs)
+	}
+	if evs[0].Kind != telemetry.EvAttempt || evs[0].Detail != string(TimeoutFailure) {
+		t.Errorf("attempt event wrong: %+v", evs[0])
+	}
+	if evs[1].Kind != telemetry.EvCondemned || evs[1].Detail != string(TimeoutFailure) {
+		t.Errorf("condemned event wrong: %+v", evs[1])
+	}
+}
+
+func TestTelemetryNilIsFreeOfSideEffects(t *testing.T) {
+	// The un-instrumented path must stay exactly as before: nil Registry
+	// and Tracer no-op through the Note helpers.
+	r, reg := newRunner(t, "fop")
+	m := r.Measure(flags.NewConfig(reg), 1)
+	if m.Failed {
+		t.Fatalf("measure failed: %+v", m)
+	}
+	NoteCacheHit(nil, nil, "k")
+	NoteAttempt(nil, nil, "k", 0, false, m)
+	NoteMeasured(nil, nil, "k", m)
+}
+
+func benchMeasure(b *testing.B, instrument bool) {
+	p, ok := workload.ByName("fop")
+	if !ok {
+		b.Fatal("no workload fop")
+	}
+	sim := jvmsim.New()
+	sim.NoiseRelStdDev = 0
+	r := NewInProcess(sim, p)
+	r.DisableCache = true
+	if instrument {
+		r.Telemetry = telemetry.New()
+		r.Trace = telemetry.NewTracer(0)
+	}
+	cfg := flags.NewConfig(flags.NewRegistry())
+	key := cfg.Key()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Measure(cfg, 1)
+		if instrument && i%64 == 63 {
+			r.Trace.Commit(key, float64(i))
+		}
+	}
+}
+
+// The pair quantifies instrumentation overhead on the hot measurement path;
+// the no-op variant is the nil-receiver fast path every un-instrumented
+// session takes.
+func BenchmarkInProcessMeasureInstrumented(b *testing.B) { benchMeasure(b, true) }
+func BenchmarkInProcessMeasureNoTelemetry(b *testing.B)  { benchMeasure(b, false) }

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := New()
+	c := reg.Counter("hits_total")
+	const goroutines, perG = 32, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if again := reg.Counter("hits_total"); again != c {
+		t.Error("re-registration should return the same counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := New().Gauge("depth")
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(2.5)
+	if got := g.Value(); got != 7.5 {
+		t.Errorf("gauge = %g, want 7.5", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	g := New().Gauge("g")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8000 {
+		t.Errorf("gauge = %g, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := New().Histogram("cost_seconds", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %g, want 556.5", h.Sum())
+	}
+	counts, sum, total := h.snapshot()
+	if total != 5 || sum != 556.5 {
+		t.Errorf("snapshot total=%d sum=%g", total, sum)
+	}
+	// 0.5 and 1 land ≤1; 5 lands ≤10; 50 lands ≤100; 500 lands +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, counts[i], w)
+		}
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("h", nil)
+	h.Observe(3)
+	if h.Count() != 1 {
+		t.Error("observation lost")
+	}
+	if reg.Histogram("h", []float64{42}) != h {
+		t.Error("re-registration should return the same histogram")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := New()
+	reg.Counter("c_total").Add(3)
+	reg.Gauge("g").Set(1.5)
+	reg.Histogram("h", []float64{1}).Observe(2)
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"c_total": 3, "g": 1.5, "h_count": 1, "h_sum": 2,
+	} {
+		if snap[name] != want {
+			t.Errorf("snapshot[%q] = %g, want %g", name, snap[name], want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := New()
+	reg.Counter(`faults_total{kind="launch"}`).Add(2)
+	reg.Counter(`faults_total{kind="hang"}`).Inc()
+	reg.Gauge("queue_depth").Set(4)
+	h := reg.Histogram("cost_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE faults_total counter\n",
+		`faults_total{kind="hang"} 1` + "\n",
+		`faults_total{kind="launch"} 2` + "\n",
+		"# TYPE queue_depth gauge\nqueue_depth 4\n",
+		"# TYPE cost_seconds histogram\n",
+		`cost_seconds_bucket{le="1"} 1` + "\n",
+		`cost_seconds_bucket{le="10"} 2` + "\n",
+		`cost_seconds_bucket{le="+Inf"} 3` + "\n",
+		"cost_seconds_sum 55.5\n",
+		"cost_seconds_count 3\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	// One TYPE line per base name, even with two labeled series.
+	if strings.Count(got, "# TYPE faults_total") != 1 {
+		t.Errorf("TYPE line should appear once:\n%s", got)
+	}
+
+	// Deterministic output.
+	var b2 strings.Builder
+	if err := reg.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Error("exposition is not deterministic")
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var reg *Registry
+	reg.Counter("c").Inc()
+	reg.Counter("c").Add(2)
+	reg.Gauge("g").Set(1)
+	reg.Gauge("g").Add(1)
+	reg.Histogram("h", nil).Observe(1)
+	if reg.Counter("c").Value() != 0 || reg.Gauge("g").Value() != 0 ||
+		reg.Histogram("h", nil).Count() != 0 || reg.Histogram("h", nil).Sum() != 0 {
+		t.Error("nil registry should read as zero")
+	}
+	if reg.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil exposition: %v", err)
+	}
+}

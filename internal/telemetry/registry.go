@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metrics. Lookups register on first use, so
+// instrumented code just asks for the series it wants:
+//
+//	reg.Counter(`chaos_faults_total{kind="launch"}`).Inc()
+//
+// A series name is a Prometheus-style name with optional label suffix; all
+// series sharing a base name (the part before '{') are exposed under one
+// TYPE line. A nil *Registry is a valid no-op sink.
+//
+// Callers on hot paths should look a metric up once and keep the pointer:
+// the returned Counter/Gauge/Histogram is lock-free to update, while the
+// lookup itself takes a read lock.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter named name, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge named name, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram named name, registering it with the given
+// bucket upper bounds on first use (later calls reuse the first buckets;
+// nil buckets mean DefSecondsBuckets).
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		if buckets == nil {
+			buckets = DefSecondsBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		h = &Histogram{bounds: bounds, buckets: make([]uint64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every series as a flat name→value map: counters and
+// gauges by name, histograms as name_count and name_sum. It is the job
+// API's per-job telemetry view.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+2*len(r.hists))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		_, sum, total := h.snapshot()
+		out[name+"_count"] = float64(total)
+		out[name+"_sum"] = sum
+	}
+	return out
+}
+
+// baseName strips a label suffix: `x_total{kind="a"}` → `x_total`.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// formatFloat renders a float the way Prometheus expects, deterministically.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in Prometheus text format, sorted by
+// series name so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	typed := make(map[string]bool) // base names whose TYPE line is out
+
+	writeTyped := func(series, kind string) {
+		base := baseName(series)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
+		}
+	}
+
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeTyped(name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
+	}
+
+	names = names[:0]
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeTyped(name, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", name, formatFloat(gauges[name].Value()))
+	}
+
+	names = names[:0]
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := hists[name]
+		writeTyped(name, "histogram")
+		counts, sum, total := h.snapshot()
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, total)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

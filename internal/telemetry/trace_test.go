@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerEmitAndEvents(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Kind: EvBaseline, T: 1})
+	tr.Emit(Event{Kind: EvBarrier, T: 2})
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Kind != EvBaseline || evs[1].Kind != EvBarrier {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Errorf("seq not assigned in order: %+v", evs)
+	}
+}
+
+func TestTracerRecordCommitOrder(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Record("a", Event{Kind: EvAttempt, Attempt: 0})
+	tr.Record("a", Event{Kind: EvRetry, Attempt: 1})
+	tr.Record("b", Event{Kind: EvCacheHit})
+	tr.Commit("b", 10)
+	tr.Commit("a", 20)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	// b committed first, then a's two events in record order.
+	if evs[0].Key != "b" || evs[0].T != 10 {
+		t.Errorf("evs[0] = %+v", evs[0])
+	}
+	if evs[1].Kind != EvAttempt || evs[2].Kind != EvRetry || evs[2].T != 20 {
+		t.Errorf("a's group out of order: %+v", evs[1:])
+	}
+	// Committing a key twice is harmless.
+	tr.Commit("a", 30)
+	if tr.Len() != 3 {
+		t.Error("empty commit should add nothing")
+	}
+}
+
+func TestTracerRingDropsOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Emit(Event{Kind: EvObserve, Trial: i})
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Trial != i+3 {
+			t.Errorf("evs[%d].Trial = %d, want %d (oldest dropped first)", i, ev.Trial, i+3)
+		}
+	}
+}
+
+func TestTracerPendingCap(t *testing.T) {
+	tr := NewTracer(0)
+	for i := 0; i < pendingCapPerKey+10; i++ {
+		tr.Record("k", Event{Kind: EvAttempt, Attempt: i})
+	}
+	tr.Commit("k", 1)
+	if tr.Len() != pendingCapPerKey {
+		t.Errorf("len = %d, want %d", tr.Len(), pendingCapPerKey)
+	}
+	if tr.Dropped() != 10 {
+		t.Errorf("dropped = %d, want 10", tr.Dropped())
+	}
+}
+
+func TestTracerFlushSortsKeys(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Record("zz", Event{Kind: EvAttempt})
+	tr.Record("aa", Event{Kind: EvAttempt})
+	tr.Flush()
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Key != "aa" || evs[1].Key != "zz" {
+		t.Errorf("flush should commit in sorted-key order: %+v", evs)
+	}
+	if evs[0].T != -1 {
+		t.Errorf("flushed events get T = -1, got %g", evs[0].T)
+	}
+}
+
+func TestTracerWriteJSONLDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracer(0)
+		tr.Record("cfg-a", Event{Kind: EvAttempt, Attempt: 0, Cost: 12.5, Detail: "ok"})
+		tr.Commit("cfg-a", 13)
+		tr.Emit(Event{Kind: EvObserve, Key: "cfg-a", T: 13, Trial: 1, Score: 12.5})
+		tr.Record("cfg-b", Event{Kind: EvFault, Detail: "launch"})
+		return tr
+	}
+	var a, b strings.Builder
+	if err := build().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("JSONL not deterministic:\n%s\n---\n%s", a.String(), b.String())
+	}
+	lines := strings.Split(strings.TrimSuffix(a.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), a.String())
+	}
+	if !strings.HasPrefix(lines[0], `{"seq":0,"t":13,"kind":"attempt","key":"cfg-a"`) {
+		t.Errorf("line 0 = %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"kind":"fault"`) || !strings.Contains(lines[2], `"t":-1`) {
+		t.Errorf("uncommitted event should flush with t=-1: %s", lines[2])
+	}
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		key := strings.Repeat("k", g+1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(key, Event{Kind: EvAttempt, Attempt: i})
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Flush()
+	if tr.Len() != 800 {
+		t.Errorf("len = %d, want 800", tr.Len())
+	}
+	// Per-key record order survives concurrency.
+	last := map[string]int{}
+	for _, ev := range tr.Events() {
+		if prev, ok := last[ev.Key]; ok && ev.Attempt != prev+1 {
+			t.Fatalf("key %q out of order: %d after %d", ev.Key, ev.Attempt, prev)
+		}
+		last[ev.Key] = ev.Attempt
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvObserve})
+	tr.Record("k", Event{Kind: EvAttempt})
+	tr.Commit("k", 1)
+	tr.Flush()
+	if tr.Events() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer should read as empty")
+	}
+	if err := tr.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Errorf("nil WriteJSONL: %v", err)
+	}
+}

@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 FLOOR=80
 
 status=0
-for pkg in ./internal/runner ./internal/faultinject; do
+for pkg in ./internal/runner ./internal/faultinject ./internal/telemetry; do
     line=$(go test -cover "$pkg" | tail -1)
     echo "$line"
     pct=$(echo "$line" | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')
