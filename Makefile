@@ -1,12 +1,20 @@
 # Developer entry points. `make verify` is the tier-1 gate (see ROADMAP.md).
 
-.PHONY: verify build test bench cover
+.PHONY: verify build test bench cover crash-matrix
 
 verify:
 	./scripts/verify.sh
 
 cover:
 	./scripts/cover.sh
+
+# The crash drills: kill fixed-seed sessions (and the job farm) mid-run,
+# resume from checkpoints, and demand byte-identical results. Run under
+# -race because recovery code is exactly where concurrency bugs hide.
+crash-matrix:
+	go test -race -count=1 \
+	  -run 'TestKillAndResume|TestSessionKillAndResume|TestSessionCheckpoint|TestDurableServer|TestCLIAutotuneCrashAndResume' \
+	  ./hotspot ./internal/core ./internal/httpapi .
 
 build:
 	go build ./...

@@ -5,6 +5,7 @@ package repro
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -119,6 +120,55 @@ func TestCLIAutotuneTraceDeterministic(t *testing.T) {
 	b := runOnce(filepath.Join(dir, "b.jsonl"))
 	if string(a) != string(b) {
 		t.Error("fixed-seed chaos traces differ between runs")
+	}
+}
+
+// TestCLIAutotuneCrashAndResume drills the crash-recovery workflow the way
+// an operator would: the chaos crash-at fault kills the process with exit
+// code 7, and rerunning with -resume produces a result file byte-identical
+// to the uninterrupted run's.
+func TestCLIAutotuneCrashAndResume(t *testing.T) {
+	bin := cliBinary(t, "autotune")
+	dir := t.TempDir()
+	controlOut := filepath.Join(dir, "control.json")
+	if out, err := exec.Command(bin,
+		"-benchmark", "fop", "-budget", "20", "-seed", "9", "-workers", "2",
+		"-out", controlOut).CombinedOutput(); err != nil {
+		t.Fatalf("control run failed: %v\n%s", err, out)
+	}
+
+	ckpt := filepath.Join(dir, "session.ckpt")
+	cmd := exec.Command(bin,
+		"-benchmark", "fop", "-budget", "20", "-seed", "9", "-workers", "2",
+		"-checkpoint", ckpt, "-checkpoint-every", "1", "-chaos", "crash-at=6")
+	out, err := cmd.CombinedOutput()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 7 {
+		t.Fatalf("crash-at run: err=%v, want exit code 7\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "rerun with -resume") {
+		t.Errorf("crash message should point at -resume:\n%s", out)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not retained after the crash: %v", err)
+	}
+
+	resumedOut := filepath.Join(dir, "resumed.json")
+	if out, err := exec.Command(bin,
+		"-benchmark", "fop", "-budget", "20", "-seed", "9", "-workers", "2",
+		"-checkpoint", ckpt, "-resume", "-out", resumedOut).CombinedOutput(); err != nil {
+		t.Fatalf("resume run failed: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(controlOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resumedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("resumed result file differs from uninterrupted run:\n%s\nvs\n%s", got, want)
 	}
 }
 

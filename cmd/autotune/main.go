@@ -25,9 +25,20 @@
 // byte-identical across runs at any -workers count, so traces diff cleanly.
 // -convergence prints the best-so-far curve; a telemetry summary of the
 // measurement economy is printed after every run.
+//
+// -checkpoint FILE makes the session crash-safe: its state is periodically
+// snapshotted to FILE (every -checkpoint-every trials), and a killed run
+// continues from the snapshot with -resume — converging to the
+// byte-identical result the uninterrupted run would have produced. The
+// chaos DSL's crash-at=N fault kills the session after N trials (exit code
+// 7, checkpoint retained), which is the scripted way to drill recovery:
+//
+//	autotune -benchmark h2 -checkpoint h2.ckpt -chaos crash-at=20
+//	autotune -benchmark h2 -checkpoint h2.ckpt -resume
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +46,26 @@ import (
 
 	"repro/hotspot"
 )
+
+// runTune calls hotspot.Tune, converting a crash-point kill (the chaos
+// plan's crash-at=N fault panics with SessionCrash) into an ordinary error
+// so main can exit with a distinct code while the deferred checkpoint
+// machinery has already flushed during the unwind. Any other panic is a
+// genuine bug and keeps propagating.
+func runTune(opts hotspot.Options) (res *hotspot.Result, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		crash, ok := r.(hotspot.SessionCrash)
+		if !ok {
+			panic(r)
+		}
+		res, err = nil, crash
+	}()
+	return hotspot.Tune(opts)
+}
 
 // traceCap bounds the event trace; generous enough that even a long chaos
 // session at full budget keeps every event (the recorder drops oldest
@@ -57,6 +88,9 @@ func main() {
 		chaos    = flag.String("chaos", "", "fault-injection plan: a scenario (see -scenarios) or DSL like launch=0.1,spike=0.2")
 		retries  = flag.Int("retries", 0, "max launch attempts per measurement on transient failures (0 = default 3)")
 		out      = flag.String("out", "", "save the result as JSON to this file")
+		ckpt     = flag.String("checkpoint", "", "snapshot session state to this file for crash recovery")
+		ckptN    = flag.Int("checkpoint-every", 0, "checkpoint cadence in completed trials (0 = default 8)")
+		resume   = flag.Bool("resume", false, "continue the session recorded at -checkpoint")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		scens    = flag.Bool("scenarios", false, "list fault-injection scenarios and exit")
 	)
@@ -84,22 +118,30 @@ func main() {
 	if *trace != "" {
 		tracer = hotspot.NewTracer(traceCap)
 	}
-	res, err := hotspot.Tune(hotspot.Options{
-		Benchmark:     *bench,
-		Searcher:      *searcher,
-		BudgetMinutes: *budget,
-		Reps:          *reps,
-		Seed:          *seed,
-		Noise:         -1,
-		JVMSimPath:    *jvmsim,
-		Workers:       *workers,
-		Objective:     *objectiv,
-		Chaos:         *chaos,
-		RetryAttempts: *retries,
-		Telemetry:     reg,
-		Trace:         tracer,
+	res, err := runTune(hotspot.Options{
+		Benchmark:             *bench,
+		Searcher:              *searcher,
+		BudgetMinutes:         *budget,
+		Reps:                  *reps,
+		Seed:                  *seed,
+		Noise:                 -1,
+		JVMSimPath:            *jvmsim,
+		Workers:               *workers,
+		Objective:             *objectiv,
+		Chaos:                 *chaos,
+		RetryAttempts:         *retries,
+		Telemetry:             reg,
+		Trace:                 tracer,
+		CheckpointPath:        *ckpt,
+		CheckpointEveryTrials: *ckptN,
+		Resume:                *resume,
 	})
 	if err != nil {
+		var crash hotspot.SessionCrash
+		if errors.As(err, &crash) {
+			fmt.Fprintf(os.Stderr, "autotune: %v (checkpoint retained; rerun with -resume)\n", err)
+			os.Exit(7)
+		}
 		fmt.Fprintf(os.Stderr, "autotune: %v\n", err)
 		os.Exit(1)
 	}

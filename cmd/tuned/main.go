@@ -4,6 +4,7 @@
 // Usage:
 //
 //	tuned [-addr :8425] [-max-concurrent 4] [-max-jobs 256] [-pprof]
+//	      [-state-dir DIR] [-checkpoint-every N]
 //
 // GET /metrics serves farm metrics (queue depth, running sessions, job
 // verdicts, plus each job's runner/session series in its poll responses) in
@@ -34,6 +35,14 @@
 // finished jobs first. SIGINT/SIGTERM trigger a graceful shutdown: running
 // jobs get a grace period to finish, then are canceled.
 //
+// -state-dir makes the farm durable: submissions, transitions, and results
+// are journaled there ahead of taking effect, and running jobs checkpoint
+// their sessions (every -checkpoint-every trials). A restarted tuned
+// replays the journal — finished results are served from disk, and jobs
+// the dead process left queued or running are re-run, resuming mid-search
+// from their checkpoints. See docs/DURABILITY.md for the recovery
+// guarantees.
+//
 // See internal/httpapi for the full route list.
 package main
 
@@ -59,14 +68,21 @@ func main() {
 		maxJobs       = flag.Int("max-jobs", httpapi.DefaultConfig().MaxJobs, "job store capacity (oldest finished jobs evicted first)")
 		grace         = flag.Duration("grace", 30*time.Second, "shutdown grace period before running jobs are canceled")
 		pprofOn       = flag.Bool("pprof", false, "serve net/http/pprof profiling handlers under /debug/pprof/")
+		stateDir      = flag.String("state-dir", "", "journal jobs and checkpoint sessions here; a restart recovers them")
+		ckptEvery     = flag.Int("checkpoint-every", 0, "per-job checkpoint cadence in trials with -state-dir (0 = default 8)")
 	)
 	flag.Parse()
 
-	api := httpapi.NewServerWith(httpapi.Config{
-		MaxConcurrent: *maxConcurrent,
-		MaxJobs:       *maxJobs,
-		EnablePprof:   *pprofOn,
+	api, err := httpapi.NewDurableServer(httpapi.Config{
+		MaxConcurrent:         *maxConcurrent,
+		MaxJobs:               *maxJobs,
+		EnablePprof:           *pprofOn,
+		StateDir:              *stateDir,
+		CheckpointEveryTrials: *ckptEvery,
 	})
+	if err != nil {
+		log.Fatalf("tuned: recovery failed: %v", err)
+	}
 	srv := &http.Server{Addr: *addr, Handler: api}
 
 	stop := make(chan os.Signal, 1)
@@ -76,6 +92,9 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("tuned: serving the HotSpot auto-tuner on %s (max %d concurrent sessions, %d stored jobs)\n",
 		*addr, *maxConcurrent, *maxJobs)
+	if *stateDir != "" {
+		fmt.Printf("tuned: durable farm state in %s (journal + per-job checkpoints)\n", *stateDir)
+	}
 	fmt.Printf("tuned: metrics at /metrics")
 	if *pprofOn {
 		fmt.Printf(", profiling at /debug/pprof/")

@@ -1,0 +1,133 @@
+package hotspot
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// resultBytes flattens a result for byte comparison.
+func resultBytes(t *testing.T, r *Result) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// crashTune runs a session armed with a crash-at fault and swallows the
+// SessionCrash kill, leaving the checkpoint on disk — one life of the
+// kill-and-resume drill.
+func crashTune(t *testing.T, opts Options, at string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(SessionCrash); !ok {
+			panic(r)
+		}
+	}()
+	if opts.Chaos == "" {
+		opts.Chaos = at
+	} else {
+		opts.Chaos += "," + at
+	}
+	if _, err := Tune(opts); err != nil {
+		t.Fatalf("crash run failed before the kill: %v", err)
+	}
+	t.Fatalf("%s never fired — session finished", at)
+}
+
+// TestKillAndResumeMatrix is the crash drill across every search strategy:
+// for each searcher a fixed-seed session is killed mid-run by the crash-at
+// fault, resumed from its checkpoint, and must converge to the
+// byte-identical result of the uninterrupted run. One extra case runs the
+// drill under an active chaos plan, proving the fault-injection state
+// machine survives the crash too.
+func TestKillAndResumeMatrix(t *testing.T) {
+	type tc struct {
+		searcher string
+		chaos    string
+	}
+	cases := make([]tc, 0, len(Searchers())+1)
+	for _, s := range Searchers() {
+		cases = append(cases, tc{searcher: s})
+	}
+	cases = append(cases, tc{searcher: "hillclimb", chaos: "launch=0.1,spike=0.2"})
+
+	for _, c := range cases {
+		name := c.searcher
+		if c.chaos != "" {
+			name += "+chaos"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opts := Options{
+				Benchmark:     "fop",
+				Searcher:      c.searcher,
+				BudgetMinutes: 8,
+				Seed:          23,
+				Workers:       2,
+				Noise:         -1,
+				Chaos:         c.chaos,
+			}
+			control, err := Tune(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			durable := opts
+			durable.CheckpointPath = filepath.Join(dir, "session.ckpt")
+			durable.CheckpointEveryTrials = 1
+			crashTune(t, durable, "crash-at=6")
+			if _, err := os.Stat(durable.CheckpointPath); err != nil {
+				t.Fatalf("no checkpoint after the kill: %v", err)
+			}
+
+			durable.Resume = true
+			resumed, err := Tune(durable)
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			got, want := resultBytes(t, resumed), resultBytes(t, control)
+			if got != want {
+				t.Fatalf("resumed result differs from uninterrupted run:\nresumed:       %s\nuninterrupted: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestResumeRequiresCheckpointPath pins the CLI contract: -resume without
+// -checkpoint is a usage error, not a silent fresh start.
+func TestResumeRequiresCheckpointPath(t *testing.T) {
+	_, err := Tune(Options{Benchmark: "fop", BudgetMinutes: 5, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "Resume requires CheckpointPath") {
+		t.Fatalf("resume without a path = %v, want usage error", err)
+	}
+}
+
+// TestResumeFromMissingCheckpointStartsFresh: pointing -resume at a file
+// that does not exist yet is a fresh start — the idiom `autotune
+// -checkpoint X -resume` works on the first run and every run after.
+func TestResumeFromMissingCheckpointStartsFresh(t *testing.T) {
+	opts := Options{Benchmark: "fop", Searcher: "random", BudgetMinutes: 5, Seed: 4, Noise: -1}
+	control, err := Tune(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.CheckpointPath = filepath.Join(t.TempDir(), "never-written.ckpt")
+	opts.Resume = true
+	fresh, err := Tune(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultBytes(t, fresh) != resultBytes(t, control) {
+		t.Fatal("fresh start under -resume diverged from a plain run")
+	}
+}

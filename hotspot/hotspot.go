@@ -13,9 +13,12 @@ package hotspot
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/flags"
@@ -113,7 +116,28 @@ type Options struct {
 	// write it out with Tracer.WriteJSONL. For a fixed Seed the stream is
 	// byte-identical across runs at any Workers count.
 	Trace *Tracer
+	// CheckpointPath, when non-empty, makes the session crash-safe: its
+	// state is periodically snapshotted to this file (atomically rotated,
+	// CRC-guarded), so a killed run can continue with Resume instead of
+	// starting over. See docs/DURABILITY.md.
+	CheckpointPath string
+	// CheckpointEveryTrials is the snapshot cadence in completed trials;
+	// 0 means the default (8).
+	CheckpointEveryTrials int
+	// Resume continues the session recorded at CheckpointPath. The
+	// checkpoint's options fingerprint must match this session's; a missing
+	// checkpoint file simply starts fresh (determinism makes the outcomes
+	// identical either way), while a corrupt one fails closed. A resumed
+	// fixed-seed run converges to the byte-identical result of an
+	// uninterrupted one.
+	Resume bool
 }
+
+// SessionCrash is the panic value of the crash-point fault
+// (chaos "crash-at=N"): a simulated hard kill of the session for
+// checkpoint/resume drills. cmd/autotune recovers it and exits with a
+// distinct status, leaving the checkpoint file behind.
+type SessionCrash = faultinject.SessionCrash
 
 // Progress is a live snapshot of a running tuning session.
 type Progress struct {
@@ -192,6 +216,53 @@ func LoadResult(path string) (*persist.SavedOutcome, *Config, error) {
 	return saved, cfg, nil
 }
 
+// durabilitySetup resolves the checkpoint options into a snapshot keeper
+// and (under Resume) the loaded snapshot to continue from. A missing
+// checkpoint file is a fresh start, not an error; anything unreadable or
+// corrupt fails closed.
+func durabilitySetup(opts Options) (*checkpoint.Keeper, *checkpoint.Snapshot, error) {
+	var resume *checkpoint.Snapshot
+	if opts.Resume {
+		if opts.CheckpointPath == "" {
+			return nil, nil, fmt.Errorf("hotspot: Resume requires CheckpointPath")
+		}
+		snap, err := checkpoint.Load(opts.CheckpointPath)
+		switch {
+		case err == nil:
+			resume = snap
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing checkpointed yet — the fresh run is the correct (and,
+			// by determinism, identical) continuation.
+		default:
+			return nil, nil, err
+		}
+	}
+	var keeper *checkpoint.Keeper
+	if opts.CheckpointPath != "" {
+		keeper = checkpoint.NewKeeper(opts.CheckpointPath, opts.CheckpointEveryTrials, opts.Telemetry)
+	}
+	return keeper, resume, nil
+}
+
+// armCrashPoint chains the chaos plan's crash-at fault onto the session
+// progress hook. The crash point rides the progress callback because it
+// fires in the engine's deterministic delivery order; the plan's copy of
+// the trigger is cleared so the measurement layer never sees it.
+func armCrashPoint(plan *faultinject.Plan, onProgress func(core.TracePoint)) func(core.TracePoint) {
+	at := plan.CrashAtTrial
+	plan.CrashAtTrial = 0
+	if at <= 0 {
+		return onProgress
+	}
+	cp := &faultinject.CrashPoint{AtTrial: at}
+	return func(tp core.TracePoint) {
+		if onProgress != nil {
+			onProgress(tp)
+		}
+		cp.OnTrial(tp.Trial)
+	}
+}
+
 // Tune runs one budgeted tuning session.
 func Tune(opts Options) (*Result, error) {
 	return TuneContext(context.Background(), opts)
@@ -224,6 +295,15 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	onProgress := armCrashPoint(&plan, progressAdapter(opts.OnProgress))
+	keeper, resume, err := durabilitySetup(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Close waits out any in-flight snapshot write — including during the
+	// panic unwind of a crash-point kill, which is what guarantees the
+	// checkpoint on disk is complete when the "process" dies.
+	defer keeper.Close()
 	// Telemetry wires to the outermost measurement layer only: the chaos
 	// layer when active (it sees every attempt, injected and clean),
 	// otherwise the runner itself.
@@ -268,9 +348,11 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		Workers:       opts.Workers,
 		Objective:     core.Objective(opts.Objective),
 		Ctx:           ctx,
-		OnProgress:    progressAdapter(opts.OnProgress),
+		OnProgress:    onProgress,
 		Telemetry:     opts.Telemetry,
 		Trace:         opts.Trace,
+		Checkpoint:    keeper,
+		Resume:        resume,
 	}
 	out, err := session.Run()
 	if err != nil {
@@ -394,6 +476,12 @@ func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (
 	if err != nil {
 		return nil, err
 	}
+	onProgress := armCrashPoint(&plan, progressAdapter(opts.OnProgress))
+	keeper, resume, err := durabilitySetup(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer keeper.Close()
 	if plan.Active() {
 		chaos := faultinject.New(run, plan, opts.Seed)
 		chaos.Retry = retry
@@ -422,9 +510,11 @@ func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (
 		Seed:          opts.Seed,
 		Workers:       opts.Workers,
 		Ctx:           ctx,
-		OnProgress:    progressAdapter(opts.OnProgress),
+		OnProgress:    onProgress,
 		Telemetry:     opts.Telemetry,
 		Trace:         opts.Trace,
+		Checkpoint:    keeper,
+		Resume:        resume,
 	}
 	out, err := session.Run()
 	if err != nil {

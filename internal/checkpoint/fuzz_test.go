@@ -1,0 +1,109 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// FuzzSnapshotDecode hammers the snapshot decoder with arbitrary bytes. The
+// contract under test is fail-closed decoding: any input either decodes to
+// a snapshot that re-encodes cleanly, or returns one of the two sentinel
+// errors — never a panic, never a partially-decoded snapshot.
+func FuzzSnapshotDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := (&Snapshot{
+		Meta:     Meta{Workload: "h2", Searcher: "random", Objective: "throughput", Seed: 1, Reps: 3},
+		Trial:    3,
+		BestKey:  "-Xmx1g",
+		Baseline: fuzzBaseline(),
+	}).Encode(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:headerSize])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFutureVersion) {
+				t.Fatalf("decode error is neither ErrCorrupt nor ErrFutureVersion: %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := s.Encode(&out); err != nil {
+			t.Fatalf("decoded snapshot does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzJournalReplay feeds arbitrary bytes to the journal recovery path. A
+// file the opener accepts must come back usable: appends land, and a
+// reopen replays the salvage result plus the new record. A rejected file
+// must fail with a sentinel error, not a panic, and must not be modified.
+func FuzzJournalReplay(f *testing.F) {
+	var fresh bytes.Buffer
+	if err := writeHeader(&fresh); err != nil {
+		f.Fatal(err)
+	}
+	withRecords := bytes.NewBuffer(append([]byte(nil), fresh.Bytes()...))
+	for _, p := range []string{`{"op":"submit","id":1}`, `{"op":"done","id":1}`} {
+		if err := writeRecord(withRecords, []byte(p)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add([]byte{})
+	f.Add(fresh.Bytes())
+	f.Add(withRecords.Bytes())
+	f.Add(withRecords.Bytes()[:withRecords.Len()-3]) // torn tail
+	f.Add([]byte("not a journal"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "j.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, records, err := OpenJournal(path, nil)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFutureVersion) {
+				t.Fatalf("open error is neither sentinel: %v", err)
+			}
+			after, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if !bytes.Equal(after, data) {
+				t.Fatal("rejected journal was modified on disk")
+			}
+			return
+		}
+		if err := j.Append([]byte("probe")); err != nil {
+			t.Fatalf("append to accepted journal: %v", err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		_, again, err := OpenJournal(path, nil)
+		if err != nil {
+			t.Fatalf("reopen after salvage: %v", err)
+		}
+		if len(again) != len(records)+1 || string(again[len(again)-1]) != "probe" {
+			t.Fatalf("reopen replayed %d records, want %d plus probe", len(again), len(records)+1)
+		}
+	})
+}
+
+func fuzzBaseline() (m runner.Measurement) {
+	m.Key = "default"
+	m.Walls = []float64{20}
+	m.Mean = 20
+	m.CostSeconds = 20.5
+	m.Attempts = 1
+	return m
+}

@@ -1,0 +1,130 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Journal is an append-only write-ahead log of framed records, used by the
+// tuning farm to make job submissions, state transitions, and results
+// durable. Appends are fsynced before returning, so a record the caller saw
+// accepted survives a crash.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+	tel    *telemetry.Registry
+}
+
+// OpenJournal opens (or creates) the journal at path and replays it,
+// returning the decoded record payloads in append order.
+//
+// Recovery is deliberately forgiving about the tail and strict about the
+// head: a crash mid-append legitimately leaves a torn last record, so a
+// corrupt tail is truncated back to the end of the valid prefix and the
+// journal reopens for appends — losing only the record that never finished.
+// A corrupt header, by contrast, means the file is not a journal at all
+// (or was written by a future version), and replaying a guess would
+// resurrect a farm state that never existed; that fails closed.
+func OpenJournal(path string, tel *telemetry.Registry) (*Journal, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{f: f, tel: tel}
+
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if st.Size() == 0 {
+		if err := writeHeader(f); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: init header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: init sync: %w", err)
+		}
+		return j, nil, nil
+	}
+
+	if _, err := readHeader(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+
+	var records [][]byte
+	valid := int64(headerSize) // byte offset of the end of the valid prefix
+	for {
+		payload, err := readRecord(f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				f.Close()
+				return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+			}
+			// Torn tail from a crash mid-append: salvage the valid prefix.
+			if terr := f.Truncate(valid); terr != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("journal %s: truncate corrupt tail: %w", path, terr)
+			}
+			if serr := f.Sync(); serr != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("journal %s: sync after truncate: %w", path, serr)
+			}
+			tel.Counter("journal_salvaged_total").Inc()
+			break
+		}
+		records = append(records, payload)
+		valid += recordHeaderSize + int64(len(payload))
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: seek: %w", path, err)
+	}
+	tel.Counter("journal_records_replayed_total").Add(uint64(len(records)))
+	return j, records, nil
+}
+
+// Append durably writes one record: framed, then fsynced.
+func (j *Journal) Append(payload []byte) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	if err := writeRecord(j.f, payload); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: append sync: %w", err)
+	}
+	j.tel.Counter("journal_appends_total").Inc()
+	return nil
+}
+
+// Close closes the journal; later Appends fail.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}

@@ -1,0 +1,172 @@
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/runner"
+)
+
+// Meta fingerprints the session that wrote a snapshot. Resume refuses a
+// checkpoint whose fingerprint disagrees with the session being started:
+// replay only reconstructs searcher and RNG state when every determinism
+// input matches, and silently continuing with a different seed or searcher
+// would produce a report that looks authoritative but corresponds to no
+// real run.
+type Meta struct {
+	Workload      string  `json:"workload"`
+	Searcher      string  `json:"searcher"`
+	Objective     string  `json:"objective"`
+	Runner        string  `json:"runner"` // concrete runner type, e.g. "*runner.InProcess"
+	Seed          int64   `json:"seed"`
+	BudgetSeconds float64 `json:"budget_seconds"`
+	Reps          int     `json:"reps"`
+	Workers       int     `json:"workers"`
+	MaxTrials     int     `json:"max_trials"`
+}
+
+// Check reports the first fingerprint mismatch between the checkpoint's
+// metadata and the resuming session's, or nil if they agree.
+func (m Meta) Check(want Meta) error {
+	type field struct {
+		name      string
+		got, want any
+	}
+	for _, f := range []field{
+		{"workload", m.Workload, want.Workload},
+		{"searcher", m.Searcher, want.Searcher},
+		{"objective", m.Objective, want.Objective},
+		{"runner", m.Runner, want.Runner},
+		{"seed", m.Seed, want.Seed},
+		{"budget_seconds", m.BudgetSeconds, want.BudgetSeconds},
+		{"reps", m.Reps, want.Reps},
+		{"workers", m.Workers, want.Workers},
+		{"max_trials", m.MaxTrials, want.MaxTrials},
+	} {
+		if f.got != f.want {
+			return fmt.Errorf("checkpoint: %s mismatch: checkpoint has %v, session wants %v", f.name, f.got, f.want)
+		}
+	}
+	return nil
+}
+
+// TrialRecord is one delivered measurement: the dispatch sequence number the
+// engine assigned the trial, the flag-set key it evaluated, and the
+// measurement the searcher observed. Seq and Key double as divergence
+// checks on replay — if the resumed engine proposes a different config for a
+// recorded seq, the determinism inputs changed and resume aborts rather
+// than splicing mismatched histories.
+type TrialRecord struct {
+	Seq int                `json:"seq"`
+	Key string             `json:"key"`
+	M   runner.Measurement `json:"m"`
+}
+
+// Snapshot is a complete session checkpoint: everything needed to continue
+// a killed run and converge to the byte-identical outcome of an
+// uninterrupted one. Trials is the ordered log of delivered measurements;
+// RunnerState is the runner's own opaque serialization (evaluated-config
+// cache, noise-rep indices, chaos counters, elapsed virtual clock) produced
+// by runner.StateSnapshotter.
+type Snapshot struct {
+	Meta        Meta               `json:"meta"`
+	Trial       int                `json:"trial"`   // trials completed when the snapshot was taken
+	Elapsed     float64            `json:"elapsed"` // virtual seconds consumed
+	BestKey     string             `json:"best_key"`
+	BestScore   float64            `json:"best_score"`
+	Baseline    runner.Measurement `json:"baseline"`
+	Trials      []TrialRecord      `json:"trials"`
+	RunnerState json.RawMessage    `json:"runner_state,omitempty"`
+}
+
+// Encode writes the snapshot to w: header, then one framed JSON record.
+func (s *Snapshot) Encode(w io.Writer) error {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode snapshot: %w", err)
+	}
+	if err := writeHeader(w); err != nil {
+		return err
+	}
+	return writeRecord(w, payload)
+}
+
+// Decode reads a snapshot written by Encode, failing closed on anything
+// malformed: bad magic, future version, torn or CRC-corrupt record,
+// non-JSON payload, or trailing garbage after the snapshot record.
+func Decode(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	if _, err := readHeader(br); err != nil {
+		return nil, err
+	}
+	payload, err := readRecord(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: missing snapshot record", ErrCorrupt)
+		}
+		return nil, err
+	}
+	var s Snapshot
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: snapshot payload: %v", ErrCorrupt, err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after snapshot record", ErrCorrupt)
+	}
+	return &s, nil
+}
+
+// Save atomically replaces the snapshot at path: the bytes go to a temp
+// file in the same directory, are fsynced, and only then renamed over the
+// destination. A crash at any point leaves either the previous complete
+// snapshot or the new one — never a torn file.
+func (s *Snapshot) Save(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.Encode(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: save: sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: save: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates the snapshot at path. The caller distinguishes
+// "no checkpoint yet" with errors.Is(err, os.ErrNotExist).
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/runner"
+)
+
+// runToCheckpoint runs a session that checkpoints every round and is
+// canceled once killAt trials have completed, then loads the checkpoint it
+// left behind. The cancellation lands between rounds, like a kill signal.
+func runToCheckpoint(t *testing.T, bench, searcher string, budget float64, seed int64, workers, killAt int) *checkpoint.Snapshot {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "session.ckpt")
+	s := newSession(t, bench, searcher, budget, seed)
+	s.Workers = workers
+	keeper := checkpoint.NewKeeper(path, 1, nil)
+	keeper.SyncWrites = true
+	s.Checkpoint = keeper
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Ctx = ctx
+	s.OnProgress = func(tp TracePoint) {
+		if tp.Trial >= killAt {
+			cancel()
+		}
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatalf("session survived the kill at trial %d (budget too small?)", killAt)
+	}
+	if err := keeper.Close(); err != nil {
+		t.Fatalf("keeper: %v", err)
+	}
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatalf("no checkpoint after kill: %v", err)
+	}
+	if snap.Trial < killAt {
+		t.Fatalf("checkpoint stopped at trial %d, kill was at %d", snap.Trial, killAt)
+	}
+	return snap
+}
+
+// outcomeFingerprint flattens the deterministic parts of an outcome for
+// byte comparison.
+func outcomeFingerprint(t *testing.T, out *Outcome) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Workload, Searcher, BestKey    string
+		DefaultWall, BestWall, Elapsed float64
+		Trials, Failures, CacheHits    int
+		Flakes, Attempts, Transients   int
+		Trace                          []TracePoint
+		History                        []AttemptRecord
+		BaseM, BestM                   runner.Measurement
+		ImprovementPct, Speedup        float64
+	}{
+		Workload: out.Workload, Searcher: out.Searcher, BestKey: out.Best.Key(),
+		DefaultWall: out.DefaultWall, BestWall: out.BestWall, Elapsed: out.Elapsed,
+		Trials: out.Trials, Failures: out.Failures, CacheHits: out.CacheHits,
+		Flakes: out.Flakes, Attempts: out.Attempts, Transients: out.TransientFailures,
+		Trace: out.Trace, History: out.AttemptHistory,
+		BaseM: out.BaseMeasurement, BestM: out.BestMeasurement,
+		ImprovementPct: out.ImprovementPct, Speedup: out.Speedup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSessionKillAndResumeByteIdentical(t *testing.T) {
+	const (
+		bench   = "fop"
+		search  = "hillclimb"
+		budget  = 900.0
+		seed    = int64(11)
+		workers = 2
+		killAt  = 6
+	)
+	uninterrupted, err := func() (*Outcome, error) {
+		s := newSession(t, bench, search, budget, seed)
+		s.Workers = workers
+		return s.Run()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := runToCheckpoint(t, bench, search, budget, seed, workers, killAt)
+
+	resumed := newSession(t, bench, search, budget, seed)
+	resumed.Workers = workers
+	resumed.Resume = snap
+	out, err := resumed.Run()
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+
+	got, want := outcomeFingerprint(t, out), outcomeFingerprint(t, uninterrupted)
+	if got != want {
+		t.Fatalf("resumed outcome differs from uninterrupted run:\nresumed:       %s\nuninterrupted: %s", got, want)
+	}
+	if !reflect.DeepEqual(out.Trace, uninterrupted.Trace) {
+		t.Fatal("convergence traces differ")
+	}
+}
+
+func TestSessionResumeChecksFingerprint(t *testing.T) {
+	snap := runToCheckpoint(t, "fop", "random", 600, 3, 1, 4)
+
+	cases := []struct {
+		name   string
+		mutate func(*Session, *checkpoint.Snapshot)
+		want   string
+	}{
+		{"seed", func(s *Session, _ *checkpoint.Snapshot) { s.Seed = 99 }, "seed mismatch"},
+		{"budget", func(s *Session, _ *checkpoint.Snapshot) { s.BudgetSeconds = 1200 }, "budget_seconds mismatch"},
+		{"workers", func(s *Session, _ *checkpoint.Snapshot) { s.Workers = 4 }, "workers mismatch"},
+		{"searcher", func(s *Session, _ *checkpoint.Snapshot) {
+			sr, err := NewSearcher("anneal")
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Searcher = sr
+		}, "searcher mismatch"},
+		{"trial count", func(_ *Session, sn *checkpoint.Snapshot) { sn.Trial++ }, "claims"},
+		{"divergent trial key", func(_ *Session, sn *checkpoint.Snapshot) { sn.Trials[0].Key = "-Xbogus" }, "diverged"},
+		{"divergent baseline", func(_ *Session, sn *checkpoint.Snapshot) { sn.Baseline.Key = "-Xbogus" }, "diverged"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newSession(t, "fop", "random", 600, 3)
+			clone := *snap
+			clone.Trials = append([]checkpoint.TrialRecord(nil), snap.Trials...)
+			tc.mutate(s, &clone)
+			s.Resume = &clone
+			_, err := s.Run()
+			if err == nil {
+				t.Fatal("mismatched resume accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// plainRunner hides the snapshotting methods of the wrapped runner.
+type plainRunner struct{ runner.Runner }
+
+func TestSessionCheckpointNeedsSnapshotterRunner(t *testing.T) {
+	s := newSession(t, "fop", "random", 600, 1)
+	s.Runner = plainRunner{s.Runner}
+	s.Checkpoint = checkpoint.NewKeeper(filepath.Join(t.TempDir(), "x.ckpt"), 1, nil)
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "cannot snapshot state") {
+		t.Fatalf("session with non-snapshotting runner = %v, want snapshot error", err)
+	}
+}
+
+func TestSessionResumeRejectsCorruptTrialLog(t *testing.T) {
+	snap := runToCheckpoint(t, "fop", "random", 600, 5, 1, 3)
+	snap.Trials = snap.Trials[:len(snap.Trials)-1]
+	s := newSession(t, "fop", "random", 600, 5)
+	s.Resume = snap
+	if _, err := s.Run(); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("truncated trial log accepted: %v", err)
+	}
+}
+
+// TestSessionCheckpointDoesNotPerturbOutcome guards the zero-interference
+// property: a session that checkpoints every round produces the identical
+// outcome to one that never checkpoints.
+func TestSessionCheckpointDoesNotPerturbOutcome(t *testing.T) {
+	plain, err := newSession(t, "xalan", "anneal", 900, 8).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, "xalan", "anneal", 900, 8)
+	keeper := checkpoint.NewKeeper(filepath.Join(t.TempDir(), "s.ckpt"), 1, nil)
+	keeper.SyncWrites = true
+	s.Checkpoint = keeper
+	ckd, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := keeper.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := outcomeFingerprint(t, ckd), outcomeFingerprint(t, plain); got != want {
+		t.Fatalf("checkpointing changed the outcome:\nwith:    %s\nwithout: %s", got, want)
+	}
+}

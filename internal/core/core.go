@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/flags"
 	"repro/internal/hierarchy"
 	"repro/internal/jvmsim"
@@ -235,6 +236,23 @@ type Session struct {
 	// Both are nil-safe no-ops when unset.
 	Telemetry *telemetry.Registry
 	Trace     *telemetry.Tracer
+	// Checkpoint, when non-nil, makes the session crash-safe: at round
+	// boundaries on the keeper's cadence the session snapshots its state —
+	// baseline, the ordered log of delivered measurements, the incumbent
+	// best, and the runner's serialized caches — and the keeper persists it
+	// off the session goroutine (workers never block on the disk). Requires
+	// a Runner implementing runner.StateSnapshotter.
+	Checkpoint *checkpoint.Keeper
+	// Resume, when non-nil, continues the session a previous checkpoint
+	// describes. The snapshot's fingerprint must match this session's
+	// options exactly; the session then replays the recorded measurement
+	// log through the searcher (reconstructing searcher and RNG state
+	// without re-measuring) and restores the runner's caches, so the
+	// continued run converges to the byte-identical outcome of the
+	// uninterrupted one. Divergence — a recorded trial whose key differs
+	// from what the resumed engine proposes — fails the session rather than
+	// splicing mismatched histories.
+	Resume *checkpoint.Snapshot
 }
 
 // Run executes the session to budget exhaustion and returns the outcome.
@@ -290,10 +308,67 @@ func (s *Session) Run() (*Outcome, error) {
 	// available. With one worker this degenerates to a running total.
 	slotFree := make([]float64, workers)
 
+	// Durability setup: checkpointing and resuming both need a runner that
+	// can serialize its mutable state, and both share the session
+	// fingerprint that guards against resuming under different options.
+	var snapRunner runner.StateSnapshotter
+	var meta checkpoint.Meta
+	if s.Checkpoint != nil || s.Resume != nil {
+		sr, ok := s.Runner.(runner.StateSnapshotter)
+		if !ok {
+			return nil, fmt.Errorf("core: runner %T cannot snapshot state for checkpoint/resume", s.Runner)
+		}
+		snapRunner = sr
+		rdesc := fmt.Sprintf("%T", s.Runner)
+		if ps, ok := s.Runner.(interface{ PlanString() string }); ok {
+			rdesc += "(" + ps.PlanString() + ")"
+		}
+		meta = checkpoint.Meta{
+			Workload:      out.Workload,
+			Searcher:      out.Searcher,
+			Objective:     string(objective),
+			Runner:        rdesc,
+			Seed:          s.Seed,
+			BudgetSeconds: budget,
+			Reps:          reps,
+			Workers:       workers,
+			MaxTrials:     s.MaxTrials,
+		}
+	}
+
 	// Baseline: the default configuration, measured under the same economy.
+	// A resumed session takes the recorded baseline instead of re-measuring:
+	// the restored runner cache would answer a fresh Measure at zero cost,
+	// which would corrupt the budget accounting the original run did.
 	history := make(map[string]*AttemptRecord)
 	def := flags.NewConfig(reg)
-	base := s.Runner.Measure(def, reps)
+	var base runner.Measurement
+	replay := make(map[int]checkpoint.TrialRecord)
+	if s.Resume != nil {
+		snap := s.Resume
+		if err := snap.Meta.Check(meta); err != nil {
+			return nil, err
+		}
+		if snap.Trial != len(snap.Trials) {
+			return nil, fmt.Errorf("%w: snapshot claims %d trials but records %d",
+				checkpoint.ErrCorrupt, snap.Trial, len(snap.Trials))
+		}
+		if snap.Baseline.Key != def.Key() {
+			return nil, fmt.Errorf("core: resume diverged: checkpoint baseline measured %q, session default is %q",
+				snap.Baseline.Key, def.Key())
+		}
+		if err := snapRunner.RestoreState(snap.RunnerState); err != nil {
+			return nil, err
+		}
+		base = snap.Baseline
+		for _, rec := range snap.Trials {
+			replay[rec.Seq] = rec
+		}
+		s.Telemetry.Counter("checkpoint_resumes_total").Inc()
+		s.Telemetry.Counter("checkpoint_resumed_trials_total").Add(uint64(len(snap.Trials)))
+	} else {
+		base = s.Runner.Measure(def, reps)
+	}
 	if base.Failed {
 		return nil, fmt.Errorf("core: default configuration fails on %s: %s",
 			out.Workload, base.FailureMessage)
@@ -322,7 +397,11 @@ func (s *Session) Run() (*Outcome, error) {
 		s.OnProgress(tp)
 	}
 
-	if err := s.runLoop(runCtx, ctx, out, slotFree, reps, budget, history); err != nil {
+	var ck *ckState
+	if snapRunner != nil {
+		ck = &ckState{keeper: s.Checkpoint, meta: meta, base: base, snap: snapRunner, replay: replay}
+	}
+	if err := s.runLoop(runCtx, ctx, out, slotFree, reps, budget, history, ck); err != nil {
 		return nil, err
 	}
 	out.AttemptHistory = make([]AttemptRecord, 0, len(history))

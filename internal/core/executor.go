@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/flags"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
@@ -38,6 +39,45 @@ type trial struct {
 	m     runner.Measurement
 }
 
+// ckState is the session's durability bookkeeping, non-nil only when
+// checkpointing or resuming. log accumulates every delivered measurement in
+// delivery order; replay maps dispatch seq → recorded trial for the resume
+// prefix, satisfied without touching the runner.
+type ckState struct {
+	keeper *checkpoint.Keeper
+	meta   checkpoint.Meta
+	base   runner.Measurement
+	snap   runner.StateSnapshotter
+	log    []checkpoint.TrialRecord
+	replay map[int]checkpoint.TrialRecord
+}
+
+// write snapshots the session at a round boundary and hands it to the
+// keeper, which persists it off the session goroutine. Rounds are barriers,
+// so no Measure call is in flight and the runner state is consistent. A
+// snapshot failure is counted but never fails the session — durability is
+// best-effort, the search itself must not be.
+func (s *Session) writeCheckpoint(ck *ckState, ctx *Context) {
+	state, err := ck.snap.SnapshotState()
+	if err != nil {
+		s.Telemetry.Counter("checkpoint_snapshot_errors_total").Inc()
+		return
+	}
+	// The full slice expression freezes the log's current extent; delivered
+	// records are never rewritten, so the background encode can read them
+	// while the session keeps appending.
+	ck.keeper.Write(&checkpoint.Snapshot{
+		Meta:        ck.meta,
+		Trial:       ctx.Trial,
+		Elapsed:     ctx.Elapsed,
+		BestKey:     ctx.Best.Key(),
+		BestScore:   ctx.BestWall,
+		Baseline:    ck.base,
+		Trials:      ck.log[:len(ck.log):len(ck.log)],
+		RunnerState: state,
+	})
+}
+
 // runLoop is the session's evaluation engine: a bulk-synchronous batched
 // executor. Each round it fills every budget-eligible slot with a proposal
 // (earliest-free slot first), measures the whole batch concurrently on
@@ -52,7 +92,8 @@ type trial struct {
 // arrive in wall-clock time, never what they are or the order the searcher
 // sees them in.
 func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
-	slotFree []float64, reps int, budget float64, history map[string]*AttemptRecord) error {
+	slotFree []float64, reps int, budget float64, history map[string]*AttemptRecord,
+	ck *ckState) error {
 	workers := len(slotFree)
 
 	// Cache hits are free, so a searcher that re-proposes known
@@ -162,13 +203,35 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 		}
 		dispatched += len(batch)
 
-		// Measure the whole batch concurrently. This is where the session
-		// overlaps real work: up to `workers` Runner.Measure calls in flight.
-		if len(batch) == 1 {
-			batch[0].m = s.Runner.Measure(batch[0].cfg, reps)
-		} else {
-			var wg sync.WaitGroup
+		// Satisfy recorded trials from the resume log: the replay prefix
+		// reconstructs searcher and RNG state without re-measuring. A
+		// recorded seq whose key disagrees with the engine's proposal means
+		// the determinism inputs changed — fail rather than splice
+		// mismatched histories.
+		fresh := batch
+		if ck != nil && len(ck.replay) > 0 {
+			fresh = make([]*trial, 0, len(batch))
 			for _, tr := range batch {
+				rec, ok := ck.replay[tr.seq]
+				if !ok {
+					fresh = append(fresh, tr)
+					continue
+				}
+				if rec.Key != tr.cfg.Key() {
+					return fmt.Errorf("core: resume diverged at trial %d: checkpoint recorded %q, session proposed %q",
+						tr.seq, rec.Key, tr.cfg.Key())
+				}
+				tr.m = rec.M
+			}
+		}
+
+		// Measure the fresh trials concurrently. This is where the session
+		// overlaps real work: up to `workers` Runner.Measure calls in flight.
+		if len(fresh) == 1 {
+			fresh[0].m = s.Runner.Measure(fresh[0].cfg, reps)
+		} else if len(fresh) > 1 {
+			var wg sync.WaitGroup
+			for _, tr := range fresh {
 				wg.Add(1)
 				go func(tr *trial) {
 					defer wg.Done()
@@ -194,6 +257,9 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			slotFree[tr.slot] = tr.start + tr.m.CostSeconds
 			ctx.Trial++
 			ctx.Elapsed = slotFree[tr.slot]
+			if ck != nil {
+				ck.log = append(ck.log, checkpoint.TrialRecord{Seq: tr.seq, Key: tr.cfg.Key(), M: tr.m})
+			}
 			s.Telemetry.Counter("session_trials_total").Inc()
 			if tr.m.FromCache {
 				out.CacheHits++
@@ -239,6 +305,9 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 		}
 		s.Telemetry.Counter("session_rounds_total").Inc()
 		s.Trace.Emit(telemetry.Event{T: ctx.Elapsed, Kind: telemetry.EvBarrier, Trial: ctx.Trial})
+		if ck != nil && ck.keeper.Due(ctx.Trial) {
+			s.writeCheckpoint(ck, ctx)
+		}
 	}
 	return nil
 }

@@ -95,6 +95,11 @@ func New(inner runner.Runner, plan Plan, seed int64) *ChaosRunner {
 // Plan returns the normalized fault plan in effect.
 func (c *ChaosRunner) Plan() Plan { return c.plan }
 
+// PlanString renders the active fault schedule in canonical DSL form. The
+// checkpoint layer folds it into the session fingerprint, so a run cannot
+// resume under a different chaos plan than the one it crashed with.
+func (c *ChaosRunner) PlanString() string { return c.plan.String() }
+
 // Workload returns the wrapped runner's profile.
 func (c *ChaosRunner) Workload() *workload.Profile { return c.inner.Workload() }
 

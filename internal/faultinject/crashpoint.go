@@ -1,0 +1,54 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SessionCrash is the value a CrashPoint panics with: a simulated hard kill
+// of the tuning *session itself* (as opposed to the ChaosRunner's faults,
+// which sabotage individual measurements and leave the session alive). The
+// CLI recovers it at top level and exits like a killed process, leaving
+// whatever checkpoint the session last wrote as the only survivor — which
+// is exactly the scenario checkpoint/resume exists for.
+type SessionCrash struct {
+	// Trial is the completed-trial count at which the session was killed.
+	Trial int
+}
+
+// Error makes the crash self-describing when it escapes a recover.
+func (c SessionCrash) Error() string {
+	return fmt.Sprintf("faultinject: session killed at trial %d (crash-point fault)", c.Trial)
+}
+
+// CrashPoint kills a session once a chosen number of trials have completed.
+// It hooks the session's progress callback — progress fires in the
+// engine's deterministic delivery order, so the kill lands at the same
+// point at any worker count. The zero value never fires.
+type CrashPoint struct {
+	// AtTrial is the completed-trial count that triggers the kill (≥ 1);
+	// zero disables the crash point.
+	AtTrial int
+	// Kill handles the trigger; nil means panic(SessionCrash{Trial}),
+	// which cmd/autotune recovers into a process-style exit. Tests
+	// substitute their own to observe the kill without unwinding.
+	Kill func(trial int)
+
+	once sync.Once
+}
+
+// OnTrial reports trial completions to the crash point; sessions call it
+// from their progress hook. It fires at most once, at the first report
+// reaching AtTrial.
+func (c *CrashPoint) OnTrial(trial int) {
+	if c == nil || c.AtTrial <= 0 || trial < c.AtTrial {
+		return
+	}
+	c.once.Do(func() {
+		if c.Kill != nil {
+			c.Kill(trial)
+			return
+		}
+		panic(SessionCrash{Trial: trial})
+	})
+}

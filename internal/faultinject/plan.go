@@ -69,6 +69,13 @@ type Plan struct {
 	// only configuration can never be condemned. Values < 1 mean the
 	// default, 2.
 	MaxConsecutive int
+
+	// CrashAtTrial, when ≥ 1, kills the *session* (not a measurement) once
+	// that many trials have completed — a simulated process kill for
+	// exercising checkpoint/resume. It is a one-shot crash point, not a
+	// probabilistic fault, so it does not make the plan Active on its own;
+	// see CrashPoint.
+	CrashAtTrial int
 }
 
 // Plan knob defaults.
@@ -140,14 +147,19 @@ func (p Plan) String() string {
 	add("crash", p.Crash)
 	add("hang", p.Hang)
 	add("spike", p.Spike)
+	if len(parts) > 0 {
+		parts = append(parts,
+			fmt.Sprintf("spike-factor=%g", n.SpikeFactor),
+			fmt.Sprintf("hang-cost=%g", n.HangSeconds),
+			fmt.Sprintf("crash-cost=%g", n.CrashSeconds),
+			fmt.Sprintf("streak=%d", n.MaxConsecutive))
+	}
+	if p.CrashAtTrial > 0 {
+		parts = append(parts, fmt.Sprintf("crash-at=%d", p.CrashAtTrial))
+	}
 	if len(parts) == 0 {
 		return "none"
 	}
-	parts = append(parts,
-		fmt.Sprintf("spike-factor=%g", n.SpikeFactor),
-		fmt.Sprintf("hang-cost=%g", n.HangSeconds),
-		fmt.Sprintf("crash-cost=%g", n.CrashSeconds),
-		fmt.Sprintf("streak=%d", n.MaxConsecutive))
 	return strings.Join(parts, ",")
 }
 
@@ -183,7 +195,9 @@ func Scenario(name string) (Plan, bool) {
 // ParsePlan builds a plan from a scenario name or a DSL spec. The empty
 // string is the empty plan. DSL keys: launch, corrupt, crash, hang, spike
 // (probabilities in [0,1]); spike-factor, hang-cost, crash-cost (floats);
-// streak (max consecutive injected failures per config, int ≥ 1).
+// streak (max consecutive injected failures per config, int ≥ 1); crash-at
+// (kill the session after that many trials, int ≥ 1 — the checkpoint/
+// resume drill).
 func ParsePlan(spec string) (Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -211,6 +225,14 @@ func ParsePlan(spec string) (Plan, error) {
 				return Plan{}, fmt.Errorf("faultinject: streak needs an integer ≥ 1, got %q", v)
 			}
 			p.MaxConsecutive = n
+			continue
+		}
+		if k == "crash-at" {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil || n < 1 {
+				return Plan{}, fmt.Errorf("faultinject: crash-at needs a trial number ≥ 1, got %q", v)
+			}
+			p.CrashAtTrial = n
 			continue
 		}
 		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)

@@ -1,0 +1,75 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/runner"
+)
+
+// chaosState is the chaos layer's serialized mutable state. Inner carries
+// the wrapped runner's own snapshot, so one SnapshotState at the chaos
+// layer captures the full runner stack. The fault schedule itself needs no
+// state: faults are a pure hash of (seed, key, attempt), so restoring the
+// per-key attempt counters restores the schedule position exactly.
+type chaosState struct {
+	Elapsed  float64         `json:"elapsed"`
+	Attempts map[string]int  `json:"attempts"`
+	Streaks  map[string]int  `json:"streaks"`
+	Settled  map[string]bool `json:"settled"`
+	Stats    Stats           `json:"stats"`
+	Inner    json.RawMessage `json:"inner"`
+}
+
+// SnapshotState implements runner.StateSnapshotter. It fails if the inner
+// runner cannot snapshot its own state — a chaos checkpoint without the
+// wrapped runner's caches would replay the fault schedule against a runner
+// that re-measures everything, diverging immediately.
+func (c *ChaosRunner) SnapshotState() ([]byte, error) {
+	snap, ok := c.inner.(runner.StateSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("faultinject: inner runner %T cannot snapshot state", c.inner)
+	}
+	inner, err := snap.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.Marshal(chaosState{
+		Elapsed:  c.elapsed,
+		Attempts: c.attempts,
+		Streaks:  c.streaks,
+		Settled:  c.settled,
+		Stats:    c.stats,
+		Inner:    inner,
+	})
+}
+
+// RestoreState implements runner.StateSnapshotter.
+func (c *ChaosRunner) RestoreState(data []byte) error {
+	snap, ok := c.inner.(runner.StateSnapshotter)
+	if !ok {
+		return fmt.Errorf("faultinject: inner runner %T cannot restore state", c.inner)
+	}
+	var st chaosState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("faultinject: restore state: %w", err)
+	}
+	if err := snap.RestoreState(st.Inner); err != nil {
+		return err
+	}
+	if st.Attempts == nil {
+		st.Attempts = make(map[string]int)
+	}
+	if st.Streaks == nil {
+		st.Streaks = make(map[string]int)
+	}
+	if st.Settled == nil {
+		st.Settled = make(map[string]bool)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.elapsed, c.attempts, c.streaks, c.settled, c.stats = st.Elapsed, st.Attempts, st.Streaks, st.Settled, st.Stats
+	return nil
+}

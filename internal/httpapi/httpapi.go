@@ -29,6 +29,11 @@
 // mounted under /debug/pprof/ (off by default: profiling endpoints leak
 // internals and cost CPU, so production deployments opt in explicitly).
 //
+// With Config.StateDir the farm is durable (see durable.go): lifecycle
+// transitions are journaled ahead of taking effect and running jobs
+// checkpoint their tuning sessions, so a restarted server serves finished
+// results from disk and resumes interrupted jobs mid-search.
+//
 // Every job runs with its own metrics registry and tracer: job polls carry a
 // point-in-time snapshot of the job's series, and a finished job's full
 // event trace is available at /v1/jobs/{id}/trace. Server-wide farm state
@@ -51,6 +56,7 @@ import (
 	"sync"
 
 	"repro/hotspot"
+	"repro/internal/checkpoint"
 	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
@@ -90,6 +96,11 @@ type Job struct {
 	cancel context.CancelFunc
 	tel    *telemetry.Registry
 	trace  *telemetry.Tracer
+	// requeue marks a job whose cancellation is an interruption, not a
+	// verdict (shutdown deadline, simulated crash): its terminal state is
+	// kept out of the journal and its checkpoint stays on disk, so a
+	// restarted server re-queues and resumes it.
+	requeue bool
 }
 
 // terminal reports whether the job has reached a final state.
@@ -126,6 +137,17 @@ type Config struct {
 	// Off by default: profiling endpoints expose internals and burn CPU, so
 	// deployments opt in (the tuned binary's -pprof flag).
 	EnablePprof bool
+	// StateDir makes the farm durable: job submissions, transitions, and
+	// results are journaled there ahead of taking effect, and every running
+	// job checkpoints its tuning session to its own file in the directory.
+	// A restarted server replays the journal — finished results are served
+	// from disk, interrupted jobs are re-queued and resume from their
+	// checkpoints. Empty (the default) keeps the farm purely in-memory.
+	// Durable deployments should construct with NewDurableServer.
+	StateDir string
+	// CheckpointEveryTrials is the per-job checkpoint cadence when StateDir
+	// is set; 0 means the checkpoint package default.
+	CheckpointEveryTrials int
 }
 
 // DefaultConfig returns the default resource bounds.
@@ -158,34 +180,36 @@ type Server struct {
 
 	mu        sync.Mutex
 	closed    bool
+	crashed   bool // Crash() fired: suppress terminal journaling and checkpoint removal
 	nextID    int
 	jobs      map[int]*Job
 	doneOrder []int          // terminal job IDs, oldest first — the LRU eviction order
 	inflight  sync.WaitGroup // accepted jobs that have not reached a terminal state
+
+	// stateDir and journal are the durability layer (see durable.go); both
+	// are zero for an in-memory server. journal writes are guarded by mu.
+	stateDir string
+	journal  *checkpoint.Journal
 }
 
 // NewServer builds a ready-to-serve handler with default bounds.
 func NewServer() *Server { return NewServerWith(DefaultConfig()) }
 
 // NewServerWith builds a ready-to-serve handler with the given bounds and
-// starts its worker pool.
+// starts its worker pool. It panics if cfg.StateDir is set and recovery
+// fails; durable deployments should call NewDurableServer and handle the
+// error (an in-memory config can never fail).
 func NewServerWith(cfg Config) *Server {
-	if cfg.MaxConcurrent < 1 {
-		cfg.MaxConcurrent = DefaultConfig().MaxConcurrent
+	s, err := NewDurableServer(cfg)
+	if err != nil {
+		panic(err)
 	}
-	if cfg.MaxJobs < 1 {
-		cfg.MaxJobs = DefaultConfig().MaxJobs
-	}
-	s := &Server{
-		mux:     http.NewServeMux(),
-		cfg:     cfg,
-		queue:   make(chan *Job, cfg.MaxJobs),
-		jobs:    map[int]*Job{},
-		nextID:  1,
-		reg:     telemetry.New(),
-		evTrace: telemetry.NewTracer(4 * cfg.MaxJobs),
-		events:  make(chan telemetry.Event, 4*cfg.MaxJobs),
-	}
+	return s
+}
+
+// routes mounts the handler table.
+func (s *Server) routes() {
+	cfg := s.cfg
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/searchers", s.handleSearchers)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
@@ -204,24 +228,6 @@ func NewServerWith(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	s.reg.Gauge("httpapi_workers").Set(float64(cfg.MaxConcurrent))
-	s.evWG.Add(1)
-	go func() {
-		defer s.evWG.Done()
-		for ev := range s.events {
-			s.evTrace.Emit(ev)
-		}
-	}()
-	for i := 0; i < cfg.MaxConcurrent; i++ {
-		s.workers.Add(1)
-		go func() {
-			defer s.workers.Done()
-			for job := range s.queue {
-				s.runJob(job)
-			}
-		}()
-	}
-	return s
 }
 
 // noteJob streams one job lifecycle transition to the collector. After the
@@ -262,8 +268,11 @@ func (s *Server) Wait() { s.inflight.Wait() }
 
 // Shutdown gracefully stops the server: new submissions are rejected,
 // queued and running jobs are given until ctx's deadline to finish, and
-// once the deadline passes the remainder are canceled. It returns ctx's
-// error if the deadline forced cancellations, nil otherwise.
+// once the deadline passes the remainder are canceled. On a durable server
+// the deadline cancellations are interruptions, not verdicts — the journal
+// keeps those jobs non-terminal and their checkpoints stay on disk, so a
+// restarted server re-queues and resumes them. It returns ctx's error if
+// the deadline forced cancellations, nil otherwise.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -280,26 +289,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.workers.Wait()
 		close(done)
 	}()
-	select {
-	case <-done:
-		s.drainEvents()
-		return nil
-	case <-ctx.Done():
-		s.mu.Lock()
-		for _, j := range s.jobs {
-			switch {
-			case j.State == "queued":
-				j.State, j.Error = "canceled", "server shutdown"
-				s.jobTerminalLocked(j)
-			case j.cancel != nil:
-				j.cancel()
+	err := func() error {
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			s.mu.Lock()
+			for _, j := range s.jobs {
+				switch {
+				case j.State == "queued":
+					j.requeue = s.journal != nil
+					j.State, j.Error = "canceled", "server shutdown"
+					s.jobTerminalLocked(j)
+				case j.cancel != nil:
+					j.requeue = s.journal != nil
+					j.cancel()
+				}
 			}
+			s.mu.Unlock()
+			<-done
+			return ctx.Err()
 		}
-		s.mu.Unlock()
-		<-done
-		s.drainEvents()
-		return ctx.Err()
-	}
+	}()
+	s.drainEvents()
+	s.mu.Lock()
+	journal := s.journal
+	s.journal = nil
+	s.mu.Unlock()
+	_ = journal.Close()
+	return err
 }
 
 // markTerminalLocked records a job's arrival in a terminal state for LRU
@@ -310,24 +328,50 @@ func (s *Server) markTerminalLocked(job *Job) {
 	s.inflight.Done()
 }
 
-// jobTerminalLocked is markTerminalLocked plus the farm accounting: the
-// per-verdict counter and the lifecycle trace event. Caller holds s.mu.
+// jobTerminalLocked is markTerminalLocked plus the farm accounting (the
+// per-verdict counter and the lifecycle trace event) and, on a durable
+// server, the journal verdict. A cancellation flagged as an interruption
+// (shutdown deadline, simulated crash) is deliberately NOT journaled and
+// keeps its checkpoint: the restarted server re-queues and resumes it.
+// Caller holds s.mu.
 func (s *Server) jobTerminalLocked(job *Job) {
 	s.reg.Counter(`httpapi_jobs_total{state="` + job.State + `"}`).Inc()
 	s.noteJob(job.ID, job.State)
+	interrupted := s.crashed || (job.requeue && job.State == "canceled")
+	if !interrupted {
+		_ = s.appendJournal(journalRecord{
+			Op: opDone, ID: job.ID, State: job.State, Error: job.Error, Result: job.Result,
+		})
+		s.removeJobCheckpoint(job.ID)
+	}
 	s.markTerminalLocked(job)
 }
 
 // evictLocked drops finished jobs, oldest first, until the store has room.
+// Only terminal jobs are ever evicted: a queued or running job that lands
+// on the done list by any path (or a stale id) is skipped, never dropped —
+// evicting live state would strand its client and orphan its worker.
 // Caller holds s.mu. Returns false if the store is still full — every job
 // is queued or running.
 func (s *Server) evictLocked() bool {
-	for len(s.jobs) >= s.cfg.MaxJobs && len(s.doneOrder) > 0 {
-		id := s.doneOrder[0]
-		s.doneOrder = s.doneOrder[1:]
-		delete(s.jobs, id)
-		s.reg.Counter("httpapi_jobs_evicted_total").Inc()
+	keep := s.doneOrder[:0]
+	for _, id := range s.doneOrder {
+		job, ok := s.jobs[id]
+		switch {
+		case !ok:
+			// Stale entry: the job is already gone from the store.
+		case !job.terminal():
+			keep = append(keep, id)
+		case len(s.jobs) >= s.cfg.MaxJobs:
+			delete(s.jobs, id)
+			_ = s.appendJournal(journalRecord{Op: opEvict, ID: id})
+			s.removeJobCheckpoint(id)
+			s.reg.Counter("httpapi_jobs_evicted_total").Inc()
+		default:
+			keep = append(keep, id)
+		}
 	}
+	s.doneOrder = keep
 	return len(s.jobs) < s.cfg.MaxJobs
 }
 
@@ -345,6 +389,7 @@ func (s *Server) runJob(job *Job) {
 	}
 	job.State = "running"
 	job.cancel = cancel
+	_ = s.appendJournal(journalRecord{Op: opState, ID: job.ID, State: "running"})
 	s.reg.Gauge("httpapi_queue_depth").Set(float64(len(s.queue)))
 	s.reg.Gauge("httpapi_jobs_running").Inc()
 	s.noteJob(job.ID, "running")
@@ -363,7 +408,7 @@ func (s *Server) runJob(job *Job) {
 	}()
 
 	req := job.Request
-	res, err := tuneFn(ctx, hotspot.Options{
+	opts := hotspot.Options{
 		Benchmark:     req.Benchmark,
 		Searcher:      req.Searcher,
 		BudgetMinutes: req.BudgetMinutes,
@@ -382,7 +427,9 @@ func (s *Server) runJob(job *Job) {
 			job.Progress = &p
 			s.mu.Unlock()
 		},
-	})
+	}
+	s.durableOptions(&opts, job.ID)
+	res, err := tuneFn(ctx, opts)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -461,6 +508,14 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		ID: s.nextID, State: "queued", Request: req,
 		tel:   telemetry.New(),
 		trace: telemetry.NewTracer(0),
+	}
+	// Write-ahead: the submission reaches the journal before the job store,
+	// so a job either durably exists or was never accepted. On append
+	// failure the id is not consumed and the client is told to retry.
+	if err := s.appendJournal(journalRecord{Op: opSubmit, ID: job.ID, Request: &req}); err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "journal append failed: %v", err)
+		return
 	}
 	s.nextID++
 	s.jobs[job.ID] = job

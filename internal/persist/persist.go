@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/flags"
@@ -94,17 +95,42 @@ func Read(r io.Reader) (*SavedOutcome, error) {
 	return &s, nil
 }
 
-// SaveFile writes the outcome to path (0644, truncating).
+// SaveFile writes the outcome to path atomically: the JSON goes to a
+// temporary file in the same directory, is fsynced, and is renamed over
+// path. A crash mid-save leaves either the old file or the new one, never
+// a truncated hybrid.
 func SaveFile(path string, o *core.Outcome) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		if f != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
 	if err := FromOutcome(o).Write(f); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmp := f.Name()
+	f = nil
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
 }
 
 // LoadFile reads an outcome from path.

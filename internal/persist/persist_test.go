@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -90,6 +91,38 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// TestSaveFileAtomic pins the crash-safety contract: saving never leaves
+// temp files behind, overwrites in place, and a failed save cannot destroy
+// the previous file.
+func TestSaveFileAtomic(t *testing.T) {
+	out := sampleOutcome(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "outcome.json")
+	for i := 0; i < 2; i++ { // second pass overwrites the first
+		if err := SaveFile(path, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "outcome.json" {
+		t.Fatalf("save left extra files behind: %v", entries)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("overwritten file unreadable: %v", err)
+	}
+
+	// A save into a nonexistent directory fails without touching anything.
+	if err := SaveFile(filepath.Join(dir, "no", "dir", "x.json"), out); err == nil {
+		t.Fatal("save into a missing directory should error")
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("failed save damaged the existing file: %v", err)
 	}
 }
 

@@ -1,0 +1,111 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// StateSnapshotter is the contract between runners and the checkpoint
+// layer: a runner that can serialize its mutable measurement state —
+// elapsed virtual clock, per-key noise-rep indices, and the evaluated-
+// config cache — can take part in crash-safe sessions. Restoring a
+// snapshot must leave the runner bit-identical to the one that took it, so
+// a resumed session's fresh measurements (cache hits, rep indices, budget
+// accounting) replay exactly as the uninterrupted run's would have.
+//
+// Wrapping runners (the chaos layer) snapshot their own counters plus
+// their inner runner's state, so one SnapshotState call at the outermost
+// layer captures the whole stack.
+type StateSnapshotter interface {
+	// SnapshotState serializes the runner's mutable state.
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the runner's mutable state with a snapshot
+	// taken by the same runner type. It fails closed on malformed bytes.
+	RestoreState(data []byte) error
+}
+
+// runnerState is the shared serialization of the three core runners'
+// mutable state. Static configuration (simulator, profile, timeouts,
+// retry policy) is rebuilt from the session options on resume and is
+// deliberately absent: checkpoint.Meta guards against resuming under
+// different options.
+type runnerState struct {
+	Elapsed float64                `json:"elapsed"`
+	Reps    map[string]int         `json:"reps"`
+	Cache   map[string]Measurement `json:"cache"`
+}
+
+func marshalRunnerState(elapsed float64, reps map[string]int, cache map[string]Measurement) ([]byte, error) {
+	return json.Marshal(runnerState{Elapsed: elapsed, Reps: reps, Cache: cache})
+}
+
+func unmarshalRunnerState(data []byte) (runnerState, error) {
+	var st runnerState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("runner: restore state: %w", err)
+	}
+	if st.Reps == nil {
+		st.Reps = make(map[string]int)
+	}
+	if st.Cache == nil {
+		st.Cache = make(map[string]Measurement)
+	}
+	return st, nil
+}
+
+// SnapshotState implements StateSnapshotter.
+func (r *InProcess) SnapshotState() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return marshalRunnerState(r.elapsed, r.reps, r.cache)
+}
+
+// RestoreState implements StateSnapshotter.
+func (r *InProcess) RestoreState(data []byte) error {
+	st, err := unmarshalRunnerState(data)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.elapsed, r.reps, r.cache = st.Elapsed, st.Reps, st.Cache
+	return nil
+}
+
+// SnapshotState implements StateSnapshotter.
+func (r *Subprocess) SnapshotState() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return marshalRunnerState(r.elapsed, r.reps, r.cache)
+}
+
+// RestoreState implements StateSnapshotter.
+func (r *Subprocess) RestoreState(data []byte) error {
+	st, err := unmarshalRunnerState(data)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.elapsed, r.reps, r.cache = st.Elapsed, st.Reps, st.Cache
+	return nil
+}
+
+// SnapshotState implements StateSnapshotter.
+func (m *Multi) SnapshotState() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return marshalRunnerState(m.elapsed, m.reps, m.cache)
+}
+
+// RestoreState implements StateSnapshotter.
+func (m *Multi) RestoreState(data []byte) error {
+	st, err := unmarshalRunnerState(data)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.elapsed, m.reps, m.cache = st.Elapsed, st.Reps, st.Cache
+	return nil
+}

@@ -1,8 +1,9 @@
 #!/bin/sh
-# Coverage floors for the measurement pipeline: the retry/fault-injection
-# machinery is exactly the code whose edge cases only show up on a bad day,
-# so its packages must stay well covered. Fails if any listed package drops
-# below the floor.
+# Coverage floors for the measurement pipeline and the durability layer:
+# the retry/fault-injection machinery and the checkpoint/journal code are
+# exactly the code whose edge cases only show up on a bad day, so their
+# packages must stay well covered. Fails if any listed package drops below
+# the floor.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,7 +11,8 @@ cd "$(dirname "$0")/.."
 FLOOR=80
 
 status=0
-for pkg in ./internal/runner ./internal/faultinject ./internal/telemetry; do
+for pkg in ./internal/runner ./internal/faultinject ./internal/telemetry \
+           ./internal/checkpoint ./internal/persist; do
     line=$(go test -cover "$pkg" | tail -1)
     echo "$line"
     pct=$(echo "$line" | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')

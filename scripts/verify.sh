@@ -14,5 +14,9 @@ go test -race ./...
 # Replay the checked-in fuzz seed corpora (no fuzzing engine, just the
 # corpus as regular tests) and enforce the coverage floors on the
 # measurement pipeline.
-go test -run 'Fuzz' ./internal/flags ./internal/runner
+go test -run 'Fuzz' ./internal/flags ./internal/runner ./internal/checkpoint
 ./scripts/cover.sh
+
+# The durability gate: kill-and-resume drills for every searcher, the CLI,
+# and the job farm must converge to byte-identical results.
+make crash-matrix
