@@ -1,6 +1,6 @@
 # Developer entry points. `make verify` is the tier-1 gate (see ROADMAP.md).
 
-.PHONY: verify build test bench cover crash-matrix
+.PHONY: verify build test bench cover crash-matrix overload-drill
 
 verify:
 	./scripts/verify.sh
@@ -15,6 +15,15 @@ crash-matrix:
 	go test -race -count=1 \
 	  -run 'TestKillAndResume|TestSessionKillAndResume|TestSessionCheckpoint|TestDurableServer|TestCLIAutotuneCrashAndResume' \
 	  ./hotspot ./internal/core ./internal/httpapi .
+
+# The overload drills: shed a submission burst against a bounded queue
+# (while polls and cancels keep answering), rate-limit a greedy client,
+# hedge stragglers deterministically, quarantine a broken flag subtree,
+# and degrade budget-killed runs to best-so-far. See docs/OVERLOAD.md.
+overload-drill:
+	go test -race -count=1 \
+	  -run 'TestOverloadBurst|TestPerClientRateLimit|TestAdmission|TestShutdownSheds|TestJournalCompaction|TestCompactionCrash|TestHedging|TestQuarantine|TestSessionDegraded|TestHedgedSessionResumes|TestCLIAutotuneBudgetDegrades' \
+	  ./internal/httpapi ./internal/core .
 
 build:
 	go build ./...

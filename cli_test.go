@@ -172,6 +172,55 @@ func TestCLIAutotuneCrashAndResume(t *testing.T) {
 	}
 }
 
+// TestCLIAutotuneBudgetDegradesGracefully is the acceptance check for
+// best-effort budgets: a fixed-seed run killed by its trial budget exits 0
+// and reports the best configuration found so far, marked degraded.
+func TestCLIAutotuneBudgetDegradesGracefully(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "degraded.json")
+	out, err := exec.Command(cliBinary(t, "autotune"),
+		"-benchmark", "fop", "-budget", "200", "-seed", "4",
+		"-max-trials", "12", "-out", outPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("budget-killed run must exit 0: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "degraded:") || !strings.Contains(s, "trial budget") {
+		t.Errorf("output does not mark the result degraded:\n%s", s)
+	}
+	if !strings.Contains(s, "winning flags:") || !strings.Contains(s, "trials:") {
+		t.Errorf("degraded run lost the best-so-far report:\n%s", s)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("degraded result not saved: %v", err)
+	}
+	var saved struct {
+		Degraded       bool   `json:"degraded"`
+		DegradedReason string `json:"degraded_reason"`
+		Trials         int    `json:"trials"`
+	}
+	if err := json.Unmarshal(data, &saved); err != nil {
+		t.Fatal(err)
+	}
+	if !saved.Degraded || !strings.Contains(saved.DegradedReason, "trial budget") || saved.Trials == 0 {
+		t.Errorf("saved result: %+v", saved)
+	}
+}
+
+// TestCLIAutotuneHedgeQuarantineFlags smoke-tests the robustness flags
+// end to end under the straggler scenario.
+func TestCLIAutotuneHedgeQuarantineFlags(t *testing.T) {
+	out, err := exec.Command(cliBinary(t, "autotune"),
+		"-benchmark", "fop", "-budget", "50", "-seed", "11", "-workers", "2",
+		"-searcher", "hillclimb", "-chaos", "slow-trial", "-hedge", "-quarantine").CombinedOutput()
+	if err != nil {
+		t.Fatalf("hedged run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "hedging:") {
+		t.Errorf("no hedging summary under slow-trial:\n%s", out)
+	}
+}
+
 func TestCLIAutotuneErrors(t *testing.T) {
 	bin := cliBinary(t, "autotune")
 	if err := exec.Command(bin).Run(); err == nil {

@@ -7,9 +7,19 @@
 //	autotune -benchmark h2 [-budget 200] [-searcher hierarchical]
 //	         [-reps 3] [-seed 0] [-workers 4] [-objective throughput]
 //	         [-chaos unstable-farm] [-retries 3]
+//	         [-max-trials 0] [-real-budget 0] [-hedge] [-quarantine]
 //	         [-trace out.jsonl] [-convergence] [-jvmsim path/to/jvmsim]
 //	autotune -list
 //	autotune -scenarios
+//
+// Budgets degrade gracefully rather than fail: when the virtual budget, a
+// -max-trials trial budget, or a -real-budget wall-clock cap expires — or
+// the run is interrupted with Ctrl-C — autotune exits 0 with the best
+// configuration found so far, marked "degraded" with the reason. -hedge
+// arms the straggler watchdog (trials far beyond the recent cost percentile
+// are charged as if a duplicate dispatch won); -quarantine arms the failure
+// circuit breaker (flag subtrees that keep failing deterministically are
+// temporarily rejected at zero cost).
 //
 // -chaos runs the session under the deterministic fault-injection layer
 // (internal/faultinject): transient launch failures, corrupt reports,
@@ -38,21 +48,24 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/hotspot"
 )
 
-// runTune calls hotspot.Tune, converting a crash-point kill (the chaos
-// plan's crash-at=N fault panics with SessionCrash) into an ordinary error
-// so main can exit with a distinct code while the deferred checkpoint
+// runTune calls hotspot.TuneContext, converting a crash-point kill (the
+// chaos plan's crash-at=N fault panics with SessionCrash) into an ordinary
+// error so main can exit with a distinct code while the deferred checkpoint
 // machinery has already flushed during the unwind. Any other panic is a
 // genuine bug and keeps propagating.
-func runTune(opts hotspot.Options) (res *hotspot.Result, err error) {
+func runTune(ctx context.Context, opts hotspot.Options) (res *hotspot.Result, err error) {
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -64,7 +77,7 @@ func runTune(opts hotspot.Options) (res *hotspot.Result, err error) {
 		}
 		res, err = nil, crash
 	}()
-	return hotspot.Tune(opts)
+	return hotspot.TuneContext(ctx, opts)
 }
 
 // traceCap bounds the event trace; generous enough that even a long chaos
@@ -87,6 +100,10 @@ func main() {
 		explain  = flag.Bool("explain", false, "attribute the improvement to individual flags")
 		chaos    = flag.String("chaos", "", "fault-injection plan: a scenario (see -scenarios) or DSL like launch=0.1,spike=0.2")
 		retries  = flag.Int("retries", 0, "max launch attempts per measurement on transient failures (0 = default 3)")
+		maxTrial = flag.Int("max-trials", 0, "trial budget: stop after this many trials with a degraded best-so-far result (0 = no cap)")
+		realBudg = flag.Duration("real-budget", 0, "wall-clock budget, e.g. 200ms: expiry returns a degraded best-so-far result (0 = no cap)")
+		hedge    = flag.Bool("hedge", false, "hedge straggling trials past the recent cost percentile")
+		quarant  = flag.Bool("quarantine", false, "circuit-break flag subtrees with dense deterministic failures")
 		out      = flag.String("out", "", "save the result as JSON to this file")
 		ckpt     = flag.String("checkpoint", "", "snapshot session state to this file for crash recovery")
 		ckptN    = flag.Int("checkpoint-every", 0, "checkpoint cadence in completed trials (0 = default 8)")
@@ -118,7 +135,13 @@ func main() {
 	if *trace != "" {
 		tracer = hotspot.NewTracer(traceCap)
 	}
-	res, err := runTune(hotspot.Options{
+	// Ctrl-C is a best-effort stop, not an abort: the session halts at its
+	// next evaluation round and reports the best configuration found so
+	// far, marked degraded. A second signal kills the process the hard way
+	// (signal.NotifyContext restores default handling once ctx is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := runTune(ctx, hotspot.Options{
 		Benchmark:             *bench,
 		Searcher:              *searcher,
 		BudgetMinutes:         *budget,
@@ -130,6 +153,11 @@ func main() {
 		Objective:             *objectiv,
 		Chaos:                 *chaos,
 		RetryAttempts:         *retries,
+		MaxTrials:             *maxTrial,
+		RealBudgetSeconds:     realBudg.Seconds(),
+		BestEffort:            true,
+		Hedge:                 *hedge,
+		Quarantine:            *quarant,
 		Telemetry:             reg,
 		Trace:                 tracer,
 		CheckpointPath:        *ckpt,
@@ -159,6 +187,15 @@ func main() {
 	fmt.Printf("improvement:  %.1f%%  (%.2fx speedup)\n", res.ImprovementPct, res.Speedup)
 	fmt.Printf("collector:    %s\n", res.Collector)
 	fmt.Printf("trials:       %d  (%d failures, %d cache hits)\n", res.Trials, res.Failures, res.CacheHits)
+	if res.Degraded {
+		fmt.Printf("degraded:     %s — result is the best found so far\n", res.DegradedReason)
+	}
+	if res.Hedges > 0 || res.HedgeWins > 0 {
+		fmt.Printf("hedging:      %d stragglers hedged, %d hedges won\n", res.Hedges, res.HedgeWins)
+	}
+	if res.Quarantined > 0 {
+		fmt.Printf("quarantine:   %d trials rejected by the circuit breaker\n", res.Quarantined)
+	}
 	if res.Chaos != "" && res.Chaos != "none" {
 		fmt.Printf("chaos:        %s\n", res.Chaos)
 		fmt.Printf("resilience:   %d flakes absorbed over %d launch attempts (%d unresolved transients)\n",

@@ -4,7 +4,15 @@
 // Usage:
 //
 //	tuned [-addr :8425] [-max-concurrent 4] [-max-jobs 256] [-pprof]
-//	      [-state-dir DIR] [-checkpoint-every N]
+//	      [-state-dir DIR] [-checkpoint-every N] [-journal-compact-bytes N]
+//	      [-queue-depth N] [-client-rate R] [-client-burst B]
+//
+// Under overload the farm sheds load explicitly instead of queueing without
+// bound: async submissions bounce with 429 + Retry-After once -queue-depth
+// jobs are waiting, and with -client-rate set each client (keyed by its
+// X-Client header) gets a token bucket of R submissions per second with
+// burst B. Polls and cancels are never shed — an overloaded farm stays
+// steerable. See docs/OVERLOAD.md.
 //
 // GET /metrics serves farm metrics (queue depth, running sessions, job
 // verdicts, plus each job's runner/session series in its poll responses) in
@@ -70,6 +78,10 @@ func main() {
 		pprofOn       = flag.Bool("pprof", false, "serve net/http/pprof profiling handlers under /debug/pprof/")
 		stateDir      = flag.String("state-dir", "", "journal jobs and checkpoint sessions here; a restart recovers them")
 		ckptEvery     = flag.Int("checkpoint-every", 0, "per-job checkpoint cadence in trials with -state-dir (0 = default 8)")
+		compactBytes  = flag.Int64("journal-compact-bytes", 0, "compact the farm journal past this size (0 = default 1 MiB, negative = never)")
+		queueDepth    = flag.Int("queue-depth", 0, "shed async submissions with 429 once this many jobs wait (0 = max-jobs, negative = unbounded)")
+		clientRate    = flag.Float64("client-rate", 0, "per-client submissions per second, keyed by X-Client (0 = unlimited)")
+		clientBurst   = flag.Int("client-burst", 0, "per-client token-bucket burst (0 = max(1, ceil(client-rate)))")
 	)
 	flag.Parse()
 
@@ -79,6 +91,10 @@ func main() {
 		EnablePprof:           *pprofOn,
 		StateDir:              *stateDir,
 		CheckpointEveryTrials: *ckptEvery,
+		JournalCompactBytes:   *compactBytes,
+		MaxQueueDepth:         *queueDepth,
+		ClientRatePerSec:      *clientRate,
+		ClientBurst:           *clientBurst,
 	})
 	if err != nil {
 		log.Fatalf("tuned: recovery failed: %v", err)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -103,6 +104,28 @@ type Options struct {
 	// (flaky launches, corrupt reports, injected faults); 0 means the
 	// default, 3. Deterministic failures are never retried.
 	RetryAttempts int
+	// MaxTrials caps the number of trials on top of the virtual budget;
+	// expiry returns the best-so-far result marked Result.Degraded. 0 means
+	// no cap.
+	MaxTrials int
+	// RealBudgetSeconds caps the session's real (wall-clock) runtime on top
+	// of the virtual budget. When it expires the session stops and returns
+	// the best configuration found so far, marked Result.Degraded — a
+	// budget kill is a graceful degradation, not an error. 0 means no cap.
+	RealBudgetSeconds float64
+	// BestEffort makes context cancellation degrade instead of fail: a
+	// canceled session returns its best-so-far result with Result.Degraded
+	// set rather than the context's error.
+	BestEffort bool
+	// Hedge enables straggler hedging with the default core.HedgePolicy:
+	// trials whose virtual cost exceeds a percentile-based deadline are
+	// charged as if a hedged duplicate dispatch had finished first.
+	Hedge bool
+	// Quarantine enables the failure circuit breaker with the default
+	// core.QuarantinePolicy: flag-hierarchy subtrees with a high
+	// deterministic-failure density are temporarily rejected at zero
+	// virtual cost.
+	Quarantine bool
 	// OnProgress, when non-nil, receives a live snapshot after every
 	// measurement — trials so far, virtual time consumed, and the best
 	// result yet. It is called from the session's goroutine.
@@ -183,6 +206,16 @@ type Result struct {
 	Flakes, Attempts, TransientFailures int
 	// Chaos names the fault plan the session ran under ("none" when off).
 	Chaos string
+	// Degraded reports that the session ended early — budget expiry,
+	// wall-clock expiry, best-effort cancellation, or a stall — and the
+	// result is the best found by then, not a completed search.
+	// DegradedReason says why.
+	Degraded       bool
+	DegradedReason string
+	// Quarantined counts trials rejected by the failure circuit breaker;
+	// Hedges counts straggling trials that armed a hedge, HedgeWins the
+	// hedges that beat their primary.
+	Quarantined, Hedges, HedgeWins int
 	// ElapsedMinutes is the virtual tuning time consumed.
 	ElapsedMinutes float64
 	// Trace is the anytime convergence curve (virtual seconds → best wall).
@@ -354,10 +387,31 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		Checkpoint:    keeper,
 		Resume:        resume,
 	}
+	applyRobustness(session, opts)
 	out, err := session.Run()
 	if err != nil {
 		return nil, err
 	}
+	return resultFromOutcome(out, plan.Name), nil
+}
+
+// applyRobustness wires the overload/degradation options onto a session.
+func applyRobustness(s *core.Session, opts Options) {
+	s.MaxTrials = opts.MaxTrials
+	if opts.RealBudgetSeconds > 0 {
+		s.RealBudget = time.Duration(opts.RealBudgetSeconds * float64(time.Second))
+	}
+	s.BestEffort = opts.BestEffort
+	if opts.Hedge {
+		s.Hedge = &core.HedgePolicy{}
+	}
+	if opts.Quarantine {
+		s.Quarantine = &core.QuarantinePolicy{}
+	}
+}
+
+// resultFromOutcome maps the engine's outcome to the public Result.
+func resultFromOutcome(out *core.Outcome, chaosName string) *Result {
 	col, _ := hierarchy.SelectedCollector(out.Best)
 	return &Result{
 		outcome:           out,
@@ -376,10 +430,15 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		Flakes:            out.Flakes,
 		Attempts:          out.Attempts,
 		TransientFailures: out.TransientFailures,
-		Chaos:             plan.Name,
+		Chaos:             chaosName,
+		Degraded:          out.Degraded,
+		DegradedReason:    out.DegradedReason,
+		Quarantined:       out.Quarantined,
+		Hedges:            out.Hedges,
+		HedgeWins:         out.HedgeWins,
 		ElapsedMinutes:    out.Elapsed / 60,
 		Trace:             out.Trace,
-	}, nil
+	}
 }
 
 // FlagContribution is one flag's measured contribution to a winning
@@ -516,32 +575,12 @@ func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (
 		Checkpoint:    keeper,
 		Resume:        resume,
 	}
+	applyRobustness(session, opts)
 	out, err := session.Run()
 	if err != nil {
 		return nil, err
 	}
-	col, _ := hierarchy.SelectedCollector(out.Best)
-	return &Result{
-		outcome:           out,
-		Benchmark:         out.Workload,
-		Searcher:          out.Searcher,
-		DefaultWall:       out.DefaultWall,
-		BestWall:          out.BestWall,
-		ImprovementPct:    out.ImprovementPct,
-		Speedup:           out.Speedup,
-		Best:              out.Best,
-		CommandLine:       out.Best.CommandLine(),
-		Collector:         string(col),
-		Trials:            out.Trials,
-		Failures:          out.Failures,
-		CacheHits:         out.CacheHits,
-		Flakes:            out.Flakes,
-		Attempts:          out.Attempts,
-		TransientFailures: out.TransientFailures,
-		Chaos:             plan.Name,
-		ElapsedMinutes:    out.Elapsed / 60,
-		Trace:             out.Trace,
-	}, nil
+	return resultFromOutcome(out, plan.Name), nil
 }
 
 // Benchmarks lists the built-in workloads: the 16 SPECjvm2008 startup

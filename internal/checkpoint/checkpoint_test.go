@@ -357,7 +357,103 @@ func TestJournalNilSafe(t *testing.T) {
 	if err := j.Append([]byte("x")); err != nil {
 		t.Fatalf("nil Append: %v", err)
 	}
+	if got := j.Size(); got != 0 {
+		t.Fatalf("nil Size: %d", got)
+	}
+	if err := j.Rewrite([][]byte{[]byte("x")}); err != nil {
+		t.Fatalf("nil Rewrite: %v", err)
+	}
 	if err := j.Close(); err != nil {
 		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+func TestJournalRewrite(t *testing.T) {
+	reg := telemetry.New()
+	path := filepath.Join(t.TempDir(), "journal.wal")
+
+	j, _, err := OpenJournal(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := j.Append([]byte("padding record to inflate the journal")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := j.Size()
+
+	// Compact down to two live records: the file shrinks, and the journal
+	// keeps accepting appends after the rewritten tail.
+	live := [][]byte{[]byte("alpha"), []byte("beta")}
+	if err := j.Rewrite(live); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if after := j.Size(); after >= before {
+		t.Fatalf("Rewrite did not shrink the journal: %d -> %d bytes", before, after)
+	}
+	if err := j.Append([]byte("gamma")); err != nil {
+		t.Fatalf("Append after Rewrite: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, records, err := OpenJournal(path, reg)
+	if err != nil {
+		t.Fatalf("OpenJournal after Rewrite: %v", err)
+	}
+	defer j2.Close()
+	want := []string{"alpha", "beta", "gamma"}
+	if len(records) != len(want) {
+		t.Fatalf("replayed %d records, want %d: %q", len(records), len(want), records)
+	}
+	for i, w := range want {
+		if string(records[i]) != w {
+			t.Fatalf("record %d = %q, want %q", i, records[i], w)
+		}
+	}
+	if got := reg.Counter("journal_compactions_total").Value(); got != 1 {
+		t.Fatalf("journal_compactions_total = %d, want 1", got)
+	}
+	// No temp file should survive a successful rewrite.
+	if stale, _ := filepath.Glob(path + ".compact*"); len(stale) != 0 {
+		t.Fatalf("stale temp files after successful Rewrite: %v", stale)
+	}
+}
+
+func TestJournalSweepsStaleCompactionTemps(t *testing.T) {
+	reg := telemetry.New()
+	path := filepath.Join(t.TempDir(), "journal.wal")
+
+	j, _, err := OpenJournal(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// A crash between writing the compaction temp and renaming it leaves
+	// the temp stranded; it holds no authoritative state and must go.
+	stale := path + ".compact12345"
+	if err := os.WriteFile(stale, []byte("half-written compaction"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, records, err := OpenJournal(path, reg)
+	if err != nil {
+		t.Fatalf("OpenJournal with stale temp: %v", err)
+	}
+	defer j2.Close()
+	if len(records) != 1 || string(records[0]) != "survivor" {
+		t.Fatalf("stale temp corrupted replay: %q", records)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp not swept: %v", err)
+	}
+	if got := reg.Counter("journal_stale_temps_removed_total").Value(); got != 1 {
+		t.Fatalf("journal_stale_temps_removed_total = %d, want 1", got)
 	}
 }

@@ -28,6 +28,11 @@ type Meta struct {
 	Reps          int     `json:"reps"`
 	Workers       int     `json:"workers"`
 	MaxTrials     int     `json:"max_trials"`
+	// Robustness fingerprints the session's straggler-hedging and
+	// failure-quarantine options — they steer which trials run, so a
+	// checkpoint cannot resume under different settings. Empty when both
+	// are off, which keeps snapshots from older builds loadable.
+	Robustness string `json:"robustness,omitempty"`
 }
 
 // Check reports the first fingerprint mismatch between the checkpoint's
@@ -47,6 +52,7 @@ func (m Meta) Check(want Meta) error {
 		{"reps", m.Reps, want.Reps},
 		{"workers", m.Workers, want.Workers},
 		{"max_trials", m.MaxTrials, want.MaxTrials},
+		{"robustness", m.Robustness, want.Robustness},
 	} {
 		if f.got != f.want {
 			return fmt.Errorf("checkpoint: %s mismatch: checkpoint has %v, session wants %v", f.name, f.got, f.want)

@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/flags"
@@ -174,6 +175,22 @@ type Outcome struct {
 	Flakes            int
 	Attempts          int
 	TransientFailures int
+	// Degraded reports the session stopped early — virtual-budget expiry,
+	// trial-budget expiry, wall-clock expiry, best-effort cancellation, or
+	// a stall — and Best is the best-so-far answer rather than a completed
+	// search; DegradedReason says why in one sentence. A session whose
+	// searcher exhausted its strategy inside the budget is complete, not
+	// degraded.
+	Degraded       bool
+	DegradedReason string
+	// Quarantined counts proposals the failure quarantine rejected
+	// unmeasured at zero cost (they still reach the searcher as failed
+	// observations). Hedges and HedgeWins count straggler-watchdog
+	// resolutions; a win means the hedged duplicate finished first and the
+	// trial was charged the duplicate's path instead of the straggler's.
+	Quarantined int
+	Hedges      int
+	HedgeWins   int
 	// AttemptHistory summarizes per-configuration attempt accounting,
 	// sorted by configuration key.
 	AttemptHistory []AttemptRecord
@@ -205,7 +222,35 @@ type Session struct {
 	// produce identical outcomes.
 	Seed int64
 	// MaxTrials optionally bounds the number of measurements (0 = no cap).
+	// A session stopped by this trial budget returns best-so-far marked
+	// Degraded, exactly like virtual-budget expiry.
 	MaxTrials int
+	// RealBudget optionally bounds the session in wall-clock time: at the
+	// first round boundary past the deadline the session stops and returns
+	// best-so-far marked Degraded. Unlike the virtual budget it depends on
+	// real scheduling, so two identical runs may stop at different trials —
+	// it is the operator's safety net, not the paper's protocol knob (that
+	// is BudgetSeconds).
+	RealBudget time.Duration
+	// BestEffort makes cancellation graceful: a session whose Ctx is
+	// canceled returns the best-so-far outcome marked Degraded instead of
+	// an error (cancellation before the baseline still errors — there is no
+	// answer to return yet).
+	BestEffort bool
+	// Hedge, when non-nil, arms the straggler watchdog: trials whose
+	// virtual cost blows a percentile-based deadline are hedged with a
+	// duplicate dispatch, first result wins, loser canceled and accounted
+	// in telemetry only. Entirely virtual-time-driven — fixed-seed sessions
+	// stay byte-deterministic at any worker count.
+	Hedge *HedgePolicy
+	// Quarantine, when non-nil, arms the failure circuit breaker: flag-
+	// hierarchy subtrees whose recent trials keep failing deterministically
+	// are quarantined for a cooldown, their proposals rejected at zero cost
+	// so chaos-heavy searches spend budget in viable regions.
+	Quarantine *QuarantinePolicy
+	// now is the wall clock RealBudget reads; tests inject it. nil means
+	// time.Now.
+	now func() time.Time
 	// Objective is what the session minimizes; default ObjectiveThroughput.
 	Objective Objective
 	// Workers is the number of parallel evaluation slots (default 1, the
@@ -333,6 +378,7 @@ func (s *Session) Run() (*Outcome, error) {
 			Reps:          reps,
 			Workers:       workers,
 			MaxTrials:     s.MaxTrials,
+			Robustness:    robustnessFingerprint(s.Hedge, s.Quarantine),
 		}
 	}
 
@@ -401,8 +447,26 @@ func (s *Session) Run() (*Outcome, error) {
 	if snapRunner != nil {
 		ck = &ckState{keeper: s.Checkpoint, meta: meta, base: base, snap: snapRunner, replay: replay}
 	}
-	if err := s.runLoop(runCtx, ctx, out, slotFree, reps, budget, history, ck); err != nil {
+	rob := &robState{now: s.now}
+	if rob.now == nil {
+		rob.now = time.Now
+	}
+	if s.RealBudget > 0 {
+		rob.deadline = rob.now().Add(s.RealBudget)
+	}
+	if s.Hedge != nil {
+		rob.hg = newHedger(s.Hedge)
+		rob.hg.observe(base.CostSeconds)
+	}
+	if s.Quarantine != nil {
+		rob.quar = newQuarantine(s.Quarantine, tree, s.Telemetry, s.Trace)
+	}
+	if err := s.runLoop(runCtx, ctx, out, slotFree, reps, budget, history, ck, rob); err != nil {
 		return nil, err
+	}
+	if rob.hg != nil {
+		out.Hedges, out.HedgeWins = rob.hg.hedges, rob.hg.wins
+		s.Telemetry.Gauge("session_hedge_saved_virtual_seconds").Set(rob.hg.saved)
 	}
 	out.AttemptHistory = make([]AttemptRecord, 0, len(history))
 	for _, rec := range history {

@@ -37,6 +37,26 @@ type trial struct {
 	start float64 // virtual time the slot became free
 	cfg   *flags.Config
 	m     runner.Measurement
+	// eff is the virtual cost actually charged to the slot — m.CostSeconds
+	// unless the straggler watchdog resolved a hedge; hedged names the
+	// watchdog's verdict when it did.
+	eff    float64
+	hedged string
+	// synthetic marks a quarantine rejection: m was synthesized at zero
+	// cost and the runner never saw the configuration. qlabel is the
+	// quarantined subtree.
+	synthetic bool
+	qlabel    string
+}
+
+// robState bundles the overload-robustness machinery threaded through the
+// loop: the straggler watchdog, the failure quarantine, and the wall-clock
+// safety net. Always non-nil; individual features are nil when disabled.
+type robState struct {
+	hg       *hedger
+	quar     *quarantine
+	now      func() time.Time
+	deadline time.Time // zero when no RealBudget is set
 }
 
 // ckState is the session's durability bookkeeping, non-nil only when
@@ -93,7 +113,7 @@ func (s *Session) writeCheckpoint(ck *ckState, ctx *Context) {
 // sees them in.
 func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 	slotFree []float64, reps int, budget float64, history map[string]*AttemptRecord,
-	ck *ckState) error {
+	ck *ckState, rob *robState) error {
 	workers := len(slotFree)
 
 	// Cache hits are free, so a searcher that re-proposes known
@@ -101,6 +121,15 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 	// consecutive free trials to keep the loop total.
 	freeTrials := 0
 	const maxFreeTrials = 1000
+
+	// degrade marks the outcome as stopped-early: the session still returns
+	// its best-so-far answer, with the reason on the outcome and a labeled
+	// counter in telemetry.
+	degrade := func(tag, format string, args ...any) {
+		out.Degraded = true
+		out.DegradedReason = fmt.Sprintf(format, args...)
+		s.Telemetry.Counter(`session_degraded_total{reason="` + tag + `"}`).Inc()
+	}
 
 	dispatched := 0
 	seq := 0
@@ -112,9 +141,18 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 
 	for {
 		if err := runCtx.Err(); err != nil {
+			if s.BestEffort {
+				degrade("canceled", "canceled after %d trials: %v", ctx.Trial, err)
+				return nil
+			}
 			return fmt.Errorf("core: session canceled after %d trials: %w", ctx.Trial, err)
 		}
+		if !rob.deadline.IsZero() && !rob.now().Before(rob.deadline) {
+			degrade("wall-clock", "wall-clock budget %s exhausted after %d trials", s.RealBudget, ctx.Trial)
+			break
+		}
 		if freeTrials >= maxFreeTrials {
+			degrade("stalled", "stalled after %d consecutive zero-cost trials", maxFreeTrials)
 			break
 		}
 
@@ -144,6 +182,14 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			picks = append(picks, pick{sel, slotFree[sel]})
 		}
 		if len(picks) == 0 {
+			// No slot can start another trial: a budget ran out. (A searcher
+			// that finished its strategy breaks below without degradation.)
+			if s.MaxTrials > 0 && dispatched >= s.MaxTrials {
+				degrade("trial-budget", "trial budget exhausted after %d trials", ctx.Trial)
+			} else {
+				degrade("budget", "virtual tuning budget exhausted after %d trials (%.0f virtual seconds)",
+					ctx.Trial, budget)
+			}
 			break
 		}
 
@@ -181,9 +227,13 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 		// Assign proposals to slots. A configuration key runs at most once
 		// per round: concurrent measurements of one key would race on its
 		// noise-rep sequence and break determinism, so duplicates wait for
-		// the next round (where they replay from the runner's cache).
+		// the next round (where they replay from the runner's cache). A
+		// proposal landing in a quarantined subtree still takes its slot —
+		// as a synthetic zero-cost rejection the runner never sees, so the
+		// slot's clock does not move and the searcher is told immediately.
 		batch := make([]*trial, 0, len(picks))
 		inRound := make(map[string]bool, len(picks))
+		synthetics := 0
 		for _, cfg := range proposals {
 			key := cfg.Key()
 			if len(batch) == len(picks) || inRound[key] {
@@ -192,7 +242,16 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			}
 			inRound[key] = true
 			p := picks[len(batch)]
-			batch = append(batch, &trial{seq: seq, slot: p.slot, start: p.start, cfg: cfg})
+			tr := &trial{seq: seq, slot: p.slot, start: p.start, cfg: cfg}
+			if rob.quar != nil {
+				if label, blocked := rob.quar.blocked(cfg, ctx.Trial, p.start); blocked {
+					tr.m = syntheticQuarantined(key, label)
+					tr.synthetic = true
+					tr.qlabel = label
+					synthetics++
+				}
+			}
+			batch = append(batch, tr)
 			s.Trace.Emit(telemetry.Event{
 				T: p.start, Kind: telemetry.EvProposal, Key: key, Worker: p.slot,
 			})
@@ -207,21 +266,25 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 		// reconstructs searcher and RNG state without re-measuring. A
 		// recorded seq whose key disagrees with the engine's proposal means
 		// the determinism inputs changed — fail rather than splice
-		// mismatched histories.
+		// mismatched histories. Synthetic rejections never reach the runner
+		// either way (a resumed quarantine re-derives them identically).
 		fresh := batch
-		if ck != nil && len(ck.replay) > 0 {
+		if synthetics > 0 || (ck != nil && len(ck.replay) > 0) {
 			fresh = make([]*trial, 0, len(batch))
 			for _, tr := range batch {
-				rec, ok := ck.replay[tr.seq]
-				if !ok {
+				if ck != nil {
+					if rec, ok := ck.replay[tr.seq]; ok {
+						if rec.Key != tr.cfg.Key() {
+							return fmt.Errorf("core: resume diverged at trial %d: checkpoint recorded %q, session proposed %q",
+								tr.seq, rec.Key, tr.cfg.Key())
+						}
+						tr.m = rec.M
+						continue
+					}
+				}
+				if !tr.synthetic {
 					fresh = append(fresh, tr)
-					continue
 				}
-				if rec.Key != tr.cfg.Key() {
-					return fmt.Errorf("core: resume diverged at trial %d: checkpoint recorded %q, session proposed %q",
-						tr.seq, rec.Key, tr.cfg.Key())
-				}
-				tr.m = rec.M
 			}
 		}
 
@@ -241,20 +304,45 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			wg.Wait()
 		}
 
+		// Resolve the straggler watchdog in dispatch order before delivery:
+		// each trial's effective cost is what its slot is charged, and the
+		// watchdog's cost window advances deterministically (it never sees
+		// goroutine scheduling). Replayed trials pass through the same
+		// decisions, so a resumed session rebuilds the identical window.
+		for _, tr := range batch {
+			tr.eff = tr.m.CostSeconds
+			if rob.hg == nil || tr.synthetic {
+				continue
+			}
+			tr.eff, tr.hedged = rob.hg.decide(tr.m)
+			if tr.hedged != "" {
+				s.Telemetry.Counter("session_hedges_total").Inc()
+				if tr.hedged == "hedge-won" {
+					s.Telemetry.Counter("session_hedge_wins_total").Inc()
+				}
+			}
+			rob.hg.observe(tr.eff)
+		}
+		if rob.hg != nil {
+			if d, armed := rob.hg.deadline(); armed {
+				s.Telemetry.Gauge("session_hedge_deadline_virtual_seconds").Set(d)
+			}
+		}
+
 		// Deliver observations in virtual-completion order (dispatch order
 		// breaks ties), charging each trial to its slot. The searcher sees
 		// results as they would complete on a real farm, not in proposal
 		// order — the synchronous-information assumption is gone.
 		sort.Slice(batch, func(i, j int) bool {
-			fi := batch[i].start + batch[i].m.CostSeconds
-			fj := batch[j].start + batch[j].m.CostSeconds
+			fi := batch[i].start + batch[i].eff
+			fj := batch[j].start + batch[j].eff
 			if fi != fj {
 				return fi < fj
 			}
 			return batch[i].seq < batch[j].seq
 		})
 		for _, tr := range batch {
-			slotFree[tr.slot] = tr.start + tr.m.CostSeconds
+			slotFree[tr.slot] = tr.start + tr.eff
 			ctx.Trial++
 			ctx.Elapsed = slotFree[tr.slot]
 			if ck != nil {
@@ -265,17 +353,24 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 				out.CacheHits++
 				s.Telemetry.Counter("session_cache_hits_total").Inc()
 			}
-			if tr.m.CostSeconds == 0 {
+			if tr.eff == 0 {
 				freeTrials++
 			} else {
 				freeTrials = 0
 			}
-			if tr.m.Failed {
+			if tr.synthetic {
+				out.Quarantined++
+			} else if tr.m.Failed {
 				out.Failures++
 				s.Telemetry.Counter("session_failures_total").Inc()
 			}
-			out.recordAttempts(history, tr.cfg.Key(), tr.m)
+			if !tr.synthetic {
+				out.recordAttempts(history, tr.cfg.Key(), tr.m)
+			}
 			s.Searcher.Observe(ctx, tr.cfg, tr.m)
+			if rob.quar != nil && !tr.synthetic {
+				rob.quar.observe(tr.cfg, ctx.Trial, ctx.Elapsed, tr.m)
+			}
 			if sc := ctx.Objective.Score(tr.m); sc < ctx.BestWall {
 				ctx.Best, ctx.BestWall = tr.cfg.Clone(), sc
 				out.BestMeasurement = tr.m
@@ -285,9 +380,21 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			// observation. Failed scores are +Inf, which JSON cannot carry —
 			// the failure kind rides in Detail instead.
 			s.Trace.Commit(tr.cfg.Key(), ctx.Elapsed)
+			if tr.synthetic {
+				s.Trace.Emit(telemetry.Event{
+					T: ctx.Elapsed, Kind: telemetry.EvQuarantine, Key: tr.cfg.Key(),
+					Worker: tr.slot, Trial: ctx.Trial, Detail: "skip:" + tr.qlabel,
+				})
+			}
+			if tr.hedged != "" {
+				s.Trace.Emit(telemetry.Event{
+					T: ctx.Elapsed, Kind: telemetry.EvHedge, Key: tr.cfg.Key(),
+					Worker: tr.slot, Trial: ctx.Trial, Cost: tr.eff, Detail: tr.hedged,
+				})
+			}
 			ev := telemetry.Event{
 				T: ctx.Elapsed, Kind: telemetry.EvObserve, Key: tr.cfg.Key(),
-				Worker: tr.slot, Trial: ctx.Trial, Cost: tr.m.CostSeconds,
+				Worker: tr.slot, Trial: ctx.Trial, Cost: tr.eff,
 			}
 			if sc := ctx.Objective.Score(tr.m); !math.IsInf(sc, 1) {
 				ev.Score = sc

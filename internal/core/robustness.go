@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/flags"
+	"repro/internal/hierarchy"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+)
+
+// QuarantinedFailure marks trials the session rejected without measuring:
+// their configuration fell in a flag-hierarchy subtree whose circuit breaker
+// was open. The configuration is not condemned — the breaker's half-open
+// probe re-measures the subtree once the cooldown passes.
+const QuarantinedFailure jvmsim.FailureKind = "quarantined"
+
+// HedgePolicy configures the straggler watchdog. The session tracks the
+// virtual cost of recently delivered trials; a trial whose cost exceeds
+// Factor times the Percentile of that window is treated as a straggler, and
+// the watchdog hedges a duplicate dispatch at the deadline. First result
+// wins: if the duplicate would have finished first (its clean cost rides in
+// runner.Measurement.HedgeCostSeconds when the chaos layer stalled the
+// primary), the trial is charged deadline+duplicate cost and the primary is
+// canceled; otherwise the duplicate is canceled and the trial costs what it
+// always did. Either way the loser is accounted in telemetry, never the
+// budget — on a real farm it runs on a spare machine.
+//
+// The watchdog lives entirely in virtual time, so fixed-seed sessions stay
+// byte-deterministic at any worker count with hedging enabled.
+type HedgePolicy struct {
+	// Percentile of the recent-cost window that anchors the deadline
+	// (0 < p ≤ 1; values ≤ 0 mean the default, 0.9).
+	Percentile float64
+	// Factor multiplies the percentile cost into the deadline; values ≤ 0
+	// mean the default, 3.
+	Factor float64
+	// Window is how many recent trial costs are remembered; values ≤ 0 mean
+	// the default, 64.
+	Window int
+	// MinSamples is how many costs must be observed before the watchdog
+	// arms; values ≤ 0 mean the default, 8.
+	MinSamples int
+	// MinSeconds floors the deadline so a streak of cheap trials cannot
+	// hedge everything; values ≤ 0 mean the default, 1.
+	MinSeconds float64
+}
+
+// Hedge policy defaults.
+const (
+	DefaultHedgePercentile = 0.9
+	DefaultHedgeFactor     = 3.0
+	DefaultHedgeWindow     = 64
+	DefaultHedgeMinSamples = 8
+	DefaultHedgeMinSeconds = 1.0
+)
+
+func (p HedgePolicy) normalized() HedgePolicy {
+	if p.Percentile <= 0 || p.Percentile > 1 {
+		p.Percentile = DefaultHedgePercentile
+	}
+	if p.Factor <= 0 {
+		p.Factor = DefaultHedgeFactor
+	}
+	if p.Window <= 0 {
+		p.Window = DefaultHedgeWindow
+	}
+	if p.MinSamples <= 0 {
+		p.MinSamples = DefaultHedgeMinSamples
+	}
+	if p.MinSeconds <= 0 {
+		p.MinSeconds = DefaultHedgeMinSeconds
+	}
+	return p
+}
+
+// String renders the normalized policy canonically; the checkpoint layer
+// folds it into the session fingerprint.
+func (p HedgePolicy) String() string {
+	n := p.normalized()
+	return fmt.Sprintf("p%g×%g,w%d,min%d,floor%g",
+		n.Percentile, n.Factor, n.Window, n.MinSamples, n.MinSeconds)
+}
+
+// hedger is the watchdog state: a ring of recent delivered trial costs and
+// the win/loss accounting.
+type hedger struct {
+	pol    HedgePolicy
+	costs  []float64
+	next   int
+	filled bool
+
+	hedges int
+	wins   int
+	saved  float64
+}
+
+func newHedger(p *HedgePolicy) *hedger {
+	n := p.normalized()
+	return &hedger{pol: n, costs: make([]float64, 0, n.Window)}
+}
+
+// observe feeds one delivered trial's effective cost into the window.
+func (h *hedger) observe(cost float64) {
+	if cost <= 0 {
+		return
+	}
+	if len(h.costs) < h.pol.Window {
+		h.costs = append(h.costs, cost)
+		return
+	}
+	h.costs[h.next] = cost
+	h.next = (h.next + 1) % h.pol.Window
+	h.filled = true
+}
+
+// deadline returns the current straggler deadline, or false while the
+// window is too small to arm the watchdog.
+func (h *hedger) deadline() (float64, bool) {
+	n := len(h.costs)
+	if n < h.pol.MinSamples {
+		return 0, false
+	}
+	sorted := make([]float64, n)
+	copy(sorted, h.costs)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(h.pol.Percentile*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	d := sorted[idx] * h.pol.Factor
+	if d < h.pol.MinSeconds {
+		d = h.pol.MinSeconds
+	}
+	return d, true
+}
+
+// decide resolves one fresh measurement against the watchdog: the returned
+// effective cost is what the trial charges its slot, and the verdict is ""
+// (no hedge), "primary-won", or "hedge-won". Cache replays are free and
+// never hedged.
+func (h *hedger) decide(m runner.Measurement) (eff float64, verdict string) {
+	raw := m.CostSeconds
+	if m.FromCache || raw <= 0 {
+		return raw, ""
+	}
+	d, armed := h.deadline()
+	if !armed || raw <= d {
+		return raw, ""
+	}
+	// The primary blew the deadline: a duplicate dispatched at d. Its clean
+	// cost is HedgeCostSeconds when the chaos layer stalled the primary; a
+	// genuinely slow configuration runs just as slowly the second time.
+	dup := m.HedgeCostSeconds
+	if dup <= 0 {
+		dup = raw
+	}
+	h.hedges++
+	if hedgeFinish := d + dup; hedgeFinish < raw {
+		h.wins++
+		h.saved += raw - hedgeFinish
+		return hedgeFinish, "hedge-won"
+	}
+	return raw, "primary-won"
+}
+
+// QuarantinePolicy configures the failure circuit breaker. The session
+// classifies every configuration into the flag-hierarchy subtrees it
+// selects (one branch per tree choice, most specific match wins) and tracks
+// a sliding window of deterministic-failure verdicts per subtree. A subtree
+// whose failure density crosses Threshold is quarantined: its proposals are
+// rejected unmeasured (zero cost, QuarantinedFailure) for CooldownTrials,
+// after which a single half-open probe is measured — success closes the
+// breaker, another deterministic failure re-opens it with a doubled
+// cooldown (capped at MaxCooldownTrials).
+type QuarantinePolicy struct {
+	// Window is the verdicts remembered per subtree; values ≤ 0 mean the
+	// default, 16.
+	Window int
+	// MinSamples is the verdicts required before the breaker may open;
+	// values ≤ 0 mean the default, 8.
+	MinSamples int
+	// Threshold is the deterministic-failure fraction that opens the
+	// breaker; values ≤ 0 mean the default, 0.7.
+	Threshold float64
+	// CooldownTrials is how many delivered trials a quarantine lasts before
+	// the half-open probe; values ≤ 0 mean the default, 25.
+	CooldownTrials int
+	// MaxCooldownTrials caps the doubling of repeat offenders' cooldowns;
+	// values ≤ 0 mean the default, 200.
+	MaxCooldownTrials int
+}
+
+// Quarantine policy defaults.
+const (
+	DefaultQuarantineWindow      = 16
+	DefaultQuarantineMinSamples  = 8
+	DefaultQuarantineThreshold   = 0.7
+	DefaultQuarantineCooldown    = 25
+	DefaultQuarantineMaxCooldown = 200
+)
+
+func (p QuarantinePolicy) normalized() QuarantinePolicy {
+	if p.Window <= 0 {
+		p.Window = DefaultQuarantineWindow
+	}
+	if p.MinSamples <= 0 {
+		p.MinSamples = DefaultQuarantineMinSamples
+	}
+	if p.MinSamples > p.Window {
+		p.MinSamples = p.Window
+	}
+	if p.Threshold <= 0 || p.Threshold > 1 {
+		p.Threshold = DefaultQuarantineThreshold
+	}
+	if p.CooldownTrials <= 0 {
+		p.CooldownTrials = DefaultQuarantineCooldown
+	}
+	if p.MaxCooldownTrials < p.CooldownTrials {
+		p.MaxCooldownTrials = DefaultQuarantineMaxCooldown
+	}
+	if p.MaxCooldownTrials < p.CooldownTrials {
+		p.MaxCooldownTrials = p.CooldownTrials
+	}
+	return p
+}
+
+// String renders the normalized policy canonically for the session
+// fingerprint.
+func (p QuarantinePolicy) String() string {
+	n := p.normalized()
+	return fmt.Sprintf("w%d,min%d,t%g,cd%d..%d",
+		n.Window, n.MinSamples, n.Threshold, n.CooldownTrials, n.MaxCooldownTrials)
+}
+
+// sigPair is one (flag, value) assignment that selects a subtree.
+type sigPair struct {
+	flag *flags.Flag
+	name string
+	want flags.Value
+}
+
+// subtreeSig identifies one branch of one tree choice by the flag values
+// its Apply sets away from the defaults. A branch that leaves the defaults
+// untouched has no pairs; such branches are not tracked at all — a
+// zero-pair signature matches every configuration, so its breaker would
+// absorb failures from unrelated subtrees and quarantine the whole space.
+type subtreeSig struct {
+	label string
+	pairs []sigPair
+}
+
+func (s subtreeSig) matches(cfg *flags.Config) bool {
+	for _, p := range s.pairs {
+		v, ok := cfg.Get(p.name)
+		if !ok || !v.Equal(p.flag.Type, p.want) {
+			return false
+		}
+	}
+	return true
+}
+
+// breaker is one subtree's circuit state.
+type breaker struct {
+	verdicts []bool // ring; true = deterministic failure
+	size     int
+	head     int
+	count    int
+	fails    int
+
+	open  bool
+	probe bool // a half-open probe is in flight
+	until int  // trial index at which the half-open probe may dispatch
+	trips int  // consecutive opens; doubles the cooldown
+}
+
+func (b *breaker) push(det bool, window int) {
+	if b.count < window {
+		b.verdicts = append(b.verdicts, det)
+		b.count++
+	} else {
+		if b.verdicts[b.head] {
+			b.fails--
+		}
+		b.verdicts[b.head] = det
+		b.head = (b.head + 1) % window
+	}
+	if det {
+		b.fails++
+	}
+}
+
+func (b *breaker) reset() {
+	b.verdicts = b.verdicts[:0]
+	b.head, b.count, b.fails = 0, 0, 0
+}
+
+// quarantine is the session-side breaker bank: one breaker per hierarchy
+// subtree, driven synchronously from the session goroutine so state
+// transitions are deterministic for a fixed seed.
+type quarantine struct {
+	pol    QuarantinePolicy
+	groups [][]subtreeSig // one group per tree choice
+	state  map[string]*breaker
+	tel    *telemetry.Registry
+	trace  *telemetry.Tracer
+
+	rejected int
+	opens    int
+}
+
+func newQuarantine(pol *QuarantinePolicy, tree *hierarchy.Tree, tel *telemetry.Registry, trace *telemetry.Tracer) *quarantine {
+	reg := tree.Registry()
+	def := flags.NewConfig(reg)
+	q := &quarantine{
+		pol:   pol.normalized(),
+		state: make(map[string]*breaker),
+		tel:   tel,
+		trace: trace,
+	}
+	for _, ch := range tree.Choices() {
+		var group []subtreeSig
+		for _, br := range ch.Branches {
+			c := flags.NewConfig(reg)
+			br.Apply(c)
+			sig := subtreeSig{label: ch.Name + "/" + br.Name}
+			for _, name := range c.Diff(def) {
+				f := reg.Lookup(name)
+				v, _ := c.Get(name)
+				sig.pairs = append(sig.pairs, sigPair{flag: f, name: name, want: v})
+			}
+			if len(sig.pairs) == 0 {
+				continue // default branch: matches everything, never tracked
+			}
+			group = append(group, sig)
+		}
+		q.groups = append(q.groups, group)
+	}
+	return q
+}
+
+// classify returns cfg's subtree labels, one per tree choice (the most
+// specific matching branch of each).
+func (q *quarantine) classify(cfg *flags.Config) []string {
+	labels := make([]string, 0, len(q.groups))
+	for _, group := range q.groups {
+		best, bestN := -1, -1
+		for i, sig := range group {
+			if len(sig.pairs) > bestN && sig.matches(cfg) {
+				best, bestN = i, len(sig.pairs)
+			}
+		}
+		if best >= 0 {
+			labels = append(labels, group[best].label)
+		}
+	}
+	return labels
+}
+
+// blocked decides at proposal time whether cfg may dispatch. trial is the
+// session's delivered-trial count (the cooldown clock); t is the virtual
+// time for trace events. A proposal that reaches an open breaker past its
+// cooldown becomes the breaker's single half-open probe and is allowed
+// through.
+func (q *quarantine) blocked(cfg *flags.Config, trial int, t float64) (string, bool) {
+	labels := q.classify(cfg)
+	for _, label := range labels {
+		st := q.state[label]
+		if st == nil || !st.open {
+			continue
+		}
+		if trial >= st.until && !st.probe {
+			continue // eligible to probe; armed below if no other label blocks
+		}
+		q.rejected++
+		q.tel.Counter("session_quarantine_rejected_total").Inc()
+		return label, true
+	}
+	for _, label := range labels {
+		if st := q.state[label]; st != nil && st.open {
+			st.probe = true
+			q.tel.Counter("session_quarantine_probes_total").Inc()
+			q.trace.Emit(telemetry.Event{
+				T: t, Kind: telemetry.EvQuarantine, Key: cfg.Key(), Detail: "probe:" + label,
+			})
+		}
+	}
+	return "", false
+}
+
+// observe folds a delivered measurement into the breakers of cfg's
+// subtrees. trial is the delivered-trial count, t the virtual delivery time.
+func (q *quarantine) observe(cfg *flags.Config, trial int, t float64, m runner.Measurement) {
+	if m.Failure == QuarantinedFailure {
+		return // synthetic rejections must not feed the breaker
+	}
+	det := m.Failed && !m.Transient
+	key := cfg.Key()
+	for _, label := range q.classify(cfg) {
+		st := q.state[label]
+		if st == nil {
+			st = &breaker{}
+			q.state[label] = st
+		}
+		if st.open {
+			if !st.probe {
+				continue // a pre-open in-flight trial; the probe decides
+			}
+			st.probe = false
+			if det {
+				st.trips++
+				cd := q.cooldown(st.trips)
+				st.until = trial + cd
+				q.tel.Counter("session_quarantine_reopens_total").Inc()
+				q.trace.Emit(telemetry.Event{
+					T: t, Kind: telemetry.EvQuarantine, Key: key,
+					Detail: fmt.Sprintf("reopen:%s:%d", label, cd),
+				})
+			} else {
+				st.open = false
+				st.trips = 0
+				st.reset()
+				q.tel.Counter("session_quarantine_closes_total").Inc()
+				q.trace.Emit(telemetry.Event{
+					T: t, Kind: telemetry.EvQuarantine, Key: key, Detail: "close:" + label,
+				})
+			}
+			continue
+		}
+		st.push(det, q.pol.Window)
+		if st.count >= q.pol.MinSamples &&
+			float64(st.fails) >= q.pol.Threshold*float64(st.count) {
+			st.open = true
+			st.probe = false
+			st.trips = 1
+			st.until = trial + q.pol.CooldownTrials
+			st.reset()
+			q.opens++
+			q.tel.Counter("session_quarantine_opens_total").Inc()
+			q.trace.Emit(telemetry.Event{
+				T: t, Kind: telemetry.EvQuarantine, Key: key,
+				Detail: fmt.Sprintf("open:%s:%d", label, q.pol.CooldownTrials),
+			})
+		}
+	}
+}
+
+// cooldown doubles per consecutive trip, capped.
+func (q *quarantine) cooldown(trips int) int {
+	cd := q.pol.CooldownTrials
+	for i := 1; i < trips; i++ {
+		cd *= 2
+		if cd >= q.pol.MaxCooldownTrials {
+			return q.pol.MaxCooldownTrials
+		}
+	}
+	if cd > q.pol.MaxCooldownTrials {
+		cd = q.pol.MaxCooldownTrials
+	}
+	return cd
+}
+
+// synthetic builds the zero-cost rejection delivered for a quarantined
+// proposal. The message is deterministic: it appears in checkpoint logs.
+func syntheticQuarantined(key, label string) runner.Measurement {
+	return runner.Measurement{
+		Key:            key,
+		Failed:         true,
+		Failure:        QuarantinedFailure,
+		FailureMessage: "core: subtree " + label + " quarantined",
+	}
+}
+
+// robustnessFingerprint renders the session's hedge/quarantine options for
+// the checkpoint fingerprint: a run must not resume under different
+// robustness semantics than it crashed with. Sessions with neither feature
+// render "" — old checkpoints stay loadable.
+func robustnessFingerprint(h *HedgePolicy, q *QuarantinePolicy) string {
+	s := ""
+	if h != nil {
+		s += "hedge(" + h.String() + ")"
+	}
+	if q != nil {
+		if s != "" {
+			s += "+"
+		}
+		s += "quarantine(" + q.String() + ")"
+	}
+	return s
+}

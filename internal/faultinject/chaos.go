@@ -22,6 +22,7 @@ const (
 	faultCrash
 	faultHang
 	faultSpike
+	faultStraggle
 )
 
 // ChaosRunner wraps a Runner and injects the Plan's faults into its
@@ -71,7 +72,7 @@ type Stats struct {
 	// chaos layer (injected or clean).
 	Attempts int
 	// Injected faults by kind.
-	Launch, Corrupt, Crash, Hang, Spike int
+	Launch, Corrupt, Crash, Hang, Spike, Straggle int
 	// Suppressed counts failure faults skipped by the MaxConsecutive cap.
 	Suppressed int
 }
@@ -176,6 +177,8 @@ func faultName(k faultKind) string {
 		return "hang"
 	case faultSpike:
 		return "spike"
+	case faultStraggle:
+		return "straggle"
 	}
 	return "none"
 }
@@ -212,6 +215,8 @@ func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key string, retryN in
 		c.stats.Hang++
 	case faultSpike:
 		c.stats.Spike++
+	case faultStraggle:
+		c.stats.Straggle++
 	}
 	c.mu.Unlock()
 
@@ -274,6 +279,18 @@ func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key string, retryN in
 		m.MeanPause *= f
 		m.CostSeconds *= f
 		return note(m)
+	case faultStraggle:
+		// The run itself is clean — the harness stalls delivering it. The
+		// trial's cost balloons while the walls (and so the score) stay
+		// untouched; the clean cost rides along so the session's straggler
+		// watchdog can price the hedged duplicate.
+		m := c.inner.Measure(cfg, reps)
+		if m.Failed || len(m.Walls) == 0 {
+			return note(m)
+		}
+		m.HedgeCostSeconds = m.CostSeconds
+		m.CostSeconds *= c.plan.StraggleFactor
+		return note(m)
 	default:
 		m := c.inner.Measure(cfg, reps)
 		if m.FromCache {
@@ -307,6 +324,7 @@ func (c *ChaosRunner) faultFor(key string, attempt int) faultKind {
 		{c.plan.Crash, faultCrash},
 		{c.plan.Hang, faultHang},
 		{c.plan.Spike, faultSpike},
+		{c.plan.Straggle, faultStraggle},
 	} {
 		if u < f.p {
 			return f.k

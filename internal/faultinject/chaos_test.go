@@ -191,6 +191,31 @@ func TestChaosLatencySpike(t *testing.T) {
 	}
 }
 
+func TestChaosStraggleStallsDeliveryOnly(t *testing.T) {
+	inner := newFake(okRun)
+	ch := New(inner, Plan{Straggle: 1, StraggleFactor: 16}, 1)
+	m := ch.Measure(testConfig(), 1)
+	if m.Failed || m.Flakes != 0 {
+		t.Fatalf("a straggler is a stalled delivery, not a failure: %+v", m)
+	}
+	// The run itself is clean: walls and score untouched.
+	if m.Mean != 2 || m.Walls[0] != 2 {
+		t.Errorf("straggle must not touch the measured walls: %+v", m)
+	}
+	clean := 2 + runner.LaunchOverheadSeconds
+	if math.Abs(m.CostSeconds-clean*16) > 1e-9 {
+		t.Errorf("straggled cost = %g, want %g", m.CostSeconds, clean*16)
+	}
+	// The clean cost rides along so the watchdog can price a hedged
+	// duplicate dispatch.
+	if math.Abs(m.HedgeCostSeconds-clean) > 1e-9 {
+		t.Errorf("HedgeCostSeconds = %g, want clean cost %g", m.HedgeCostSeconds, clean)
+	}
+	if ch.Stats().Straggle != 1 {
+		t.Errorf("straggle not counted: %+v", ch.Stats())
+	}
+}
+
 func TestChaosCorruptAndCrashFaults(t *testing.T) {
 	for _, tc := range []struct {
 		plan Plan

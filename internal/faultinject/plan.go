@@ -54,10 +54,20 @@ type Plan struct {
 	// latency spike: walls and cost multiply by SpikeFactor. Spikes are
 	// noise, not failures — they are never retried.
 	Spike float64
+	// Straggle is the probability a successful run is delivered late: the
+	// harness stalls, multiplying the trial's virtual cost by
+	// StraggleFactor while the run itself (walls, score) stays clean. The
+	// clean cost rides in Measurement.HedgeCostSeconds so the session's
+	// straggler watchdog can resolve first-result-wins hedging.
+	// Stragglers are slowdowns, not failures — they are never retried.
+	Straggle float64
 
 	// SpikeFactor multiplies wall times on a spike; values < 1 mean the
 	// default, 3.
 	SpikeFactor float64
+	// StraggleFactor multiplies a straggler's cost; values < 1 mean the
+	// default, 8.
+	StraggleFactor float64
 	// HangSeconds is the virtual budget a killed hang charges; values ≤ 0
 	// mean the default, 300 (the paper-scale harness timeout).
 	HangSeconds float64
@@ -81,6 +91,7 @@ type Plan struct {
 // Plan knob defaults.
 const (
 	DefaultSpikeFactor    = 3.0
+	DefaultStraggleFactor = 8.0
 	DefaultHangSeconds    = 300.0
 	DefaultCrashSeconds   = 5.0
 	DefaultMaxConsecutive = 2
@@ -90,6 +101,9 @@ const (
 func (p Plan) normalized() Plan {
 	if p.SpikeFactor < 1 {
 		p.SpikeFactor = DefaultSpikeFactor
+	}
+	if p.StraggleFactor < 1 {
+		p.StraggleFactor = DefaultStraggleFactor
 	}
 	if p.HangSeconds <= 0 {
 		p.HangSeconds = DefaultHangSeconds
@@ -105,7 +119,8 @@ func (p Plan) normalized() Plan {
 
 // Active reports whether the plan injects anything at all.
 func (p Plan) Active() bool {
-	return p.Launch > 0 || p.Corrupt > 0 || p.Crash > 0 || p.Hang > 0 || p.Spike > 0
+	return p.Launch > 0 || p.Corrupt > 0 || p.Crash > 0 || p.Hang > 0 ||
+		p.Spike > 0 || p.Straggle > 0
 }
 
 // failureProb is the total probability an attempt suffers an injected
@@ -121,13 +136,13 @@ func (p Plan) Validate() error {
 		v    float64
 	}{
 		{"launch", p.Launch}, {"corrupt", p.Corrupt}, {"crash", p.Crash},
-		{"hang", p.Hang}, {"spike", p.Spike},
+		{"hang", p.Hang}, {"spike", p.Spike}, {"straggle", p.Straggle},
 	} {
 		if f.v < 0 || f.v > 1 {
 			return fmt.Errorf("faultinject: %s probability %g outside [0,1]", f.name, f.v)
 		}
 	}
-	if sum := p.failureProb() + p.Spike; sum > 1 {
+	if sum := p.failureProb() + p.Spike + p.Straggle; sum > 1 {
 		return fmt.Errorf("faultinject: fault probabilities sum to %g (> 1)", sum)
 	}
 	return nil
@@ -147,12 +162,19 @@ func (p Plan) String() string {
 	add("crash", p.Crash)
 	add("hang", p.Hang)
 	add("spike", p.Spike)
+	add("straggle", p.Straggle)
 	if len(parts) > 0 {
 		parts = append(parts,
 			fmt.Sprintf("spike-factor=%g", n.SpikeFactor),
 			fmt.Sprintf("hang-cost=%g", n.HangSeconds),
 			fmt.Sprintf("crash-cost=%g", n.CrashSeconds),
 			fmt.Sprintf("streak=%d", n.MaxConsecutive))
+		// straggle-factor only matters — and only entered the canonical
+		// form — when straggling is on: older checkpoints fingerprinted
+		// straggle-free plans without it.
+		if p.Straggle > 0 {
+			parts = append(parts, fmt.Sprintf("straggle-factor=%g", n.StraggleFactor))
+		}
 	}
 	if p.CrashAtTrial > 0 {
 		parts = append(parts, fmt.Sprintf("crash-at=%d", p.CrashAtTrial))
@@ -173,6 +195,16 @@ var scenarios = map[string]Plan{
 	"latency-spikes":  {Spike: 0.20},
 	"unstable-farm":   {Launch: 0.06, Corrupt: 0.03, Crash: 0.03, Hang: 0.02, Spike: 0.08},
 	"hostile":         {Launch: 0.12, Corrupt: 0.06, Crash: 0.06, Hang: 0.04, Spike: 0.12, SpikeFactor: 4},
+	// slow-trial: a farm whose harness occasionally stalls result delivery
+	// by a large factor — the straggler-watchdog drill. The probability is
+	// kept well under 10% so the watchdog's cost percentile (p90 by
+	// default) stays dominated by clean deliveries; a denser straggle rate
+	// would contaminate the percentile and the deadline would chase the
+	// stragglers instead of catching them.
+	"slow-trial": {Straggle: 0.06, StraggleFactor: 16},
+	// overload-burst: a congested farm — stalled deliveries plus real
+	// blocking hangs and flaky launches, the admission-control drill.
+	"overload-burst": {Straggle: 0.15, StraggleFactor: 6, Launch: 0.05, Hang: 0.05},
 }
 
 // Scenarios lists the named plans, sorted.
@@ -193,11 +225,11 @@ func Scenario(name string) (Plan, bool) {
 }
 
 // ParsePlan builds a plan from a scenario name or a DSL spec. The empty
-// string is the empty plan. DSL keys: launch, corrupt, crash, hang, spike
-// (probabilities in [0,1]); spike-factor, hang-cost, crash-cost (floats);
-// streak (max consecutive injected failures per config, int ≥ 1); crash-at
-// (kill the session after that many trials, int ≥ 1 — the checkpoint/
-// resume drill).
+// string is the empty plan. DSL keys: launch, corrupt, crash, hang, spike,
+// straggle (probabilities in [0,1]); spike-factor, straggle-factor,
+// hang-cost, crash-cost (floats); streak (max consecutive injected failures
+// per config, int ≥ 1); crash-at (kill the session after that many trials,
+// int ≥ 1 — the checkpoint/resume drill).
 func ParsePlan(spec string) (Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -250,8 +282,12 @@ func ParsePlan(spec string) (Plan, error) {
 			p.Hang = x
 		case "spike":
 			p.Spike = x
+		case "straggle":
+			p.Straggle = x
 		case "spike-factor":
 			p.SpikeFactor = x
+		case "straggle-factor":
+			p.StraggleFactor = x
 		case "hang-cost":
 			p.HangSeconds = x
 		case "crash-cost":

@@ -82,6 +82,42 @@ func TestPlanString(t *testing.T) {
 	}
 }
 
+func TestPlanStraggleRoundTrip(t *testing.T) {
+	p, err := ParsePlan("straggle=0.06,straggle-factor=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Straggle != 0.06 || p.StraggleFactor != 16 {
+		t.Errorf("straggle knobs wrong: %+v", p)
+	}
+	if !p.Active() {
+		t.Error("a straggle-only plan should be active")
+	}
+	s := p.String()
+	for _, want := range []string{"straggle=0.06", "straggle-factor=16"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	q, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("canonical form %q does not re-parse: %v", s, err)
+	}
+	if q.Straggle != p.Straggle || q.StraggleFactor != p.StraggleFactor {
+		t.Errorf("round-trip changed the plan: %+v vs %+v", q, p)
+	}
+	// Without straggle, the factor knob is noise and stays out of the
+	// canonical form (older checkpoints fingerprinted straggle-free plans
+	// without it).
+	if s := (Plan{Launch: 0.1}).String(); strings.Contains(s, "straggle-factor") {
+		t.Errorf("straggle-factor leaked into a straggle-free plan: %q", s)
+	}
+	// A sub-1 factor is normalized to the default, like spike-factor.
+	if p := (Plan{Straggle: 0.1, StraggleFactor: 0.5}).normalized(); p.StraggleFactor != DefaultStraggleFactor {
+		t.Errorf("StraggleFactor not defaulted: %g", p.StraggleFactor)
+	}
+}
+
 func TestHash01Deterministic(t *testing.T) {
 	a := hash01(42, "k", 3)
 	if b := hash01(42, "k", 3); a != b {

@@ -1,0 +1,153 @@
+// Admission control: the farm degrades explicitly instead of collapsing
+// under overload.
+//
+// Requests are split into two priority classes. Submissions (POST /v1/tune,
+// POST /v1/measure — the class that creates work) pass through admission:
+// a bounded accept queue that sheds with 429 + Retry-After once the backlog
+// passes Config.MaxQueueDepth, and a per-client token bucket (keyed by the
+// X-Client header) that keeps one aggressive client from starving the rest.
+// Control requests (polls, cancels, traces, metrics) are never shed: a
+// client must always be able to observe and cancel the work the farm
+// already accepted, no matter how hard submissions are hammering it.
+//
+// Every shed response is a JSON error envelope carrying the machine-usable
+// retry hint alongside the Retry-After header.
+package httpapi
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// shedResponse is the JSON body of every load-shed or shutdown rejection.
+// RetryAfterSeconds mirrors the Retry-After header for clients that only
+// read bodies.
+type shedResponse struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+// writeShed rejects a request with the shed envelope and a Retry-After
+// header.
+func writeShed(w http.ResponseWriter, status, retryAfter int, format string, args ...any) {
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(w, status, shedResponse{
+		Error:             fmt.Sprintf(format, args...),
+		RetryAfterSeconds: retryAfter,
+	})
+}
+
+// clientID identifies the submitting client for token-bucket fairness.
+// Clients that do not label themselves share one bucket.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	return "anonymous"
+}
+
+// maxClientBuckets bounds the bucket map; above it, buckets idle at full
+// burst are swept (they carry no state a fresh bucket wouldn't).
+const maxClientBuckets = 1024
+
+// admission is the server's token-bucket bank: one bucket per client,
+// refilled at rate tokens/second up to burst. rate ≤ 0 disables rate
+// limiting entirely.
+type admission struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAdmission(rate float64, burst int, now func() time.Time) *admission {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &admission{rate: rate, burst: b, now: now, buckets: make(map[string]*bucket)}
+}
+
+// take spends one token from client's bucket. When the bucket is dry it
+// returns false and the whole seconds until a token accrues.
+func (a *admission) take(client string) (bool, int) {
+	t := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bk := a.buckets[client]
+	if bk == nil {
+		if len(a.buckets) >= maxClientBuckets {
+			a.sweepLocked(t)
+		}
+		bk = &bucket{tokens: a.burst, last: t}
+		a.buckets[client] = bk
+	}
+	if dt := t.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens = math.Min(a.burst, bk.tokens+dt*a.rate)
+	}
+	bk.last = t
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	return false, int(math.Ceil((1 - bk.tokens) / a.rate))
+}
+
+// sweepLocked drops buckets that have refilled to full burst — an idle
+// client's bucket is indistinguishable from a fresh one.
+func (a *admission) sweepLocked(t time.Time) {
+	for c, bk := range a.buckets {
+		if dt := t.Sub(bk.last).Seconds(); dt > 0 {
+			bk.tokens = math.Min(a.burst, bk.tokens+dt*a.rate)
+			bk.last = t
+		}
+		if bk.tokens >= a.burst {
+			delete(a.buckets, c)
+		}
+	}
+}
+
+// admitSubmission applies the submission-class admission checks, writing
+// the shed response itself when the request must bounce. wantsQueue marks
+// requests that will occupy an accept-queue slot (async tune submissions);
+// synchronous work only faces the rate limit.
+func (s *Server) admitSubmission(w http.ResponseWriter, r *http.Request, wantsQueue bool) bool {
+	if wantsQueue && s.maxQueueDepth > 0 {
+		if depth := len(s.queue); depth >= s.maxQueueDepth {
+			s.reg.Counter(`httpapi_shed_total{reason="queue-full"}`).Inc()
+			// Drain-time estimate: the pool retires MaxConcurrent jobs at a
+			// time; one second per wave is deliberately conservative.
+			retry := 1 + depth/s.cfg.MaxConcurrent
+			writeShed(w, http.StatusTooManyRequests, retry,
+				"accept queue full: %d submissions waiting (limit %d)", depth, s.maxQueueDepth)
+			return false
+		}
+	}
+	if s.admit != nil && s.admit.rate > 0 {
+		client := clientID(r)
+		if ok, retry := s.admit.take(client); !ok {
+			s.reg.Counter(`httpapi_shed_total{reason="rate-limited"}`).Inc()
+			writeShed(w, http.StatusTooManyRequests, retry,
+				"client %q exceeded %g submissions/s (burst %g)", client, s.admit.rate, s.admit.burst)
+			return false
+		}
+	}
+	return true
+}

@@ -11,6 +11,12 @@
 // written when the process died) is salvaged by truncation. The journal
 // head is strict: a corrupt header or a future format version refuses to
 // start rather than silently dropping history.
+//
+// The journal does not grow without bound: once it passes
+// Config.JournalCompactBytes it is atomically rewritten (temp file +
+// rename) as the minimal stream reproducing the live store — see
+// compactJournalLocked. A crash at any instant during compaction leaves
+// either the complete old journal or the complete new one.
 package httpapi
 
 import (
@@ -33,6 +39,11 @@ const (
 	opState  = "state"  // non-terminal transition (queued → running)
 	opDone   = "done"   // terminal verdict; State/Error/Result are final
 	opEvict  = "evict"  // terminal job dropped from the store
+	// opNext advances the job-id watermark without a submission. Compaction
+	// writes it as the final record: evicted jobs vanish from the compacted
+	// stream, and without the watermark a restart would hand their ids out
+	// again — tripping the submit-reuses-id validation on the NEXT restart.
+	opNext = "next" // ID is the next id to assign
 )
 
 // journalRecord is one journaled lifecycle transition, stored as JSON
@@ -69,6 +80,21 @@ func NewDurableServer(cfg Config) (*Server, error) {
 		reg:      telemetry.New(),
 		evTrace:  telemetry.NewTracer(4 * cfg.MaxJobs),
 		events:   make(chan telemetry.Event, 4*cfg.MaxJobs),
+	}
+	switch {
+	case cfg.MaxQueueDepth > 0 && cfg.MaxQueueDepth <= cfg.MaxJobs:
+		s.maxQueueDepth = cfg.MaxQueueDepth
+	case cfg.MaxQueueDepth == 0 || cfg.MaxQueueDepth > cfg.MaxJobs:
+		s.maxQueueDepth = cfg.MaxJobs // the queue's physical capacity
+	}
+	if cfg.ClientRatePerSec > 0 {
+		s.admit = newAdmission(cfg.ClientRatePerSec, cfg.ClientBurst, nil)
+	}
+	switch {
+	case cfg.JournalCompactBytes > 0:
+		s.compactBytes = cfg.JournalCompactBytes
+	case cfg.JournalCompactBytes == 0:
+		s.compactBytes = DefaultJournalCompactBytes
 	}
 	s.routes()
 	s.reg.Gauge("httpapi_workers").Set(float64(cfg.MaxConcurrent))
@@ -183,6 +209,11 @@ func (s *Server) applyRecord(i int, rec journalRecord) error {
 			}
 		}
 		s.doneOrder = keep
+	case opNext:
+		if rec.ID < s.nextID {
+			return corrupt("id watermark %d behind next id %d", rec.ID, s.nextID)
+		}
+		s.nextID = rec.ID
 	default:
 		return corrupt("unknown op %q", rec.Op)
 	}
@@ -216,10 +247,20 @@ func (s *Server) requeueRecovered() {
 	s.reg.Gauge("httpapi_queue_depth").Set(float64(len(s.queue)))
 }
 
+// DefaultJournalCompactBytes is the journal size that triggers compaction
+// when Config.JournalCompactBytes is zero.
+const DefaultJournalCompactBytes = 1 << 20
+
 // appendJournal writes one lifecycle record ahead of the transition it
 // describes. Callers that can refuse the transition (submission) propagate
 // the error; the rest count it — a full disk must not strand a finished
 // job in limbo. Caller holds s.mu; without a state dir this is a no-op.
+//
+// A successful append that pushes the journal past the compaction
+// threshold rewrites it in place before returning: the caller's record is
+// already durable either way (it is part of the state the compacted stream
+// reproduces), and doing it here keeps the trigger on the only path that
+// grows the file.
 func (s *Server) appendJournal(rec journalRecord) error {
 	if s.journal == nil {
 		return nil
@@ -230,8 +271,74 @@ func (s *Server) appendJournal(rec journalRecord) error {
 	}
 	if err != nil {
 		s.reg.Counter("httpapi_journal_errors_total").Inc()
+		return err
 	}
-	return err
+	if s.compactBytes > 0 && s.journal.Size() >= s.compactBytes {
+		s.compactJournalLocked()
+	}
+	return nil
+}
+
+// compactJournalLocked atomically rewrites the farm journal as the minimal
+// record stream reproducing the live store: one submission per stored job
+// in id order, a running-state record for jobs mid-flight, terminal
+// verdicts in eviction (doneOrder) order, and a trailing id watermark so
+// ids of evicted-and-forgotten jobs are never reused. Jobs whose
+// cancellation was an interruption (requeue flag) keep their verdict out
+// of the compacted stream for the same reason jobTerminalLocked keeps it
+// out of the append stream: a restart should resume them.
+//
+// Failure is not fatal — the uncompacted journal remains authoritative and
+// the error counter ticks. Caller holds s.mu.
+func (s *Server) compactJournalLocked() {
+	var payloads [][]byte
+	fail := func() {
+		s.reg.Counter("httpapi_journal_errors_total").Inc()
+	}
+	add := func(rec journalRecord) bool {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			fail()
+			return false
+		}
+		payloads = append(payloads, b)
+		return true
+	}
+	for id := 1; id < s.nextID; id++ {
+		job, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		req := job.Request
+		if !add(journalRecord{Op: opSubmit, ID: id, Request: &req}) {
+			return
+		}
+		if job.State == "running" {
+			if !add(journalRecord{Op: opState, ID: id, State: "running"}) {
+				return
+			}
+		}
+	}
+	for _, id := range s.doneOrder {
+		job, ok := s.jobs[id]
+		if !ok || !job.terminal() {
+			continue
+		}
+		if s.crashed || (job.requeue && job.State == "canceled") {
+			continue // interruption, not a verdict — restart resumes it
+		}
+		if !add(journalRecord{Op: opDone, ID: id, State: job.State, Error: job.Error, Result: job.Result}) {
+			return
+		}
+	}
+	if !add(journalRecord{Op: opNext, ID: s.nextID}) {
+		return
+	}
+	if err := s.journal.Rewrite(payloads); err != nil {
+		fail()
+		return
+	}
+	s.reg.Counter("httpapi_journal_compacted_records_total").Add(uint64(len(payloads)))
 }
 
 // jobCheckpointPath is where a job's tuning session snapshots itself.

@@ -25,6 +25,35 @@
 //	GET    /metrics                farm metrics in Prometheus text format
 //	GET    /v1/trace               the server's job-lifecycle trace as JSONL
 //
+// Under overload the farm sheds load explicitly instead of queueing without
+// bound (see admission.go): submissions bounce with 429 once the accept
+// queue passes Config.MaxQueueDepth or a client exceeds its token-bucket
+// rate, while polls and cancels — the control class — are never shed.
+//
+// # Error responses
+//
+// Every error body is the JSON envelope {"error": "..."}; load-shed and
+// shutdown rejections additionally carry "retry_after_seconds" mirroring
+// their Retry-After header. Per route:
+//
+//	POST /v1/tune
+//	    400  malformed body, missing/unknown benchmark, bad chaos plan,
+//	         or negative retry_attempts
+//	    429  + Retry-After: accept queue full (async submissions), or the
+//	         client exceeded its submission rate (X-Client token bucket)
+//	    503  + Retry-After: server shutting down, or the job store is full
+//	         of live jobs with nothing evictable
+//	    503  journal append failed (durable farms; submission not accepted)
+//	GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, GET /v1/jobs/{id}/trace
+//	    400  non-numeric job id
+//	    404  no such job (never submitted, or evicted)
+//	    409  cancel of an already-terminal job; trace of a still-live job
+//	POST /v1/measure
+//	    400  malformed body, unknown benchmark, or malformed flags
+//	    422  flags parsed but the simulated VM failed to run them — a
+//	         legitimate measurement outcome, not a malformed request
+//	    429  + Retry-After: client exceeded its submission rate
+//
 // With Config.EnablePprof the net/http/pprof profiling handlers are also
 // mounted under /debug/pprof/ (off by default: profiling endpoints leak
 // internals and cost CPU, so production deployments opt in explicitly).
@@ -77,6 +106,15 @@ type TuneRequest struct {
 	// RetryAttempts bounds attempts per measurement for transient failures;
 	// 0 means the default (3).
 	RetryAttempts int `json:"retry_attempts,omitempty"`
+	// Hedge enables straggler hedging: trials exceeding a percentile-based
+	// virtual deadline are charged as if a duplicate dispatch had finished
+	// first (default policy; see core.HedgePolicy).
+	Hedge bool `json:"hedge,omitempty"`
+	// Quarantine enables the failure circuit breaker: flag-hierarchy
+	// subtrees with a high deterministic-failure density are temporarily
+	// rejected without spending budget (default policy; see
+	// core.QuarantinePolicy).
+	Quarantine bool `json:"quarantine,omitempty"`
 }
 
 // Job is the server's view of one tuning request.
@@ -148,6 +186,25 @@ type Config struct {
 	// CheckpointEveryTrials is the per-job checkpoint cadence when StateDir
 	// is set; 0 means the checkpoint package default.
 	CheckpointEveryTrials int
+	// MaxQueueDepth bounds the accept queue for async submissions: once
+	// this many jobs are waiting (not yet running), further POST /v1/tune
+	// requests are shed with 429 + Retry-After instead of queueing. 0 means
+	// MaxJobs (the queue's physical capacity); negative disables the check.
+	MaxQueueDepth int
+	// ClientRatePerSec enables per-client token-bucket fairness on the
+	// submission class (POST /v1/tune and /v1/measure), keyed by the
+	// X-Client header: each client accrues this many submissions per
+	// second, and a dry bucket sheds with 429 + Retry-After. 0 (default)
+	// disables rate limiting.
+	ClientRatePerSec float64
+	// ClientBurst is the token-bucket capacity per client; 0 means
+	// max(1, ceil(ClientRatePerSec)).
+	ClientBurst int
+	// JournalCompactBytes is the farm-journal size (bytes) past which a
+	// durable server compacts: the append history is rewritten as the
+	// minimal record stream reproducing the live job store. 0 means the
+	// default (1 MiB); negative disables compaction.
+	JournalCompactBytes int64
 }
 
 // DefaultConfig returns the default resource bounds.
@@ -188,8 +245,13 @@ type Server struct {
 
 	// stateDir and journal are the durability layer (see durable.go); both
 	// are zero for an in-memory server. journal writes are guarded by mu.
-	stateDir string
-	journal  *checkpoint.Journal
+	stateDir     string
+	journal      *checkpoint.Journal
+	compactBytes int64 // journal size that triggers compaction; ≤0 disables
+
+	// admit and maxQueueDepth are the overload controls (see admission.go).
+	admit         *admission
+	maxQueueDepth int
 }
 
 // NewServer builds a ready-to-serve handler with default bounds.
@@ -207,20 +269,30 @@ func NewServerWith(cfg Config) *Server {
 	return s
 }
 
-// routes mounts the handler table.
+// routes mounts the handler table. Every route is tagged with a priority
+// class: "submit" creates work and passes through admission control,
+// "control" observes or cancels work already accepted and is never shed —
+// an overloaded farm must stay steerable.
 func (s *Server) routes() {
 	cfg := s.cfg
-	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	s.mux.HandleFunc("GET /v1/searchers", s.handleSearchers)
-	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("POST /v1/measure", s.handleMeasure)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	handle := func(class, pattern string, h http.HandlerFunc) {
+		counter := s.reg.Counter(`httpapi_requests_total{class="` + class + `"}`)
+		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			counter.Inc()
+			h(w, r)
+		})
+	}
+	handle("control", "GET /v1/benchmarks", s.handleBenchmarks)
+	handle("control", "GET /v1/searchers", s.handleSearchers)
+	handle("control", "GET /v1/scenarios", s.handleScenarios)
+	handle("submit", "POST /v1/tune", s.handleTune)
+	handle("control", "GET /v1/jobs", s.handleJobs)
+	handle("control", "GET /v1/jobs/{id}", s.handleJob)
+	handle("control", "GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	handle("control", "DELETE /v1/jobs/{id}", s.handleCancel)
+	handle("submit", "POST /v1/measure", s.handleMeasure)
+	handle("control", "GET /metrics", s.handleMetrics)
+	handle("control", "GET /v1/trace", s.handleTrace)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -417,6 +489,8 @@ func (s *Server) runJob(job *Job) {
 		Workers:       req.Workers,
 		Chaos:         req.Chaos,
 		RetryAttempts: req.RetryAttempts,
+		Hedge:         req.Hedge,
+		Quarantine:    req.Quarantine,
 		Noise:         -1,
 		Telemetry:     job.tel,
 		Trace:         job.trace,
@@ -467,6 +541,15 @@ func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	sync := r.URL.Query().Get("sync") == "1"
+	// Admission runs before the body is even decoded: shedding is about
+	// protecting the farm, and a farm drowning in submissions should not
+	// spend cycles parsing the ones it is about to bounce. Synchronous
+	// submissions occupy a worker inline, never a queue slot, so only the
+	// rate limit applies to them.
+	if !s.admitSubmission(w, r, !sync) {
+		return
+	}
 	var req TuneRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -489,18 +572,19 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "retry_attempts must be ≥ 0")
 		return
 	}
-	sync := r.URL.Query().Get("sync") == "1"
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.reg.Counter(`httpapi_shed_total{reason="shutdown"}`).Inc()
+		writeShed(w, http.StatusServiceUnavailable, 1, "server is shutting down")
 		return
 	}
 	if len(s.jobs) >= s.cfg.MaxJobs && !s.evictLocked() {
 		n := len(s.jobs)
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable,
+		s.reg.Counter(`httpapi_shed_total{reason="store-full"}`).Inc()
+		writeShed(w, http.StatusServiceUnavailable, 1+n/s.cfg.MaxConcurrent,
 			"job store full: %d jobs queued or running", n)
 		return
 	}
@@ -529,7 +613,8 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 			delete(s.jobs, job.ID)
 			s.inflight.Done()
 			s.mu.Unlock()
-			writeError(w, http.StatusServiceUnavailable, "job queue full")
+			s.reg.Counter(`httpapi_shed_total{reason="queue-full"}`).Inc()
+			writeShed(w, http.StatusTooManyRequests, 1, "job queue full")
 			return
 		}
 	}
@@ -668,6 +753,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	// Measurements are submission-class work (they burn simulator CPU) but
+	// run inline, so only the per-client rate limit applies.
+	if !s.admitSubmission(w, r, false) {
+		return
+	}
 	var req MeasureRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)

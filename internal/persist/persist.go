@@ -32,6 +32,15 @@ type SavedOutcome struct {
 	CacheHits      int               `json:"cache_hits"`
 	Flakes         int               `json:"flakes,omitempty"`
 	Attempts       int               `json:"attempts,omitempty"`
+	// Degraded marks a session that ended early (budget or wall-clock
+	// expiry, best-effort cancellation, stall); the outcome is the best
+	// found by then. All omitempty: archives from complete runs — and all
+	// older archives — serialize without them.
+	Degraded       bool              `json:"degraded,omitempty"`
+	DegradedReason string            `json:"degraded_reason,omitempty"`
+	Quarantined    int               `json:"quarantined,omitempty"`
+	Hedges         int               `json:"hedges,omitempty"`
+	HedgeWins      int               `json:"hedge_wins,omitempty"`
 	ElapsedSeconds float64           `json:"elapsed_seconds"`
 	CommandLine    []string          `json:"command_line"`
 	BestFlags      map[string]string `json:"best_flags"`
@@ -53,6 +62,11 @@ func FromOutcome(o *core.Outcome) *SavedOutcome {
 		CacheHits:      o.CacheHits,
 		Flakes:         o.Flakes,
 		Attempts:       o.Attempts,
+		Degraded:       o.Degraded,
+		DegradedReason: o.DegradedReason,
+		Quarantined:    o.Quarantined,
+		Hedges:         o.Hedges,
+		HedgeWins:      o.HedgeWins,
 		ElapsedSeconds: o.Elapsed,
 		Trace:          o.Trace,
 		BestFlags:      map[string]string{},

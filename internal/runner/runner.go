@@ -48,6 +48,12 @@ type Measurement struct {
 	// CostSeconds is the virtual time the measurement consumed, including
 	// every failed attempt and retry backoff.
 	CostSeconds float64
+	// HedgeCostSeconds, when > 0, is the virtual cost a clean duplicate run
+	// of this measurement would have taken. The chaos layer sets it when a
+	// straggle fault stalls the primary run; the session's straggler
+	// watchdog (core.HedgePolicy) uses it to resolve first-result-wins
+	// hedging in virtual time.
+	HedgeCostSeconds float64 `json:",omitempty"`
 	// FromCache reports the measurement was replayed from the cache at
 	// zero cost.
 	FromCache bool

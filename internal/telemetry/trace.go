@@ -61,6 +61,13 @@ const (
 	EvObserve = "observe"
 	// EvBarrier closes one evaluation round of the batched executor.
 	EvBarrier = "barrier"
+	// EvHedge marks the straggler watchdog resolving a hedged trial
+	// (Detail: "hedge-won" or "primary-won"; Cost: the effective charge).
+	EvHedge = "hedge"
+	// EvQuarantine is a failure-quarantine breaker transition or probe
+	// (Detail: "open:", "close:", "reopen:", "probe:" or "skip:" plus the
+	// subtree label).
+	EvQuarantine = "quarantine"
 )
 
 // defaultTraceCap bounds the ring when NewTracer is given no capacity.

@@ -1,9 +1,10 @@
 #!/bin/sh
-# Coverage floors for the measurement pipeline and the durability layer:
-# the retry/fault-injection machinery and the checkpoint/journal code are
-# exactly the code whose edge cases only show up on a bad day, so their
-# packages must stay well covered. Fails if any listed package drops below
-# the floor.
+# Coverage floors for the measurement pipeline, the durability layer, and
+# the overload controls: the retry/fault-injection machinery, the
+# checkpoint/journal code, the admission/hedging/quarantine paths, and the
+# farm API are exactly the code whose edge cases only show up on a bad
+# day, so their packages must stay well covered. Fails if any listed
+# package drops below the floor.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,7 +13,8 @@ FLOOR=80
 
 status=0
 for pkg in ./internal/runner ./internal/faultinject ./internal/telemetry \
-           ./internal/checkpoint ./internal/persist; do
+           ./internal/checkpoint ./internal/persist ./internal/core \
+           ./internal/httpapi; do
     line=$(go test -cover "$pkg" | tail -1)
     echo "$line"
     pct=$(echo "$line" | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')

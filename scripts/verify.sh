@@ -20,3 +20,8 @@ go test -run 'Fuzz' ./internal/flags ./internal/runner ./internal/checkpoint
 # The durability gate: kill-and-resume drills for every searcher, the CLI,
 # and the job farm must converge to byte-identical results.
 make crash-matrix
+
+# The overload gate: bursts shed with 429 + Retry-After while control
+# requests keep answering, hedging and quarantine stay deterministic, and
+# budget-killed runs degrade to best-so-far instead of failing.
+make overload-drill
