@@ -1,6 +1,6 @@
 # Developer entry points. `make verify` is the tier-1 gate (see ROADMAP.md).
 
-.PHONY: verify build test bench cover crash-matrix overload-drill
+.PHONY: verify build test bench bench-check cover crash-matrix overload-drill
 
 verify:
 	./scripts/verify.sh
@@ -31,5 +31,10 @@ build:
 test:
 	go test ./...
 
+# Record the next BENCH_<n>.json trajectory point. bench-check reruns the
+# suite and fails on >10% regression against the latest recorded point.
 bench:
-	go test -bench=. -benchmem
+	./scripts/bench.sh
+
+bench-check:
+	./scripts/bench.sh -check

@@ -44,6 +44,40 @@ func BenchmarkSessionEnsemble(b *testing.B)     { benchSession(b, "ensemble", 60
 func BenchmarkSessionGeneticFlat(b *testing.B)  { benchSession(b, "genetic-flat", 6000) }
 func BenchmarkSessionRandom(b *testing.B)       { benchSession(b, "random", 6000) }
 
+// BenchmarkSessionThroughput16 is the headline hot-path benchmark: a
+// 16-worker in-process tuning farm driven by the flat random searcher
+// (mostly cache-miss proposals, so every trial pays the full
+// propose → validate → format → simulate → observe path). The custom
+// trials/s metric is the number the perf trajectory (BENCH_*.json) tracks.
+func BenchmarkSessionThroughput16(b *testing.B) {
+	p, ok := workload.ByName("xalan")
+	if !ok {
+		b.Fatal("no workload")
+	}
+	trials := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSearcher("random")
+		if err != nil {
+			b.Fatal(err)
+		}
+		session := &Session{
+			Runner:        runner.NewInProcess(jvmsim.New(), p),
+			Searcher:      s,
+			BudgetSeconds: 12000,
+			Workers:       16,
+			Seed:          int64(i),
+		}
+		out, err := session.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		trials += out.Trials
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
+}
+
 func BenchmarkAttribute(b *testing.B) {
 	p, _ := workload.ByName("startup.xml.validation")
 	sim := jvmsim.New()

@@ -388,6 +388,7 @@ func (s *Session) Run() (*Outcome, error) {
 	// which would corrupt the budget accounting the original run did.
 	history := make(map[string]*AttemptRecord)
 	def := flags.NewConfig(reg)
+	defKey := def.Key()
 	var base runner.Measurement
 	replay := make(map[int]checkpoint.TrialRecord)
 	if s.Resume != nil {
@@ -399,9 +400,9 @@ func (s *Session) Run() (*Outcome, error) {
 			return nil, fmt.Errorf("%w: snapshot claims %d trials but records %d",
 				checkpoint.ErrCorrupt, snap.Trial, len(snap.Trials))
 		}
-		if snap.Baseline.Key != def.Key() {
+		if snap.Baseline.Key != defKey {
 			return nil, fmt.Errorf("core: resume diverged: checkpoint baseline measured %q, session default is %q",
-				snap.Baseline.Key, def.Key())
+				snap.Baseline.Key, defKey)
 		}
 		if err := snapRunner.RestoreState(snap.RunnerState); err != nil {
 			return nil, err
@@ -419,7 +420,7 @@ func (s *Session) Run() (*Outcome, error) {
 		return nil, fmt.Errorf("core: default configuration fails on %s: %s",
 			out.Workload, base.FailureMessage)
 	}
-	out.recordAttempts(history, def.Key(), base)
+	out.recordAttempts(history, defKey, base)
 	ctx.DefaultWall = objective.Score(base)
 	ctx.Best, ctx.BestWall = def, ctx.DefaultWall
 	slotFree[0] = base.CostSeconds
@@ -432,9 +433,9 @@ func (s *Session) Run() (*Outcome, error) {
 	s.Telemetry.Gauge("session_workers").Set(float64(workers))
 	// Stamp the runner-side events of the baseline measurement, then mark
 	// the baseline itself.
-	s.Trace.Commit(def.Key(), base.CostSeconds)
+	s.Trace.Commit(defKey, base.CostSeconds)
 	s.Trace.Emit(telemetry.Event{
-		T: base.CostSeconds, Kind: telemetry.EvBaseline, Key: def.Key(),
+		T: base.CostSeconds, Kind: telemetry.EvBaseline, Key: defKey,
 		Cost: base.CostSeconds, Score: ctx.DefaultWall,
 	})
 	tp := TracePoint{Elapsed: ctx.Elapsed, BestWall: ctx.BestWall, Flakes: out.Flakes}

@@ -36,6 +36,7 @@ type trial struct {
 	slot  int     // virtual slot charged for the measurement
 	start float64 // virtual time the slot became free
 	cfg   *flags.Config
+	key   string // cfg.Key(), computed once at dispatch
 	m     runner.Measurement
 	// eff is the virtual cost actually charged to the slot — m.CostSeconds
 	// unless the straggler watchdog resolved a hedge; hedged names the
@@ -242,9 +243,9 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			}
 			inRound[key] = true
 			p := picks[len(batch)]
-			tr := &trial{seq: seq, slot: p.slot, start: p.start, cfg: cfg}
+			tr := &trial{seq: seq, slot: p.slot, start: p.start, cfg: cfg, key: key}
 			if rob.quar != nil {
-				if label, blocked := rob.quar.blocked(cfg, ctx.Trial, p.start); blocked {
+				if label, blocked := rob.quar.blocked(cfg, key, ctx.Trial, p.start); blocked {
 					tr.m = syntheticQuarantined(key, label)
 					tr.synthetic = true
 					tr.qlabel = label
@@ -274,9 +275,9 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			for _, tr := range batch {
 				if ck != nil {
 					if rec, ok := ck.replay[tr.seq]; ok {
-						if rec.Key != tr.cfg.Key() {
+						if rec.Key != tr.key {
 							return fmt.Errorf("core: resume diverged at trial %d: checkpoint recorded %q, session proposed %q",
-								tr.seq, rec.Key, tr.cfg.Key())
+								tr.seq, rec.Key, tr.key)
 						}
 						tr.m = rec.M
 						continue
@@ -346,7 +347,7 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			ctx.Trial++
 			ctx.Elapsed = slotFree[tr.slot]
 			if ck != nil {
-				ck.log = append(ck.log, checkpoint.TrialRecord{Seq: tr.seq, Key: tr.cfg.Key(), M: tr.m})
+				ck.log = append(ck.log, checkpoint.TrialRecord{Seq: tr.seq, Key: tr.key, M: tr.m})
 			}
 			s.Telemetry.Counter("session_trials_total").Inc()
 			if tr.m.FromCache {
@@ -365,11 +366,11 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 				s.Telemetry.Counter("session_failures_total").Inc()
 			}
 			if !tr.synthetic {
-				out.recordAttempts(history, tr.cfg.Key(), tr.m)
+				out.recordAttempts(history, tr.key, tr.m)
 			}
 			s.Searcher.Observe(ctx, tr.cfg, tr.m)
 			if rob.quar != nil && !tr.synthetic {
-				rob.quar.observe(tr.cfg, ctx.Trial, ctx.Elapsed, tr.m)
+				rob.quar.observe(tr.cfg, tr.key, ctx.Trial, ctx.Elapsed, tr.m)
 			}
 			if sc := ctx.Objective.Score(tr.m); sc < ctx.BestWall {
 				ctx.Best, ctx.BestWall = tr.cfg.Clone(), sc
@@ -379,21 +380,21 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			// faults) stamped with the virtual completion time, then mark the
 			// observation. Failed scores are +Inf, which JSON cannot carry —
 			// the failure kind rides in Detail instead.
-			s.Trace.Commit(tr.cfg.Key(), ctx.Elapsed)
+			s.Trace.Commit(tr.key, ctx.Elapsed)
 			if tr.synthetic {
 				s.Trace.Emit(telemetry.Event{
-					T: ctx.Elapsed, Kind: telemetry.EvQuarantine, Key: tr.cfg.Key(),
+					T: ctx.Elapsed, Kind: telemetry.EvQuarantine, Key: tr.key,
 					Worker: tr.slot, Trial: ctx.Trial, Detail: "skip:" + tr.qlabel,
 				})
 			}
 			if tr.hedged != "" {
 				s.Trace.Emit(telemetry.Event{
-					T: ctx.Elapsed, Kind: telemetry.EvHedge, Key: tr.cfg.Key(),
+					T: ctx.Elapsed, Kind: telemetry.EvHedge, Key: tr.key,
 					Worker: tr.slot, Trial: ctx.Trial, Cost: tr.eff, Detail: tr.hedged,
 				})
 			}
 			ev := telemetry.Event{
-				T: ctx.Elapsed, Kind: telemetry.EvObserve, Key: tr.cfg.Key(),
+				T: ctx.Elapsed, Kind: telemetry.EvObserve, Key: tr.key,
 				Worker: tr.slot, Trial: ctx.Trial, Cost: tr.eff,
 			}
 			if sc := ctx.Objective.Score(tr.m); !math.IsInf(sc, 1) {

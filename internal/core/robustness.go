@@ -368,7 +368,7 @@ func (q *quarantine) classify(cfg *flags.Config) []string {
 // time for trace events. A proposal that reaches an open breaker past its
 // cooldown becomes the breaker's single half-open probe and is allowed
 // through.
-func (q *quarantine) blocked(cfg *flags.Config, trial int, t float64) (string, bool) {
+func (q *quarantine) blocked(cfg *flags.Config, key string, trial int, t float64) (string, bool) {
 	labels := q.classify(cfg)
 	for _, label := range labels {
 		st := q.state[label]
@@ -387,7 +387,7 @@ func (q *quarantine) blocked(cfg *flags.Config, trial int, t float64) (string, b
 			st.probe = true
 			q.tel.Counter("session_quarantine_probes_total").Inc()
 			q.trace.Emit(telemetry.Event{
-				T: t, Kind: telemetry.EvQuarantine, Key: cfg.Key(), Detail: "probe:" + label,
+				T: t, Kind: telemetry.EvQuarantine, Key: key, Detail: "probe:" + label,
 			})
 		}
 	}
@@ -396,12 +396,11 @@ func (q *quarantine) blocked(cfg *flags.Config, trial int, t float64) (string, b
 
 // observe folds a delivered measurement into the breakers of cfg's
 // subtrees. trial is the delivered-trial count, t the virtual delivery time.
-func (q *quarantine) observe(cfg *flags.Config, trial int, t float64, m runner.Measurement) {
+func (q *quarantine) observe(cfg *flags.Config, key string, trial int, t float64, m runner.Measurement) {
 	if m.Failure == QuarantinedFailure {
 		return // synthetic rejections must not feed the breaker
 	}
 	det := m.Failed && !m.Transient
-	key := cfg.Key()
 	for _, label := range q.classify(cfg) {
 		st := q.state[label]
 		if st == nil {

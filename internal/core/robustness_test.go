@@ -116,46 +116,46 @@ func TestQuarantineBreakerLifecycle(t *testing.T) {
 	trial := 0
 	for i := 0; i < 4; i++ {
 		trial++
-		q.observe(serial, trial, float64(trial), detFail)
+		q.observe(serial, serial.Key(), trial, float64(trial), detFail)
 	}
 	if q.opens != 1 {
 		t.Fatalf("opens=%d after 4 det failures at threshold 0.5/min 4", q.opens)
 	}
-	if label, blocked := q.blocked(serial, trial+1, 0); !blocked || !strings.Contains(label, "serial") {
+	if label, blocked := q.blocked(serial, serial.Key(), trial+1, 0); !blocked || !strings.Contains(label, "serial") {
 		t.Fatalf("serial subtree not blocked: %q/%v", label, blocked)
 	}
 	// Another subtree of the same choice is unaffected.
-	if label, blocked := q.blocked(g1, trial+1, 0); blocked {
+	if label, blocked := q.blocked(g1, g1.Key(), trial+1, 0); blocked {
 		t.Fatalf("g1 subtree blocked by serial's breaker: %q", label)
 	}
 
 	// Past the cooldown the first proposal becomes the half-open probe...
 	probeTrial := trial + pol.CooldownTrials + 1
-	if _, blocked := q.blocked(serial, probeTrial, 0); blocked {
+	if _, blocked := q.blocked(serial, serial.Key(), probeTrial, 0); blocked {
 		t.Fatal("probe-eligible proposal still blocked after cooldown")
 	}
 	// ...and while the probe is in flight, further proposals stay blocked.
-	if _, blocked := q.blocked(serial, probeTrial, 0); !blocked {
+	if _, blocked := q.blocked(serial, serial.Key(), probeTrial, 0); !blocked {
 		t.Fatal("second proposal admitted while the probe is in flight")
 	}
 	// A failing probe re-opens with a doubled cooldown.
-	q.observe(serial, probeTrial, 0, detFail)
-	if _, blocked := q.blocked(serial, probeTrial+pol.CooldownTrials+1, 0); !blocked {
+	q.observe(serial, serial.Key(), probeTrial, 0, detFail)
+	if _, blocked := q.blocked(serial, serial.Key(), probeTrial+pol.CooldownTrials+1, 0); !blocked {
 		t.Fatal("reopened breaker honored the original cooldown, not the doubled one")
 	}
 	probe2 := probeTrial + 2*pol.CooldownTrials + 1
-	if _, blocked := q.blocked(serial, probe2, 0); blocked {
+	if _, blocked := q.blocked(serial, serial.Key(), probe2, 0); blocked {
 		t.Fatal("probe not admitted after the doubled cooldown")
 	}
 	// A succeeding probe closes the breaker entirely.
-	q.observe(serial, probe2, 0, ok)
-	if _, blocked := q.blocked(serial, probe2+1, 0); blocked {
+	q.observe(serial, serial.Key(), probe2, 0, ok)
+	if _, blocked := q.blocked(serial, serial.Key(), probe2+1, 0); blocked {
 		t.Fatal("breaker still open after a successful probe")
 	}
 
 	// Synthetic rejections must never feed the verdict window.
 	before := q.state["collector/serial"].count
-	q.observe(serial, probe2+2, 0, syntheticQuarantined(serial.Key(), "collector/serial"))
+	q.observe(serial, serial.Key(), probe2+2, 0, syntheticQuarantined(serial.Key(), "collector/serial"))
 	if q.state["collector/serial"].count != before {
 		t.Fatal("synthetic quarantined measurement entered the breaker window")
 	}

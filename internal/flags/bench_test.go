@@ -52,6 +52,30 @@ func BenchmarkConfigKeyCanonical(b *testing.B) {
 	}
 }
 
+// BenchmarkConfigKeyRebuild measures the un-memoized key walk — the cost a
+// fresh configuration pays once — via AppendKey into a reused buffer.
+func BenchmarkConfigKeyRebuild(b *testing.B) {
+	_, c := benchConfig(b)
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.AppendKey(buf[:0])
+		if len(buf) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkConfigValidate(b *testing.B) {
+	_, c := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCommandLineRender(b *testing.B) {
 	_, c := benchConfig(b)
 	b.ResetTimer()

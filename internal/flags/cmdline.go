@@ -17,11 +17,9 @@ import (
 func (c *Config) CommandLine() []string {
 	var args []string
 	needExperimental, needDiagnostic := false, false
-	for _, n := range c.ExplicitNames() {
-		f := c.reg.Lookup(n)
-		v := c.values[n]
+	c.EachExplicit(func(f *Flag, v Value) {
 		if v.Equal(f.Type, f.Default) {
-			continue
+			return
 		}
 		switch f.Kind {
 		case Experimental:
@@ -35,13 +33,13 @@ func (c *Config) CommandLine() []string {
 			if v.B {
 				sign = "+"
 			}
-			args = append(args, "-XX:"+sign+n)
+			args = append(args, "-XX:"+sign+f.Name)
 		case Int:
-			args = append(args, fmt.Sprintf("-XX:%s=%s", n, renderInt(f, v.I)))
+			args = append(args, fmt.Sprintf("-XX:%s=%s", f.Name, renderInt(f, v.I)))
 		case Enum:
-			args = append(args, fmt.Sprintf("-XX:%s=%s", n, v.S))
+			args = append(args, fmt.Sprintf("-XX:%s=%s", f.Name, v.S))
 		}
-	}
+	})
 	var prefix []string
 	if needExperimental {
 		prefix = append(prefix, "-XX:+UnlockExperimentalVMOptions")
@@ -119,14 +117,14 @@ func (c *Config) applyXX(body, orig string) error {
 		if name == "UnlockExperimentalVMOptions" || name == "UnlockDiagnosticVMOptions" {
 			return nil
 		}
-		f := c.reg.Lookup(name)
-		if f == nil {
-			return fmt.Errorf("flags: unrecognized VM option %q", name)
+		id := c.reg.ID(name)
+		if id == NoID {
+			return unknownFlag(name, "flags: unrecognized VM option %q", name)
 		}
-		if f.Type != Bool {
+		if c.reg.byID[id].Type != Bool {
 			return fmt.Errorf("flags: %s is not a boolean flag (%q)", name, orig)
 		}
-		c.values[name] = BoolValue(body[0] == '+')
+		c.putID(id, BoolValue(body[0] == '+'))
 		return nil
 	}
 	eq := strings.IndexByte(body, '=')
@@ -134,26 +132,26 @@ func (c *Config) applyXX(body, orig string) error {
 		return fmt.Errorf("flags: malformed option %q", orig)
 	}
 	name, raw := body[:eq], body[eq+1:]
-	f := c.reg.Lookup(name)
-	if f == nil {
-		return fmt.Errorf("flags: unrecognized VM option %q", name)
+	id := c.reg.ID(name)
+	if id == NoID {
+		return unknownFlag(name, "flags: unrecognized VM option %q", name)
 	}
-	switch f.Type {
+	switch c.reg.byID[id].Type {
 	case Int:
 		v, err := parseSize(raw)
 		if err != nil {
 			return fmt.Errorf("flags: bad value for %s in %q: %v", name, orig, err)
 		}
-		return c.Set(name, IntValue(v))
+		return c.SetID(id, IntValue(v))
 	case Enum:
-		return c.Set(name, EnumValue(raw))
+		return c.SetID(id, EnumValue(raw))
 	case Bool:
 		switch raw {
 		case "true":
-			c.values[name] = BoolValue(true)
+			c.putID(id, BoolValue(true))
 			return nil
 		case "false":
-			c.values[name] = BoolValue(false)
+			c.putID(id, BoolValue(false))
 			return nil
 		}
 		return fmt.Errorf("flags: bad boolean value for %s in %q", name, orig)

@@ -161,7 +161,7 @@ func TestConfigValidate(t *testing.T) {
 		t.Errorf("valid config rejected: %v", err)
 	}
 	// Corrupt internals to simulate a stale config.
-	c.values["I1"] = IntValue(1 << 40)
+	c.putID(r.ID("I1"), IntValue(1<<40))
 	if err := c.Validate(); err == nil {
 		t.Error("corrupted config accepted")
 	}

@@ -1,0 +1,275 @@
+package flags
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// This file is the packed↔map differential oracle. The packed Config (a
+// value array indexed by flag ID) replaced the original map[string]Value
+// representation wholesale; the checkpoint format, the traces, and the
+// runner cache all key off Config.Key(), so the two representations must
+// agree byte-for-byte on every observable. mapConfig below is a faithful
+// replica of the retired map implementation, and the fuzz target drives
+// both through parsing, key canonicalization, command-line rendering, and
+// validation on arbitrary inputs.
+
+// mapConfig is the reference map-based configuration.
+type mapConfig struct {
+	reg    *Registry
+	values map[string]Value
+}
+
+func newMapConfig(reg *Registry) *mapConfig {
+	return &mapConfig{reg: reg, values: make(map[string]Value)}
+}
+
+func (c *mapConfig) set(name string, v Value) error {
+	f := c.reg.Lookup(name)
+	if f == nil {
+		return unknownFlag(name, "flags: unknown flag %s", name)
+	}
+	if err := f.Validate(v); err != nil {
+		return err
+	}
+	c.values[name] = v
+	return nil
+}
+
+func (c *mapConfig) explicitNames() []string {
+	out := make([]string, 0, len(c.values))
+	for n := range c.values {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// key mirrors the retired map-based Config.Key: sorted non-default
+// "name=value" pairs joined by commas.
+func (c *mapConfig) key() string {
+	var parts []string
+	for _, n := range c.explicitNames() {
+		f := c.reg.Lookup(n)
+		v := c.values[n]
+		if v.Equal(f.Type, f.Default) {
+			continue
+		}
+		parts = append(parts, n+"="+v.String(f.Type))
+	}
+	return strings.Join(parts, ",")
+}
+
+// commandLine mirrors the retired map-based Config.CommandLine.
+func (c *mapConfig) commandLine() []string {
+	var args []string
+	needExperimental, needDiagnostic := false, false
+	for _, n := range c.explicitNames() {
+		f := c.reg.Lookup(n)
+		v := c.values[n]
+		if v.Equal(f.Type, f.Default) {
+			continue
+		}
+		switch f.Kind {
+		case Experimental:
+			needExperimental = true
+		case Diagnostic:
+			needDiagnostic = true
+		}
+		switch f.Type {
+		case Bool:
+			sign := "-"
+			if v.B {
+				sign = "+"
+			}
+			args = append(args, "-XX:"+sign+n)
+		case Int:
+			args = append(args, "-XX:"+n+"="+renderInt(f, v.I))
+		case Enum:
+			args = append(args, "-XX:"+n+"="+v.S)
+		}
+	}
+	var prefix []string
+	if needExperimental {
+		prefix = append(prefix, "-XX:+UnlockExperimentalVMOptions")
+	}
+	if needDiagnostic {
+		prefix = append(prefix, "-XX:+UnlockDiagnosticVMOptions")
+	}
+	return append(prefix, args...)
+}
+
+func (c *mapConfig) validate() error {
+	for _, n := range c.explicitNames() {
+		f := c.reg.Lookup(n)
+		if f == nil {
+			return unknownFlag(n, "flags: config contains unknown flag %s", n)
+		}
+		if err := f.Validate(c.values[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyArgs mirrors the retired map-based ParseArgs semantics (including
+// which forms bypassed Set's domain validation) closely enough to parse
+// everything the real parser accepts. It returns the first error.
+func (c *mapConfig) applyArgs(args []string) error {
+	for _, a := range args {
+		var err error
+		switch {
+		case strings.HasPrefix(a, "-XX:"):
+			err = c.applyXX(a[len("-XX:"):], a)
+		case strings.HasPrefix(a, "-Xmx"):
+			err = c.applySize("MaxHeapSize", a[len("-Xmx"):], 1)
+		case strings.HasPrefix(a, "-Xms"):
+			err = c.applySize("InitialHeapSize", a[len("-Xms"):], 1)
+		case strings.HasPrefix(a, "-Xmn"):
+			if err = c.applySize("NewSize", a[len("-Xmn"):], 1); err == nil {
+				err = c.applySize("MaxNewSize", a[len("-Xmn"):], 1)
+			}
+		case strings.HasPrefix(a, "-Xss"):
+			err = c.applySize("ThreadStackSize", a[len("-Xss"):], 1024)
+		default:
+			err = unknownFlag(a, "unrecognized")
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *mapConfig) applyXX(body, orig string) error {
+	if body == "" {
+		return unknownFlag(orig, "malformed")
+	}
+	switch body[0] {
+	case '+', '-':
+		name := body[1:]
+		if name == "UnlockExperimentalVMOptions" || name == "UnlockDiagnosticVMOptions" {
+			return nil
+		}
+		f := c.reg.Lookup(name)
+		if f == nil || f.Type != Bool {
+			return unknownFlag(name, "bad bool flag")
+		}
+		c.values[name] = BoolValue(body[0] == '+')
+		return nil
+	}
+	eq := strings.IndexByte(body, '=')
+	if eq < 0 {
+		return unknownFlag(orig, "malformed")
+	}
+	name, raw := body[:eq], body[eq+1:]
+	f := c.reg.Lookup(name)
+	if f == nil {
+		return unknownFlag(name, "unknown")
+	}
+	switch f.Type {
+	case Int:
+		v, err := parseSize(raw)
+		if err != nil {
+			return err
+		}
+		return c.set(name, IntValue(v))
+	case Enum:
+		return c.set(name, EnumValue(raw))
+	case Bool:
+		switch raw {
+		case "true", "false":
+			c.values[name] = BoolValue(raw == "true")
+			return nil
+		}
+		return unknownFlag(raw, "bad bool value")
+	}
+	return unknownFlag(name, "unknown type")
+}
+
+func (c *mapConfig) applySize(name, raw string, divisor int64) error {
+	v, err := parseSize(raw)
+	if err != nil {
+		return err
+	}
+	return c.set(name, IntValue(v/divisor))
+}
+
+// FuzzPackedMapEquivalence feeds arbitrary java-style argument lines to the
+// packed parser and the map-based reference, then asserts the observables
+// every persisted format depends on — Key, command-line rendering, and
+// Validate — are byte-identical. Seeded with the round-trip corpus.
+func FuzzPackedMapEquivalence(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"-Xmx4g",
+		"-Xms512m -Xmx2g",
+		"-XX:+UseG1GC -XX:MaxGCPauseMillis=50",
+		"-XX:+UseParallelGC -XX:ParallelGCThreads=8",
+		"-XX:-TieredCompilation -XX:CICompilerCount=2",
+		"-XX:NewRatio=3 -XX:SurvivorRatio=6",
+		"-XX:MaxHeapSize=1536m -Xss2m",
+		"-XX:+UseSerialGC -XX:TargetSurvivorRatio=60",
+		"-XX:GCTimeRatio=19 -XX:+UseStringDeduplication",
+	} {
+		f.Add(seed)
+	}
+	reg := NewRegistry()
+	f.Fuzz(func(t *testing.T, line string) {
+		args := strings.Fields(line)
+		packed, err := ParseArgs(reg, args)
+		if err != nil {
+			// The reference parser is a semantic mirror, not an error-message
+			// mirror; equivalence is asserted on accepted inputs.
+			t.Skip()
+		}
+		ref := newMapConfig(reg)
+		if rerr := ref.applyArgs(args); rerr != nil {
+			t.Fatalf("packed parser accepted %q but reference rejected it: %v", args, rerr)
+		}
+
+		if pk, rk := packed.Key(), ref.key(); pk != rk {
+			t.Fatalf("Key diverged on %q:\n  packed %q\n  map    %q", args, pk, rk)
+		}
+		pc := strings.Join(packed.CommandLine(), " ")
+		rc := strings.Join(ref.commandLine(), " ")
+		if pc != rc {
+			t.Fatalf("CommandLine diverged on %q:\n  packed %q\n  map    %q", args, pc, rc)
+		}
+		perr, rerr := packed.Validate(), ref.validate()
+		if (perr == nil) != (rerr == nil) {
+			t.Fatalf("Validate diverged on %q: packed=%v map=%v", args, perr, rerr)
+		}
+		if perr != nil && perr.Error() != rerr.Error() {
+			t.Fatalf("Validate messages diverged on %q:\n  packed %q\n  map    %q",
+				args, perr, rerr)
+		}
+		// Explicit-name enumeration drives checkpoint encoding; it must agree
+		// including flags explicitly set to their defaults.
+		if pn, rn := packed.ExplicitNames(), ref.explicitNames(); strings.Join(pn, ",") != strings.Join(rn, ",") {
+			t.Fatalf("ExplicitNames diverged on %q:\n  packed %v\n  map    %v", args, pn, rn)
+		}
+	})
+}
+
+// TestPackedMapValidateOutOfDomain covers the corner the fuzzer cannot
+// reach through the parser: values injected past domain validation (stale
+// checkpoints, future decode paths). Both representations must report the
+// same violation.
+func TestPackedMapValidateOutOfDomain(t *testing.T) {
+	reg := NewRegistry()
+	packed := NewConfig(reg)
+	ref := newMapConfig(reg)
+
+	packed.putID(reg.ID("CICompilerCount"), IntValue(1<<40))
+	ref.values["CICompilerCount"] = IntValue(1 << 40)
+
+	perr, rerr := packed.Validate(), ref.validate()
+	if perr == nil || rerr == nil {
+		t.Fatalf("out-of-domain value accepted: packed=%v map=%v", perr, rerr)
+	}
+	if perr.Error() != rerr.Error() {
+		t.Fatalf("violation messages diverged:\n  packed %q\n  map    %q", perr, rerr)
+	}
+}

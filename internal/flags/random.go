@@ -116,23 +116,22 @@ func neighborInt(f *Flag, cur int64, rng *rand.Rand, scale float64) int64 {
 // c. Unknown names panic: callers derive names from the same registry.
 func RandomizeFlags(c *Config, names []string, rng *rand.Rand) {
 	for _, n := range names {
-		f := c.reg.Lookup(n)
-		if f == nil {
+		id := c.reg.ID(n)
+		if id == NoID {
 			panic("flags: RandomizeFlags of unknown flag " + n)
 		}
-		c.values[n] = SampleValue(f, rng)
+		c.putID(id, SampleValue(c.reg.byID[id], rng))
 	}
 }
 
 // MutateFlag replaces the named flag's value in c with a neighbor of its
 // current effective value.
 func MutateFlag(c *Config, name string, rng *rand.Rand) {
-	f := c.reg.Lookup(name)
-	if f == nil {
+	id := c.reg.ID(name)
+	if id == NoID {
 		panic("flags: MutateFlag of unknown flag " + name)
 	}
-	cur, _ := c.Get(name)
-	c.values[name] = NeighborValue(f, cur, rng)
+	c.putID(id, NeighborValue(c.reg.byID[id], c.GetID(id), rng))
 }
 
 // Crossover returns a child configuration that inherits each of the named
@@ -148,11 +147,11 @@ func Crossover(a, b *Config, names []string, rng *rand.Rand) *Config {
 		if rng.Intn(2) == 0 {
 			src = b
 		}
-		v, ok := src.Get(n)
-		if !ok {
+		id := src.reg.ID(n)
+		if id == NoID {
 			panic("flags: Crossover of unknown flag " + n)
 		}
-		child.values[n] = v
+		child.putID(id, src.GetID(id))
 	}
 	return child
 }

@@ -5,11 +5,24 @@ import (
 	"sort"
 )
 
+// ID is a dense, registry-assigned flag identifier: the index of the flag's
+// name in the registry's sorted name order. IDs are the hot-path currency of
+// the tuner — packed configurations index their value arrays by ID, so the
+// inner loop never hashes flag-name strings. IDs are only meaningful within
+// the registry that assigned them.
+type ID int32
+
+// NoID is the ID of a name absent from the registry.
+const NoID ID = -1
+
 // Registry is an immutable catalog of flag definitions. Construct one with
 // NewRegistry (the standard HotSpot catalog) or NewCustomRegistry (tests).
 type Registry struct {
-	byName map[string]*Flag
-	names  []string // sorted, for deterministic iteration
+	byName  map[string]*Flag
+	names   []string // sorted, for deterministic iteration
+	byID    []*Flag  // byID[i] is the flag named names[i]
+	idOf    map[string]ID
+	tunable []string // sorted names of Tunable() flags, precomputed
 }
 
 // NewCustomRegistry builds a registry from an explicit flag list. Duplicate
@@ -38,6 +51,15 @@ func NewCustomRegistry(defs []Flag) (*Registry, error) {
 		r.names = append(r.names, f.Name)
 	}
 	sort.Strings(r.names)
+	r.byID = make([]*Flag, len(r.names))
+	r.idOf = make(map[string]ID, len(r.names))
+	for i, n := range r.names {
+		r.byID[i] = r.byName[n]
+		r.idOf[n] = ID(i)
+		if r.byID[i].Tunable() {
+			r.tunable = append(r.tunable, n)
+		}
+	}
 	return r, nil
 }
 
@@ -60,13 +82,27 @@ func (r *Registry) Lookup(name string) *Flag {
 	return r.byName[name]
 }
 
+// ID returns the dense identifier of name, or NoID if unknown.
+func (r *Registry) ID(name string) ID {
+	if id, ok := r.idOf[name]; ok {
+		return id
+	}
+	return NoID
+}
+
+// FlagByID returns the definition with the given ID. It panics on IDs the
+// registry never assigned, which are programming errors.
+func (r *Registry) FlagByID(id ID) *Flag {
+	return r.byID[id]
+}
+
 // Names returns all flag names in sorted order. The returned slice is shared;
 // callers must not modify it.
 func (r *Registry) Names() []string {
 	return r.names
 }
 
-// Len returns the number of flags in the registry.
+// Len returns the number of flags in the registry. IDs range over [0, Len).
 func (r *Registry) Len() int {
 	return len(r.names)
 }
@@ -83,23 +119,17 @@ func (r *Registry) ByCategory(c Category) []string {
 }
 
 // TunableNames returns the names of all tunable (Product/Experimental)
-// flags, sorted.
+// flags, sorted. The returned slice is shared; callers must not modify it.
 func (r *Registry) TunableNames() []string {
-	var out []string
-	for _, n := range r.names {
-		if r.byName[n].Tunable() {
-			out = append(out, n)
-		}
-	}
-	return out
+	return r.tunable
 }
 
 // DefaultConfig returns a configuration with every flag explicitly set to
 // its HotSpot default.
 func (r *Registry) DefaultConfig() *Config {
 	c := NewConfig(r)
-	for _, n := range r.names {
-		c.values[n] = r.byName[n].Default
+	for id, f := range r.byID {
+		c.putID(ID(id), f.Default)
 	}
 	return c
 }

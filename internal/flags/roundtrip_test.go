@@ -20,7 +20,7 @@ func TestCommandLineRoundTripProperty(t *testing.T) {
 		n := 1 + rng.Intn(12)
 		for i := 0; i < n; i++ {
 			name := names[rng.Intn(len(names))]
-			c.values[name] = SampleValue(reg.Lookup(name), rng)
+			c.put(name, SampleValue(reg.Lookup(name), rng))
 		}
 		args := c.CommandLine()
 		parsed, err := ParseArgs(reg, args)
@@ -46,7 +46,7 @@ func TestCloneMutateDiffProperty(t *testing.T) {
 		orig := NewConfig(reg)
 		for i := 0; i < 5; i++ {
 			name := names[rng.Intn(len(names))]
-			orig.values[name] = SampleValue(reg.Lookup(name), rng)
+			orig.put(name, SampleValue(reg.Lookup(name), rng))
 		}
 		origKey := orig.Key()
 
@@ -87,7 +87,7 @@ func TestKeyDeterminesCommandLineProperty(t *testing.T) {
 		c := NewConfig(reg)
 		for i := 0; i < 3; i++ {
 			name := names[rng.Intn(len(names))]
-			c.values[name] = SampleValue(reg.Lookup(name), rng)
+			c.put(name, SampleValue(reg.Lookup(name), rng))
 		}
 		key := c.Key()
 		rendered := ""

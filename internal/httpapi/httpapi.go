@@ -77,6 +77,7 @@ package httpapi
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -87,6 +88,7 @@ import (
 	"repro/hotspot"
 	"repro/internal/checkpoint"
 	"repro/internal/faultinject"
+	"repro/internal/flags"
 	"repro/internal/telemetry"
 )
 
@@ -766,7 +768,14 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	wall, err := hotspot.Measure(req.Args, req.Benchmark, req.Rep)
 	if err != nil {
 		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "run failed") {
+		var unknown *flags.UnknownFlagError
+		switch {
+		case errors.As(err, &unknown):
+			// A flag name the registry does not define is a malformed
+			// submission, full stop — the typed error guarantees the worker
+			// rejected it instead of panicking partway into a run.
+			status = http.StatusBadRequest
+		case strings.Contains(err.Error(), "run failed"):
 			// The flag combination parsed but the VM failed: that is a
 			// legitimate measurement outcome, not a malformed request.
 			status = http.StatusUnprocessableEntity

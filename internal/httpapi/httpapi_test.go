@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"repro/hotspot"
+	"repro/internal/flags"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -232,6 +234,41 @@ func TestMeasureEndpoint(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/v1/measure",
 		MeasureRequest{Benchmark: "h2", Args: []string{"-XX:+NoSuch"}}, nil); code != 400 {
 		t.Errorf("bad flag: status %d", code)
+	}
+}
+
+// Regression: a submission naming a flag the registry does not define must
+// come back as a typed validation failure — a 400 with the JSON error
+// envelope — and must never panic a worker. Config.Set's panic-on-unknown
+// sibling (MustSet-style accessors) used to be one missed validation away
+// from network input.
+func TestMeasureUnknownFlagIsTyped400(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, args := range [][]string{
+		{"-XX:BogusFlagName=17"},
+		{"-XX:+TotallyMadeUp"},
+		{"-XX:-AlsoNotReal"},
+	} {
+		var envelope map[string]string
+		code := postJSON(t, ts.URL+"/v1/measure",
+			MeasureRequest{Benchmark: "h2", Args: args}, &envelope)
+		if code != 400 {
+			t.Errorf("args %v: status %d, want 400", args, code)
+		}
+		if !strings.Contains(envelope["error"], "unrecognized VM option") {
+			t.Errorf("args %v: error envelope %q lacks the VM diagnostic", args, envelope)
+		}
+	}
+	// The same typed error is observable below the HTTP layer.
+	_, err := hotspot.Measure([]string{"-XX:BogusFlagName=17"}, "h2", 0)
+	var unknown *flags.UnknownFlagError
+	if !errors.As(err, &unknown) || unknown.Name != "BogusFlagName" {
+		t.Fatalf("Measure error %v is not a typed UnknownFlagError", err)
+	}
+	// The worker survived: a well-formed request still answers.
+	if code := postJSON(t, ts.URL+"/v1/measure",
+		MeasureRequest{Benchmark: "h2"}, nil); code != 200 {
+		t.Fatalf("server unhealthy after bad submissions: status %d", code)
 	}
 }
 

@@ -160,12 +160,10 @@ func computeFeatures(c *flags.Config, p *workload.Profile, m Machine) featureEff
 
 	// --- Engaged observability flags ---------------------------------------
 	// Every inert boolean switched on charges its overhead.
-	reg := c.Registry()
-	for _, name := range c.ExplicitNames() {
-		f := reg.Lookup(name)
-		if f.Inert && f.OverheadPct > 0 && f.Type == flags.Bool && c.Bool(name) {
+	c.EachExplicit(func(f *flags.Flag, v flags.Value) {
+		if f.Inert && f.OverheadPct > 0 && f.Type == flags.Bool && v.B {
 			fx.overhead *= 1 + f.OverheadPct
 		}
-	}
+	})
 	return fx
 }

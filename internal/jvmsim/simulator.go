@@ -29,6 +29,53 @@ func New() *Simulator {
 // rep distinguishes repetitions for the noise model; runs are otherwise
 // deterministic in (c, p, rep).
 func (s *Simulator) Run(c *flags.Config, p *workload.Profile, rep int) Result {
+	r := s.runNoiseless(c, p)
+	if r.Failed {
+		return r
+	}
+	r.WallSeconds *= noiseFactor(c.Key(), p.Name, rep, s.NoiseRelStdDev)
+	return r
+}
+
+// RunReps simulates n consecutive repetitions (rep indices repBase …
+// repBase+n-1) of profile p under configuration c, appending the results to
+// out and returning the extended slice. The model is evaluated once and only
+// the per-rep noise factor differs between repetitions, so scoring a batch
+// of reps costs one simulation plus n multiplications — this is the batch
+// entry point the in-process runner's hot loop uses. Results are bitwise
+// identical to calling Run with each rep index.
+func (s *Simulator) RunReps(c *flags.Config, p *workload.Profile, repBase, n int, out []Result) []Result {
+	base := s.runNoiseless(c, p)
+	if base.Failed {
+		// Failures are deterministic: every repetition dies the same way.
+		for i := 0; i < n; i++ {
+			out = append(out, base)
+		}
+		return out
+	}
+	key := c.Key()
+	for i := 0; i < n; i++ {
+		r := base
+		r.WallSeconds *= noiseFactor(key, p.Name, repBase+i, s.NoiseRelStdDev)
+		out = append(out, r)
+	}
+	return out
+}
+
+// RunBatch scores a slice of configurations against one profile at a shared
+// rep index, appending one Result per configuration to out and returning the
+// extended slice. Searchers that propose whole generations (genetic, random
+// restarts) use it to evaluate a population without per-config allocation.
+func (s *Simulator) RunBatch(cfgs []*flags.Config, p *workload.Profile, rep int, out []Result) []Result {
+	for _, c := range cfgs {
+		out = append(out, s.Run(c, p, rep))
+	}
+	return out
+}
+
+// runNoiseless evaluates the full cost model for (c, p) without the
+// measurement-noise factor. Run and RunReps layer noise on top.
+func (s *Simulator) runNoiseless(c *flags.Config, p *workload.Profile) Result {
 	if err := p.Validate(); err != nil {
 		return failed(StartupFailure, 0, "invalid workload: %v", err)
 	}
@@ -86,7 +133,6 @@ func (s *Simulator) Run(c *flags.Config, p *workload.Profile, rep int) Result {
 	startup := jvmBootSeconds + fx.startupExtra + jit.startupExtra + gc.startup
 	app := appSeconds * (1 + gc.appSlowdown) * localityPenalty
 	wall := (startup + app + gc.stopSeconds + jit.compileStall) * fx.overhead * pagingPenalty
-	wall *= noiseFactor(c.Key(), p.Name, rep, s.NoiseRelStdDev)
 
 	return Result{
 		WallSeconds:         wall,

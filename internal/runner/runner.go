@@ -170,8 +170,10 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 		r.mu.Unlock()
 
 		m := Measurement{Key: key}
-		for i := 0; i < reps; i++ {
-			res := r.sim.Run(cfg, r.profile, repBase+i)
+		// Score the whole repetition batch in one simulator call: the cost
+		// model runs once and only the per-rep noise factor differs.
+		var buf [16]jvmsim.Result
+		for _, res := range r.sim.RunReps(cfg, r.profile, repBase, reps, buf[:0]) {
 			cost := res.WallSeconds + LaunchOverheadSeconds
 			if r.TimeoutSeconds > 0 && !res.Failed && res.WallSeconds > r.TimeoutSeconds {
 				res.Failed = true

@@ -1,0 +1,60 @@
+#!/bin/sh
+# The repo's benchmark harness. Runs the hot-path benchmark suite — the flag
+# layer, the simulator batch entry points, and the 16-worker session
+# throughput headline — and persists the result as a BENCH_<n>.json
+# trajectory point via cmd/benchdiff.
+#
+#   scripts/bench.sh            record the next BENCH_<n>.json
+#   scripts/bench.sh -check     run fresh, compare against the latest
+#                               recorded point, exit 1 on >10% regression
+#
+# `make bench` routes here; it used to invoke `go test -bench=. -benchmem`
+# bare, which re-ran every unit test and threw the numbers away.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE="record"
+if [ "${1:-}" = "-check" ]; then
+	MODE="check"
+fi
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+# -run '^$' keeps unit tests out of the run; -benchtime is bounded so the
+# whole suite stays in CI territory (~1 minute). The -bench selector names
+# hot-path benchmarks only — one-shot constructors (BenchmarkNewRegistry)
+# are too noisy for a 10% regression gate and are not what the trajectory
+# tracks.
+{
+	go test -run '^$' \
+		-bench '^Benchmark(Config|CommandLine|ParseArgs|MutateFlag|SampleValue|Diff|Simulator)' \
+		-benchmem -benchtime 1s \
+		./internal/flags ./internal/jvmsim
+	go test -run '^$' -bench 'BenchmarkSessionThroughput16' -benchtime 5s \
+		./internal/core
+} | tee /dev/stderr >"$OUT"
+
+latest="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
+
+if [ "$MODE" = "check" ]; then
+	if [ -z "$latest" ]; then
+		echo "bench.sh: no recorded BENCH_*.json to compare against" >&2
+		exit 1
+	fi
+	fresh="$(mktemp)"
+	trap 'rm -f "$OUT" "$fresh"' EXIT
+	go run ./cmd/benchdiff fmt -o "$fresh" <"$OUT"
+	go run ./cmd/benchdiff check "$latest" "$fresh"
+	exit 0
+fi
+
+if [ -z "$latest" ]; then
+	n=1
+else
+	n=$(( $(basename "$latest" .json | cut -d_ -f2) + 1 ))
+fi
+go run ./cmd/benchdiff fmt -o "BENCH_${n}.json" \
+	-note "${BENCH_NOTE:-recorded by scripts/bench.sh}" <"$OUT"
+echo "bench.sh: wrote BENCH_${n}.json"

@@ -14,7 +14,7 @@ FLOOR=80
 status=0
 for pkg in ./internal/runner ./internal/faultinject ./internal/telemetry \
            ./internal/checkpoint ./internal/persist ./internal/core \
-           ./internal/httpapi; do
+           ./internal/httpapi ./internal/flags ./internal/jvmsim; do
     line=$(go test -cover "$pkg" | tail -1)
     echo "$line"
     pct=$(echo "$line" | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')

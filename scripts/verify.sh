@@ -25,3 +25,10 @@ make crash-matrix
 # requests keep answering, hedging and quarantine stay deterministic, and
 # budget-killed runs degrade to best-so-far instead of failing.
 make overload-drill
+
+# The perf gate (opt-in, BENCH_CHECK=1): rerun the benchmark suite and fail
+# on >10% regression against the latest recorded BENCH_*.json. Off by
+# default so tier-1 stays fast and deterministic on noisy machines.
+if [ "${BENCH_CHECK:-0}" = "1" ]; then
+    ./scripts/bench.sh -check
+fi
