@@ -1,6 +1,6 @@
 # Developer entry points. `make verify` is the tier-1 gate (see ROADMAP.md).
 
-.PHONY: verify build test bench bench-check cover crash-matrix overload-drill
+.PHONY: verify build test bench bench-check cover crash-matrix overload-drill dist-drill
 
 verify:
 	./scripts/verify.sh
@@ -24,6 +24,16 @@ overload-drill:
 	go test -race -count=1 \
 	  -run 'TestOverloadBurst|TestPerClientRateLimit|TestAdmission|TestShutdownSheds|TestJournalCompaction|TestCompactionCrash|TestHedging|TestQuarantine|TestSessionDegraded|TestHedgedSessionResumes|TestCLIAutotuneBudgetDegrades' \
 	  ./internal/httpapi ./internal/core .
+
+# The distributed drills: the evaluation plane's equivalence and survival
+# story. Fixed-seed sessions against real evald sockets must match the
+# in-process run byte for byte — through node kills (re-dispatch), whole-
+# fleet death (degrade to best-so-far), and flapping nodes under hedging.
+# TestCLIDistDrill spawns 3 evald processes and SIGKILLs one mid-session.
+dist-drill:
+	go test -race -count=1 \
+	  -run 'TestDifferentialParallelWorkers|TestKillOneNodeByteIdentical|TestKillAllNodesDegradesToBestSoFar|TestNodeFlapsDuringHedgeByteIdentical|TestCLIDistDrill' \
+	  ./internal/dispatch .
 
 build:
 	go build ./...

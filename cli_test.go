@@ -28,7 +28,7 @@ func cliBinary(t *testing.T, name string) string {
 		if cliErr != nil {
 			return
 		}
-		for _, tool := range []string{"autotune", "experiments", "jvmsim", "flaginfo", "validate"} {
+		for _, tool := range []string{"autotune", "experiments", "jvmsim", "flaginfo", "validate", "evald"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "repro/cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				cliErr = err

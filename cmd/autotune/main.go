@@ -95,6 +95,8 @@ func main() {
 		trace    = flag.String("trace", "", "write the session's event trace as JSONL to this file")
 		converge = flag.Bool("convergence", false, "print the convergence trace")
 		jvmsim   = flag.String("jvmsim", "", "path to the jvmsim binary; measure via subprocesses")
+		nodes    = flag.String("nodes", "", "comma-separated evald nodes (host:port); dispatch measurements to this fleet")
+		fleetSt  = flag.String("fleet-state", "", "journal fleet membership and in-flight trials to this file (default <checkpoint>.fleet with -nodes and -checkpoint)")
 		workers  = flag.Int("workers", 1, "parallel evaluation workers (goroutines and virtual slots)")
 		objectiv = flag.String("objective", "throughput", "what to minimize: throughput (wall time) or pause (worst GC pause)")
 		explain  = flag.Bool("explain", false, "attribute the improvement to individual flags")
@@ -141,6 +143,16 @@ func main() {
 	// (signal.NotifyContext restores default handling once ctx is done).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var nodeList []string
+	if *nodes != "" {
+		nodeList = strings.Split(*nodes, ",")
+	}
+	fleetPath := *fleetSt
+	if fleetPath == "" && len(nodeList) > 0 && *ckpt != "" {
+		// A crash-safe distributed session keeps its fleet view next to its
+		// checkpoint by default, so -resume recovers both.
+		fleetPath = *ckpt + ".fleet"
+	}
 	res, err := runTune(ctx, hotspot.Options{
 		Benchmark:             *bench,
 		Searcher:              *searcher,
@@ -149,6 +161,8 @@ func main() {
 		Seed:                  *seed,
 		Noise:                 -1,
 		JVMSimPath:            *jvmsim,
+		Nodes:                 nodeList,
+		FleetStatePath:        fleetPath,
 		Workers:               *workers,
 		Objective:             *objectiv,
 		Chaos:                 *chaos,

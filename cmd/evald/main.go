@@ -1,0 +1,69 @@
+// Command evald is a measurement node of the distributed evaluation
+// plane: a thin, stateless HTTP server that evaluates flag configurations
+// on demand for a tuning controller (autotune -nodes / tuned -nodes).
+//
+// Usage:
+//
+//	evald [-addr :8426] [-node NAME] [-max-concurrent N]
+//
+// One POST /v1/evaluate round trip per evaluation attempt; GET /healthz
+// answers the controller's heartbeats and GET /metrics serves the node's
+// telemetry in Prometheus text format. A measurement is a pure function
+// of the request, so nodes are interchangeable and a killed node costs
+// the controller nothing but a re-dispatch. Excess load is shed with
+// 429 + Retry-After once -max-concurrent evaluations are in flight.
+//
+// See docs/DISTRIBUTED.md for the protocol and determinism contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/evald"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8426", "listen address")
+		node          = flag.String("node", "", "node name reported in results and /healthz (default: the listen address)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "in-flight evaluations before shedding with 429 (0 = GOMAXPROCS)")
+		grace         = flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight evaluations")
+	)
+	flag.Parse()
+
+	name := *node
+	if name == "" {
+		name = *addr
+	}
+	srv := &http.Server{Addr: *addr, Handler: evald.New(evald.Config{
+		Node:          name,
+		MaxConcurrent: *maxConcurrent,
+	})}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("evald: node %q serving measurements on %s\n", name, *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-stop:
+		fmt.Printf("evald: %v — draining (grace %s)\n", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("evald: http shutdown: %v", err)
+		}
+	}
+}

@@ -6,6 +6,13 @@
 //	tuned [-addr :8425] [-max-concurrent 4] [-max-jobs 256] [-pprof]
 //	      [-state-dir DIR] [-checkpoint-every N] [-journal-compact-bytes N]
 //	      [-queue-depth N] [-client-rate R] [-client-burst B]
+//	      [-nodes host:port,host:port]
+//
+// With -nodes, tuned is a control plane: every session's measurements are
+// dispatched to that fleet of evald worker nodes over HTTP/JSON instead of
+// running in-process, with work-stealing, heartbeats, and node-death
+// re-dispatch — and byte-identical fixed-seed results either way. See
+// docs/DISTRIBUTED.md.
 //
 // Under overload the farm sheds load explicitly instead of queueing without
 // bound: async submissions bounce with 429 + Retry-After once -queue-depth
@@ -63,6 +70,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -82,8 +90,14 @@ func main() {
 		queueDepth    = flag.Int("queue-depth", 0, "shed async submissions with 429 once this many jobs wait (0 = max-jobs, negative = unbounded)")
 		clientRate    = flag.Float64("client-rate", 0, "per-client submissions per second, keyed by X-Client (0 = unlimited)")
 		clientBurst   = flag.Int("client-burst", 0, "per-client token-bucket burst (0 = max(1, ceil(client-rate)))")
+		nodes         = flag.String("nodes", "", "comma-separated evald nodes (host:port); run sessions against this fleet instead of in-process")
 	)
 	flag.Parse()
+
+	var nodeList []string
+	if *nodes != "" {
+		nodeList = strings.Split(*nodes, ",")
+	}
 
 	api, err := httpapi.NewDurableServer(httpapi.Config{
 		MaxConcurrent:         *maxConcurrent,
@@ -95,6 +109,7 @@ func main() {
 		MaxQueueDepth:         *queueDepth,
 		ClientRatePerSec:      *clientRate,
 		ClientBurst:           *clientBurst,
+		Nodes:                 nodeList,
 	})
 	if err != nil {
 		log.Fatalf("tuned: recovery failed: %v", err)

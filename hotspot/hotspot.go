@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/faultinject"
 	"repro/internal/flags"
 	"repro/internal/hierarchy"
@@ -87,6 +89,20 @@ type Options struct {
 	// JVMSimPath, when non-empty, measures through the cmd/jvmsim binary at
 	// this path via subprocesses instead of in-process calls.
 	JVMSimPath string
+	// Nodes, when non-empty, dispatches measurements to these evald
+	// evaluator nodes ("host:port" or full URLs) over HTTP/JSON instead of
+	// measuring in-process — the distributed evaluation plane
+	// (internal/dispatch). Trials are sharded across the fleet with
+	// work-stealing and node-death re-dispatch; for a fixed Seed the
+	// session's results, traces, and checkpoints are byte-identical to an
+	// in-process run. Mutually exclusive with JVMSimPath. See
+	// docs/DISTRIBUTED.md.
+	Nodes []string
+	// FleetStatePath, with Nodes, journals fleet membership and in-flight
+	// trial ownership to this file so a killed controller resumes with its
+	// fleet view intact (dead nodes stay suspect, orphaned trials are
+	// adopted and accounted).
+	FleetStatePath string
 	// Workers is the number of parallel evaluation slots; default 1 (the
 	// paper's single-machine setup). With Workers > 1 the session measures
 	// up to that many configurations concurrently on real goroutines while
@@ -342,7 +358,31 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 	// otherwise the runner itself.
 	retry := runner.RetryPolicy{MaxAttempts: opts.RetryAttempts}
 	var run runner.Runner
-	if opts.JVMSimPath != "" {
+	var pool *dispatch.Pool
+	if len(opts.Nodes) > 0 {
+		if opts.JVMSimPath != "" {
+			return nil, fmt.Errorf("hotspot: Nodes and JVMSimPath are mutually exclusive")
+		}
+		pool, err = buildPool(opts, prof)
+		if err != nil {
+			return nil, err
+		}
+		pool.Retry = retry
+		if !plan.Active() {
+			pool.Telemetry, pool.Trace = opts.Telemetry, opts.Trace
+		}
+		pool.FaultHook = plan.NodeDownHook(opts.Seed)
+		if opts.FleetStatePath != "" {
+			fleet, view, ferr := dispatch.OpenFleet(opts.FleetStatePath, opts.Telemetry)
+			if ferr != nil {
+				return nil, ferr
+			}
+			pool.AttachFleet(fleet, view)
+		}
+		pool.StartHeartbeats(heartbeatInterval)
+		defer pool.Close()
+		run = pool
+	} else if opts.JVMSimPath != "" {
 		sub := runner.NewSubprocess(opts.JVMSimPath, prof)
 		sub.Retry = retry
 		if !plan.Active() {
@@ -360,6 +400,9 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 			ip.Telemetry, ip.Trace = opts.Telemetry, opts.Trace
 		}
 		run = ip
+	}
+	if plan.NodeDown > 0 && pool == nil {
+		return nil, fmt.Errorf("hotspot: chaos node-down faults need a distributed session (set Nodes)")
 	}
 	if plan.Active() {
 		chaos := faultinject.New(run, plan, opts.Seed)
@@ -393,6 +436,38 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 	return resultFromOutcome(out, plan.Name), nil
+}
+
+// heartbeatInterval is how often a distributed session probes its nodes'
+// liveness endpoints, reviving quarantined nodes that answer again.
+const heartbeatInterval = time.Second
+
+// buildPool assembles the distributed evaluation pool: one remote
+// evaluator per node, timeout and noise mirroring the in-process runner's
+// defaults, and — with FleetStatePath — the durable fleet journal.
+func buildPool(opts Options, prof *workload.Profile) (*dispatch.Pool, error) {
+	evs := make([]dispatch.Evaluator, 0, len(opts.Nodes))
+	for _, addr := range opts.Nodes {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		evs = append(evs, dispatch.NewRemote(addr))
+	}
+	pool, err := dispatch.NewPool(prof, evs...)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror runner.NewInProcess: the same noise model and the same 6×
+	// default-wall timeout, so the fleet measures under identical harness
+	// semantics and the bytes cannot tell the transport apart.
+	sim := jvmsim.New()
+	if opts.Noise >= 0 {
+		sim.NoiseRelStdDev = opts.Noise
+		pool.Noise = opts.Noise
+	}
+	pool.TimeoutSeconds = 6 * sim.DefaultWall(flags.NewRegistry(), prof, 1)
+	return pool, nil
 }
 
 // applyRobustness wires the overload/degradation options onto a session.

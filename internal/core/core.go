@@ -364,15 +364,11 @@ func (s *Session) Run() (*Outcome, error) {
 			return nil, fmt.Errorf("core: runner %T cannot snapshot state for checkpoint/resume", s.Runner)
 		}
 		snapRunner = sr
-		rdesc := fmt.Sprintf("%T", s.Runner)
-		if ps, ok := s.Runner.(interface{ PlanString() string }); ok {
-			rdesc += "(" + ps.PlanString() + ")"
-		}
 		meta = checkpoint.Meta{
 			Workload:      out.Workload,
 			Searcher:      out.Searcher,
 			Objective:     string(objective),
-			Runner:        rdesc,
+			Runner:        runnerFingerprint(s.Runner),
 			Seed:          s.Seed,
 			BudgetSeconds: budget,
 			Reps:          reps,

@@ -493,3 +493,21 @@ func robustnessFingerprint(h *HedgePolicy, q *QuarantinePolicy) string {
 	}
 	return s
 }
+
+// runnerFingerprint renders the runner identity for the checkpoint
+// fingerprint. The fingerprint guards determinism inputs, and transport is
+// not one: a runner that is provably byte-equivalent to another (the
+// dispatch pool vs the in-process runner) may claim that identity via the
+// DeterminismFingerprint hook, so checkpoints written under either resume
+// under the other. Everything else renders its concrete type, plus the
+// chaos plan when the runner carries one.
+func runnerFingerprint(r runner.Runner) string {
+	if fp, ok := r.(interface{ DeterminismFingerprint() string }); ok {
+		return fp.DeterminismFingerprint()
+	}
+	desc := fmt.Sprintf("%T", r)
+	if ps, ok := r.(interface{ PlanString() string }); ok {
+		desc += "(" + ps.PlanString() + ")"
+	}
+	return desc
+}

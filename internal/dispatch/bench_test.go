@@ -1,0 +1,64 @@
+// Dispatch-overhead benchmarks: the same trial measured through the
+// in-process runner and through the Pool over a loopback-HTTP evald
+// node. The pair quantifies what one network hop costs per trial — the
+// baseline the BENCH_*.json trajectory tracks for the distributed plane.
+package dispatch_test
+
+import (
+	"testing"
+
+	"repro/internal/dispatch"
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+)
+
+// benchMeasure drives one fresh (cache-disabled) single-rep measurement
+// per iteration: the propose→format→dispatch→simulate→decode path with
+// the memoization layer out of the way, so the transport is what's timed.
+func benchMeasure(b *testing.B, run runner.Runner) {
+	b.Helper()
+	cfg := flags.NewConfig(flags.NewRegistry())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := run.Measure(cfg, 1)
+		if m.Failed {
+			b.Fatalf("measurement failed: %s: %s", m.Failure, m.FailureMessage)
+		}
+	}
+}
+
+// BenchmarkDispatchInProcess is the floor: the same trial with no
+// transport at all.
+func BenchmarkDispatchInProcess(b *testing.B) {
+	ip := runner.NewInProcess(jvmsim.New(), profileOf(b, "fop"))
+	ip.DisableCache = true
+	benchMeasure(b, ip)
+}
+
+// BenchmarkDispatchLoopback measures the full remote path: JSON encode,
+// loopback HTTP to a real evald handler on a real socket, evaluate,
+// JSON decode. The delta against BenchmarkDispatchInProcess is the
+// per-trial dispatch overhead.
+func BenchmarkDispatchLoopback(b *testing.B) {
+	_, evs := startFleet(b, 1)
+	pool, err := dispatch.NewPool(profileOf(b, "fop"), evs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.DisableCache = true
+	benchMeasure(b, pool)
+}
+
+// BenchmarkDispatchLoopback3Nodes spreads the same fresh trials across a
+// three-node fleet, exercising shard placement and in-flight accounting
+// alongside the wire cost.
+func BenchmarkDispatchLoopback3Nodes(b *testing.B) {
+	_, evs := startFleet(b, 3)
+	pool, err := dispatch.NewPool(profileOf(b, "fop"), evs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.DisableCache = true
+	benchMeasure(b, pool)
+}

@@ -1,0 +1,99 @@
+// Package dispatch is the distributed evaluation plane: it extracts the
+// trial-dispatch seam of internal/runner into a transport-agnostic
+// Evaluator interface (dispatch a keyed trial, get a measurement or a
+// typed failure) and builds a fleet Pool on top of it — sharded dispatch
+// with work-stealing, per-node in-flight accounting, heartbeats, circuit
+// breakers, and node-death re-dispatch — that plugs into core.Session as
+// an ordinary runner.Runner.
+//
+// The determinism contract: a measurement is a pure function of
+// (config, benchmark, repBase, reps, timeout, noise) — runner.EvalConfig —
+// and never of which node computed it. Node deaths are therefore handled
+// *inside* a single attempt at zero virtual cost: the trial is silently
+// re-dispatched with the same repBase to another live node, because the
+// failed placement never ran anywhere. A fixed-seed session produces
+// byte-identical traces, checkpoints, and reports whether trials ran
+// in-process, on one node, or on a flapping fleet — the virtual economy
+// models the JVM farm, not our transport.
+package dispatch
+
+import (
+	"context"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// Evaluator is the transport seam: one evaluation attempt in, one
+// measurement (or typed failure) out. Implementations must be safe for
+// concurrent use.
+type Evaluator interface {
+	// Name identifies the node for accounting and diagnostics.
+	Name() string
+	// Evaluate performs the attempt described by req. A returned error
+	// means the placement failed (node unreachable, shed, or the request
+	// was refused) and carries the classification; the measurement's own
+	// failures (crashes, timeouts) travel inside TrialResult.
+	Evaluate(ctx context.Context, req *TrialRequest) (*TrialResult, error)
+}
+
+// Eval is the transport-independent evaluation core shared by the Local
+// evaluator and the evald server: validate, parse the config, verify the
+// key, and measure via runner.EvalConfig under the request's noise model.
+// It rejects with *RequestError — never panics — on any bogus input.
+func Eval(prof *workload.Profile, reg *flags.Registry, req *TrialRequest) (*TrialResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if prof == nil || prof.Name != req.Benchmark {
+		return nil, reject(CodeBadBenchmark, "dispatch: benchmark %q not served here", req.Benchmark)
+	}
+	cfg, err := req.ParseConfig(reg)
+	if err != nil {
+		return nil, err
+	}
+	noise := req.Noise
+	if noise < 0 {
+		noise = jvmsim.DefaultNoise
+	}
+	sim := &jvmsim.Simulator{Machine: jvmsim.DefaultMachine(), NoiseRelStdDev: noise}
+	m := runner.EvalConfig(sim, prof, cfg, req.RepBase, req.Reps, req.TimeoutSeconds)
+	return &TrialResult{Measurement: m}, nil
+}
+
+// Local is the in-process Evaluator: the same evaluation core the evald
+// server runs, minus the HTTP hop. It exists so the Pool's dispatch
+// machinery (sharding, stealing, re-dispatch, fleet accounting) is
+// testable and usable without sockets, and serves as the differential
+// oracle the remote path is proven against.
+type Local struct {
+	// Label names the node; defaults to "local".
+	Label string
+	// Prof is the profile served.
+	Prof *workload.Profile
+
+	reg *flags.Registry
+}
+
+// NewLocal builds a local evaluator for prof.
+func NewLocal(prof *workload.Profile, label string) *Local {
+	if label == "" {
+		label = "local"
+	}
+	return &Local{Label: label, Prof: prof, reg: flags.NewRegistry()}
+}
+
+// Name implements Evaluator.
+func (l *Local) Name() string { return l.Label }
+
+// Evaluate implements Evaluator.
+func (l *Local) Evaluate(_ context.Context, req *TrialRequest) (*TrialResult, error) {
+	res, err := Eval(l.Prof, l.reg, req)
+	if err != nil {
+		return nil, err
+	}
+	res.Node = l.Label
+	return res, nil
+}

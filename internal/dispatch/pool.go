@@ -1,0 +1,538 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Pool shards measurement trials across a fleet of Evaluator nodes and
+// implements runner.Runner, so core.Session drives a distributed fleet
+// exactly as it drives the in-process simulator. Placement is sharded by
+// trial key with work-stealing: the key's preferred node takes the trial
+// unless another live node has strictly fewer trials in flight. Nodes that
+// fail consecutively are quarantined behind a doubling cooldown with
+// half-open probes — the same circuit-breaker shape core.QuarantinePolicy
+// applies to broken flag subtrees — and a dead node's in-flight trials are
+// silently re-dispatched to survivors at zero virtual cost (the failed
+// placement never ran anywhere, and measurements are node-independent, so
+// the session's bytes cannot tell). Only when every placement attempt is
+// exhausted does a trial surface as a transient NodeDownFailure routed
+// through the runner retry classes.
+//
+// Pool implements runner.StateSnapshotter with the exact serialization of
+// the in-process runner and reports the in-process determinism
+// fingerprint, so checkpoints move freely between local and distributed
+// runs. Fleet membership and in-flight ownership are durably journaled
+// via AttachFleet. Safe for concurrent use.
+type Pool struct {
+	// Retry bounds re-attempts of transiently failed measurements; the
+	// zero value means the defaults (see runner.RetryPolicy).
+	Retry runner.RetryPolicy
+	// TimeoutSeconds is the per-repetition harness kill threshold sent
+	// with every trial. NewPool defaults it like runner.NewInProcess: 6×
+	// the default configuration's wall time.
+	TimeoutSeconds float64
+	// Noise is the simulator noise level sent with every trial; negative
+	// means the simulator default.
+	Noise float64
+	// DisableCache turns off config-key memoization.
+	DisableCache bool
+	// MaxNodeFailures is how many consecutive placement failures
+	// quarantine a node; values below 1 mean the default, 3.
+	MaxNodeFailures int
+	// Cooldown is the first quarantine's length, doubling each round up
+	// to MaxCooldown. Zero means 250ms / 15s.
+	Cooldown    time.Duration
+	MaxCooldown time.Duration
+	// MaxTries bounds placements per attempt before the trial surfaces as
+	// a transient NodeDownFailure; values below 1 mean 8× the fleet size.
+	MaxTries int
+	// Telemetry and Trace optionally receive the shared runner_* series
+	// plus the dispatch_* fleet counters. When a ChaosRunner wraps this
+	// pool, wire them to the chaos layer instead.
+	Telemetry *telemetry.Registry
+	Trace     *telemetry.Tracer
+	// FaultHook, when set, is consulted before every placement and forces
+	// a simulated node death when it returns true. The chaos layer's
+	// node-down plans plug in here (Plan.NodeDownHook); the schedule is a
+	// pure function of (seed, key, try) — deliberately not of the node —
+	// so injected flaps are identical at any fleet size.
+	FaultHook func(node, key string, try int) bool
+
+	profile *workload.Profile
+	now     func() time.Time
+
+	mu      sync.Mutex
+	nodes   []*node
+	fleet   *Fleet
+	orphans []string
+	elapsed float64
+	reps    map[string]int
+	cache   map[string]runner.Measurement
+
+	hbStop chan struct{}
+	hbDone chan struct{}
+}
+
+// node is the Pool's view of one evaluator.
+type node struct {
+	ev   Evaluator
+	name string
+
+	inflight int       // trials currently placed here
+	fails    int       // consecutive placement failures
+	rounds   int       // quarantine rounds survived (cooldown doubling)
+	until    time.Time // quarantined until; zero when healthy
+	dead     bool      // currently considered dead (journaled)
+	evals    uint64    // successful evaluations served
+}
+
+// errInjectedNodeDown marks a FaultHook-forced placement failure.
+var errInjectedNodeDown = errors.New("dispatch: injected node-down fault")
+
+// NewPool builds a pool over evs measuring prof. At least one evaluator
+// is required.
+func NewPool(prof *workload.Profile, evs ...Evaluator) (*Pool, error) {
+	if prof == nil {
+		return nil, errors.New("dispatch: pool needs a workload profile")
+	}
+	if len(evs) == 0 {
+		return nil, errors.New("dispatch: pool needs at least one evaluator node")
+	}
+	p := &Pool{
+		Noise:   -1,
+		profile: prof,
+		now:     time.Now,
+		reps:    make(map[string]int),
+		cache:   make(map[string]runner.Measurement),
+	}
+	p.TimeoutSeconds = 6 * jvmsim.New().DefaultWall(flags.NewRegistry(), prof, 1)
+	seen := make(map[string]bool)
+	for _, ev := range evs {
+		name := ev.Name()
+		if seen[name] {
+			return nil, fmt.Errorf("dispatch: duplicate node name %q", name)
+		}
+		seen[name] = true
+		p.nodes = append(p.nodes, &node{ev: ev, name: name})
+	}
+	return p, nil
+}
+
+// Workload implements runner.Runner.
+func (p *Pool) Workload() *workload.Profile { return p.profile }
+
+// Elapsed implements runner.Runner.
+func (p *Pool) Elapsed() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.elapsed
+}
+
+// DeterminismFingerprint implements the core engine's fingerprint hook.
+// The pool is byte-equivalent to the in-process runner by construction
+// (the differential suite proves it), and the checkpoint fingerprint
+// guards determinism inputs, not transport — so a checkpoint written
+// under either resumes under the other.
+func (p *Pool) DeterminismFingerprint() string { return "*runner.InProcess" }
+
+// Orphans returns the trial keys recovered from the fleet journal as
+// in-flight when a previous controller died, sorted. Their ownership has
+// been cleared; the session's own checkpoint replay decides whether they
+// re-run, so nothing is lost or double-counted.
+func (p *Pool) Orphans() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.orphans...)
+}
+
+// AttachFleet wires a durable fleet journal (and the view replayed from
+// it) into the pool: known-dead nodes start quarantined until a probe
+// revives them, orphaned in-flight trials are adopted, and membership for
+// new nodes is journaled. Call before the first Measure. The pool owns
+// the journal from here; Close closes it.
+func (p *Pool) AttachFleet(f *Fleet, view *FleetView) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fleet = f
+	known := make(map[string]bool)
+	if view != nil {
+		for _, n := range view.Known {
+			known[n] = true
+		}
+	}
+	t := p.now()
+	for _, nd := range p.nodes {
+		if !known[nd.name] {
+			f.register(nd.name)
+		}
+		if view != nil && view.Dead[nd.name] {
+			// Last seen dead: keep it out of rotation until a heartbeat or
+			// half-open placement proves it back.
+			nd.dead = true
+			nd.until = t.Add(p.cooldown(0))
+		}
+	}
+	if view != nil && len(view.Inflight) > 0 {
+		for key, owner := range view.Inflight {
+			p.orphans = append(p.orphans, key)
+			f.settle(owner, key)
+		}
+		sort.Strings(p.orphans)
+		p.Telemetry.Counter("dispatch_orphans_adopted_total").Add(uint64(len(p.orphans)))
+	}
+}
+
+func (p *Pool) maxNodeFailures() int {
+	if p.MaxNodeFailures < 1 {
+		return 3
+	}
+	return p.MaxNodeFailures
+}
+
+func (p *Pool) maxTries() int {
+	if p.MaxTries >= 1 {
+		return p.MaxTries
+	}
+	return 8 * len(p.nodes)
+}
+
+// cooldown returns the quarantine length for round r (0-based), doubling
+// from Cooldown up to MaxCooldown.
+func (p *Pool) cooldown(r int) time.Duration {
+	base := p.Cooldown
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	capd := p.MaxCooldown
+	if capd <= 0 {
+		capd = 15 * time.Second
+	}
+	d := base
+	for i := 0; i < r && d < capd; i++ {
+		d *= 2
+	}
+	if d > capd {
+		d = capd
+	}
+	return d
+}
+
+// shardOf maps a trial key to its preferred node index.
+func shardOf(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// eligible reports whether the node is in rotation at time t: healthy, or
+// quarantined with an expired cooldown (a half-open probe slot).
+func (nd *node) eligible(t time.Time) bool {
+	return nd.until.IsZero() || !t.Before(nd.until)
+}
+
+// acquire picks a node for key and accounts the placement. Preference:
+// the key's shard owner, unless another eligible node has strictly fewer
+// trials in flight (work-stealing). When every node is quarantined the
+// least-loaded node is force-probed anyway — giving up instantly would
+// turn one bad burst into a dead session. Returns nil only for an empty
+// fleet.
+func (p *Pool) acquire(key string) *node {
+	t := p.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best *node
+	for _, nd := range p.nodes {
+		if !nd.eligible(t) {
+			continue
+		}
+		if best == nil || nd.inflight < best.inflight {
+			best = nd
+		}
+	}
+	if best == nil {
+		// Fleet-wide quarantine: force a half-open probe instead of
+		// failing the trial outright.
+		for _, nd := range p.nodes {
+			if best == nil || nd.inflight < best.inflight {
+				best = nd
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		p.Telemetry.Counter("dispatch_forced_probes_total").Inc()
+	} else if pref := p.nodes[shardOf(key, len(p.nodes))]; pref.eligible(t) && pref.inflight <= best.inflight {
+		best = pref
+	}
+	best.inflight++
+	p.fleet.dispatch(best.name, key)
+	return best
+}
+
+// settle accounts the end of a placement: success resets the node's
+// breaker (reviving it if it was dead), failure advances it and may
+// quarantine the node.
+func (p *Pool) settle(nd *node, key string, ok bool) {
+	t := p.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nd.inflight--
+	p.fleet.settle(nd.name, key)
+	if ok {
+		nd.evals++
+		p.reviveLocked(nd)
+		return
+	}
+	p.failLocked(nd, t)
+}
+
+// reviveLocked resets a node's breaker after a successful interaction.
+func (p *Pool) reviveLocked(nd *node) {
+	if nd.dead {
+		nd.dead = false
+		p.fleet.alive(nd.name)
+		p.Telemetry.Counter("dispatch_node_revived_total").Inc()
+	}
+	nd.fails, nd.rounds, nd.until = 0, 0, time.Time{}
+}
+
+// failLocked advances a node's breaker after a failed interaction.
+func (p *Pool) failLocked(nd *node, t time.Time) {
+	nd.fails++
+	p.Telemetry.Counter("dispatch_node_failures_total").Inc()
+	if nd.fails < p.maxNodeFailures() {
+		return
+	}
+	nd.fails = 0
+	nd.until = t.Add(p.cooldown(nd.rounds))
+	nd.rounds++
+	p.Telemetry.Counter("dispatch_node_quarantined_total").Inc()
+	if !nd.dead {
+		nd.dead = true
+		p.fleet.dead(nd.name)
+	}
+}
+
+// Measure implements runner.Runner with the exact cache, rep-index,
+// retry, and telemetry semantics of runner.InProcess — the dispatch layer
+// only changes where the attempt body runs.
+func (p *Pool) Measure(cfg *flags.Config, reps int) runner.Measurement {
+	if reps < 1 {
+		reps = 1
+	}
+	key := cfg.Key()
+
+	p.mu.Lock()
+	if !p.DisableCache {
+		if m, ok := p.cache[key]; ok && (m.Failed || len(m.Walls) >= reps) {
+			p.mu.Unlock()
+			m.FromCache = true
+			m.CostSeconds = 0
+			runner.NoteCacheHit(p.Telemetry, p.Trace, key)
+			return m
+		}
+	}
+	p.mu.Unlock()
+
+	// ExplicitArgs, not CommandLine: the minimal rendering drops explicit
+	// assignments that equal a flag's default, and the simulated VM — like
+	// a real one — behaves differently when, say, UseParallelGC is forced
+	// rather than defaulted. The transport form must carry explicitness.
+	args := cfg.ExplicitArgs()
+	m := p.Retry.Run(func(n int) runner.Measurement {
+		// Each attempt draws fresh noise-rep indices so a retried run is a
+		// genuinely new measurement, not a replay.
+		p.mu.Lock()
+		repBase := p.reps[key]
+		p.reps[key] = repBase + reps
+		p.mu.Unlock()
+
+		req := &TrialRequest{
+			Key: key, Benchmark: p.profile.Name, Args: args,
+			RepBase: repBase, Reps: reps,
+			TimeoutSeconds: p.TimeoutSeconds, Noise: p.Noise,
+		}
+		m := p.place(req)
+		runner.NoteAttempt(p.Telemetry, p.Trace, key, n, n > 0, m)
+		return m
+	})
+	runner.NoteMeasured(p.Telemetry, p.Trace, key, m)
+
+	p.mu.Lock()
+	p.elapsed += m.CostSeconds
+	if !p.DisableCache && !m.Transient {
+		p.cache[key] = m
+	}
+	p.mu.Unlock()
+	return m
+}
+
+// place runs one measurement attempt against the fleet, silently
+// re-dispatching across node deaths. Every placement failure is free in
+// virtual time — the trial never ran anywhere — and invisible to the
+// trace; only the dispatch_* counters see it. The attempt ends with the
+// first node that answers (its measurement is node-independent), with a
+// deterministic rejection, or — after MaxTries placements — with a
+// transient NodeDownFailure for the retry policy to absorb.
+func (p *Pool) place(req *TrialRequest) runner.Measurement {
+	p.Telemetry.Counter("dispatch_trials_total").Inc()
+	for try := 0; try < p.maxTries(); try++ {
+		if try > 0 {
+			p.Telemetry.Counter("dispatch_redispatch_total").Inc()
+		}
+		nd := p.acquire(req.Key)
+		if nd == nil {
+			break
+		}
+		var res *TrialResult
+		var err error
+		if p.FaultHook != nil && p.FaultHook(nd.name, req.Key, try) {
+			p.Telemetry.Counter("dispatch_injected_node_down_total").Inc()
+			err = &NodeError{Node: nd.name, Err: errInjectedNodeDown}
+		} else {
+			res, err = nd.ev.Evaluate(context.Background(), req)
+			if err == nil && res.Measurement.Key != req.Key {
+				// A node answering with the wrong trial is broken, not the
+				// request: treat it like a transport fault.
+				err = &NodeError{Node: nd.name, Err: fmt.Errorf("answered key %q for trial %q", res.Measurement.Key, req.Key)}
+			}
+		}
+		if err == nil {
+			p.settle(nd, req.Key, true)
+			p.Telemetry.Counter("dispatch_evals_total").Inc()
+			return res.Measurement
+		}
+		p.settle(nd, req.Key, false)
+		if permanentError(err) {
+			// The node understood the request and refused it; every node
+			// would. The rejection condemns the trial deterministically.
+			p.Telemetry.Counter("dispatch_rejected_total").Inc()
+			return runner.Measurement{
+				Key: req.Key, Failed: true, Failure: runner.NodeRejectedFailure,
+				FailureMessage: err.Error(),
+			}
+		}
+	}
+	p.Telemetry.Counter("dispatch_no_node_total").Inc()
+	return runner.Measurement{
+		Key: req.Key, Failed: true, Failure: runner.NodeDownFailure,
+		FailureMessage: fmt.Sprintf("dispatch: no evaluator node reachable after %d placements", p.maxTries()),
+	}
+}
+
+// permanentError reports whether a placement error is a deterministic
+// protocol rejection rather than a node fault.
+func permanentError(err error) bool {
+	var ne *NodeError
+	if errors.As(err, &ne) {
+		return ne.Permanent
+	}
+	var re *RequestError
+	return errors.As(err, &re)
+}
+
+// Pinger is implemented by evaluators that support liveness probes
+// (Remote); heartbeats skip the rest.
+type Pinger interface {
+	Ping(ctx context.Context) error
+}
+
+// Probe pings every probeable node once, reviving quarantined nodes that
+// answer and advancing the breaker of nodes that don't.
+func (p *Pool) Probe(ctx context.Context) {
+	p.mu.Lock()
+	nds := append([]*node(nil), p.nodes...)
+	p.mu.Unlock()
+	for _, nd := range nds {
+		pg, ok := nd.ev.(Pinger)
+		if !ok {
+			continue
+		}
+		p.Telemetry.Counter("dispatch_heartbeats_total").Inc()
+		err := pg.Ping(ctx)
+		t := p.now()
+		p.mu.Lock()
+		if err == nil {
+			p.reviveLocked(nd)
+		} else {
+			p.failLocked(nd, t)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// StartHeartbeats launches the periodic liveness prober. Call Close to
+// stop it.
+func (p *Pool) StartHeartbeats(every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hbStop != nil {
+		return
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	p.hbStop, p.hbDone = stop, done
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				p.Probe(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops heartbeats and closes the fleet journal, if any.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	stop, done := p.hbStop, p.hbDone
+	p.hbStop, p.hbDone = nil, nil
+	f := p.fleet
+	p.fleet = nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return f.Close()
+}
+
+// SnapshotState implements runner.StateSnapshotter, byte-for-byte the
+// in-process runner's serialization. Fleet state is deliberately absent —
+// it lives in its own journal and is not a determinism input.
+func (p *Pool) SnapshotState() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return runner.MarshalState(p.elapsed, p.reps, p.cache)
+}
+
+// RestoreState implements runner.StateSnapshotter.
+func (p *Pool) RestoreState(data []byte) error {
+	elapsed, reps, cache, err := runner.UnmarshalState(data)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.elapsed, p.reps, p.cache = elapsed, reps, cache
+	return nil
+}

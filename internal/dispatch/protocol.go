@@ -1,0 +1,167 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/flags"
+	"repro/internal/runner"
+)
+
+// The wire protocol between a tuning session and an evald measurement node
+// is one JSON round trip per evaluation attempt. The request names the
+// trial by its canonical config key and carries everything the measurement
+// is a function of — command-line args, benchmark name, noise-rep base,
+// repetition count, timeout, and noise level — so any node computes the
+// byte-identical measurement. The response is the runner.Measurement plus
+// the answering node's name; rejections are ErrorEnvelope with a stable
+// machine code, mirroring the httpapi admission envelopes.
+
+// Wire protocol bounds. Requests and responses are small (a config is a
+// few dozen flags); anything past the cap is a malformed or hostile
+// payload and is rejected before decoding.
+const (
+	// MaxRequestBytes bounds an evaluate request body.
+	MaxRequestBytes = 1 << 20
+	// MaxReps bounds repetitions per request; the paper uses single-digit
+	// rep counts, so anything large is a bogus payload, not a workload.
+	MaxReps = 1024
+	// MaxArgs bounds the command-line argument count per request.
+	MaxArgs = 4096
+)
+
+// Rejection codes carried in ErrorEnvelope.Code. Stable wire contract.
+const (
+	// CodeBadPayload: the body was not a well-formed TrialRequest.
+	CodeBadPayload = "bad-payload"
+	// CodeBadFlag: an argument referenced an unknown flag or malformed
+	// value (flags.UnknownFlagError and friends).
+	CodeBadFlag = "bad-flag"
+	// CodeBadBenchmark: the benchmark name resolved to no built-in profile.
+	CodeBadBenchmark = "bad-benchmark"
+	// CodeKeyMismatch: the declared trial key does not match the canonical
+	// key of the parsed configuration.
+	CodeKeyMismatch = "key-mismatch"
+	// CodeBusy: the node's admission control shed the request (HTTP 429).
+	CodeBusy = "busy"
+	// CodeMethod: wrong HTTP method or path usage (HTTP 405).
+	CodeMethod = "method"
+	// CodeInternal: the node hit an unexpected internal error (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// TrialRequest is one evaluation attempt on the wire.
+type TrialRequest struct {
+	// Key is the canonical configuration key (flags.Config.Key) the caller
+	// derived; the node re-derives it from Args and rejects on mismatch so
+	// a corrupted request can never be attributed to the wrong trial.
+	Key string `json:"key"`
+	// Benchmark names a built-in workload profile (workload.ByName).
+	Benchmark string `json:"benchmark"`
+	// Args is the full-fidelity -XX: command line of the configuration
+	// (flags.Config.ExplicitArgs): every explicit assignment, including
+	// forced defaults, so explicitness-dependent VM behavior survives the
+	// wire.
+	Args []string `json:"args,omitempty"`
+	// RepBase is the first noise-rep index of this attempt; the session's
+	// runner allocates rep indices so retries are fresh measurements.
+	RepBase int `json:"rep_base"`
+	// Reps is the repetition count.
+	Reps int `json:"reps"`
+	// TimeoutSeconds is the harness kill threshold; 0 disables it.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Noise is the simulator's relative noise stddev. Negative means the
+	// simulator default (jvmsim.DefaultNoise); the field is explicit so
+	// every node measures under the session's noise model.
+	Noise float64 `json:"noise"`
+}
+
+// TrialResult is a successful evaluation on the wire.
+type TrialResult struct {
+	// Node names the evaluator that produced the measurement (diagnostic
+	// only — the measurement is node-independent by construction).
+	Node string `json:"node,omitempty"`
+	// Measurement is the attempt's outcome, before retry accounting.
+	Measurement runner.Measurement `json:"measurement"`
+}
+
+// ErrorEnvelope is the JSON body of every evald rejection: a stable
+// machine code, a human diagnostic, and — for shed requests — a retry
+// hint. A bogus payload yields this envelope with status 400, never a
+// worker panic.
+type ErrorEnvelope struct {
+	Error             string `json:"error"`
+	Code              string `json:"code"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// RequestError is a typed protocol rejection: the request itself is
+// invalid, every node would refuse it the same way, and the dispatch layer
+// treats it as a deterministic verdict rather than a node fault.
+type RequestError struct {
+	Code string
+	msg  string
+}
+
+func (e *RequestError) Error() string { return e.msg }
+
+func reject(code, format string, args ...any) *RequestError {
+	return &RequestError{Code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the request's self-contained invariants (bounds and
+// required fields). Flag parsing and benchmark resolution happen later,
+// against a registry and profile table, and return their own codes.
+func (q *TrialRequest) Validate() error {
+	// Note: an empty Key is legitimate — it is the canonical key of the
+	// all-defaults configuration (the baseline trial). Key integrity is
+	// enforced by ParseConfig's mismatch check instead.
+	switch {
+	case q.Benchmark == "":
+		return reject(CodeBadPayload, "dispatch: request missing benchmark")
+	case q.Reps < 1 || q.Reps > MaxReps:
+		return reject(CodeBadPayload, "dispatch: reps %d outside [1, %d]", q.Reps, MaxReps)
+	case q.RepBase < 0 || q.RepBase > 1<<40:
+		return reject(CodeBadPayload, "dispatch: rep base %d out of range", q.RepBase)
+	case len(q.Args) > MaxArgs:
+		return reject(CodeBadPayload, "dispatch: %d args exceed limit %d", len(q.Args), MaxArgs)
+	case q.TimeoutSeconds < 0 || q.TimeoutSeconds > 1e9:
+		return reject(CodeBadPayload, "dispatch: timeout %g out of range", q.TimeoutSeconds)
+	case q.Noise > 1:
+		return reject(CodeBadPayload, "dispatch: noise %g out of range", q.Noise)
+	}
+	return nil
+}
+
+// DecodeTrialRequest parses and validates a request body. Unknown fields
+// fail closed: a request from a different protocol generation must be
+// rejected loudly, not half-understood.
+func DecodeTrialRequest(data []byte) (*TrialRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var q TrialRequest
+	if err := dec.Decode(&q); err != nil {
+		return nil, reject(CodeBadPayload, "dispatch: decode request: %v", err)
+	}
+	if dec.More() {
+		return nil, reject(CodeBadPayload, "dispatch: trailing data after request")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// ParseConfig resolves the request's Args against reg and verifies the
+// declared key matches the canonical key of the parsed configuration.
+func (q *TrialRequest) ParseConfig(reg *flags.Registry) (*flags.Config, error) {
+	cfg, err := flags.ParseArgs(reg, q.Args)
+	if err != nil {
+		return nil, reject(CodeBadFlag, "dispatch: parse args: %v", err)
+	}
+	if key := cfg.Key(); key != q.Key {
+		return nil, reject(CodeKeyMismatch, "dispatch: declared key %q but args derive %q", q.Key, key)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,149 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/flags"
+	"repro/internal/workload"
+)
+
+func wantCode(t *testing.T, err error, code string) {
+	t.Helper()
+	var re *RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RequestError(%s), got %T: %v", code, err, err)
+	}
+	if re.Code != code {
+		t.Fatalf("code = %q, want %q (err: %v)", re.Code, code, err)
+	}
+}
+
+func validRequest(t *testing.T) *TrialRequest {
+	t.Helper()
+	reg := flags.NewRegistry()
+	cfg := flags.NewConfig(reg)
+	cfg.SetInt("MaxHeapSize", 1<<30)
+	return &TrialRequest{
+		Key: cfg.Key(), Benchmark: "fop", Args: cfg.CommandLine(),
+		RepBase: 0, Reps: 2, TimeoutSeconds: 60, Noise: -1,
+	}
+}
+
+func TestDecodeTrialRequestRoundTrip(t *testing.T) {
+	req := validRequest(t)
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrialRequest(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Key != req.Key || got.Benchmark != req.Benchmark || got.Reps != req.Reps {
+		t.Fatalf("round trip mangled the request: %+v", got)
+	}
+}
+
+func TestDecodeTrialRequestRejections(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", ``},
+		{"not json", `]][[`},
+		{"truncated", `{"key":"k","bench`},
+		{"unknown field", `{"key":"k","benchmark":"fop","reps":1,"noise":-1,"exploit":"x"}`},
+		{"trailing data", `{"key":"k","benchmark":"fop","reps":1,"noise":-1}{"again":1}`},
+		{"missing benchmark", `{"key":"k","reps":1,"noise":-1}`},
+		{"zero reps", `{"key":"k","benchmark":"fop","reps":0,"noise":-1}`},
+		{"huge reps", `{"key":"k","benchmark":"fop","reps":99999,"noise":-1}`},
+		{"negative rep base", `{"key":"k","benchmark":"fop","reps":1,"rep_base":-1,"noise":-1}`},
+		{"negative timeout", `{"key":"k","benchmark":"fop","reps":1,"timeout_seconds":-5,"noise":-1}`},
+		{"absurd noise", `{"key":"k","benchmark":"fop","reps":1,"noise":40}`},
+		{"wrong type", `{"key":17,"benchmark":"fop","reps":1,"noise":-1}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeTrialRequest([]byte(c.body))
+			wantCode(t, err, CodeBadPayload)
+		})
+	}
+}
+
+func TestParseConfigRejectsUnknownFlag(t *testing.T) {
+	req := validRequest(t)
+	req.Args = []string{"-XX:+EnableTimeTravel"}
+	_, err := req.ParseConfig(flags.NewRegistry())
+	wantCode(t, err, CodeBadFlag)
+}
+
+func TestParseConfigRejectsKeyMismatch(t *testing.T) {
+	req := validRequest(t)
+	req.Key = "lies"
+	_, err := req.ParseConfig(flags.NewRegistry())
+	wantCode(t, err, CodeKeyMismatch)
+}
+
+func TestEvalRejectsWrongBenchmark(t *testing.T) {
+	prof, _ := workload.ByName("h2")
+	req := validRequest(t) // declares fop
+	_, err := Eval(prof, flags.NewRegistry(), req)
+	wantCode(t, err, CodeBadBenchmark)
+}
+
+func TestEvalMeasures(t *testing.T) {
+	prof, _ := workload.ByName("fop")
+	req := validRequest(t)
+	res, err := Eval(prof, flags.NewRegistry(), req)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if res.Measurement.Key != req.Key {
+		t.Fatalf("measurement key %q != request key %q", res.Measurement.Key, req.Key)
+	}
+	if res.Measurement.Failed || len(res.Measurement.Walls) != req.Reps {
+		t.Fatalf("unexpected measurement: %+v", res.Measurement)
+	}
+}
+
+// TestEvalRepBaseShiftsNoise: the same trial at different rep bases is a
+// different draw — the mechanism that makes retries fresh measurements —
+// while the same rep base reproduces bytes exactly.
+func TestEvalRepBaseShiftsNoise(t *testing.T) {
+	prof, _ := workload.ByName("fop")
+	reg := flags.NewRegistry()
+	req := validRequest(t)
+
+	a, err := Eval(prof, reg, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Eval(prof, reg, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Measurement.Mean != b.Measurement.Mean {
+		t.Fatal("identical requests must produce identical measurements")
+	}
+	shifted := *req
+	shifted.RepBase = 100
+	c, err := Eval(prof, reg, &shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Measurement.Mean == a.Measurement.Mean {
+		t.Fatal("shifting the rep base should draw fresh noise")
+	}
+}
+
+func TestNodeErrorMessage(t *testing.T) {
+	ne := &NodeError{Node: "n1", Status: 503, Err: errors.New("boom")}
+	if msg := ne.Error(); !strings.Contains(msg, "n1") || !strings.Contains(msg, "boom") {
+		t.Fatalf("node error should name the node and cause: %q", msg)
+	}
+	if !errors.Is(ne, ne.Err) && ne.Unwrap() == nil {
+		t.Fatal("node error should unwrap its cause")
+	}
+}

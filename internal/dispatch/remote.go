@@ -1,0 +1,161 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// EvaluatePath is the evald measurement endpoint.
+const EvaluatePath = "/v1/evaluate"
+
+// HealthPath is the evald liveness endpoint heartbeats probe.
+const HealthPath = "/healthz"
+
+// NodeError classifies a failed placement on one node. Transport faults
+// (connection refused, 5xx, shed, garbled response) are transient: the
+// trial is silently re-dispatched elsewhere and the node marked suspect.
+// Permanent errors are protocol rejections (4xx envelopes): every node
+// would refuse the same request, so re-dispatching is pointless and the
+// rejection becomes a deterministic verdict for the trial.
+type NodeError struct {
+	// Node names the evaluator that failed.
+	Node string
+	// Status is the HTTP status when the node answered at all.
+	Status int
+	// Code is the envelope code for protocol rejections.
+	Code string
+	// Permanent marks a deterministic protocol rejection.
+	Permanent bool
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *NodeError) Error() string {
+	verb := "placement failed"
+	if e.Permanent {
+		verb = "rejected trial"
+	}
+	s := fmt.Sprintf("dispatch: node %s %s", e.Node, verb)
+	if e.Status != 0 {
+		s += fmt.Sprintf(" (http %d)", e.Status)
+	}
+	if e.Code != "" {
+		s += fmt.Sprintf(" [%s]", e.Code)
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// Remote is the HTTP/JSON Evaluator: one POST per evaluation attempt
+// against an evald node. Safe for concurrent use.
+type Remote struct {
+	base string
+	// Client is the HTTP client; defaults to a dedicated client so node
+	// connection pools are independent of the ambient default transport.
+	Client *http.Client
+	// RequestTimeout bounds one evaluation round trip in real time.
+	// Defaults to 30s — generous, because the simulator answers in
+	// microseconds and anything slower is a sick node.
+	RequestTimeout time.Duration
+}
+
+// NewRemote builds a remote evaluator for addr, which may be a bare
+// "host:port" or a full "http://..." base URL.
+func NewRemote(addr string) *Remote {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Remote{base: base, Client: &http.Client{}}
+}
+
+// Name implements Evaluator; the node is named by its base URL.
+func (r *Remote) Name() string { return r.base }
+
+func (r *Remote) timeout() time.Duration {
+	if r.RequestTimeout > 0 {
+		return r.RequestTimeout
+	}
+	return 30 * time.Second
+}
+
+func (r *Remote) fail(status int, err error) *NodeError {
+	return &NodeError{Node: r.base, Status: status, Err: err}
+}
+
+// Evaluate implements Evaluator.
+func (r *Remote) Evaluate(ctx context.Context, req *TrialRequest) (*TrialResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, r.fail(0, fmt.Errorf("encode request: %w", err))
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.timeout())
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+EvaluatePath, bytes.NewReader(body))
+	if err != nil {
+		return nil, r.fail(0, err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := r.Client.Do(hr)
+	if err != nil {
+		return nil, r.fail(0, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
+	if err != nil {
+		return nil, r.fail(resp.StatusCode, fmt.Errorf("read response: %w", err))
+	}
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var res TrialResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			return nil, r.fail(resp.StatusCode, fmt.Errorf("decode response: %w", err))
+		}
+		return &res, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests:
+		// A 4xx envelope is the node refusing the request itself: a
+		// deterministic verdict, not a node fault. 429 is the exception —
+		// shed load is the node's problem, and the trial goes elsewhere.
+		var env ErrorEnvelope
+		if err := json.Unmarshal(data, &env); err != nil || env.Error == "" {
+			// A 4xx without a well-formed envelope is not our protocol
+			// speaking; treat the node as broken, not the request.
+			return nil, r.fail(resp.StatusCode, fmt.Errorf("malformed rejection body"))
+		}
+		return nil, &NodeError{Node: r.base, Status: resp.StatusCode, Code: env.Code, Permanent: true, Err: fmt.Errorf("%s", env.Error)}
+	default:
+		// 429, 5xx, or anything else: the node is sick or shedding.
+		return nil, r.fail(resp.StatusCode, fmt.Errorf("unexpected status"))
+	}
+}
+
+// Ping probes the node's liveness endpoint; used by Pool heartbeats.
+func (r *Remote) Ping(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, r.timeout())
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+HealthPath, nil)
+	if err != nil {
+		return r.fail(0, err)
+	}
+	resp, err := r.Client.Do(hr)
+	if err != nil {
+		return r.fail(0, err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return r.fail(resp.StatusCode, fmt.Errorf("unhealthy"))
+	}
+	return nil
+}

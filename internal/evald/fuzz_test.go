@@ -1,0 +1,95 @@
+package evald
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dispatch"
+)
+
+// FuzzEvaluateEnvelope throws arbitrary bytes at the evaluate endpoint
+// and holds the wire contract: every response is 200 with a TrialResult
+// or 4xx with a well-formed ErrorEnvelope — never a panic, never a naked
+// non-JSON error, never a 5xx for a bad input. The seed corpus under
+// testdata/fuzz covers the malformed-payload taxonomy (bad JSON, unknown
+// fields and flags, truncated bodies, key mismatches, bogus bounds).
+func FuzzEvaluateEnvelope(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(``),
+		[]byte(`{`),
+		[]byte(`]][[`),
+		[]byte(`{"key":"","benchmark":"fop","reps":1,"noise":-1}`),
+		[]byte(`{"key":"","benchmark":"fop","reps":1,"noise":-1,"surprise":true}`),
+		[]byte(`{"key":"","benchmark":"fop","args":["-XX:+NoSuchFlag"],"reps":1,"noise":-1}`),
+		[]byte(`{"key":"mismatch","benchmark":"fop","reps":1,"noise":-1}`),
+		[]byte(`{"key":"","benchmark":"quake3","reps":1,"noise":-1}`),
+		[]byte(`{"key":"","benchmark":"fop","reps":-3,"noise":-1}`),
+		[]byte(`{"key":"","benchmark":"fop","reps":1,"rep_base":900719925474,"noise":-1}`),
+		[]byte(`{"key":"","benchmark":"fop","reps":1,"noise":1e308}`),
+		[]byte(`{"key":"","benchmark":"fop","reps":1,"noise":-1}{"key":""}`),
+		[]byte(`{"key":"","benchmark":"fop","reps":1,"timeout_seconds":-1,"noise":-1}`),
+		[]byte("\x00\x01\x02\xff"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	srv := New(Config{MaxConcurrent: 4})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, dispatch.EvaluatePath, bytes.NewReader(body))
+		srv.ServeHTTP(w, r) // the handler's recover would turn a panic into a 500
+		switch {
+		case w.Code == http.StatusOK:
+			var res dispatch.TrialResult
+			if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+				t.Fatalf("200 with non-TrialResult body %q: %v", w.Body, err)
+			}
+		case w.Code >= 400 && w.Code < 500:
+			var env dispatch.ErrorEnvelope
+			if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+				t.Fatalf("%d with non-envelope body %q: %v", w.Code, w.Body, err)
+			}
+			if env.Code == "" || env.Error == "" {
+				t.Fatalf("%d envelope missing fields: %+v", w.Code, env)
+			}
+		default:
+			t.Fatalf("bogus payload produced status %d (body %q) — want 200 or 4xx", w.Code, w.Body)
+		}
+	})
+}
+
+// FuzzDecodeTrialRequest holds the decoder's contract directly: it
+// either returns a validated request or a typed *RequestError; any
+// request it accepts re-encodes and decodes to the same value.
+func FuzzDecodeTrialRequest(f *testing.F) {
+	f.Add([]byte(`{"key":"","benchmark":"fop","reps":1,"noise":-1}`))
+	f.Add([]byte(`{"key":"k","benchmark":"h2","args":["-Xmx4g"],"reps":3,"rep_base":7,"noise":0.01}`))
+	f.Add([]byte(`{"reps":1}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := dispatch.DecodeTrialRequest(body)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request fails to re-encode: %v", err)
+		}
+		again, err := dispatch.DecodeTrialRequest(out)
+		if err != nil {
+			t.Fatalf("re-encoded request rejected: %v (%s)", err, out)
+		}
+		if *req2str(req) != *req2str(again) {
+			t.Fatalf("round trip changed the request:\n%s\n%s", *req2str(req), *req2str(again))
+		}
+	})
+}
+
+func req2str(q *dispatch.TrialRequest) *string {
+	b, _ := json.Marshal(q)
+	s := string(b)
+	return &s
+}

@@ -1,0 +1,191 @@
+// Package evald is the measurement node of the distributed evaluation
+// plane: a thin HTTP server wrapping the shared evaluation core
+// (runner.EvalConfig via dispatch.Eval) behind the wire protocol of
+// internal/dispatch. It is deliberately stateless — a measurement is a
+// pure function of the request, so nodes are interchangeable, a killed
+// node loses nothing, and the controller's re-dispatch is free.
+//
+// Endpoints:
+//
+//	POST /v1/evaluate   one evaluation attempt; dispatch.TrialRequest in,
+//	                    dispatch.TrialResult out. Bogus payloads get a
+//	                    400 dispatch.ErrorEnvelope — never a panic.
+//	GET  /healthz       liveness for the controller's heartbeats.
+//	GET  /metrics       Prometheus exposition of the node's telemetry.
+//
+// Admission control mirrors the tuned farm: a concurrency gate sized to
+// the host sheds excess load with 429 + Retry-After and the same JSON
+// envelope shape, so a saturated node reads as "busy, come back" and the
+// dispatch layer steals the trial to a sibling.
+package evald
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+
+	"repro/internal/dispatch"
+	"repro/internal/flags"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a node.
+type Config struct {
+	// Node is the name the node reports in results and /healthz;
+	// defaults to "evald".
+	Node string
+	// MaxConcurrent bounds in-flight evaluations; excess requests are
+	// shed with 429. Values below 1 mean GOMAXPROCS.
+	MaxConcurrent int
+	// MaxBodyBytes bounds request bodies; values below 1 mean
+	// dispatch.MaxRequestBytes.
+	MaxBodyBytes int64
+	// Telemetry receives the node's metric series; nil means a private
+	// registry (always exposed via /metrics).
+	Telemetry *telemetry.Registry
+}
+
+// Server is an evald node. It implements http.Handler.
+type Server struct {
+	cfg Config
+	reg *flags.Registry
+	tel *telemetry.Registry
+	sem chan struct{}
+	mux *http.ServeMux
+}
+
+// New builds a node.
+func New(cfg Config) *Server {
+	if cfg.Node == "" {
+		cfg.Node = "evald"
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes < 1 {
+		cfg.MaxBodyBytes = dispatch.MaxRequestBytes
+	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New()
+	}
+	s := &Server{
+		cfg: cfg,
+		reg: flags.NewRegistry(),
+		tel: tel,
+		sem: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc(dispatch.EvaluatePath, s.handleEvaluate)
+	s.mux.HandleFunc(dispatch.HealthPath, s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeEnvelope emits the protocol rejection envelope.
+func writeEnvelope(w http.ResponseWriter, status int, env dispatch.ErrorEnvelope) {
+	w.Header().Set("Content-Type", "application/json")
+	if env.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", env.RetryAfterSeconds))
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(env)
+}
+
+func (s *Server) rejected(w http.ResponseWriter, status int, env dispatch.ErrorEnvelope) {
+	s.tel.Counter(`evald_rejected_total{code="` + env.Code + `"}`).Inc()
+	writeEnvelope(w, status, env)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	// A panic must never take the node down or leave the dispatcher
+	// hanging: whatever slipped past validation becomes a 500 envelope.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.tel.Counter("evald_panics_total").Inc()
+			writeEnvelope(w, http.StatusInternalServerError, dispatch.ErrorEnvelope{
+				Error: fmt.Sprintf("evald: internal error: %v", rec), Code: dispatch.CodeInternal,
+			})
+		}
+	}()
+
+	if r.Method != http.MethodPost {
+		s.rejected(w, http.StatusMethodNotAllowed, dispatch.ErrorEnvelope{
+			Error: "evald: POST required", Code: dispatch.CodeMethod,
+		})
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.tel.Counter("evald_shed_total").Inc()
+		s.rejected(w, http.StatusTooManyRequests, dispatch.ErrorEnvelope{
+			Error: "evald: node saturated", Code: dispatch.CodeBusy, RetryAfterSeconds: 1,
+		})
+		return
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.rejected(w, http.StatusBadRequest, dispatch.ErrorEnvelope{
+			Error: fmt.Sprintf("evald: read body: %v", err), Code: dispatch.CodeBadPayload,
+		})
+		return
+	}
+	req, err := dispatch.DecodeTrialRequest(body)
+	if err != nil {
+		s.rejected(w, http.StatusBadRequest, envelopeFor(err))
+		return
+	}
+	prof, ok := workload.ByName(req.Benchmark)
+	if !ok {
+		s.rejected(w, http.StatusBadRequest, dispatch.ErrorEnvelope{
+			Error: fmt.Sprintf("evald: unknown benchmark %q", req.Benchmark), Code: dispatch.CodeBadBenchmark,
+		})
+		return
+	}
+	res, err := dispatch.Eval(prof, s.reg, req)
+	if err != nil {
+		s.rejected(w, http.StatusBadRequest, envelopeFor(err))
+		return
+	}
+	res.Node = s.cfg.Node
+
+	s.tel.Counter("evald_evaluations_total").Inc()
+	s.tel.Histogram("evald_eval_cost_seconds", telemetry.DefSecondsBuckets).
+		Observe(res.Measurement.CostSeconds)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// envelopeFor renders a protocol error as its wire envelope.
+func envelopeFor(err error) dispatch.ErrorEnvelope {
+	env := dispatch.ErrorEnvelope{Error: err.Error(), Code: dispatch.CodeBadPayload}
+	var re *dispatch.RequestError
+	if errors.As(err, &re) {
+		env.Code = re.Code
+	}
+	return env
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"node":     s.cfg.Node,
+		"inflight": len(s.sem),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.tel.WritePrometheus(w)
+}

@@ -1,0 +1,226 @@
+package evald
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dispatch"
+	"repro/internal/flags"
+	"repro/internal/telemetry"
+)
+
+func evaluateBody(t testing.TB) []byte {
+	t.Helper()
+	cfg := flags.NewConfig(flags.NewRegistry())
+	cfg.SetInt("MaxHeapSize", 1<<30)
+	req := &dispatch.TrialRequest{
+		Key: cfg.Key(), Benchmark: "fop", Args: cfg.CommandLine(),
+		Reps: 2, TimeoutSeconds: 120, Noise: -1,
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func post(s *Server, body []byte) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest(http.MethodPost, dispatch.EvaluatePath, bytes.NewReader(body))
+	s.ServeHTTP(w, r)
+	return w
+}
+
+func decodeEnvelope(t *testing.T, w *httptest.ResponseRecorder) dispatch.ErrorEnvelope {
+	t.Helper()
+	var env dispatch.ErrorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatalf("rejection body is not an envelope: %v (body %q)", err, w.Body.String())
+	}
+	if env.Code == "" || env.Error == "" {
+		t.Fatalf("envelope missing code or error: %+v", env)
+	}
+	return env
+}
+
+func TestEvaluateHappyPath(t *testing.T) {
+	s := New(Config{Node: "w1"})
+	w := post(s, evaluateBody(t))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body)
+	}
+	var res dispatch.TrialResult
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if res.Node != "w1" {
+		t.Errorf("node = %q, want w1", res.Node)
+	}
+	if res.Measurement.Failed || len(res.Measurement.Walls) != 2 {
+		t.Fatalf("unexpected measurement: %+v", res.Measurement)
+	}
+}
+
+func TestEvaluateSameRequestSameBytes(t *testing.T) {
+	s := New(Config{})
+	body := evaluateBody(t)
+	a, b := post(s, body), post(s, body)
+	if a.Code != http.StatusOK || b.Code != http.StatusOK {
+		t.Fatalf("status %d/%d", a.Code, b.Code)
+	}
+	if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
+		t.Fatal("a node must answer identical requests with identical bytes")
+	}
+}
+
+func TestEvaluateRejections(t *testing.T) {
+	s := New(Config{})
+	cases := []struct {
+		name string
+		body string
+		code string
+	}{
+		{"garbage", `%%%%`, dispatch.CodeBadPayload},
+		{"unknown benchmark", `{"key":"","benchmark":"quake3","reps":1,"noise":-1}`, dispatch.CodeBadBenchmark},
+		{"unknown flag", `{"key":"","benchmark":"fop","args":["-XX:+FTLDrive"],"reps":1,"noise":-1}`, dispatch.CodeBadFlag},
+		{"key mismatch", `{"key":"wrong","benchmark":"fop","reps":1,"noise":-1}`, dispatch.CodeKeyMismatch},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := post(s, []byte(c.body))
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (body %s)", w.Code, w.Body)
+			}
+			if env := decodeEnvelope(t, w); env.Code != c.code {
+				t.Fatalf("code %q, want %q", env.Code, c.code)
+			}
+		})
+	}
+}
+
+func TestEvaluateMethodNotAllowed(t *testing.T) {
+	s := New(Config{})
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, dispatch.EvaluatePath, nil))
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", w.Code)
+	}
+	if env := decodeEnvelope(t, w); env.Code != dispatch.CodeMethod {
+		t.Fatalf("code %q, want %q", env.Code, dispatch.CodeMethod)
+	}
+}
+
+func TestEvaluateOversizedBody(t *testing.T) {
+	s := New(Config{MaxBodyBytes: 64})
+	w := post(s, bytes.Repeat([]byte("x"), 1024))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+	if env := decodeEnvelope(t, w); env.Code != dispatch.CodeBadPayload {
+		t.Fatalf("code %q, want %q", env.Code, dispatch.CodeBadPayload)
+	}
+}
+
+func TestEvaluateShedsWhenSaturated(t *testing.T) {
+	tel := telemetry.New()
+	s := New(Config{MaxConcurrent: 1, Telemetry: tel})
+	s.sem <- struct{}{} // occupy the only slot
+	w := post(s, evaluateBody(t))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	env := decodeEnvelope(t, w)
+	if env.Code != dispatch.CodeBusy || env.RetryAfterSeconds < 1 {
+		t.Fatalf("busy envelope: %+v", env)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("shed responses should carry Retry-After")
+	}
+	if tel.Counter("evald_shed_total").Value() != 1 {
+		t.Error("shed should be counted")
+	}
+	<-s.sem
+	if w := post(s, evaluateBody(t)); w.Code != http.StatusOK {
+		t.Fatalf("freed node should serve again, got %d", w.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := New(Config{Node: "w9"})
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, dispatch.HealthPath, nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Node   string `json:"node"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Node != "w9" {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	s := New(Config{})
+	post(s, evaluateBody(t))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "evald_evaluations_total") {
+		t.Fatalf("metrics missing evaluation counter:\n%s", w.Body)
+	}
+}
+
+// TestRemoteAgainstServer closes the loop: the dispatch.Remote client
+// against a real evald server over a socket classifies success, protocol
+// rejections, and shedding exactly as the Pool expects.
+func TestRemoteAgainstServer(t *testing.T) {
+	s := New(Config{Node: "w1"})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	rem := dispatch.NewRemote(strings.TrimPrefix(ts.URL, "http://"))
+
+	ctx := context.Background()
+	var req dispatch.TrialRequest
+	if err := json.Unmarshal(evaluateBody(t), &req); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rem.Evaluate(ctx, &req)
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if res.Node != "w1" || res.Measurement.Key != req.Key {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if err := rem.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	// A protocol rejection must classify as permanent.
+	bad := req
+	bad.Key = "mismatched"
+	_, err = rem.Evaluate(ctx, &bad)
+	var ne *dispatch.NodeError
+	if !errors.As(err, &ne) || !ne.Permanent || ne.Code != dispatch.CodeKeyMismatch {
+		t.Fatalf("want permanent key-mismatch NodeError, got %v", err)
+	}
+
+	// A dead socket must classify as transient.
+	ts.Close()
+	_, err = rem.Evaluate(ctx, &req)
+	if !errors.As(err, &ne) || ne.Permanent {
+		t.Fatalf("want transient NodeError from dead socket, got %v", err)
+	}
+}

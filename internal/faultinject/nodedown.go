@@ -1,0 +1,23 @@
+package faultinject
+
+// nodeDownSalt decorrelates the node-down schedule from the measurement
+// fault schedule, which hashes the same (seed, key, attempt) triple.
+const nodeDownSalt = 0x6e6f6465 // "node"
+
+// NodeDownHook derives the dispatch-layer node-death schedule from the
+// plan: a pure hash of (seed, trial key, placement try) decides whether a
+// placement fails as if the chosen node had just died. The node's
+// identity is deliberately *not* hashed — the schedule must not depend on
+// fleet size or placement order, so an injected-flap session produces the
+// same draws (and, since re-dispatch is free and silent, the same bytes)
+// on two nodes or twenty. Returns nil when the plan injects no node
+// deaths; the result plugs into dispatch.Pool.FaultHook.
+func (p Plan) NodeDownHook(seed int64) func(node, key string, try int) bool {
+	prob := p.NodeDown
+	if prob <= 0 {
+		return nil
+	}
+	return func(_, key string, try int) bool {
+		return hash01(seed^nodeDownSalt, key, try) < prob
+	}
+}

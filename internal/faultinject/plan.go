@@ -61,6 +61,14 @@ type Plan struct {
 	// straggler watchdog can resolve first-result-wins hedging.
 	// Stragglers are slowdowns, not failures — they are never retried.
 	Straggle float64
+	// NodeDown is the probability one *placement* of a trial on an
+	// evaluator node fails as if the node had just died (distributed
+	// sessions only; see internal/dispatch). It is a dispatch-layer fault,
+	// not a measurement fault: the dispatch pool consults NodeDownHook
+	// before each placement and silently re-dispatches at zero virtual
+	// cost, so it does not enter Active(), the failure-probability sum,
+	// or the ChaosRunner schedule.
+	NodeDown float64
 
 	// SpikeFactor multiplies wall times on a spike; values < 1 mean the
 	// default, 3.
@@ -142,6 +150,11 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("faultinject: %s probability %g outside [0,1]", f.name, f.v)
 		}
 	}
+	// node-down draws per placement, and the dispatch layer re-dispatches
+	// until one succeeds — probability 1 would mean no placement ever can.
+	if p.NodeDown < 0 || p.NodeDown >= 1 {
+		return fmt.Errorf("faultinject: node-down probability %g outside [0,1)", p.NodeDown)
+	}
 	if sum := p.failureProb() + p.Spike + p.Straggle; sum > 1 {
 		return fmt.Errorf("faultinject: fault probabilities sum to %g (> 1)", sum)
 	}
@@ -176,6 +189,11 @@ func (p Plan) String() string {
 			parts = append(parts, fmt.Sprintf("straggle-factor=%g", n.StraggleFactor))
 		}
 	}
+	// node-down, like crash-at, only enters the canonical form when set:
+	// older checkpoints fingerprinted fleets-never-flap plans without it.
+	if p.NodeDown > 0 {
+		parts = append(parts, fmt.Sprintf("node-down=%g", p.NodeDown))
+	}
 	if p.CrashAtTrial > 0 {
 		parts = append(parts, fmt.Sprintf("crash-at=%d", p.CrashAtTrial))
 	}
@@ -205,6 +223,11 @@ var scenarios = map[string]Plan{
 	// overload-burst: a congested farm — stalled deliveries plus real
 	// blocking hangs and flaky launches, the admission-control drill.
 	"overload-burst": {Straggle: 0.15, StraggleFactor: 6, Launch: 0.05, Hang: 0.05},
+	// node-flaps: a distributed fleet whose nodes keep dropping placements
+	// while the harness also stalls deliveries — the flaps-during-hedge
+	// drill. The node-down draws hit the dispatch layer (free, silent
+	// re-dispatch); the straggles exercise the watchdog on top.
+	"node-flaps": {NodeDown: 0.2, Straggle: 0.06, StraggleFactor: 16},
 }
 
 // Scenarios lists the named plans, sorted.
@@ -226,10 +249,11 @@ func Scenario(name string) (Plan, bool) {
 
 // ParsePlan builds a plan from a scenario name or a DSL spec. The empty
 // string is the empty plan. DSL keys: launch, corrupt, crash, hang, spike,
-// straggle (probabilities in [0,1]); spike-factor, straggle-factor,
-// hang-cost, crash-cost (floats); streak (max consecutive injected failures
-// per config, int ≥ 1); crash-at (kill the session after that many trials,
-// int ≥ 1 — the checkpoint/resume drill).
+// straggle (probabilities in [0,1]); node-down (per-placement node-death
+// probability in [0,1), distributed sessions only); spike-factor,
+// straggle-factor, hang-cost, crash-cost (floats); streak (max consecutive
+// injected failures per config, int ≥ 1); crash-at (kill the session after
+// that many trials, int ≥ 1 — the checkpoint/resume drill).
 func ParsePlan(spec string) (Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -274,6 +298,8 @@ func ParsePlan(spec string) (Plan, error) {
 		switch k {
 		case "launch":
 			p.Launch = x
+		case "node-down":
+			p.NodeDown = x
 		case "corrupt":
 			p.Corrupt = x
 		case "crash":

@@ -14,11 +14,30 @@ import (
 // Experimental flags are preceded by -XX:+UnlockExperimentalVMOptions and
 // diagnostic flags by -XX:+UnlockDiagnosticVMOptions, exactly once, as a
 // real launch would require.
-func (c *Config) CommandLine() []string {
+//
+// This is the human-facing minimal form: explicit assignments that equal
+// the flag's default are omitted. It preserves the configuration's
+// canonical key but NOT its explicit-assignment set — and the VM
+// distinguishes the two (an explicit -XX:+UseParallelGC conflicts with
+// -XX:+UseG1GC even though parallel is the default). Transports that must
+// reproduce behavior exactly use ExplicitArgs instead.
+func (c *Config) CommandLine() []string { return c.renderArgs(false) }
+
+// ExplicitArgs renders EVERY explicitly assigned flag of c, including
+// assignments that equal the flag's default, in the same java-style form
+// as CommandLine. This is the full-fidelity transport encoding: parsing
+// it back with ParseArgs reproduces both the effective values and the
+// explicit-assignment set, so explicitness-dependent VM behavior
+// (collector conflicts, engaged inert flags) survives the trip. The
+// subprocess runner and the distributed evaluation plane ship configs in
+// this form.
+func (c *Config) ExplicitArgs() []string { return c.renderArgs(true) }
+
+func (c *Config) renderArgs(includeDefaults bool) []string {
 	var args []string
 	needExperimental, needDiagnostic := false, false
 	c.EachExplicit(func(f *Flag, v Value) {
-		if v.Equal(f.Type, f.Default) {
+		if !includeDefaults && v.Equal(f.Type, f.Default) {
 			return
 		}
 		switch f.Kind {

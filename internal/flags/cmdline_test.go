@@ -1,6 +1,7 @@
 package flags
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 )
@@ -212,6 +213,56 @@ func TestParseSize(t *testing.T) {
 		}
 		if !c.ok && err == nil {
 			t.Errorf("parseSize(%q) should fail", c.in)
+		}
+	}
+}
+
+func TestExplicitArgsKeepForcedDefaults(t *testing.T) {
+	r := NewRegistry()
+	c := NewConfig(r)
+	c.SetBool("UseParallelGC", true) // explicit, equal to default
+	c.SetBool("UseG1GC", true)
+	got := c.ExplicitArgs()
+	want := []string{"-XX:+UseG1GC", "-XX:+UseParallelGC"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExplicitArgs = %v, want %v", got, want)
+	}
+	// The minimal form still drops the forced default.
+	if min := c.CommandLine(); !reflect.DeepEqual(min, []string{"-XX:+UseG1GC"}) {
+		t.Errorf("CommandLine = %v, want just -XX:+UseG1GC", min)
+	}
+}
+
+// Property: ExplicitArgs round-trips the explicit-assignment set exactly,
+// not just the canonical key — the fidelity the subprocess runner and the
+// distributed evaluation plane depend on.
+func TestExplicitArgsRoundTripsExplicitness(t *testing.T) {
+	reg := NewRegistry()
+	names := reg.TunableNames()
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 200; trial++ {
+		c := NewConfig(reg)
+		n := 1 + rng.Intn(24)
+		for i := 0; i < n; i++ {
+			name := names[rng.Intn(len(names))]
+			c.put(name, SampleValue(reg.Lookup(name), rng))
+		}
+		parsed, err := ParseArgs(reg, c.ExplicitArgs())
+		if err != nil {
+			t.Fatalf("trial %d: cannot parse own rendering: %v", trial, err)
+		}
+		if parsed.Key() != c.Key() {
+			t.Fatalf("trial %d: key changed: %q vs %q", trial, parsed.Key(), c.Key())
+		}
+		if got, want := parsed.ExplicitNames(), c.ExplicitNames(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: explicit set changed\n in: %v\nout: %v", trial, want, got)
+		}
+		for _, name := range c.ExplicitNames() {
+			av, _ := c.Get(name)
+			bv, _ := parsed.Get(name)
+			if f := reg.Lookup(name); !av.Equal(f.Type, bv) {
+				t.Fatalf("trial %d: %s changed value across the wire", trial, name)
+			}
 		}
 	}
 }

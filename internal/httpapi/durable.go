@@ -353,6 +353,7 @@ func (s *Server) removeJobCheckpoint(id int) {
 		return
 	}
 	_ = os.Remove(s.jobCheckpointPath(id))
+	_ = os.Remove(s.jobCheckpointPath(id) + ".fleet")
 }
 
 // durableOptions attaches checkpoint/resume wiring to a job's session
@@ -370,6 +371,11 @@ func (s *Server) durableOptions(opts *hotspot.Options, id int) {
 	opts.CheckpointPath = path
 	opts.CheckpointEveryTrials = s.cfg.CheckpointEveryTrials
 	opts.Resume = true
+	if len(s.cfg.Nodes) > 0 {
+		// A distributed durable job keeps its fleet view next to its
+		// checkpoint, recovered on the same resume path.
+		opts.FleetStatePath = path + ".fleet"
+	}
 }
 
 // Crash simulates the process dying mid-flight — kill -9, not a graceful

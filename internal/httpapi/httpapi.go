@@ -207,6 +207,13 @@ type Config struct {
 	// minimal record stream reproducing the live job store. 0 means the
 	// default (1 MiB); negative disables compaction.
 	JournalCompactBytes int64
+	// Nodes, when non-empty, runs every tuning session against this fleet
+	// of evald evaluator nodes ("host:port" or URLs) instead of measuring
+	// in-process: tuned becomes the control plane of the distributed
+	// evaluation plane (see docs/DISTRIBUTED.md). Results for a fixed seed
+	// are byte-identical either way. With StateDir, each job additionally
+	// journals its fleet view next to its checkpoint.
+	Nodes []string
 }
 
 // DefaultConfig returns the default resource bounds.
@@ -493,6 +500,7 @@ func (s *Server) runJob(job *Job) {
 		RetryAttempts: req.RetryAttempts,
 		Hedge:         req.Hedge,
 		Quarantine:    req.Quarantine,
+		Nodes:         s.cfg.Nodes,
 		Noise:         -1,
 		Telemetry:     job.tel,
 		Trace:         job.trace,

@@ -27,6 +27,18 @@ const (
 	// InjectedHangFailure marks an injected hang that the harness killed at
 	// its real-time deadline.
 	InjectedHangFailure jvmsim.FailureKind = "injected-hang"
+	// NodeDownFailure marks a trial that could not be placed on any live
+	// evaluator node: the whole fleet was dead or quarantined when the
+	// dispatch layer (internal/dispatch) gave up re-dispatching. The
+	// configuration itself is not condemned — a node death says nothing
+	// about the flags — so the kind is transient and never cached.
+	NodeDownFailure jvmsim.FailureKind = "node-down"
+	// NodeRejectedFailure marks a trial an evaluator node refused with a
+	// 400-class protocol rejection (unknown flag, key mismatch, bogus
+	// payload). The rejection is deterministic — every node would answer
+	// the same — so it condemns the configuration like a local validation
+	// failure would.
+	NodeRejectedFailure jvmsim.FailureKind = "node-rejected"
 )
 
 // Transient reports whether kind names a failure worth retrying. Everything
@@ -34,7 +46,7 @@ const (
 // deterministic: the configuration is condemned and the verdict cached.
 func Transient(kind jvmsim.FailureKind) bool {
 	switch kind {
-	case LaunchFlakeFailure, CorruptReportFailure, InjectedCrashFailure, InjectedHangFailure:
+	case LaunchFlakeFailure, CorruptReportFailure, InjectedCrashFailure, InjectedHangFailure, NodeDownFailure:
 		return true
 	}
 	return false

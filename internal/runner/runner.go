@@ -169,32 +169,7 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 		r.reps[key] = repBase + reps
 		r.mu.Unlock()
 
-		m := Measurement{Key: key}
-		// Score the whole repetition batch in one simulator call: the cost
-		// model runs once and only the per-rep noise factor differs.
-		var buf [16]jvmsim.Result
-		for _, res := range r.sim.RunReps(cfg, r.profile, repBase, reps, buf[:0]) {
-			cost := res.WallSeconds + LaunchOverheadSeconds
-			if r.TimeoutSeconds > 0 && !res.Failed && res.WallSeconds > r.TimeoutSeconds {
-				res.Failed = true
-				res.Failure = TimeoutFailure
-				res.FailureMessage = fmt.Sprintf("killed after %.0fs (timeout)", r.TimeoutSeconds)
-				cost = r.TimeoutSeconds + LaunchOverheadSeconds
-			}
-			m.CostSeconds += cost
-			if res.Failed {
-				if !m.Failed {
-					m.Failed = true
-					m.Failure = res.Failure
-					m.FailureMessage = res.FailureMessage
-				}
-				// One failure condemns the configuration; don't waste budget.
-				break
-			}
-			m.Walls = append(m.Walls, res.WallSeconds)
-			m.Pauses = append(m.Pauses, res.MaxPauseSeconds)
-		}
-		finalizeMeans(&m)
+		m := EvalConfig(r.sim, r.profile, cfg, repBase, reps, r.TimeoutSeconds)
 		NoteAttempt(r.Telemetry, r.Trace, key, n, n > 0, m)
 		return m
 	})
@@ -209,6 +184,44 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 		r.cache[key] = m
 	}
 	r.mu.Unlock()
+	return m
+}
+
+// EvalConfig performs one measurement attempt of cfg: reps repetitions
+// starting at noise-rep index repBase, each cut off at timeoutSeconds
+// (0 disables the cut-off). It is the transport-independent evaluation
+// core shared by InProcess, the dispatch layer's local evaluator, and the
+// evald measurement server — the measurement content is a pure function of
+// (simulator, profile, config, repBase, reps, timeout), which is what makes
+// a remote evaluation byte-identical to a local one by construction.
+// Retry, caching, rep-index allocation, and telemetry stay with the caller.
+func EvalConfig(sim *jvmsim.Simulator, p *workload.Profile, cfg *flags.Config, repBase, reps int, timeoutSeconds float64) Measurement {
+	m := Measurement{Key: cfg.Key()}
+	// Score the whole repetition batch in one simulator call: the cost
+	// model runs once and only the per-rep noise factor differs.
+	var buf [16]jvmsim.Result
+	for _, res := range sim.RunReps(cfg, p, repBase, reps, buf[:0]) {
+		cost := res.WallSeconds + LaunchOverheadSeconds
+		if timeoutSeconds > 0 && !res.Failed && res.WallSeconds > timeoutSeconds {
+			res.Failed = true
+			res.Failure = TimeoutFailure
+			res.FailureMessage = fmt.Sprintf("killed after %.0fs (timeout)", timeoutSeconds)
+			cost = timeoutSeconds + LaunchOverheadSeconds
+		}
+		m.CostSeconds += cost
+		if res.Failed {
+			if !m.Failed {
+				m.Failed = true
+				m.Failure = res.Failure
+				m.FailureMessage = res.FailureMessage
+			}
+			// One failure condemns the configuration; don't waste budget.
+			break
+		}
+		m.Walls = append(m.Walls, res.WallSeconds)
+		m.Pauses = append(m.Pauses, res.MaxPauseSeconds)
+	}
+	finalizeMeans(&m)
 	return m
 }
 

@@ -53,6 +53,25 @@ func unmarshalRunnerState(data []byte) (runnerState, error) {
 	return st, nil
 }
 
+// MarshalState serializes the canonical runner state triple for a runner
+// implemented outside this package (internal/dispatch). Byte-for-byte the
+// same shape the core runners write, so a checkpoint taken under a remote
+// pool is indistinguishable from one taken in-process and either resumes
+// under the other.
+func MarshalState(elapsed float64, reps map[string]int, cache map[string]Measurement) ([]byte, error) {
+	return marshalRunnerState(elapsed, reps, cache)
+}
+
+// UnmarshalState is the inverse of MarshalState; it fails closed on
+// malformed bytes and never returns nil maps.
+func UnmarshalState(data []byte) (elapsed float64, reps map[string]int, cache map[string]Measurement, err error) {
+	st, err := unmarshalRunnerState(data)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return st.Elapsed, st.Reps, st.Cache, nil
+}
+
 // SnapshotState implements StateSnapshotter.
 func (r *InProcess) SnapshotState() ([]byte, error) {
 	r.mu.Lock()

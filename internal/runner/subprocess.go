@@ -185,7 +185,10 @@ var (
 func (r *Subprocess) launch(cfg *flags.Config, rep int) (*RunReport, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), r.RealTimeout)
 	defer cancel()
-	args := append(cfg.CommandLine(), r.profile.Name)
+	// Full-fidelity rendering: explicit-at-default assignments must reach
+	// the subprocess, since the simulated VM distinguishes forced defaults
+	// from silent ones (collector conflicts, engaged inert flags).
+	args := append(cfg.ExplicitArgs(), r.profile.Name)
 	cmd := exec.CommandContext(ctx, r.BinPath, args...)
 	cmd.Env = append(cmd.Environ(), RepEnvVar+"="+strconv.Itoa(rep))
 	var stdout, stderr bytes.Buffer

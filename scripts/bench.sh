@@ -34,6 +34,11 @@ trap 'rm -f "$OUT"' EXIT
 		./internal/flags ./internal/jvmsim
 	go test -run '^$' -bench 'BenchmarkSessionThroughput16' -benchtime 5s \
 		./internal/core
+	# The dispatch pair: the same fresh trial in-process and over loopback
+	# HTTP to a real evald handler. Their delta is the per-trial cost of
+	# the distributed plane's transport.
+	go test -run '^$' -bench '^BenchmarkDispatch' -benchmem -benchtime 1s \
+		./internal/dispatch
 } | tee /dev/stderr >"$OUT"
 
 latest="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"

@@ -14,7 +14,7 @@ go test -race ./...
 # Replay the checked-in fuzz seed corpora (no fuzzing engine, just the
 # corpus as regular tests) and enforce the coverage floors on the
 # measurement pipeline.
-go test -run 'Fuzz' ./internal/flags ./internal/runner ./internal/checkpoint
+go test -run 'Fuzz' ./internal/flags ./internal/runner ./internal/checkpoint ./internal/evald
 ./scripts/cover.sh
 
 # The durability gate: kill-and-resume drills for every searcher, the CLI,
@@ -25,6 +25,11 @@ make crash-matrix
 # requests keep answering, hedging and quarantine stay deterministic, and
 # budget-killed runs degrade to best-so-far instead of failing.
 make overload-drill
+
+# The distributed gate: fixed-seed sessions against real evald sockets —
+# including one where a node is SIGKILLed mid-session — stay byte-identical
+# to the in-process run, and fleet death degrades instead of failing.
+make dist-drill
 
 # The perf gate (opt-in, BENCH_CHECK=1): rerun the benchmark suite and fail
 # on >10% regression against the latest recorded BENCH_*.json. Off by
