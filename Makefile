@@ -1,6 +1,6 @@
 # Developer entry points. `make verify` is the tier-1 gate (see ROADMAP.md).
 
-.PHONY: verify build test bench bench-check cover crash-matrix overload-drill dist-drill
+.PHONY: verify build test bench bench-check cover crash-matrix overload-drill dist-drill transfer-drill
 
 verify:
 	./scripts/verify.sh
@@ -34,6 +34,17 @@ dist-drill:
 	go test -race -count=1 \
 	  -run 'TestDifferentialParallelWorkers|TestKillOneNodeByteIdentical|TestKillAllNodesDegradesToBestSoFar|TestNodeFlapsDuringHedgeByteIdentical|TestCLIDistDrill' \
 	  ./internal/dispatch .
+
+# The transfer drills: the cross-workload knowledge base's survival and
+# equivalence story. A warm-started session at half the cold trial budget
+# must reach the cold best; a store torn mid-record (a kill during an
+# append) must salvage its intact prefix and keep warm-starting; and a
+# warm-started session must be byte-identical in-process and against a
+# real evald fleet. See docs/TRANSFER.md.
+transfer-drill:
+	go test -race -count=1 \
+	  -run 'TestTransferWarmStartHalvesTrialBudget|TestTransferOffLeavesSessionByteIdentical|TestTransferBogusStoreDegradesToCold|TestStoreSalvagesTornTail|TestTuneTransferJob|TestCLITransferStoreTornTailDrill|TestCLITransferFleetEquivalence' \
+	  ./hotspot ./internal/transfer ./internal/httpapi .
 
 build:
 	go build ./...

@@ -45,6 +45,12 @@
 //
 //	autotune -benchmark h2 -checkpoint h2.ckpt -chaos crash-at=20
 //	autotune -benchmark h2 -checkpoint h2.ckpt -resume
+//
+// -transfer-dir DIR points the session at a cross-workload knowledge base
+// (see docs/TRANSFER.md): the search warm-starts from the best stored
+// configurations of the -transfer-k nearest workload fingerprints, and the
+// session's own winner is recorded back into DIR for future runs. A missing
+// or empty store simply yields a cold start.
 package main
 
 import (
@@ -110,6 +116,8 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "snapshot session state to this file for crash recovery")
 		ckptN    = flag.Int("checkpoint-every", 0, "checkpoint cadence in completed trials (0 = default 8)")
 		resume   = flag.Bool("resume", false, "continue the session recorded at -checkpoint")
+		xferDir  = flag.String("transfer-dir", "", "cross-workload knowledge-base directory: warm-start from it and record the winner into it")
+		xferK    = flag.Int("transfer-k", 0, "nearest stored fingerprints to draw warm-start priors from (0 = default 3)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		scens    = flag.Bool("scenarios", false, "list fault-injection scenarios and exit")
 	)
@@ -177,6 +185,8 @@ func main() {
 		CheckpointPath:        *ckpt,
 		CheckpointEveryTrials: *ckptN,
 		Resume:                *resume,
+		TransferDir:           *xferDir,
+		TransferK:             *xferK,
 	})
 	if err != nil {
 		var crash hotspot.SessionCrash
@@ -209,6 +219,21 @@ func main() {
 	}
 	if res.Quarantined > 0 {
 		fmt.Printf("quarantine:   %d trials rejected by the circuit breaker\n", res.Quarantined)
+	}
+	if res.Transfer != nil {
+		x := res.Transfer
+		if x.Priors > 0 {
+			fmt.Printf("transfer:     warm start — %d priors from %d stored entries (nearest %q, distance %.3f)\n",
+				x.Priors, x.StoreEntries, x.NearestWorkload, x.NearestDistance)
+			if x.RepairedFlags > 0 {
+				fmt.Printf("              %d stored flags dropped during registry repair\n", x.RepairedFlags)
+			}
+		} else {
+			fmt.Printf("transfer:     cold start — no usable priors in the store (%d entries)\n", x.StoreEntries)
+		}
+		if x.Recorded {
+			fmt.Printf("              winner recorded for future sessions\n")
+		}
 	}
 	if res.Chaos != "" && res.Chaos != "none" {
 		fmt.Printf("chaos:        %s\n", res.Chaos)

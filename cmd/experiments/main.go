@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|table2|figure1|table3|figure2|figure3|table4|seedvar|scaling|robustness|noise|objectives|common]
+//	experiments [-run all|table1|table2|figure1|table3|figure2|figure3|table4|seedvar|scaling|robustness|noise|objectives|transfer|common]
 //	            [-budget minutes] [-reps n] [-seed n] [-quick]
 package main
 
@@ -162,6 +162,14 @@ func dispatch(which string, cfg experiments.Config) error {
 			return err
 		}
 		fmt.Println(experiments.RenderObjectives(rows))
+	}
+	if all || which == "transfer" {
+		ran = true
+		rows, err := experiments.RunTransferEval(nil, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTransfer(rows))
 	}
 	if all || which == "common" {
 		ran = true

@@ -6,7 +6,7 @@
 //	tuned [-addr :8425] [-max-concurrent 4] [-max-jobs 256] [-pprof]
 //	      [-state-dir DIR] [-checkpoint-every N] [-journal-compact-bytes N]
 //	      [-queue-depth N] [-client-rate R] [-client-burst B]
-//	      [-nodes host:port,host:port]
+//	      [-nodes host:port,host:port] [-transfer-dir DIR]
 //
 // With -nodes, tuned is a control plane: every session's measurements are
 // dispatched to that fleet of evald worker nodes over HTTP/JSON instead of
@@ -44,6 +44,15 @@
 //
 //	curl -X POST localhost:8425/v1/tune \
 //	     -d '{"benchmark":"h2","chaos":"unstable-farm","retry_attempts":4}'
+//
+// -transfer-dir gives the farm a cross-workload knowledge base (see
+// docs/TRANSFER.md): jobs submitted with "transfer":true warm-start their
+// search from the best stored configurations of the nearest workload
+// fingerprints and record their winners back for later jobs; polls carry
+// the warm-start provenance in result.transfer:
+//
+//	curl -X POST localhost:8425/v1/tune \
+//	     -d '{"benchmark":"h2","transfer":true}'
 //
 // At most -max-concurrent tuning sessions run at once; further jobs queue.
 // The job store keeps at most -max-jobs entries, evicting the oldest
@@ -91,6 +100,7 @@ func main() {
 		clientRate    = flag.Float64("client-rate", 0, "per-client submissions per second, keyed by X-Client (0 = unlimited)")
 		clientBurst   = flag.Int("client-burst", 0, "per-client token-bucket burst (0 = max(1, ceil(client-rate)))")
 		nodes         = flag.String("nodes", "", "comma-separated evald nodes (host:port); run sessions against this fleet instead of in-process")
+		transferDir   = flag.String("transfer-dir", "", "cross-workload knowledge-base directory; jobs with \"transfer\":true warm-start from it and record winners into it")
 	)
 	flag.Parse()
 
@@ -110,6 +120,7 @@ func main() {
 		ClientRatePerSec:      *clientRate,
 		ClientBurst:           *clientBurst,
 		Nodes:                 nodeList,
+		TransferDir:           *transferDir,
 	})
 	if err != nil {
 		log.Fatalf("tuned: recovery failed: %v", err)
@@ -125,6 +136,9 @@ func main() {
 		*addr, *maxConcurrent, *maxJobs)
 	if *stateDir != "" {
 		fmt.Printf("tuned: durable farm state in %s (journal + per-job checkpoints)\n", *stateDir)
+	}
+	if *transferDir != "" {
+		fmt.Printf("tuned: cross-workload knowledge base in %s (jobs opt in with \"transfer\":true)\n", *transferDir)
 	}
 	fmt.Printf("tuned: metrics at /metrics")
 	if *pprofOn {

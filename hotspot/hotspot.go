@@ -13,6 +13,7 @@ package hotspot
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -170,6 +171,16 @@ type Options struct {
 	// fixed-seed run converges to the byte-identical result of an
 	// uninterrupted one.
 	Resume bool
+	// TransferDir, when non-empty, names the cross-workload knowledge-base
+	// directory (see docs/TRANSFER.md): the session warm-starts its search
+	// from the best configurations stored for the nearest workload
+	// fingerprints, and records its own winner for future sessions. Empty
+	// disables transfer entirely — no store is opened and the session is
+	// byte-identical to one on a build without the subsystem.
+	TransferDir string
+	// TransferK is the number of nearest stored fingerprints to draw
+	// warm-start priors from; 0 means the default (3).
+	TransferK int
 }
 
 // SessionCrash is the panic value of the crash-point fault
@@ -236,6 +247,9 @@ type Result struct {
 	ElapsedMinutes float64
 	// Trace is the anytime convergence curve (virtual seconds → best wall).
 	Trace []TracePoint
+	// Transfer is the warm-start provenance when Options.TransferDir was
+	// set; nil for cold sessions.
+	Transfer *TransferInfo `json:"transfer,omitempty"`
 
 	outcome *core.Outcome
 }
@@ -243,12 +257,25 @@ type Result struct {
 // Save writes the result as JSON to path; the stored command line
 // round-trips back into a configuration via LoadResult.
 func (r *Result) Save(path string) error {
-	return persist.SaveFile(path, r.outcome)
+	return r.saved().SaveFile(path)
 }
 
 // WriteJSON serializes the result as JSON to w.
 func (r *Result) WriteJSON(w io.Writer) error {
-	return persist.FromOutcome(r.outcome).Write(w)
+	return r.saved().Write(w)
+}
+
+// saved converts the outcome for archiving, attaching the warm-start
+// provenance so a stored result says where its priors came from. Cold
+// sessions archive byte-identically to builds without the field.
+func (r *Result) saved() *persist.SavedOutcome {
+	s := persist.FromOutcome(r.outcome)
+	if r.Transfer != nil {
+		if b, err := json.Marshal(r.Transfer); err == nil {
+			s.Transfer = b
+		}
+	}
+	return s
 }
 
 // LoadResult reads a previously saved result; it returns the stored
@@ -340,6 +367,17 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Warm-start plumbing. The session and the priors must share one
+	// registry instance: searchers diff and crossbreed configurations, and
+	// flags.Config operations panic across registries.
+	var xfer *transferSession
+	var reg *flags.Registry
+	if opts.TransferDir != "" {
+		reg = flags.NewRegistry()
+		xfer = transferSetup(opts, prof, reg)
+		searcher = core.NewWarmStart(searcher, xfer.samples())
+	}
+
 	plan, err := faultinject.ParsePlan(opts.Chaos)
 	if err != nil {
 		return nil, err
@@ -418,6 +456,7 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 	session := &core.Session{
 		Runner:        run,
 		Searcher:      searcher,
+		Reg:           reg,
 		BudgetSeconds: budget,
 		Reps:          opts.Reps,
 		Seed:          opts.Seed,
@@ -429,13 +468,19 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		Trace:         opts.Trace,
 		Checkpoint:    keeper,
 		Resume:        resume,
+		Transfer:      xfer.metaFingerprint(),
 	}
 	applyRobustness(session, opts)
 	out, err := session.Run()
 	if err != nil {
 		return nil, err
 	}
-	return resultFromOutcome(out, plan.Name), nil
+	res := resultFromOutcome(out, plan.Name)
+	// The store is written only here on the controller, and only after a
+	// completed session: a killed run leaves the store unchanged, so a
+	// checkpoint resume sees the same neighbours it checkpointed under.
+	xfer.finish(res, opts, prof, budget)
+	return res, nil
 }
 
 // heartbeatInterval is how often a distributed session probes its nodes'

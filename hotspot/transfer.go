@@ -1,0 +1,170 @@
+package hotspot
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/flags"
+	"repro/internal/transfer"
+	"repro/internal/workload"
+)
+
+// TransferInfo is the warm-start provenance of a tuning session that ran
+// with Options.TransferDir set: what the knowledge store contributed going
+// in, and whether this session's own result was recorded coming out.
+type TransferInfo struct {
+	// StoreEntries is the knowledge-base size at session start.
+	StoreEntries int `json:"store_entries"`
+	// Hits is the number of comparable stored fingerprint groups found;
+	// Priors is how many of their configurations survived validation and
+	// were injected as the session's first proposals.
+	Hits   int `json:"hits"`
+	Priors int `json:"priors"`
+	// NearestWorkload and NearestDistance identify the closest stored
+	// fingerprint (distance 0 = the same workload was tuned before).
+	NearestWorkload string  `json:"nearest_workload,omitempty"`
+	NearestDistance float64 `json:"nearest_distance,omitempty"`
+	// RepairedFlags counts stored arguments dropped during validation
+	// against the live flag registry (renamed or removed flags across
+	// store generations).
+	RepairedFlags int `json:"repaired_flags,omitempty"`
+	// Recorded reports that this session's best configuration was appended
+	// to the store for future sessions.
+	Recorded bool `json:"recorded"`
+}
+
+// transferSession carries the warm-start state of one tuning session from
+// store open (before the searcher proposes anything) to result recording
+// (after the session completes). All methods are nil-safe: a nil
+// transferSession is a session with transfer disabled, which takes no code
+// path through the transfer subsystem at all.
+type transferSession struct {
+	store  *transfer.Store
+	fp     transfer.Fingerprint
+	priors []transfer.Prior
+	info   *TransferInfo
+}
+
+// transferSetup opens the knowledge store under opts.TransferDir, queries
+// it for the profile's nearest fingerprints, and repairs the stored
+// configurations against reg (the registry instance the session will tune
+// over — priors must share it so searchers can diff and crossbreed them).
+//
+// Degradation is the rule: an unusable store — unreadable directory, a
+// future-version file this build must not touch — yields a cold start with
+// zero priors, never a failed session. The one case that also disables
+// *recording* is the future version: appending through an older build
+// would mean rewriting (and on compaction, destroying) a newer build's
+// knowledge.
+func transferSetup(opts Options, prof *workload.Profile, reg *flags.Registry) *transferSession {
+	ts := &transferSession{
+		fp:   transfer.FingerprintOf(prof),
+		info: &TransferInfo{},
+	}
+	st, err := transfer.Open(opts.TransferDir, opts.Telemetry)
+	if err != nil {
+		// Cold start; with no store handle nothing is recorded either.
+		return ts
+	}
+	ts.store = st
+	ts.info.StoreEntries = st.Len()
+	opts.Telemetry.Gauge("transfer_store_entries").Set(float64(st.Len()))
+
+	k := opts.TransferK
+	if k <= 0 {
+		k = 3
+	}
+	neighbors := st.Nearest(ts.fp, k)
+	ts.info.Hits = len(neighbors)
+	if len(neighbors) > 0 {
+		ts.info.NearestWorkload = neighbors[0].Entry.Workload
+		ts.info.NearestDistance = neighbors[0].Distance
+		opts.Telemetry.Gauge("transfer_nearest_distance").Set(neighbors[0].Distance)
+	}
+	ts.priors = transfer.Priors(st, reg, ts.fp, k)
+	ts.info.Priors = len(ts.priors)
+	for _, p := range ts.priors {
+		ts.info.RepairedFlags += p.Dropped
+	}
+	opts.Telemetry.Counter("transfer_priors_injected_total").Add(uint64(len(ts.priors)))
+	if ts.info.RepairedFlags > 0 {
+		opts.Telemetry.Counter("transfer_repaired_flags_total").Add(uint64(ts.info.RepairedFlags))
+	}
+	return ts
+}
+
+// samples renders the priors in the form core.NewWarmStart consumes.
+func (ts *transferSession) samples() []core.PriorSample {
+	if ts == nil {
+		return nil
+	}
+	out := make([]core.PriorSample, len(ts.priors))
+	for i, p := range ts.priors {
+		out[i] = core.PriorSample{Cfg: p.Config, Norm: p.Norm}
+	}
+	return out
+}
+
+// metaFingerprint renders the injected priors as the session's checkpoint
+// transfer fingerprint. Deterministic in the prior set, empty when no
+// priors were injected — a transfer-enabled session that found nothing in
+// the store checkpoints exactly like a cold one (it IS one), while a warm
+// checkpoint refuses to resume against a store whose nearest neighbours
+// have changed since (replay would diverge).
+func (ts *transferSession) metaFingerprint() string {
+	if ts == nil || len(ts.priors) == 0 {
+		return ""
+	}
+	keys := make([]string, len(ts.priors))
+	for i, p := range ts.priors {
+		keys[i] = p.Config.Key()
+	}
+	return fmt.Sprintf("fp=%s priors=%s", ts.fp.Key(), strings.Join(keys, "|"))
+}
+
+// finish records the session's winning configuration into the store (the
+// controller is the only writer — evald measurement nodes never see the
+// store), attaches the provenance to the result, and closes the store.
+func (ts *transferSession) finish(res *Result, opts Options, prof *workload.Profile, budgetSeconds float64) {
+	if ts == nil {
+		return
+	}
+	defer ts.store.Close()
+	res.Transfer = ts.info
+	// A best that is the default configuration carries no tuning knowledge
+	// (and would be skipped at load time anyway) — don't record it.
+	if ts.store == nil || res.Best == nil || res.Best.Key() == "" {
+		return
+	}
+	reps := opts.Reps
+	if reps <= 0 {
+		reps = 3
+	}
+	e := &transfer.Entry{
+		FP:            ts.fp,
+		Workload:      prof.Name,
+		Suite:         prof.Suite,
+		Searcher:      res.Searcher,
+		Objective:     string(resolveObjective(opts.Objective)),
+		Seed:          opts.Seed,
+		Reps:          reps,
+		Trials:        res.Trials,
+		BudgetSeconds: budgetSeconds,
+		Args:          res.Best.ExplicitArgs(),
+		Score:         res.BestWall,
+		BaselineScore: res.DefaultWall,
+	}
+	if err := ts.store.Append(e); err == nil {
+		ts.info.Recorded = true
+	}
+}
+
+// resolveObjective mirrors the session's default-objective resolution so
+// store provenance matches what actually ran.
+func resolveObjective(o string) core.Objective {
+	if o == "" {
+		return core.ObjectiveThroughput
+	}
+	return core.Objective(o)
+}

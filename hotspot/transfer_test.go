@@ -1,0 +1,183 @@
+package hotspot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// TestTransferWarmStartHalvesTrialBudget is the subsystem's acceptance
+// check: a full-budget cold session trains the knowledge base, and a
+// warm-started session on the same workload (different seed) capped at HALF
+// the cold session's trials must still reach the cold best. The priors skip
+// the search straight to the good region, so the halved budget is enough.
+func TestTransferWarmStartHalvesTrialBudget(t *testing.T) {
+	dir := t.TempDir()
+	base := Options{
+		Benchmark:     "h2",
+		Searcher:      "surrogate",
+		BudgetMinutes: 30,
+		Seed:          7,
+		Noise:         -1,
+		TransferDir:   dir,
+	}
+	cold, err := Tune(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Transfer == nil {
+		t.Fatal("transfer-enabled session reports no transfer provenance")
+	}
+	if cold.Transfer.Priors != 0 || cold.Transfer.StoreEntries != 0 {
+		t.Fatalf("first session over an empty store must start cold: %+v", cold.Transfer)
+	}
+	if !cold.Transfer.Recorded {
+		t.Fatal("cold session's winner was not recorded into the store")
+	}
+
+	warm := base
+	warm.Seed = 8
+	warm.MaxTrials = cold.Trials / 2
+	res, err := Tune(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transfer == nil || res.Transfer.Priors < 1 {
+		t.Fatalf("warm session injected no priors: %+v", res.Transfer)
+	}
+	if res.Transfer.NearestWorkload != "h2" || res.Transfer.NearestDistance != 0 {
+		t.Fatalf("same-workload fingerprint should be the nearest neighbour at distance 0: %+v", res.Transfer)
+	}
+	if res.Trials > cold.Trials/2 {
+		t.Fatalf("warm session ran %d trials, cap was %d", res.Trials, cold.Trials/2)
+	}
+	if res.BestWall > cold.BestWall {
+		t.Fatalf("warm session at half the trials (%d vs %d) missed the cold best: %.4fs > %.4fs",
+			res.Trials, cold.Trials, res.BestWall, cold.BestWall)
+	}
+}
+
+// TestTransferCrossWorkload pins that knowledge transfers BETWEEN
+// workloads, not just across seeds of one: a store trained on h2 must warm
+// a session on avrora (another DaCapo profile, nearby in fingerprint space
+// but not identical).
+func TestTransferCrossWorkload(t *testing.T) {
+	dir := t.TempDir()
+	donor := Options{Benchmark: "h2", BudgetMinutes: 30, Seed: 3, Noise: -1, TransferDir: dir}
+	if _, err := Tune(donor); err != nil {
+		t.Fatal(err)
+	}
+	target := donor
+	target.Benchmark = "avrora"
+	res, err := Tune(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Transfer
+	if x == nil || x.Priors < 1 {
+		t.Fatalf("cross-workload session injected no priors: %+v", x)
+	}
+	if x.NearestWorkload != "h2" {
+		t.Fatalf("nearest neighbour = %q, want h2", x.NearestWorkload)
+	}
+	if x.NearestDistance <= 0 {
+		t.Fatalf("distinct workloads at distance %v, want > 0", x.NearestDistance)
+	}
+}
+
+// TestTransferOffLeavesSessionByteIdentical pins the transfer-off
+// guarantee: a session with an empty knowledge base produces a
+// byte-identical event trace and an equivalent checkpoint fingerprint to
+// one with transfer disabled entirely — the subsystem contributes nothing
+// (not even RNG draws or checkpoint fields) until the store actually holds
+// priors. Checkpoint FILES are not compared byte-for-byte because the
+// keeper writes them asynchronously (a busy write skips a cadence point),
+// so which trial the final snapshot covers is wall-clock dependent even
+// with transfer out of the picture; the loaded Meta is the deterministic
+// part.
+func TestTransferOffLeavesSessionByteIdentical(t *testing.T) {
+	run := func(transferDir string) (trace []byte, meta checkpoint.Meta, res *Result) {
+		t.Helper()
+		ckptPath := filepath.Join(t.TempDir(), "s.ckpt")
+		tr := NewTracer(1 << 16)
+		res, err := Tune(Options{
+			Benchmark:             "fop",
+			BudgetMinutes:         30,
+			Seed:                  3,
+			Noise:                 -1,
+			Trace:                 tr,
+			CheckpointPath:        ckptPath,
+			CheckpointEveryTrials: 4,
+			TransferDir:           transferDir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := checkpoint.Load(ckptPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), snap.Meta, res
+	}
+
+	offTrace, offMeta, offRes := run("")
+	emptyTrace, emptyMeta, emptyRes := run(t.TempDir())
+
+	if offRes.Transfer != nil {
+		t.Fatal("transfer-off session reports transfer provenance")
+	}
+	if emptyRes.Transfer == nil || emptyRes.Transfer.Priors != 0 {
+		t.Fatalf("empty-store session should report a cold start: %+v", emptyRes.Transfer)
+	}
+	if !bytes.Equal(offTrace, emptyTrace) {
+		t.Error("event traces differ between transfer-off and empty-store sessions")
+	}
+	if offMeta != emptyMeta {
+		t.Errorf("checkpoint fingerprints differ: %+v vs %+v", offMeta, emptyMeta)
+	}
+	if emptyMeta.Transfer != "" {
+		t.Errorf("empty-store session checkpointed a transfer fingerprint %q", emptyMeta.Transfer)
+	}
+	if offRes.Best.Key() != emptyRes.Best.Key() || offRes.BestWall != emptyRes.BestWall {
+		t.Errorf("outcomes differ: %q %.4f vs %q %.4f",
+			offRes.Best.Key(), offRes.BestWall, emptyRes.Best.Key(), emptyRes.BestWall)
+	}
+}
+
+// TestTransferBogusStoreDegradesToCold pins fail-open behavior at the
+// session level: a future-version store (written by a newer build) must
+// neither fail the session nor be touched, and a corrupt store is moved
+// aside and rebuilt — either way the session completes.
+func TestTransferBogusStoreDegradesToCold(t *testing.T) {
+	dir := t.TempDir()
+	// Future version: magic "ATTS" then version 99.
+	path := filepath.Join(dir, "transfer.store")
+	future := []byte{'A', 'T', 'T', 'S', 99, 0, 0, 0}
+	if err := os.WriteFile(path, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(Options{Benchmark: "fop", BudgetMinutes: 20, Seed: 5, Noise: -1, TransferDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transfer == nil || res.Transfer.Priors != 0 {
+		t.Fatalf("future-version store should yield a cold start: %+v", res.Transfer)
+	}
+	if res.Transfer.Recorded {
+		t.Fatal("an older build must not write through a future-version store")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, future) {
+		t.Fatal("future-version store bytes were modified")
+	}
+}

@@ -33,6 +33,12 @@ type Meta struct {
 	// checkpoint cannot resume under different settings. Empty when both
 	// are off, which keeps snapshots from older builds loadable.
 	Robustness string `json:"robustness,omitempty"`
+	// Transfer fingerprints the warm-start priors injected into the
+	// session's searcher — they steer the very first proposals, so a
+	// checkpoint taken warm cannot resume cold or under different priors.
+	// Empty for cold sessions, which keeps snapshots from older builds
+	// loadable and transfer-off snapshots byte-identical.
+	Transfer string `json:"transfer,omitempty"`
 }
 
 // Check reports the first fingerprint mismatch between the checkpoint's
@@ -53,6 +59,7 @@ func (m Meta) Check(want Meta) error {
 		{"workers", m.Workers, want.Workers},
 		{"max_trials", m.MaxTrials, want.MaxTrials},
 		{"robustness", m.Robustness, want.Robustness},
+		{"transfer", m.Transfer, want.Transfer},
 	} {
 		if f.got != f.want {
 			return fmt.Errorf("checkpoint: %s mismatch: checkpoint has %v, session wants %v", f.name, f.got, f.want)

@@ -298,6 +298,12 @@ type Session struct {
 	// from what the resumed engine proposes — fails the session rather than
 	// splicing mismatched histories.
 	Resume *checkpoint.Snapshot
+	// Transfer fingerprints the warm-start priors injected into Searcher
+	// (empty when the session starts cold). Warm-started sessions propose
+	// different configurations than cold ones, so the fingerprint goes into
+	// the checkpoint metadata: a checkpoint taken warm refuses to resume
+	// cold (or under different priors), where replay would diverge.
+	Transfer string
 }
 
 // Run executes the session to budget exhaustion and returns the outcome.
@@ -375,6 +381,7 @@ func (s *Session) Run() (*Outcome, error) {
 			Workers:       workers,
 			MaxTrials:     s.MaxTrials,
 			Robustness:    robustnessFingerprint(s.Hedge, s.Quarantine),
+			Transfer:      s.Transfer,
 		}
 	}
 

@@ -27,6 +27,8 @@ type Surrogate struct {
 
 	models  map[string]*flagModel
 	names   []string
+	groupOf map[string]string // flag name → hierarchy subtree, for exploration weighting
+	warm    []PriorSample     // transfer priors folded into the model at init
 	pending map[*flags.Config]bool
 	seeded  int
 }
@@ -77,6 +79,55 @@ func (s *Surrogate) init(ctx *Context) {
 			count: make([]float64, slots),
 		}
 	}
+	// Group flags by the hierarchy subtree that owns them, so exploration
+	// can be steered per-subtree instead of per-flag. The root's direct
+	// flags form their own group; flags outside the tree get the empty
+	// group and a neutral weight.
+	s.groupOf = map[string]string{}
+	if ctx.Tree != nil && ctx.Tree.Root != nil {
+		var walk func(n *hierarchy.Node, top string)
+		walk = func(n *hierarchy.Node, top string) {
+			for _, name := range n.Flags {
+				if _, ok := s.groupOf[name]; !ok {
+					s.groupOf[name] = top
+				}
+			}
+			for _, ch := range n.Children {
+				t := top
+				if t == "" {
+					t = ch.Name
+				}
+				walk(ch, t)
+			}
+		}
+		walk(ctx.Tree.Root, "")
+	}
+	// Fold transfer priors into the model: each prior's explicit flags get
+	// its historical baseline-relative score, exactly the units Observe
+	// credits. The model starts with an opinion where earlier sessions had
+	// one and stays optimistic-uncertain everywhere else.
+	for _, ps := range s.warm {
+		if ps.Cfg == nil {
+			continue
+		}
+		for _, n := range ps.Cfg.ExplicitNames() {
+			fm, ok := s.models[n]
+			if !ok {
+				continue
+			}
+			v, _ := ps.Cfg.Get(n)
+			slot := fm.slotOf(v)
+			fm.sum[slot] += ps.Norm
+			fm.count[slot]++
+		}
+	}
+}
+
+// PreloadPriors implements PriorPreloader: the samples are folded into the
+// per-flag slot models when the model is first built (init needs the
+// session context, which is not available yet at wrapping time).
+func (s *Surrogate) PreloadPriors(samples []PriorSample) {
+	s.warm = append(s.warm, samples...)
 }
 
 // slotOf maps a value to its model slot.
@@ -164,6 +215,7 @@ func (s *Surrogate) Propose(ctx *Context) *flags.Config {
 	}
 
 	eps := s.epsilon()
+	weights := s.groupWeights()
 	for attempt := 0; attempt < 8; attempt++ {
 		cfg := flags.NewConfig(ctx.Reg)
 		// Only set flags the model has an opinion about (or explores);
@@ -177,13 +229,24 @@ func (s *Surrogate) Propose(ctx *Context) *flags.Config {
 			if observed == 0 {
 				continue
 			}
+			// Hierarchy-aware exploration: scale the explore band by the
+			// flag's subtree weight, so ε-exploration concentrates where
+			// the model has seen scores actually move. The leave-default
+			// band keeps its width, so regularization pressure is uniform.
+			w := 1.0
+			if weights != nil {
+				if gw, ok := weights[s.groupOf[n]]; ok {
+					w = gw
+				}
+			}
 			r := ctx.Rng.Float64()
+			explore := eps * 0.5 * w
 			switch {
-			case r < eps*0.5:
+			case r < explore:
 				// Explore: random slot.
 				slot := ctx.Rng.Intn(len(m.sum))
 				cfg.Set(n, s.sampleInSlot(ctx, m, slot)) //nolint:errcheck
-			case r < eps:
+			case r < explore+eps*0.5:
 				// Leave at default (regularization toward sanity).
 			default:
 				best := m.bestSlot()
@@ -204,6 +267,53 @@ func (s *Surrogate) Propose(ctx *Context) *flags.Config {
 	flags.MutateFlag(cfg, s.names[ctx.Rng.Intn(len(s.names))], ctx.Rng)
 	s.note(cfg)
 	return cfg
+}
+
+// groupWeights derives a per-subtree exploration weight from the model's
+// observed score spreads: for each flag the spread of its slot means, for
+// each hierarchy subtree the maximum spread of its flags, normalized so the
+// highest-impact subtree explores at 2× and flat subtrees at 0.5×. Returns
+// nil (neutral weights everywhere) until some flag has two observed slots
+// to compare — the GroupTuner insight, applied to ε instead of to a
+// separate group-search phase.
+func (s *Surrogate) groupWeights() map[string]float64 {
+	spread := map[string]float64{}
+	maxSpread := 0.0
+	for _, n := range s.names {
+		m := s.models[n]
+		lo, hi, seen := math.Inf(1), math.Inf(-1), 0
+		for i := range m.sum {
+			if m.count[i] == 0 {
+				continue
+			}
+			mean := m.sum[i] / m.count[i]
+			if mean < lo {
+				lo = mean
+			}
+			if mean > hi {
+				hi = mean
+			}
+			seen++
+		}
+		if seen < 2 {
+			continue
+		}
+		g := s.groupOf[n]
+		if d := hi - lo; d > spread[g] {
+			spread[g] = d
+			if d > maxSpread {
+				maxSpread = d
+			}
+		}
+	}
+	if maxSpread <= 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(spread))
+	for g, d := range spread {
+		out[g] = 0.5 + 1.5*d/maxSpread
+	}
+	return out
 }
 
 func (s *Surrogate) note(cfg *flags.Config) {

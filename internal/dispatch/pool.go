@@ -77,7 +77,7 @@ type Pool struct {
 	nodes   []*node
 	fleet   *Fleet
 	orphans []string
-	elapsed float64
+	elapsed runner.VirtualClock
 	reps    map[string]int
 	cache   map[string]runner.Measurement
 
@@ -137,7 +137,7 @@ func (p *Pool) Workload() *workload.Profile { return p.profile }
 func (p *Pool) Elapsed() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.elapsed
+	return p.elapsed.Seconds()
 }
 
 // DeterminismFingerprint implements the core engine's fingerprint hook.
@@ -371,7 +371,7 @@ func (p *Pool) Measure(cfg *flags.Config, reps int) runner.Measurement {
 	runner.NoteMeasured(p.Telemetry, p.Trace, key, m)
 
 	p.mu.Lock()
-	p.elapsed += m.CostSeconds
+	p.elapsed.Charge(m.CostSeconds)
 	if !p.DisableCache && !m.Transient {
 		p.cache[key] = m
 	}
@@ -522,7 +522,7 @@ func (p *Pool) Close() error {
 func (p *Pool) SnapshotState() ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return runner.MarshalState(p.elapsed, p.reps, p.cache)
+	return runner.MarshalState(p.elapsed.Seconds(), p.reps, p.cache)
 }
 
 // RestoreState implements runner.StateSnapshotter.
@@ -533,6 +533,7 @@ func (p *Pool) RestoreState(data []byte) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.elapsed, p.reps, p.cache = elapsed, reps, cache
+	p.elapsed.Set(elapsed)
+	p.reps, p.cache = reps, cache
 	return nil
 }

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"repro/hotspot"
+	"repro/internal/report"
+)
+
+// TransferRow is one benchmark's cold-vs-warm tuning comparison.
+type TransferRow struct {
+	Benchmark string
+	// ColdTrials and ColdImprovement describe the full-budget cold session
+	// that seeds the knowledge base.
+	ColdTrials      int
+	ColdImprovement float64
+	// WarmTrials and WarmImprovement describe the warm-started session,
+	// capped at half the cold session's trials.
+	WarmTrials      int
+	WarmImprovement float64
+	// Priors is the number of warm-start configurations injected; Reached
+	// reports whether the warm session matched (or beat) the cold best
+	// despite the halved trial budget.
+	Priors  int
+	Reached bool
+}
+
+// DefaultTransferBenchmarks spans both suites and the improvement spectrum.
+var DefaultTransferBenchmarks = []string{"h2", "sunflow", "startup.compiler.compiler"}
+
+// RunTransferEval (E17) measures what the cross-workload knowledge base
+// buys: for each benchmark, a full-budget cold session tunes from scratch
+// and records its winner into a fresh store; a second session on the same
+// workload (different seed) then warm-starts from that store under half the
+// cold session's trial budget. Transfer works when the warm session reaches
+// the cold session's best anyway — the priors skip the search straight to
+// the good region.
+func RunTransferEval(benchmarks []string, cfg Config) ([]TransferRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = DefaultTransferBenchmarks
+	}
+	rows := make([]TransferRow, len(benchmarks))
+	err := forEach(len(benchmarks), cfg.workers(), func(i int) error {
+		dir, err := os.MkdirTemp("", "transfer-eval-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		base := hotspot.Options{
+			Benchmark:     benchmarks[i],
+			Searcher:      "surrogate",
+			BudgetMinutes: cfg.budget() / 60,
+			Reps:          cfg.reps(),
+			Noise:         -1,
+			TransferDir:   dir,
+		}
+		cold := base
+		cold.Seed = cfg.subSeed(i * 2)
+		coldRes, err := hotspot.Tune(cold)
+		if err != nil {
+			return err
+		}
+		warm := base
+		warm.Seed = cfg.subSeed(i*2 + 1)
+		warm.MaxTrials = coldRes.Trials / 2
+		warmRes, err := hotspot.Tune(warm)
+		if err != nil {
+			return err
+		}
+		rows[i] = TransferRow{
+			Benchmark:       benchmarks[i],
+			ColdTrials:      coldRes.Trials,
+			ColdImprovement: coldRes.ImprovementPct,
+			WarmTrials:      warmRes.Trials,
+			WarmImprovement: warmRes.ImprovementPct,
+			Reached:         warmRes.BestWall <= coldRes.BestWall,
+		}
+		if warmRes.Transfer != nil {
+			rows[i].Priors = warmRes.Transfer.Priors
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderTransfer renders E17.
+func RenderTransfer(rows []TransferRow) string {
+	t := report.NewTable(
+		"E17: warm-start transfer — cold full budget vs warm at half the trials",
+		"Benchmark", "Cold trials", "Cold imp.", "Warm trials", "Warm imp.", "Priors", "Reached cold best")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%d", r.ColdTrials),
+			fmt.Sprintf("%.1f%%", r.ColdImprovement),
+			fmt.Sprintf("%d", r.WarmTrials),
+			fmt.Sprintf("%.1f%%", r.WarmImprovement),
+			fmt.Sprintf("%d", r.Priors),
+			fmt.Sprintf("%v", r.Reached))
+	}
+	return t.String()
+}

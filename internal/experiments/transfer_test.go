@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTransferEval(t *testing.T) {
+	rows, err := RunTransferEval([]string{"h2", "avrora"}, Config{BudgetSeconds: 1800, Reps: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WarmTrials > r.ColdTrials/2 {
+			t.Errorf("%s: warm session ran %d trials, cap was half of %d", r.Benchmark, r.WarmTrials, r.ColdTrials)
+		}
+		if r.Priors < 1 {
+			t.Errorf("%s: warm session injected no priors", r.Benchmark)
+		}
+		if !r.Reached {
+			t.Errorf("%s: warm session missed the cold best (%.1f%% vs %.1f%%)",
+				r.Benchmark, r.WarmImprovement, r.ColdImprovement)
+		}
+	}
+	out := RenderTransfer(rows)
+	if !strings.Contains(out, "h2") || !strings.Contains(out, "avrora") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunTransferEvalDefaults(t *testing.T) {
+	if len(DefaultTransferBenchmarks) < 3 {
+		t.Fatal("default benchmark set too small to demonstrate transfer")
+	}
+}

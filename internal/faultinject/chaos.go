@@ -59,7 +59,7 @@ type ChaosRunner struct {
 	seed  int64
 
 	mu       sync.Mutex
-	elapsed  float64
+	elapsed  runner.VirtualClock
 	attempts map[string]int  // per-key launch-attempt counter
 	streaks  map[string]int  // consecutive injected failures per key
 	settled  map[string]bool // keys with a definitive (cacheable) verdict
@@ -109,7 +109,7 @@ func (c *ChaosRunner) Workload() *workload.Profile { return c.inner.Workload() }
 func (c *ChaosRunner) Elapsed() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.elapsed
+	return c.elapsed.Seconds()
 }
 
 // Stats returns a snapshot of the injection counters.
@@ -159,7 +159,7 @@ func (c *ChaosRunner) Measure(cfg *flags.Config, reps int) runner.Measurement {
 	if !m.Transient {
 		c.settled[key] = true
 	}
-	c.elapsed += m.CostSeconds
+	c.elapsed.Charge(m.CostSeconds)
 	c.mu.Unlock()
 	return m
 }

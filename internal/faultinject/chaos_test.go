@@ -86,7 +86,7 @@ func TestChaosInjectsAndRetriesToSuccess(t *testing.T) {
 	if st.Launch != 2 || st.Attempts != 3 || st.Suppressed != 1 {
 		t.Errorf("stats wrong: %+v", st)
 	}
-	if ch.Elapsed() != m.CostSeconds {
+	if math.Abs(ch.Elapsed()-m.CostSeconds) > 1e-6 {
 		t.Errorf("chaos elapsed = %g, want %g", ch.Elapsed(), m.CostSeconds)
 	}
 }
@@ -245,7 +245,7 @@ func TestChaosInactivePlanIsTransparent(t *testing.T) {
 	if m.Failed || m.Flakes != 0 || ch.Stats().Attempts != 0 {
 		t.Errorf("inactive plan must be a pass-through: %+v stats=%+v", m, ch.Stats())
 	}
-	if m.CostSeconds != ch.Elapsed() {
+	if math.Abs(m.CostSeconds-ch.Elapsed()) > 1e-6 {
 		t.Errorf("elapsed should still track costs: %g vs %g", ch.Elapsed(), m.CostSeconds)
 	}
 }

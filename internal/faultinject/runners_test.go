@@ -1,6 +1,7 @@
 package faultinject_test
 
 import (
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -111,7 +112,7 @@ func TestChaosOverRealRunners(t *testing.T) {
 			if floor := 2*runner.LaunchOverheadSeconds + 6; m.CostSeconds <= floor {
 				t.Errorf("attempts not charged: cost %.2f ≤ %.2f", m.CostSeconds, floor)
 			}
-			if ch.Elapsed() != m.CostSeconds {
+			if math.Abs(ch.Elapsed()-m.CostSeconds) > 1e-6 {
 				t.Errorf("elapsed %.2f != measurement cost %.2f", ch.Elapsed(), m.CostSeconds)
 			}
 

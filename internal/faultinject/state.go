@@ -37,7 +37,7 @@ func (c *ChaosRunner) SnapshotState() ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return json.Marshal(chaosState{
-		Elapsed:  c.elapsed,
+		Elapsed:  c.elapsed.Seconds(),
 		Attempts: c.attempts,
 		Streaks:  c.streaks,
 		Settled:  c.settled,
@@ -70,6 +70,7 @@ func (c *ChaosRunner) RestoreState(data []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.elapsed, c.attempts, c.streaks, c.settled, c.stats = st.Elapsed, st.Attempts, st.Streaks, st.Settled, st.Stats
+	c.elapsed.Set(st.Elapsed)
+	c.attempts, c.streaks, c.settled, c.stats = st.Attempts, st.Streaks, st.Settled, st.Stats
 	return nil
 }

@@ -30,6 +30,14 @@
 // queue passes Config.MaxQueueDepth or a client exceeds its token-bucket
 // rate, while polls and cancels — the control class — are never shed.
 //
+// With Config.TransferDir the farm keeps a cross-workload knowledge base
+// (see docs/TRANSFER.md): jobs submitted with "transfer": true warm-start
+// their search from the best configurations stored for the nearest workload
+// fingerprints and record their winners back for later jobs. Polls on a
+// finished transfer job carry the warm-start provenance (priors injected,
+// nearest workload and distance, whether the winner was recorded) under
+// result.transfer.
+//
 // # Error responses
 //
 // Every error body is the JSON envelope {"error": "..."}; load-shed and
@@ -117,6 +125,15 @@ type TuneRequest struct {
 	// rejected without spending budget (default policy; see
 	// core.QuarantinePolicy).
 	Quarantine bool `json:"quarantine,omitempty"`
+	// Transfer opts the job into the farm's cross-workload knowledge base
+	// (Config.TransferDir; see docs/TRANSFER.md): the session warm-starts
+	// from the nearest stored workload fingerprints and records its winner
+	// back. Ignored when the farm runs without a transfer store. Polls on a
+	// finished job carry the warm-start provenance in result.transfer.
+	Transfer bool `json:"transfer,omitempty"`
+	// TransferK is the number of nearest stored fingerprints to draw
+	// warm-start priors from; 0 means the default (3).
+	TransferK int `json:"transfer_k,omitempty"`
 }
 
 // Job is the server's view of one tuning request.
@@ -214,6 +231,11 @@ type Config struct {
 	// are byte-identical either way. With StateDir, each job additionally
 	// journals its fleet view next to its checkpoint.
 	Nodes []string
+	// TransferDir, when non-empty, gives the farm a cross-workload
+	// knowledge base (see docs/TRANSFER.md): jobs that set
+	// TuneRequest.Transfer warm-start their search from it and record
+	// their winners into it. Empty disables transfer for every job.
+	TransferDir string
 }
 
 // DefaultConfig returns the default resource bounds.
@@ -511,6 +533,10 @@ func (s *Server) runJob(job *Job) {
 			job.Progress = &p
 			s.mu.Unlock()
 		},
+	}
+	if req.Transfer && s.cfg.TransferDir != "" {
+		opts.TransferDir = s.cfg.TransferDir
+		opts.TransferK = req.TransferK
 	}
 	s.durableOptions(&opts, job.ID)
 	res, err := tuneFn(ctx, opts)

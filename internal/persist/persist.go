@@ -45,6 +45,11 @@ type SavedOutcome struct {
 	CommandLine    []string          `json:"command_line"`
 	BestFlags      map[string]string `json:"best_flags"`
 	Trace          []core.TracePoint `json:"trace,omitempty"`
+	// Transfer carries warm-start provenance (hotspot.TransferInfo) when
+	// the session ran against a knowledge base. Kept as raw JSON so this
+	// package needs no dependency on the layer that defines it; omitted —
+	// and byte-identical to older archives — for cold sessions.
+	Transfer json.RawMessage `json:"transfer,omitempty"`
 }
 
 // FromOutcome converts a session outcome for serialization.
@@ -114,6 +119,14 @@ func Read(r io.Reader) (*SavedOutcome, error) {
 // path. A crash mid-save leaves either the old file or the new one, never
 // a truncated hybrid.
 func SaveFile(path string, o *core.Outcome) error {
+	return FromOutcome(o).SaveFile(path)
+}
+
+// SaveFile writes s to path with the same atomic temp-file + rename
+// protocol as the package-level SaveFile. Use this form when the caller
+// decorates the converted outcome (e.g. with transfer provenance) before
+// archiving it.
+func (s *SavedOutcome) SaveFile(path string) error {
 	dir, base := filepath.Split(path)
 	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
@@ -125,7 +138,7 @@ func SaveFile(path string, o *core.Outcome) error {
 			os.Remove(f.Name())
 		}
 	}()
-	if err := FromOutcome(o).Write(f); err != nil {
+	if err := s.Write(f); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	if err := f.Sync(); err != nil {

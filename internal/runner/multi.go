@@ -39,7 +39,7 @@ type Multi struct {
 	Trace     *telemetry.Tracer
 
 	mu      sync.Mutex
-	elapsed float64
+	elapsed VirtualClock
 	reps    map[string]int
 	cache   map[string]Measurement
 }
@@ -91,7 +91,7 @@ func (m *Multi) Workload() *workload.Profile { return m.pseudo }
 func (m *Multi) Elapsed() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.elapsed
+	return m.elapsed.Seconds()
 }
 
 // MemberWalls measures cfg once per member and returns the raw walls —
@@ -188,7 +188,7 @@ func (m *Multi) Measure(cfg *flags.Config, reps int) Measurement {
 	NoteMeasured(m.Telemetry, m.Trace, key, out)
 
 	m.mu.Lock()
-	m.elapsed += out.CostSeconds
+	m.elapsed.Charge(out.CostSeconds)
 	// Transient failures are not verdicts; see InProcess.Measure.
 	if !out.Transient {
 		m.cache[key] = out

@@ -116,7 +116,7 @@ func TestSubprocessRealTimeoutChargedAsTimeout(t *testing.T) {
 		t.Errorf("cost = %g, want %g (the harness timeout, not the launch overhead)", m.CostSeconds, want)
 	}
 	// Timeouts are deterministic: the verdict is cached and condemns.
-	if n := sub.Elapsed(); n != m.CostSeconds {
+	if n := sub.Elapsed(); math.Abs(n-m.CostSeconds) > 1e-6 {
 		t.Errorf("elapsed = %g, want %g", n, m.CostSeconds)
 	}
 	if again := sub.Measure(flags.NewConfig(flags.NewRegistry()), 1); !again.FromCache {

@@ -109,7 +109,7 @@ type InProcess struct {
 	Trace     *telemetry.Tracer
 
 	mu      sync.Mutex
-	elapsed float64
+	elapsed VirtualClock
 	reps    map[string]int // next noise-rep index per config
 	cache   map[string]Measurement
 }
@@ -135,7 +135,7 @@ func (r *InProcess) Workload() *workload.Profile { return r.profile }
 func (r *InProcess) Elapsed() float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.elapsed
+	return r.elapsed.Seconds()
 }
 
 // Measure implements Runner.
@@ -176,7 +176,7 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 	NoteMeasured(r.Telemetry, r.Trace, key, m)
 
 	r.mu.Lock()
-	r.elapsed += m.CostSeconds
+	r.elapsed.Charge(m.CostSeconds)
 	// A transient failure is no verdict: caching it would condemn a
 	// configuration that merely hit a flaky launch, so only definitive
 	// outcomes are memoized.

@@ -76,7 +76,7 @@ func UnmarshalState(data []byte) (elapsed float64, reps map[string]int, cache ma
 func (r *InProcess) SnapshotState() ([]byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return marshalRunnerState(r.elapsed, r.reps, r.cache)
+	return marshalRunnerState(r.elapsed.Seconds(), r.reps, r.cache)
 }
 
 // RestoreState implements StateSnapshotter.
@@ -87,7 +87,8 @@ func (r *InProcess) RestoreState(data []byte) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.elapsed, r.reps, r.cache = st.Elapsed, st.Reps, st.Cache
+	r.elapsed.Set(st.Elapsed)
+	r.reps, r.cache = st.Reps, st.Cache
 	return nil
 }
 
@@ -95,7 +96,7 @@ func (r *InProcess) RestoreState(data []byte) error {
 func (r *Subprocess) SnapshotState() ([]byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return marshalRunnerState(r.elapsed, r.reps, r.cache)
+	return marshalRunnerState(r.elapsed.Seconds(), r.reps, r.cache)
 }
 
 // RestoreState implements StateSnapshotter.
@@ -106,7 +107,8 @@ func (r *Subprocess) RestoreState(data []byte) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.elapsed, r.reps, r.cache = st.Elapsed, st.Reps, st.Cache
+	r.elapsed.Set(st.Elapsed)
+	r.reps, r.cache = st.Reps, st.Cache
 	return nil
 }
 
@@ -114,7 +116,7 @@ func (r *Subprocess) RestoreState(data []byte) error {
 func (m *Multi) SnapshotState() ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return marshalRunnerState(m.elapsed, m.reps, m.cache)
+	return marshalRunnerState(m.elapsed.Seconds(), m.reps, m.cache)
 }
 
 // RestoreState implements StateSnapshotter.
@@ -125,6 +127,7 @@ func (m *Multi) RestoreState(data []byte) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.elapsed, m.reps, m.cache = st.Elapsed, st.Reps, st.Cache
+	m.elapsed.Set(st.Elapsed)
+	m.reps, m.cache = st.Reps, st.Cache
 	return nil
 }

@@ -63,7 +63,7 @@ type Subprocess struct {
 	profile *workload.Profile
 
 	mu      sync.Mutex
-	elapsed float64
+	elapsed VirtualClock
 	reps    map[string]int
 	cache   map[string]Measurement
 }
@@ -86,7 +86,7 @@ func (r *Subprocess) Workload() *workload.Profile { return r.profile }
 func (r *Subprocess) Elapsed() float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.elapsed
+	return r.elapsed.Seconds()
 }
 
 // Measure implements Runner.
@@ -147,7 +147,7 @@ func (r *Subprocess) Measure(cfg *flags.Config, reps int) Measurement {
 	NoteMeasured(r.Telemetry, r.Trace, key, m)
 
 	r.mu.Lock()
-	r.elapsed += m.CostSeconds
+	r.elapsed.Charge(m.CostSeconds)
 	// Transient failures are not verdicts; see InProcess.Measure.
 	if !m.Transient {
 		r.cache[key] = m

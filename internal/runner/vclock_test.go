@@ -1,0 +1,36 @@
+package runner
+
+import "testing"
+
+// TestVirtualClockOrderIndependent pins the property the clock exists for:
+// charging the same costs in any completion order reads the same total.
+// The float64 equivalent drifts by an ulp across orders (addition is not
+// associative), which made parallel sessions' checkpoints flap by a byte.
+func TestVirtualClockOrderIndependent(t *testing.T) {
+	costs := []float64{256.7304119611988, 1843.1902774523447, 0.3331179, 1001.75281965432}
+	var fwd, rev VirtualClock
+	for _, c := range costs {
+		fwd.Charge(c)
+	}
+	for i := len(costs) - 1; i >= 0; i-- {
+		rev.Charge(costs[i])
+	}
+	if fwd.Seconds() != rev.Seconds() {
+		t.Errorf("order-dependent clock: %v vs %v", fwd.Seconds(), rev.Seconds())
+	}
+}
+
+// TestVirtualClockSetRoundTrips pins resume determinism: restoring a clock
+// from its own persisted Seconds() value must be exact, so a resumed
+// session's runner state stays bit-identical to the uninterrupted run's.
+func TestVirtualClockSetRoundTrips(t *testing.T) {
+	var c VirtualClock
+	for _, cost := range []float64{3102.0066024947, 0.000001, 7.25, 1e9} {
+		c.Charge(cost)
+		var r VirtualClock
+		r.Set(c.Seconds())
+		if r != c {
+			t.Fatalf("Set(%v) = %+v, want %+v", c.Seconds(), r, c)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package transfer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkFingerprint is the per-session cost of deriving a workload's
+// feature vector — it runs once per tuning session, so it only has to stay
+// trivially cheap.
+func BenchmarkFingerprint(b *testing.B) {
+	p := workload.All()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = FingerprintOf(p)
+	}
+}
+
+// BenchmarkStoreLookup is the warm-start query against a populated store:
+// group, rank, and return the nearest fingerprints. Runs once per session
+// over an in-memory entry list (the disk was paid at Open).
+func BenchmarkStoreLookup(b *testing.B) {
+	dir := b.TempDir()
+	st, err := Open(dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	for _, kind := range workload.GenKinds() {
+		for seed := int64(0); seed < 64; seed++ {
+			p, err := workload.Generate(kind, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := &Entry{
+				FP:            FingerprintOf(p),
+				Workload:      p.Name,
+				Searcher:      "surrogate",
+				Objective:     "throughput",
+				Args:          []string{"-XX:+UseG1GC", fmt.Sprintf("-XX:MaxGCPauseMillis=%d", 10+seed)},
+				Score:         15,
+				BaselineScore: 20,
+			}
+			if err := st.Append(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	target := workload.All()[0]
+	fp := FingerprintOf(target)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if nbs := st.Nearest(fp, 3); len(nbs) != 3 {
+			b.Fatal("lookup returned wrong k")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package transfer
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreOpen feeds arbitrary bytes to the store recovery path. The
+// contract under test is the warm-start degradation guarantee: a bogus
+// store file leaves the session at a cold start, never a panic. Open must
+// either (a) accept the file — possibly after moving a non-store aside or
+// salvaging a torn tail — and come back usable (appends land, a reopen
+// replays them), or (b) reject it with ErrFutureVersion, the one
+// fail-closed case, leaving the file untouched.
+func FuzzStoreOpen(f *testing.F) {
+	var valid bytes.Buffer
+	if err := writeHeader(&valid); err != nil {
+		f.Fatal(err)
+	}
+	headerOnly := append([]byte(nil), valid.Bytes()...)
+	for _, p := range []string{
+		`{"kind":"entry","entry":{"seq":0,"fp":{"v":1,"f":[0.5]},"workload":"h2","searcher":"random","objective":"throughput","args":["-XX:+UseG1GC"],"score":12,"baseline_score":20}}`,
+		`{"kind":"mark","next_seq":7}`,
+	} {
+		if err := writeRecord(&valid, []byte(p)); err != nil {
+			f.Fatal(err)
+		}
+	}
+
+	badCRC := append([]byte(nil), valid.Bytes()...)
+	badCRC[len(badCRC)-1] ^= 0xFF
+
+	future := append([]byte(nil), headerOnly...)
+	future[4] = StoreVersion + 1
+
+	f.Add([]byte{})
+	f.Add(headerOnly)
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()-5]) // torn tail
+	f.Add(badCRC)
+	f.Add(future)
+	f.Add([]byte("garbage that is definitely not a store"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, storeFile)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir, nil)
+		if err != nil {
+			if !errors.Is(err, ErrFutureVersion) {
+				t.Fatalf("open error is not ErrFutureVersion: %v", err)
+			}
+			after, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if !bytes.Equal(after, data) {
+				t.Fatal("future-version store was modified on disk")
+			}
+			return
+		}
+		n := st.Len()
+		probe := &Entry{Workload: "probe", Args: []string{"-XX:+UseG1GC"}, Score: 1, BaselineScore: 2}
+		if err := st.Append(probe); err != nil {
+			t.Fatalf("append to accepted store: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		st2, err := Open(dir, nil)
+		if err != nil {
+			t.Fatalf("reopen after salvage: %v", err)
+		}
+		defer st2.Close()
+		ents := st2.Entries()
+		if len(ents) != n+1 || ents[len(ents)-1].Workload != "probe" {
+			t.Fatalf("reopen replayed %d entries, want %d plus probe", len(ents), n+1)
+		}
+	})
+}

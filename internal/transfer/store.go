@@ -1,0 +1,580 @@
+package transfer
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// StoreVersion is the on-disk format version written by this build; readers
+// reject anything newer (fail closed — a future format may carry fields this
+// build would silently drop, and overwriting a newer store would destroy a
+// newer build's knowledge).
+const StoreVersion = 1
+
+// storeMagic opens every transfer store file. It differs from the
+// checkpoint magic so a store can never be mistaken for a journal (or vice
+// versa) by a misconfigured path.
+const storeMagic = "ATTS"
+
+// storeFile is the store's file name inside the -transfer-dir directory.
+const storeFile = "transfer.store"
+
+// headerSize is the byte length of the file header (magic + version).
+const headerSize = 8
+
+// recordHeaderSize is the byte length of each record's frame (length + CRC).
+const recordHeaderSize = 8
+
+// maxRecordBytes bounds a single record. A real entry is a fingerprint plus
+// a flag argv — a few kilobytes; anything claiming more is a garbled length
+// field, and failing here keeps a corrupt file from turning into a
+// multi-gigabyte allocation.
+const maxRecordBytes = 1 << 28
+
+// compactBytes is the size past which Append considers compacting. The
+// store grows one small record per completed session, so compaction is
+// rare; the 2×-since-last-compaction rule keeps its cost amortized O(1)
+// per append even for long-lived stores.
+const compactBytes = 1 << 20
+
+// Sentinel decode errors, matched with errors.Is.
+var (
+	// ErrCorrupt marks unreadable on-disk state: bad magic, torn records,
+	// CRC mismatches, implausible lengths, undecodable entries.
+	ErrCorrupt = errors.New("transfer: corrupt store")
+	// ErrFutureVersion marks a store written by a newer format revision.
+	ErrFutureVersion = errors.New("transfer: future store version")
+)
+
+// Entry is one unit of tuning knowledge: the best configuration a completed
+// session found for a fingerprinted workload, with enough provenance to
+// judge and reproduce it. Args is the configuration as ExplicitArgs — the
+// rendered command-line form survives registry generations, unlike interned
+// flag IDs, and is re-parsed (and repaired) against the live registry at
+// warm-start time.
+//
+// Entries deliberately carry no wall-clock timestamp: the store feeds
+// deterministic fixed-seed sessions, and Seq already orders entries by
+// arrival.
+type Entry struct {
+	// Seq is the store-assigned append sequence number, unique per store.
+	Seq int64 `json:"seq"`
+	// FP is the workload's fingerprint at the time of tuning.
+	FP Fingerprint `json:"fp"`
+	// Workload and Suite identify the tuned profile for humans.
+	Workload string `json:"workload"`
+	Suite    string `json:"suite,omitempty"`
+	// Searcher, Objective, Seed, Reps, Trials and BudgetSeconds are the
+	// session provenance: how this result was obtained.
+	Searcher      string  `json:"searcher"`
+	Objective     string  `json:"objective"`
+	Seed          int64   `json:"seed"`
+	Reps          int     `json:"reps"`
+	Trials        int     `json:"trials"`
+	BudgetSeconds float64 `json:"budget_seconds"`
+	// Args is the winning configuration as explicit command-line
+	// assignments (flags.Config.ExplicitArgs).
+	Args []string `json:"args"`
+	// Score is the winning objective value; BaselineScore is the default
+	// configuration's value under the same session, so Score/BaselineScore
+	// compares entries across workloads of different absolute cost.
+	Score         float64 `json:"score"`
+	BaselineScore float64 `json:"baseline_score"`
+}
+
+// relScore is the scale-free goodness used to rank entries within a
+// fingerprint group: objective score normalized by the session's baseline.
+// Lower is better (the objective is minimized).
+func (e *Entry) relScore() float64 {
+	if e.BaselineScore > 0 {
+		return e.Score / e.BaselineScore
+	}
+	return e.Score
+}
+
+// storeRecord is the JSON payload inside each CRC frame. Kind "entry"
+// carries an Entry; kind "mark" is the compaction watermark recording the
+// next sequence number, so sequence numbers stay unique across compactions
+// that drop the highest-numbered entries.
+type storeRecord struct {
+	Kind    string `json:"kind"`
+	Entry   *Entry `json:"entry,omitempty"`
+	NextSeq int64  `json:"next_seq,omitempty"`
+}
+
+// Store is the persistent cross-workload knowledge base: an append-only,
+// CRC-framed record file in the checkpoint house style. Appends are fsynced
+// before returning, so an entry the caller saw accepted survives a crash;
+// recovery is forgiving about the tail (a crash mid-append salvages the
+// valid prefix) and strict about the head. Compaction keeps only the best
+// entry per (fingerprint, configuration) and rewrites the file atomically
+// via temp+rename behind a sequence watermark.
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	size    int64 // bytes of valid store (header + records)
+	lastCmp int64 // size after the most recent compaction (or open)
+	entries []*Entry
+	nextSeq int64
+	closed  bool
+	tel     *telemetry.Registry
+}
+
+// Neighbor is one nearest-fingerprint lookup result.
+type Neighbor struct {
+	Entry    *Entry
+	Distance float64
+}
+
+// writeHeader emits the file header: magic then version, little-endian.
+func writeHeader(w io.Writer) error {
+	var h [headerSize]byte
+	copy(h[:4], storeMagic)
+	binary.LittleEndian.PutUint32(h[4:], StoreVersion)
+	_, err := w.Write(h[:])
+	return err
+}
+
+// readHeader validates the header and returns the file's format version.
+func readHeader(r io.Reader) (uint32, error) {
+	var h [headerSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(h[:4]) != storeMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, h[:4])
+	}
+	v := binary.LittleEndian.Uint32(h[4:])
+	if v == 0 {
+		return 0, fmt.Errorf("%w: version 0", ErrCorrupt)
+	}
+	if v > StoreVersion {
+		return v, fmt.Errorf("%w: %d (this build reads up to %d)", ErrFutureVersion, v, StoreVersion)
+	}
+	return v, nil
+}
+
+// writeRecord frames one payload: length, CRC32 (IEEE) of the payload, then
+// the payload itself.
+func writeRecord(w io.Writer, payload []byte) error {
+	var h [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(h[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readRecord reads the next framed payload. A clean end of stream returns
+// io.EOF; a torn header, truncated payload, implausible length, or CRC
+// mismatch returns an error wrapping ErrCorrupt, which Open treats as "the
+// valid prefix ends here".
+func readRecord(r io.Reader) ([]byte, error) {
+	var h [recordHeaderSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: torn record header", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(h[:4])
+	if n > maxRecordBytes {
+		return nil, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated record (want %d bytes)", ErrCorrupt, n)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(h[4:]); got != want {
+		return nil, fmt.Errorf("%w: record CRC mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
+// decodeRecord parses one framed payload into a storeRecord, failing closed
+// on anything malformed. DisallowUnknownFields is deliberately absent: an
+// older build reading a same-version record with extra fields should keep
+// the fields it knows, and genuinely incompatible changes bump StoreVersion.
+func decodeRecord(payload []byte) (*storeRecord, error) {
+	var rec storeRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("%w: undecodable record: %v", ErrCorrupt, err)
+	}
+	switch rec.Kind {
+	case "entry":
+		if rec.Entry == nil {
+			return nil, fmt.Errorf("%w: entry record without entry", ErrCorrupt)
+		}
+	case "mark":
+		if rec.NextSeq < 0 {
+			return nil, fmt.Errorf("%w: mark with negative next_seq", ErrCorrupt)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown record kind %q", ErrCorrupt, rec.Kind)
+	}
+	return &rec, nil
+}
+
+// Open opens (or creates) the transfer store under dir and replays it.
+//
+// Recovery policy, in order of severity:
+//   - empty file → initialize a fresh header;
+//   - torn or corrupt tail (crash mid-append) → truncate back to the valid
+//     prefix, count transfer_store_salvaged_total, continue;
+//   - corrupt header or first-record garbage that makes the file "not a
+//     store at all" → the file is renamed aside to <name>.corrupt
+//     (preserving the bytes for inspection) and a fresh store starts,
+//     counting transfer_store_corrupt_total — a bogus store degrades the
+//     session to a cold start, it never aborts it;
+//   - future version → ErrFutureVersion. This is the one fail-closed case
+//     with no recovery: the file is fine, this build is just too old to be
+//     trusted with it, and renaming it aside would destroy newer knowledge.
+func Open(dir string, tel *telemetry.Registry) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("transfer: %w", err)
+	}
+	path := filepath.Join(dir, storeFile)
+	// A crash mid-compaction can strand a temp file next to the store; it
+	// was never renamed, so it holds no authoritative state — sweep it.
+	if stale, _ := filepath.Glob(path + ".compact*"); len(stale) > 0 {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+		tel.Counter("transfer_store_stale_temps_removed_total").Add(uint64(len(stale)))
+	}
+
+	st, err := open(path, tel)
+	if err == nil {
+		return st, nil
+	}
+	if errors.Is(err, ErrFutureVersion) {
+		return nil, err
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		return nil, err
+	}
+	// Head corruption: not a store. Preserve the bytes and start fresh.
+	if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+		return nil, fmt.Errorf("transfer: move corrupt store aside: %w", rerr)
+	}
+	tel.Counter("transfer_store_corrupt_total").Inc()
+	return open(path, tel)
+}
+
+// open does one open-and-replay attempt against path.
+func open(path string, tel *telemetry.Registry) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("transfer: %w", err)
+	}
+	s := &Store{f: f, path: path, tel: tel}
+
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("transfer: %w", err)
+	}
+	if fi.Size() == 0 {
+		if err := writeHeader(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("transfer: init header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("transfer: init sync: %w", err)
+		}
+		s.size = headerSize
+		s.lastCmp = s.size
+		return s, nil
+	}
+
+	if _, err := readHeader(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("transfer store %s: %w", path, err)
+	}
+
+	valid := int64(headerSize) // byte offset of the end of the valid prefix
+	for {
+		payload, err := readRecord(f)
+		if err == io.EOF {
+			break
+		}
+		if err == nil {
+			var rec *storeRecord
+			rec, err = decodeRecord(payload)
+			if err == nil {
+				switch rec.Kind {
+				case "entry":
+					s.entries = append(s.entries, rec.Entry)
+					if rec.Entry.Seq >= s.nextSeq {
+						s.nextSeq = rec.Entry.Seq + 1
+					}
+				case "mark":
+					if rec.NextSeq > s.nextSeq {
+						s.nextSeq = rec.NextSeq
+					}
+				}
+				valid += recordHeaderSize + int64(len(payload))
+				continue
+			}
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			f.Close()
+			return nil, fmt.Errorf("transfer store %s: %w", path, err)
+		}
+		// Torn tail from a crash mid-append: salvage the valid prefix.
+		if terr := f.Truncate(valid); terr != nil {
+			f.Close()
+			return nil, fmt.Errorf("transfer store %s: truncate corrupt tail: %w", path, terr)
+		}
+		if serr := f.Sync(); serr != nil {
+			f.Close()
+			return nil, fmt.Errorf("transfer store %s: sync after truncate: %w", path, serr)
+		}
+		tel.Counter("transfer_store_salvaged_total").Inc()
+		break
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("transfer store %s: seek: %w", path, err)
+	}
+	s.size = valid
+	s.lastCmp = valid
+	tel.Counter("transfer_store_entries_replayed_total").Add(uint64(len(s.entries)))
+	return s, nil
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Entries returns a copy of the live entry list in sequence order.
+func (s *Store) Entries() []*Entry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Entry, len(s.entries))
+	copy(out, s.entries)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Append durably records one entry: the store assigns its sequence number,
+// frames and fsyncs the record, then opportunistically compacts once the
+// file has outgrown both the compaction floor and twice its size at the
+// last compaction.
+func (s *Store) Append(e *Entry) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("transfer: store closed")
+	}
+	cp := *e
+	cp.Seq = s.nextSeq
+	payload, err := json.Marshal(&storeRecord{Kind: "entry", Entry: &cp})
+	if err != nil {
+		return fmt.Errorf("transfer: encode entry: %w", err)
+	}
+	if err := writeRecord(s.f, payload); err != nil {
+		return fmt.Errorf("transfer: append: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("transfer: append sync: %w", err)
+	}
+	s.nextSeq++
+	s.size += recordHeaderSize + int64(len(payload))
+	s.entries = append(s.entries, &cp)
+	s.tel.Counter("transfer_store_appends_total").Inc()
+	if s.size > compactBytes && s.size > 2*s.lastCmp {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact rewrites the store keeping only the best entry per
+// (fingerprint, configuration) group, atomically via temp+rename. A mark
+// record carrying the next sequence number is written first, so sequence
+// assignment survives even when compaction drops the highest-numbered
+// entries.
+func (s *Store) Compact() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("transfer: store closed")
+	}
+	return s.compactLocked()
+}
+
+// compactLocked is Compact with s.mu held.
+func (s *Store) compactLocked() error {
+	// Keep the best (lowest relScore, ties to the earliest Seq) entry for
+	// each distinct (fingerprint, configuration) pair. Iterating in Seq
+	// order makes "first wins on tie" fall out of the strict < comparison.
+	ordered := make([]*Entry, len(s.entries))
+	copy(ordered, s.entries)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Seq < ordered[j].Seq })
+	best := make(map[string]*Entry)
+	var keys []string
+	for _, e := range ordered {
+		k := e.FP.Key() + "|" + fmt.Sprint(e.Args)
+		if cur, ok := best[k]; !ok {
+			best[k] = e
+			keys = append(keys, k)
+		} else if e.relScore() < cur.relScore() {
+			best[k] = e
+		}
+	}
+
+	f, err := os.CreateTemp(filepath.Dir(s.path), filepath.Base(s.path)+".compact*")
+	if err != nil {
+		return fmt.Errorf("transfer: compact: %w", err)
+	}
+	tmp := f.Name()
+	abort := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := writeHeader(f); err != nil {
+		return abort(fmt.Errorf("transfer: compact header: %w", err))
+	}
+	size := int64(headerSize)
+	write := func(rec *storeRecord) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("transfer: compact encode: %w", err)
+		}
+		if err := writeRecord(f, payload); err != nil {
+			return fmt.Errorf("transfer: compact record: %w", err)
+		}
+		size += recordHeaderSize + int64(len(payload))
+		return nil
+	}
+	// The watermark leads: a reader of the compacted store learns the next
+	// sequence number before any entry, so a store compacted down to zero
+	// entries still never reissues a sequence number.
+	if err := write(&storeRecord{Kind: "mark", NextSeq: s.nextSeq}); err != nil {
+		return abort(err)
+	}
+	kept := make([]*Entry, 0, len(best))
+	for _, k := range keys {
+		e := best[k]
+		if err := write(&storeRecord{Kind: "entry", Entry: e}); err != nil {
+			return abort(err)
+		}
+		kept = append(kept, e)
+	}
+	if err := f.Sync(); err != nil {
+		return abort(fmt.Errorf("transfer: compact sync: %w", err))
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return abort(fmt.Errorf("transfer: compact: %w", err))
+	}
+	// The temp fd is now the store: positioned at its end, ready for
+	// appends. Close the superseded file only after the swap is in place.
+	old := s.f
+	s.f = f
+	s.size = size
+	s.lastCmp = size
+	s.entries = kept
+	old.Close()
+	s.tel.Counter("transfer_store_compactions_total").Inc()
+	return nil
+}
+
+// Nearest returns the k nearest distinct fingerprint groups to fp, each
+// represented by its best entry (lowest baseline-relative score, ties to
+// the earliest sequence number). Results are ordered by distance, with
+// workload name then sequence number as deterministic tie-breaks; entries
+// at infinite distance (other fingerprint versions) are excluded. k ≤ 0
+// defaults to 3.
+func (s *Store) Nearest(fp Fingerprint, k int) []Neighbor {
+	if s == nil {
+		return nil
+	}
+	if k <= 0 {
+		k = 3
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	ordered := make([]*Entry, len(s.entries))
+	copy(ordered, s.entries)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Seq < ordered[j].Seq })
+	best := make(map[string]*Entry)
+	var keys []string
+	for _, e := range ordered {
+		k := e.FP.Key()
+		if cur, ok := best[k]; !ok {
+			best[k] = e
+			keys = append(keys, k)
+		} else if e.relScore() < cur.relScore() {
+			best[k] = e
+		}
+	}
+
+	out := make([]Neighbor, 0, len(keys))
+	for _, key := range keys {
+		e := best[key]
+		d := fp.Distance(e.FP)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		out = append(out, Neighbor{Entry: e, Distance: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		if out[i].Entry.Workload != out[j].Entry.Workload {
+			return out[i].Entry.Workload < out[j].Entry.Workload
+		}
+		return out[i].Entry.Seq < out[j].Entry.Seq
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Close closes the store; later Appends fail.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}

@@ -1,0 +1,324 @@
+package transfer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func testEntry(t *testing.T, name string, score float64, args ...string) *Entry {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		all := workload.All()
+		p = all[0]
+	}
+	return &Entry{
+		FP:            FingerprintOf(p),
+		Workload:      p.Name,
+		Suite:         p.Suite,
+		Searcher:      "surrogate",
+		Objective:     "throughput",
+		Seed:          42,
+		Reps:          3,
+		Trials:        100,
+		BudgetSeconds: 1200,
+		Args:          args,
+		Score:         score,
+		BaselineScore: 20,
+	}
+}
+
+func TestStoreAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := workload.Names()
+	for i, n := range names[:3] {
+		if err := st.Append(testEntry(t, n, float64(10+i), "-XX:+UseG1GC")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := st2.Entries()
+	if len(got) != 3 {
+		t.Fatalf("reopen replayed %d entries, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != int64(i) {
+			t.Fatalf("entry %d has Seq %d", i, e.Seq)
+		}
+		if e.Workload != names[i] || len(e.Args) != 1 {
+			t.Fatalf("entry %d round-trip mismatch: %+v", i, e)
+		}
+	}
+	// Sequence numbering continues where the previous generation stopped.
+	if err := st2.Append(testEntry(t, names[3], 9)); err != nil {
+		t.Fatal(err)
+	}
+	if e := st2.Entries()[3]; e.Seq != 3 {
+		t.Fatalf("post-reopen Seq = %d, want 3", e.Seq)
+	}
+}
+
+func TestStoreSalvagesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	tel := telemetry.New()
+	st, err := Open(dir, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Append(testEntry(t, workload.Names()[i], float64(i+10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// A crash mid-append leaves a torn final record: chop bytes off the tail.
+	path := filepath.Join(dir, storeFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, tel)
+	if err != nil {
+		t.Fatalf("open after torn tail: %v", err)
+	}
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("salvaged %d entries, want 2", st2.Len())
+	}
+	if tel.Counter("transfer_store_salvaged_total").Value() != 1 {
+		t.Fatal("salvage not counted")
+	}
+	// The salvaged store accepts appends, and the next sequence number does
+	// not collide with the truncated record's.
+	if err := st2.Append(testEntry(t, workload.Names()[4], 8)); err != nil {
+		t.Fatal(err)
+	}
+	ents := st2.Entries()
+	if ents[len(ents)-1].Seq != 2 {
+		t.Fatalf("post-salvage Seq = %d, want 2", ents[len(ents)-1].Seq)
+	}
+}
+
+func TestStoreCorruptHeaderMovedAside(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, storeFile)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("this is not a transfer store at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	st, err := Open(dir, tel)
+	if err != nil {
+		t.Fatalf("corrupt store should degrade to fresh, got %v", err)
+	}
+	defer st.Close()
+	if st.Len() != 0 {
+		t.Fatalf("fresh store has %d entries", st.Len())
+	}
+	if tel.Counter("transfer_store_corrupt_total").Value() != 1 {
+		t.Fatal("corruption not counted")
+	}
+	// The bogus bytes are preserved for inspection, not destroyed.
+	kept, err := os.ReadFile(path + ".corrupt")
+	if err != nil || string(kept) != "this is not a transfer store at all" {
+		t.Fatalf("original bytes not preserved: %v %q", err, kept)
+	}
+}
+
+func TestStoreFutureVersionFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, storeFile)
+	var buf bytes.Buffer
+	buf.WriteString(storeMagic)
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], StoreVersion+1)
+	buf.Write(v[:])
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir, nil)
+	if !errors.Is(err, ErrFutureVersion) {
+		t.Fatalf("err = %v, want ErrFutureVersion", err)
+	}
+	// Fail closed means the newer build's file is untouched.
+	after, rerr := os.ReadFile(path)
+	if rerr != nil || !bytes.Equal(after, buf.Bytes()) {
+		t.Fatalf("future-version store was modified: %v", rerr)
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same fingerprint + same config, improving scores: compaction keeps
+	// only the best. A second config under the same fingerprint survives.
+	n := workload.Names()[0]
+	for _, sc := range []float64{15, 12, 18} {
+		if err := st.Append(testEntry(t, n, sc, "-XX:+UseG1GC")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Append(testEntry(t, n, 14, "-XX:+UseParallelGC")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("compacted to %d entries, want 2", st.Len())
+	}
+	// The watermark keeps sequence numbers unique across the rewrite.
+	if err := st.Append(testEntry(t, n, 11, "-XX:+UseSerialGC")); err != nil {
+		t.Fatal(err)
+	}
+	ents := st.Entries()
+	if last := ents[len(ents)-1].Seq; last != 4 {
+		t.Fatalf("post-compaction Seq = %d, want 4", last)
+	}
+	st.Close()
+
+	st2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 3 {
+		t.Fatalf("reopen after compaction: %d entries, want 3", st2.Len())
+	}
+	var bestG1 *Entry
+	for _, e := range st2.Entries() {
+		if len(e.Args) == 1 && e.Args[0] == "-XX:+UseG1GC" {
+			bestG1 = e
+		}
+	}
+	if bestG1 == nil || bestG1.Score != 12 {
+		t.Fatalf("compaction kept the wrong G1 entry: %+v", bestG1)
+	}
+}
+
+func TestStoreStaleCompactTempSwept(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	stale := filepath.Join(dir, storeFile+".compact123")
+	if err := os.WriteFile(stale, []byte("leftover"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	st2, err := Open(dir, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale compaction temp not swept")
+	}
+	if tel.Counter("transfer_store_stale_temps_removed_total").Value() != 1 {
+		t.Fatal("sweep not counted")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	names := workload.Names()
+	target, ok := workload.ByName(names[0])
+	if !ok {
+		t.Fatal("no workloads")
+	}
+	fp := FingerprintOf(target)
+
+	// Exact-match entries (two, different scores) plus other workloads.
+	if err := st.Append(testEntry(t, names[0], 15, "-XX:+UseG1GC")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(testEntry(t, names[0], 12, "-XX:+UseParallelGC")); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names[1:4] {
+		if err := st.Append(testEntry(t, n, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An entry from a future fingerprint schema must never rank.
+	futur := testEntry(t, names[4], 1)
+	futur.FP.Version = FingerprintVersion + 1
+	if err := st.Append(futur); err != nil {
+		t.Fatal(err)
+	}
+
+	nbs := st.Nearest(fp, 3)
+	if len(nbs) != 3 {
+		t.Fatalf("got %d neighbours, want 3", len(nbs))
+	}
+	if nbs[0].Distance != 0 || nbs[0].Entry.Workload != names[0] {
+		t.Fatalf("nearest is %+v, want exact match", nbs[0])
+	}
+	// One entry per fingerprint group, and the group is represented by its
+	// best (lowest relative score) entry.
+	if nbs[0].Entry.Score != 12 {
+		t.Fatalf("group best score = %v, want 12", nbs[0].Entry.Score)
+	}
+	for i := 1; i < len(nbs); i++ {
+		if nbs[i].Distance < nbs[i-1].Distance {
+			t.Fatal("neighbours not sorted by distance")
+		}
+		if nbs[i].Entry.Workload == names[0] {
+			t.Fatal("same fingerprint group returned twice")
+		}
+	}
+	// Default k.
+	if got := st.Nearest(fp, 0); len(got) != 3 {
+		t.Fatalf("default k returned %d", len(got))
+	}
+}
+
+func TestStoreNilSafe(t *testing.T) {
+	var st *Store
+	if st.Len() != 0 || st.Entries() != nil || st.Nearest(Fingerprint{}, 3) != nil {
+		t.Fatal("nil store reads not safe")
+	}
+	if st.Append(&Entry{}) != nil || st.Compact() != nil || st.Close() != nil {
+		t.Fatal("nil store writes not safe")
+	}
+}

@@ -1,0 +1,93 @@
+package workload_test
+
+// The transfer subsystem's workload fingerprint (internal/transfer) is a
+// pure function of Profile's numeric fields. These guards live with the
+// Profile definition because that is where they fire: adding a numeric
+// field that shapes simulated performance without teaching the fingerprint
+// about it silently degrades transfer quality (two workloads differing only
+// in the new field would collide), and nothing else in the build would
+// notice.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/transfer"
+	"repro/internal/workload"
+)
+
+// fingerprintBase is a synthetic profile with every numeric field at a
+// mid-range value, so no fingerprint feature sits at a clamp boundary where
+// a perturbation could vanish.
+func fingerprintBase() *workload.Profile {
+	return &workload.Profile{
+		Name: "guard", Suite: "test",
+		BaseSeconds: 20, StartupFraction: 0.3, WarmupWork: 5,
+		HotMethods: 100, CodeKBPerMethod: 1, CallIntensity: 0.5,
+		LoopIntensity: 0.5, EscapeFrac: 0.4, AllocRateMBps: 100,
+		LiveSetMB: 100, ClassMetaMB: 20, ShortLivedFrac: 0.6,
+		MidLivedFrac: 0.2, MidLifeRounds: 3, EdenHalfLifeMB: 30,
+		LargeObjectFrac: 0.1, PointerIntensity: 0.5, RefIntensity: 0.2,
+		StringIntensity: 0.3, SyncIntensity: 0.4, LockContention: 0.3,
+		AppThreads: 8, ExplicitGCCalls: 2,
+	}
+}
+
+// TestEveryNumericProfileFieldFeedsFingerprint perturbs each numeric field
+// of Profile in turn and requires the fingerprint to move. A field this
+// test flags is either missing from the transfer feature table or mapped
+// through a transform that erases it.
+func TestEveryNumericProfileFieldFeedsFingerprint(t *testing.T) {
+	base := fingerprintBase()
+	baseKey := transfer.FingerprintOf(base).Key()
+	typ := reflect.TypeOf(*base)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		p := base.Clone()
+		v := reflect.ValueOf(p).Elem().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Float64:
+			v.SetFloat(v.Float() * 0.5)
+		case reflect.Int:
+			v.SetInt(v.Int() + 3)
+		default:
+			continue // strings don't feed the fingerprint by design
+		}
+		if got := transfer.FingerprintOf(p).Key(); got == baseKey {
+			t.Errorf("perturbing Profile.%s does not change the fingerprint — add it to the transfer feature table", f.Name)
+		}
+	}
+}
+
+// TestGeneratedFingerprintDeterministic pins that generated workloads
+// fingerprint deterministically under a fixed seed — the property the
+// knowledge store's lookups rely on — and that distinct seeds of one kind
+// actually land on distinct fingerprints.
+func TestGeneratedFingerprintDeterministic(t *testing.T) {
+	for _, kind := range workload.GenKinds() {
+		for _, seed := range []int64{1, 7} {
+			a, err := workload.Generate(kind, seed)
+			if err != nil {
+				t.Fatalf("Generate(%q, %d): %v", kind, seed, err)
+			}
+			b, err := workload.Generate(kind, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ka, kb := transfer.FingerprintOf(a).Key(), transfer.FingerprintOf(b).Key(); ka != kb {
+				t.Errorf("Generate(%q, %d) fingerprints nondeterministically:\n%s\n%s", kind, seed, ka, kb)
+			}
+		}
+		s1, err := workload.Generate(kind, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := workload.Generate(kind, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if transfer.FingerprintOf(s1).Key() == transfer.FingerprintOf(s2).Key() {
+			t.Errorf("Generate(%q) seeds 1 and 2 collide on one fingerprint", kind)
+		}
+	}
+}

@@ -39,6 +39,10 @@ trap 'rm -f "$OUT"' EXIT
 	# the distributed plane's transport.
 	go test -run '^$' -bench '^BenchmarkDispatch' -benchmem -benchtime 1s \
 		./internal/dispatch
+	# The transfer pair: fingerprinting a workload and querying a populated
+	# knowledge base — both on every warm-started session's startup path.
+	go test -run '^$' -bench '^Benchmark(Fingerprint|StoreLookup)' -benchmem -benchtime 1s \
+		./internal/transfer
 } | tee /dev/stderr >"$OUT"
 
 latest="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"

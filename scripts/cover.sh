@@ -15,7 +15,7 @@ status=0
 for pkg in ./internal/runner ./internal/faultinject ./internal/telemetry \
            ./internal/checkpoint ./internal/persist ./internal/core \
            ./internal/httpapi ./internal/flags ./internal/jvmsim \
-           ./internal/dispatch ./internal/evald; do
+           ./internal/dispatch ./internal/evald ./internal/transfer; do
     line=$(go test -cover "$pkg" | tail -1)
     echo "$line"
     pct=$(echo "$line" | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')

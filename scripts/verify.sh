@@ -14,7 +14,7 @@ go test -race ./...
 # Replay the checked-in fuzz seed corpora (no fuzzing engine, just the
 # corpus as regular tests) and enforce the coverage floors on the
 # measurement pipeline.
-go test -run 'Fuzz' ./internal/flags ./internal/runner ./internal/checkpoint ./internal/evald
+go test -run 'Fuzz' ./internal/flags ./internal/runner ./internal/checkpoint ./internal/evald ./internal/transfer
 ./scripts/cover.sh
 
 # The durability gate: kill-and-resume drills for every searcher, the CLI,
@@ -30,6 +30,11 @@ make overload-drill
 # including one where a node is SIGKILLed mid-session — stay byte-identical
 # to the in-process run, and fleet death degrades instead of failing.
 make dist-drill
+
+# The transfer gate: warm starts reach the cold best at half the trials,
+# torn stores salvage instead of failing, bogus stores degrade to cold
+# starts, and warm-started fleet sessions match in-process byte for byte.
+make transfer-drill
 
 # The perf gate (opt-in, BENCH_CHECK=1): rerun the benchmark suite and fail
 # on >10% regression against the latest recorded BENCH_*.json. Off by

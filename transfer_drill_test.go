@@ -1,0 +1,161 @@
+package repro
+
+// The transfer drills: the cross-workload knowledge base driven through the
+// real autotune binary. One drill tears the store file mid-record — the
+// on-disk image a kill during an append leaves behind — and demands the
+// next session salvage the intact prefix and keep warm-starting; the other
+// runs the same warm-started session in-process and against a real evald
+// fleet and demands byte-identical results, proving the priors change
+// *what* is proposed, never *how* measurements are dispatched.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// trainStore runs one cold fixed-seed session into dir's knowledge base.
+func trainStore(t *testing.T, auto, dir, benchmark string, seed int) {
+	t.Helper()
+	out, err := exec.Command(auto,
+		"-benchmark", benchmark, "-budget", "30", "-seed", fmt.Sprint(seed),
+		"-transfer-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("training run failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("winner recorded")) {
+		t.Fatalf("training run recorded nothing:\n%s", out)
+	}
+}
+
+// TestCLITransferStoreTornTailDrill is the kill-mid-store-write drill
+// behind `make transfer-drill`: two sessions train the store, the file is
+// truncated mid-record (what a kill during the second append leaves), and
+// the next session must salvage the first entry, warm-start from it, and
+// leave a store that replays cleanly again.
+func TestCLITransferStoreTornTailDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	auto := cliBinary(t, "autotune")
+	dir := t.TempDir()
+
+	trainStore(t, auto, dir, "h2", 3)
+	trainStore(t, auto, dir, "avrora", 4)
+
+	// Tear the tail: chop into the last appended record, leaving the first
+	// entry's frames intact.
+	path := filepath.Join(dir, "transfer.store")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(auto,
+		"-benchmark", "fop", "-budget", "30", "-seed", "5",
+		"-transfer-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("post-tear run failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "warm start") {
+		t.Fatalf("salvaged store did not warm-start the session:\n%s", s)
+	}
+	if !strings.Contains(s, "from 1 stored entries") {
+		t.Fatalf("expected exactly the salvaged entry to survive the torn tail:\n%s", s)
+	}
+	if !strings.Contains(s, "winner recorded") {
+		t.Fatalf("post-salvage store rejected the new winner:\n%s", s)
+	}
+
+	// The repaired store must replay cleanly: a fourth session sees the
+	// salvaged entry plus the post-tear winner, no corruption residue.
+	out, err = exec.Command(auto,
+		"-benchmark", "fop", "-budget", "30", "-seed", "6",
+		"-transfer-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("replay run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "from 2 stored entries") {
+		t.Fatalf("repaired store lost entries on replay:\n%s", out)
+	}
+}
+
+// copyStore clones a trained knowledge base so two warm runs start from
+// identical stores (each completed session appends its winner, so sharing
+// one directory would let the first run contaminate the second's priors).
+func copyStore(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	blob, err := os.ReadFile(filepath.Join(src, "transfer.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dst, "transfer.store"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestCLITransferFleetEquivalence pins the acceptance criterion that
+// warm-started results are identical in-process and against a real evald
+// fleet: the store lives on the controller, so the dispatch plane must not
+// see transfer at all.
+func TestCLITransferFleetEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	auto, evald := cliBinary(t, "autotune"), cliBinary(t, "evald")
+	dir := t.TempDir()
+	train := t.TempDir()
+	trainStore(t, auto, train, "h2", 3)
+
+	addrs := freePorts(t, 2)
+	for i, addr := range addrs {
+		startEvald(t, evald, addr, fmt.Sprintf("node%d", i))
+	}
+
+	run := func(label string, extra ...string) ([]byte, []byte) {
+		t.Helper()
+		outPath := filepath.Join(dir, label+".json")
+		tracePath := filepath.Join(dir, label+".jsonl")
+		args := append([]string{
+			"-benchmark", "h2", "-budget", "30", "-seed", "9", "-workers", "2",
+			"-transfer-dir", copyStore(t, train),
+			"-out", outPath, "-trace", tracePath,
+		}, extra...)
+		out, err := exec.Command(auto, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s run failed: %v\n%s", label, err, out)
+		}
+		if !bytes.Contains(out, []byte("warm start")) {
+			t.Fatalf("%s run did not warm-start:\n%s", label, out)
+		}
+		res, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, trace
+	}
+
+	localRes, localTrace := run("local")
+	fleetRes, fleetTrace := run("fleet", "-nodes", strings.Join(addrs, ","))
+
+	if !bytes.Equal(localRes, fleetRes) {
+		t.Error("warm-started results differ between in-process and fleet dispatch")
+	}
+	if !bytes.Equal(localTrace, fleetTrace) {
+		t.Error("warm-started event traces differ between in-process and fleet dispatch")
+	}
+}
