@@ -1,6 +1,6 @@
 # Developer entry points. `make verify` is the tier-1 gate (see ROADMAP.md).
 
-.PHONY: verify build test bench bench-check cover crash-matrix overload-drill dist-drill transfer-drill
+.PHONY: verify build test bench bench-check cover crash-matrix overload-drill dist-drill transfer-drill drift-drill
 
 verify:
 	./scripts/verify.sh
@@ -45,6 +45,19 @@ transfer-drill:
 	go test -race -count=1 \
 	  -run 'TestTransferWarmStartHalvesTrialBudget|TestTransferOffLeavesSessionByteIdentical|TestTransferBogusStoreDegradesToCold|TestStoreSalvagesTornTail|TestTuneTransferJob|TestCLITransferStoreTornTailDrill|TestCLITransferFleetEquivalence' \
 	  ./hotspot ./internal/transfer ./internal/httpapi .
+
+# The drift drills: the live re-tuning story end to end. A phase-shifting
+# workload under the armed detector must open a recovery epoch whose winner
+# beats the stale one on the post-shift profile; stationary sessions must
+# never false-positive; a session killed mid-epoch must resume to the
+# byte-identical outcome; drift winners must be filed in the transfer store
+# under the shifted regime's fingerprint; and the job farm must surface the
+# per-epoch breakdown (and legacy degraded-reason strings) in polls.
+# See docs/DRIFT.md.
+drift-drill:
+	go test -race -count=1 \
+	  -run 'TestDrift|TestTuneDrift|TestDetectsUpwardShift|TestStationaryNoFalsePositive|TestOneShotUntilReset|TestDegradedReasonVisibleInPoll|TestDurableLegacyJournalDegradedReason|TestPhaseS|TestDefaultSchedule' \
+	  ./internal/drift ./internal/core ./hotspot ./internal/httpapi ./internal/jvmsim
 
 build:
 	go build ./...

@@ -8,6 +8,7 @@
 //	         [-reps 3] [-seed 0] [-workers 4] [-objective throughput]
 //	         [-chaos unstable-farm] [-retries 3]
 //	         [-max-trials 0] [-real-budget 0] [-hedge] [-quarantine]
+//	         [-drift] [-drift-sensitivity 1]
 //	         [-trace out.jsonl] [-convergence] [-jvmsim path/to/jvmsim]
 //	autotune -list
 //	autotune -scenarios
@@ -28,6 +29,20 @@
 // named scenario (see -scenarios) or a fault-plan DSL spec like
 // "launch=0.1,spike=0.2". -retries bounds launch attempts per measurement
 // when transient failures strike.
+//
+// -drift arms workload-drift detection and live re-tuning (docs/DRIFT.md):
+// when delivered scores shift up by more than search dynamics explain, the
+// session opens a new tuning epoch — the stale winner is demoted to a
+// candidate and the search restarts warm from it (plus transfer priors with
+// -transfer-dir). The chaos DSL's drift-at=N fault (and the drift-midrun /
+// drift-storm scenarios) actually shifts the simulated workload, which is
+// the scripted way to drill recovery:
+//
+//	autotune -benchmark xalan -drift -chaos drift-at=40
+//
+// -drift-sensitivity scales the detector (1 = calibrated default, higher
+// fires on weaker evidence). Per-epoch bests and drift provenance are
+// printed after the run and land in the -out archive under "epochs".
 //
 // -trace writes the session's structured event stream (proposals, launch
 // attempts, retries, injected faults, observations — each stamped with its
@@ -112,6 +127,8 @@ func main() {
 		realBudg = flag.Duration("real-budget", 0, "wall-clock budget, e.g. 200ms: expiry returns a degraded best-so-far result (0 = no cap)")
 		hedge    = flag.Bool("hedge", false, "hedge straggling trials past the recent cost percentile")
 		quarant  = flag.Bool("quarantine", false, "circuit-break flag subtrees with dense deterministic failures")
+		drift    = flag.Bool("drift", false, "detect workload drift and re-tune: a confirmed score shift opens a new epoch warm-started from the stale winner")
+		driftSen = flag.Float64("drift-sensitivity", 0, "drift detector sensitivity: 1 = calibrated default, higher fires on weaker evidence (0 = default; needs -drift)")
 		out      = flag.String("out", "", "save the result as JSON to this file")
 		ckpt     = flag.String("checkpoint", "", "snapshot session state to this file for crash recovery")
 		ckptN    = flag.Int("checkpoint-every", 0, "checkpoint cadence in completed trials (0 = default 8)")
@@ -180,6 +197,8 @@ func main() {
 		BestEffort:            true,
 		Hedge:                 *hedge,
 		Quarantine:            *quarant,
+		Drift:                 *drift,
+		DriftSensitivity:      *driftSen,
 		Telemetry:             reg,
 		Trace:                 tracer,
 		CheckpointPath:        *ckpt,
@@ -219,6 +238,18 @@ func main() {
 	}
 	if res.Quarantined > 0 {
 		fmt.Printf("quarantine:   %d trials rejected by the circuit breaker\n", res.Quarantined)
+	}
+	if len(res.Epochs) > 0 {
+		fmt.Printf("drift:        %d epochs (%d confirmed drifts)\n", len(res.Epochs), len(res.Epochs)-1)
+		for _, ep := range res.Epochs {
+			if ep.DriftTrial > 0 {
+				fmt.Printf("  epoch %d (phase %d): best %.2fs over %d trials — drift confirmed at trial %d (stat %.2f)\n",
+					ep.Epoch, ep.Phase, ep.BestWall, ep.Trials, ep.DriftTrial, ep.DriftStat)
+			} else {
+				fmt.Printf("  epoch %d (phase %d): best %.2fs over %d trials\n",
+					ep.Epoch, ep.Phase, ep.BestWall, ep.Trials)
+			}
+		}
 	}
 	if res.Transfer != nil {
 		x := res.Transfer

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|table2|figure1|table3|figure2|figure3|table4|seedvar|scaling|robustness|noise|objectives|transfer|common]
+//	experiments [-run all|table1|table2|figure1|table3|figure2|figure3|table4|seedvar|scaling|robustness|noise|objectives|transfer|drift|common]
 //	            [-budget minutes] [-reps n] [-seed n] [-quick]
 package main
 
@@ -170,6 +170,14 @@ func dispatch(which string, cfg experiments.Config) error {
 			return err
 		}
 		fmt.Println(experiments.RenderTransfer(rows))
+	}
+	if all || which == "drift" {
+		ran = true
+		rows, err := experiments.RunDriftEval(nil, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderDrift(rows))
 	}
 	if all || which == "common" {
 		ran = true

@@ -143,6 +143,21 @@ type Options struct {
 	// deterministic-failure density are temporarily rejected at zero
 	// virtual cost.
 	Quarantine bool
+	// Drift arms workload-drift detection and live re-tuning (see
+	// docs/DRIFT.md): the session watches delivered scores with a
+	// Page–Hinkley detector, and a confirmed drift opens a new tuning epoch
+	// — the stale winner is demoted to a candidate, the searcher is rebuilt
+	// warm-started from it (plus transfer priors when TransferDir is set),
+	// and the hedging/quarantine machinery restarts for the new regime.
+	// Per-epoch outcomes land in Result.Epochs. The workload actually
+	// drifts when the chaos plan schedules it (drift-at=N, or the
+	// drift-midrun/drift-storm scenarios); with a stationary workload the
+	// detector is calibrated never to fire.
+	Drift bool
+	// DriftSensitivity scales the detector's decision threshold: 1 (or 0)
+	// is the calibrated default, higher fires on weaker evidence, lower
+	// needs more persistent evidence. Requires Drift.
+	DriftSensitivity float64
 	// OnProgress, when non-nil, receives a live snapshot after every
 	// measurement — trials so far, virtual time consumed, and the best
 	// result yet. It is called from the session's goroutine.
@@ -236,9 +251,12 @@ type Result struct {
 	// Degraded reports that the session ended early — budget expiry,
 	// wall-clock expiry, best-effort cancellation, or a stall — and the
 	// result is the best found by then, not a completed search.
-	// DegradedReason says why.
-	Degraded       bool
-	DegradedReason string
+	// DegradedReason says why, verbatim from the engine. Both serialize
+	// under snake_case keys like every documented Result extension;
+	// UnmarshalJSON still accepts the legacy Go-field-name keys older
+	// serializations (farm journals) used.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 	// Quarantined counts trials rejected by the failure circuit breaker;
 	// Hedges counts straggling trials that armed a hedge, HedgeWins the
 	// hedges that beat their primary.
@@ -250,8 +268,39 @@ type Result struct {
 	// Transfer is the warm-start provenance when Options.TransferDir was
 	// set; nil for cold sessions.
 	Transfer *TransferInfo `json:"transfer,omitempty"`
+	// Epochs is the per-epoch breakdown of a drift-enabled session
+	// (Options.Drift): each confirmed workload drift closes an epoch with
+	// its provenance. Nil when drift detection is off.
+	Epochs []Epoch `json:"epochs,omitempty"`
 
 	outcome *core.Outcome
+}
+
+// UnmarshalJSON decodes a serialized Result. It exists for one
+// compatibility shim: Degraded and DegradedReason serialized under their Go
+// field names before they were tagged snake_case, and "DegradedReason" does
+// not case-fold onto "degraded_reason" — a durable farm replaying an older
+// journal would silently drop the reason. The legacy keys are accepted
+// whenever the tagged ones are absent.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	type plain Result // shed methods so the inner decode cannot recurse
+	if err := json.Unmarshal(b, (*plain)(r)); err != nil {
+		return err
+	}
+	var legacy struct {
+		Degraded       *bool   `json:"Degraded"`
+		DegradedReason *string `json:"DegradedReason"`
+	}
+	if err := json.Unmarshal(b, &legacy); err != nil {
+		return err
+	}
+	if !r.Degraded && legacy.Degraded != nil {
+		r.Degraded = *legacy.Degraded
+	}
+	if r.DegradedReason == "" && legacy.DegradedReason != nil {
+		r.DegradedReason = *legacy.DegradedReason
+	}
+	return nil
 }
 
 // Save writes the result as JSON to path; the stored command line
@@ -266,13 +315,20 @@ func (r *Result) WriteJSON(w io.Writer) error {
 }
 
 // saved converts the outcome for archiving, attaching the warm-start
-// provenance so a stored result says where its priors came from. Cold
-// sessions archive byte-identically to builds without the field.
+// provenance so a stored result says where its priors came from, and the
+// per-epoch breakdown so a drift session's archive carries its drift
+// history. Cold, stationary sessions archive byte-identically to builds
+// without either field.
 func (r *Result) saved() *persist.SavedOutcome {
 	s := persist.FromOutcome(r.outcome)
 	if r.Transfer != nil {
 		if b, err := json.Marshal(r.Transfer); err == nil {
 			s.Transfer = b
+		}
+	}
+	if len(r.Epochs) > 0 {
+		if b, err := json.Marshal(r.Epochs); err == nil {
+			s.Epochs = b
 		}
 	}
 	return s
@@ -383,6 +439,7 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 	onProgress := armCrashPoint(&plan, progressAdapter(opts.OnProgress))
+	phases := driftSchedule(&plan)
 	keeper, resume, err := durabilitySetup(opts)
 	if err != nil {
 		return nil, err
@@ -469,6 +526,23 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 		Checkpoint:    keeper,
 		Resume:        resume,
 		Transfer:      xfer.metaFingerprint(),
+		Phases:        phases,
+	}
+	if opts.Drift {
+		dcfg, derr := driftConfig(opts)
+		if derr != nil {
+			return nil, derr
+		}
+		session.Drift = &core.DriftPolicy{Detector: dcfg}
+		// A drift transition rebuilds the searcher from scratch for the new
+		// regime; the name was validated above, so the factory cannot fail.
+		session.NewSearcher = func() core.Searcher {
+			ns, _ := core.NewSearcher(searcherName)
+			return ns
+		}
+		session.EpochPriors = xfer.epochPriors(reg, prof, phases, opts.TransferK)
+	} else if opts.DriftSensitivity != 0 {
+		return nil, fmt.Errorf("hotspot: DriftSensitivity requires Drift")
 	}
 	applyRobustness(session, opts)
 	out, err := session.Run()
@@ -479,7 +553,7 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 	// The store is written only here on the controller, and only after a
 	// completed session: a killed run leaves the store unchanged, so a
 	// checkpoint resume sees the same neighbours it checkpointed under.
-	xfer.finish(res, opts, prof, budget)
+	xfer.finish(res, opts, prof, phases, budget)
 	return res, nil
 }
 
@@ -558,6 +632,7 @@ func resultFromOutcome(out *core.Outcome, chaosName string) *Result {
 		HedgeWins:         out.HedgeWins,
 		ElapsedMinutes:    out.Elapsed / 60,
 		Trace:             out.Trace,
+		Epochs:            epochsFromOutcome(out),
 	}
 }
 
@@ -635,6 +710,11 @@ func TuneCommon(profiles []*Profile, opts Options) (*Result, error) {
 
 // TuneCommonContext is TuneCommon with cancellation, like TuneContext.
 func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (*Result, error) {
+	if opts.Drift || opts.DriftSensitivity != 0 {
+		// Suite-common tuning scores one configuration across the whole
+		// suite; there is no single workload to drift or re-fingerprint.
+		return nil, fmt.Errorf("hotspot: drift re-tuning needs a single-workload session")
+	}
 	for _, p := range profiles {
 		if err := p.Validate(); err != nil {
 			return nil, err
@@ -654,6 +734,9 @@ func TuneCommonContext(ctx context.Context, profiles []*Profile, opts Options) (
 	plan, err := faultinject.ParsePlan(opts.Chaos)
 	if err != nil {
 		return nil, err
+	}
+	if driftSchedule(&plan) != nil {
+		return nil, fmt.Errorf("hotspot: chaos drift-at needs a single-workload session")
 	}
 	onProgress := armCrashPoint(&plan, progressAdapter(opts.OnProgress))
 	keeper, resume, err := durabilitySetup(opts)

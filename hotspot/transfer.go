@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flags"
+	"repro/internal/jvmsim"
 	"repro/internal/transfer"
 	"repro/internal/workload"
 )
@@ -32,6 +33,10 @@ type TransferInfo struct {
 	// Recorded reports that this session's best configuration was appended
 	// to the store for future sessions.
 	Recorded bool `json:"recorded"`
+	// EpochRecords counts the per-epoch winners of a drift session
+	// additionally recorded under their shifted-workload fingerprints
+	// (see docs/DRIFT.md).
+	EpochRecords int `json:"epoch_records,omitempty"`
 }
 
 // transferSession carries the warm-start state of one tuning session from
@@ -126,37 +131,113 @@ func (ts *transferSession) metaFingerprint() string {
 // finish records the session's winning configuration into the store (the
 // controller is the only writer — evald measurement nodes never see the
 // store), attaches the provenance to the result, and closes the store.
-func (ts *transferSession) finish(res *Result, opts Options, prof *workload.Profile, budgetSeconds float64) {
+// A drift session additionally records each drift-opened epoch's best under
+// the shifted profile's fingerprint: the post-drift winner is knowledge
+// about the drifted workload, not the base one, and filing it under the
+// regime it was tuned for is what lets a future session that starts out in
+// that regime warm-start from it.
+func (ts *transferSession) finish(res *Result, opts Options, prof *workload.Profile, phases *jvmsim.PhaseSchedule, budgetSeconds float64) {
 	if ts == nil {
 		return
 	}
 	defer ts.store.Close()
 	res.Transfer = ts.info
-	// A best that is the default configuration carries no tuning knowledge
-	// (and would be skipped at load time anyway) — don't record it.
-	if ts.store == nil || res.Best == nil || res.Best.Key() == "" {
+	if ts.store == nil {
 		return
 	}
 	reps := opts.Reps
 	if reps <= 0 {
 		reps = 3
 	}
-	e := &transfer.Entry{
-		FP:            ts.fp,
-		Workload:      prof.Name,
-		Suite:         prof.Suite,
-		Searcher:      res.Searcher,
-		Objective:     string(resolveObjective(opts.Objective)),
-		Seed:          opts.Seed,
-		Reps:          reps,
-		Trials:        res.Trials,
-		BudgetSeconds: budgetSeconds,
-		Args:          res.Best.ExplicitArgs(),
-		Score:         res.BestWall,
-		BaselineScore: res.DefaultWall,
+	stamp := func(fp transfer.Fingerprint, trials int, args []string, score, baseline float64) *transfer.Entry {
+		return &transfer.Entry{
+			FP:            fp,
+			Workload:      prof.Name,
+			Suite:         prof.Suite,
+			Searcher:      res.Searcher,
+			Objective:     string(resolveObjective(opts.Objective)),
+			Seed:          opts.Seed,
+			Reps:          reps,
+			Trials:        trials,
+			BudgetSeconds: budgetSeconds,
+			Args:          args,
+			Score:         score,
+			BaselineScore: baseline,
+		}
 	}
-	if err := ts.store.Append(e); err == nil {
-		ts.info.Recorded = true
+	// The base regime's record. For a drift session the session-level best
+	// is the LAST epoch's, scored on a shifted profile — knowledge about
+	// that regime, not the base one — so the base fingerprint gets epoch
+	// 0's pre-drift winner instead, scored where DefaultWall was.
+	var epochs []core.EpochOutcome
+	if res.outcome != nil {
+		epochs = res.outcome.Epochs
+	}
+	baseBest, baseScore, baseTrials := res.Best, res.BestWall, res.Trials
+	if len(epochs) > 1 {
+		baseBest, baseScore, baseTrials = epochs[0].Best, epochs[0].BestScore, epochs[0].Trials
+	}
+	// A best that is the default configuration carries no tuning knowledge
+	// (and would be skipped at load time anyway) — don't record it.
+	if baseBest != nil && baseBest.Key() != "" {
+		e := stamp(ts.fp, baseTrials, baseBest.ExplicitArgs(), baseScore, res.DefaultWall)
+		if err := ts.store.Append(e); err == nil {
+			ts.info.Recorded = true
+		}
+	}
+	sim := jvmsim.New()
+	for i := 1; i < len(epochs); i++ {
+		eo := epochs[i]
+		// An epoch's tuned regime is the phase it OPENED under — the phase
+		// the previous epoch closed under (EpochOutcome.Phase is the
+		// closing phase: epoch 0 closes under the post-shift phase, but its
+		// best was tuned and scored on the base profile). An epoch opened
+		// in phase 0 (a detector false positive) is already the base
+		// regime, covered above.
+		tunedPhase := epochs[i-1].Phase
+		if tunedPhase == 0 || eo.Best == nil || eo.Best.Key() == "" {
+			continue
+		}
+		shifted, err := phases.ProfileAt(prof, tunedPhase)
+		if err != nil {
+			continue
+		}
+		// The entry's baseline is the default configuration's wall on the
+		// *shifted* profile — the same scale-free normalization a session
+		// tuning that regime from scratch would record.
+		baseline := sim.DefaultWall(flags.NewRegistry(), shifted, reps)
+		e := stamp(transfer.FingerprintOf(shifted), eo.Trials, eo.Best.ExplicitArgs(), eo.BestScore, baseline)
+		if ts.store.Append(e) == nil {
+			ts.info.EpochRecords++
+		}
+	}
+}
+
+// epochPriors returns the session's per-epoch warm-start hook for drift
+// re-tuning: on a confirmed drift the engine calls it with the new epoch
+// and workload phase, and the hook fingerprints the shifted profile and
+// queries the store for configurations tuned near that regime. Nil when
+// transfer is off — the engine then warm-starts from the demoted incumbent
+// alone. Priors share the session's registry (reg) so searchers can diff
+// and crossbreed them.
+func (ts *transferSession) epochPriors(reg *flags.Registry, prof *workload.Profile, phases *jvmsim.PhaseSchedule, k int) func(epoch, phase int) []core.PriorSample {
+	if ts == nil || ts.store == nil {
+		return nil
+	}
+	if k <= 0 {
+		k = 3
+	}
+	return func(_, phase int) []core.PriorSample {
+		shifted, err := phases.ProfileAt(prof, phase)
+		if err != nil {
+			return nil
+		}
+		priors := transfer.Priors(ts.store, reg, transfer.FingerprintOf(shifted), k)
+		out := make([]core.PriorSample, len(priors))
+		for i, p := range priors {
+			out[i] = core.PriorSample{Cfg: p.Config, Norm: p.Norm}
+		}
+		return out
 	}
 }
 

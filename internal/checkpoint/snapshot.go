@@ -39,6 +39,13 @@ type Meta struct {
 	// Empty for cold sessions, which keeps snapshots from older builds
 	// loadable and transfer-off snapshots byte-identical.
 	Transfer string `json:"transfer,omitempty"`
+	// Drift fingerprints the session's workload-drift options: the phase
+	// schedule the workload follows and the detector the session re-tunes
+	// under. Both steer which trials run and when the searcher is rebuilt,
+	// so a drifting checkpoint cannot resume stationary (or under a
+	// different script or sensitivity). Empty when drift is off, which
+	// keeps stationary snapshots byte-identical to older builds.
+	Drift string `json:"drift,omitempty"`
 }
 
 // Check reports the first fingerprint mismatch between the checkpoint's
@@ -60,6 +67,7 @@ func (m Meta) Check(want Meta) error {
 		{"max_trials", m.MaxTrials, want.MaxTrials},
 		{"robustness", m.Robustness, want.Robustness},
 		{"transfer", m.Transfer, want.Transfer},
+		{"drift", m.Drift, want.Drift},
 	} {
 		if f.got != f.want {
 			return fmt.Errorf("checkpoint: %s mismatch: checkpoint has %v, session wants %v", f.name, f.got, f.want)
@@ -80,12 +88,37 @@ type TrialRecord struct {
 	M   runner.Measurement `json:"m"`
 }
 
+// PriorRecord serializes one warm-start prior a re-tuning epoch was opened
+// with: the configuration (by canonical key and full-fidelity args) and its
+// baseline-relative quality signal. Recorded verbatim so a resumed session
+// rebuilds the epoch's searcher from exactly the priors the original run
+// used — the transfer store the priors came from may have changed since.
+type PriorRecord struct {
+	Key  string   `json:"key"`
+	Args []string `json:"args,omitempty"`
+	Norm float64  `json:"norm"`
+}
+
+// EpochRecord is one re-tuning epoch a drifting session opened: at which
+// trial, into which workload phase, and with which warm-start priors. The
+// detector itself needs no state here — it is a pure fold over the trial
+// log, so replay reconstructs it — but the priors are an external input
+// (transfer-store lookups) and must be replayed verbatim.
+type EpochRecord struct {
+	Epoch  int           `json:"epoch"`
+	Phase  int           `json:"phase"`
+	Trial  int           `json:"trial"` // trials delivered when the epoch opened
+	Priors []PriorRecord `json:"priors,omitempty"`
+}
+
 // Snapshot is a complete session checkpoint: everything needed to continue
 // a killed run and converge to the byte-identical outcome of an
 // uninterrupted one. Trials is the ordered log of delivered measurements;
 // RunnerState is the runner's own opaque serialization (evaluated-config
 // cache, noise-rep indices, chaos counters, elapsed virtual clock) produced
-// by runner.StateSnapshotter.
+// by runner.StateSnapshotter. Epochs lists the re-tuning epochs a drifting
+// session has opened (empty for stationary sessions, keeping their
+// snapshots loadable by older builds — and older snapshots loadable here).
 type Snapshot struct {
 	Meta        Meta               `json:"meta"`
 	Trial       int                `json:"trial"`   // trials completed when the snapshot was taken
@@ -94,6 +127,7 @@ type Snapshot struct {
 	BestScore   float64            `json:"best_score"`
 	Baseline    runner.Measurement `json:"baseline"`
 	Trials      []TrialRecord      `json:"trials"`
+	Epochs      []EpochRecord      `json:"epochs,omitempty"`
 	RunnerState json.RawMessage    `json:"runner_state,omitempty"`
 }
 

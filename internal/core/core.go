@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/drift"
 	"repro/internal/flags"
 	"repro/internal/hierarchy"
 	"repro/internal/jvmsim"
@@ -194,7 +195,12 @@ type Outcome struct {
 	// AttemptHistory summarizes per-configuration attempt accounting,
 	// sorted by configuration key.
 	AttemptHistory []AttemptRecord
-	Trace          []TracePoint
+	// Epochs is the per-epoch history of a drift-enabled session: one entry
+	// per re-tuning epoch, each carrying the epoch's best and the drift
+	// provenance that closed it. Nil when the session ran without a
+	// DriftPolicy (a stationary session is one implicit epoch).
+	Epochs []EpochOutcome
+	Trace  []TracePoint
 	// BaseMeasurement and BestMeasurement are the default config's and the
 	// winner's raw measurements (walls and pauses).
 	BaseMeasurement runner.Measurement
@@ -304,6 +310,32 @@ type Session struct {
 	// the checkpoint metadata: a checkpoint taken warm refuses to resume
 	// cold (or under different priors), where replay would diverge.
 	Transfer string
+	// Phases optionally scripts workload drift: at each scheduled trial
+	// boundary the runner's workload shifts to a new phase (the runner must
+	// implement runner.PhaseSetter when the schedule has shifts). Shifts
+	// take effect at round barriers, so they are deterministic per
+	// (seed, workers). Nil means a stationary workload.
+	Phases *jvmsim.PhaseSchedule
+	// Drift, when non-nil, arms drift detection and live re-tuning: a
+	// confirmed upward shift in the delivered-score stream closes the
+	// current epoch and opens a new one with a rebuilt, warm-started
+	// searcher (see DriftPolicy). Requires NewSearcher. A session may
+	// script Phases without arming Drift — that is the oblivious tuner the
+	// re-tuned one is evaluated against — and may arm Drift without Phases
+	// (the false-positive guard: a stationary session must never re-tune).
+	Drift *DriftPolicy
+	// NewSearcher builds a fresh searcher for each re-tuning epoch; it must
+	// produce the same strategy as Searcher (checkpoint fingerprints record
+	// one searcher name for the whole session). Required when Drift is set.
+	NewSearcher func() Searcher
+	// EpochPriors, when non-nil, contributes extra warm-start priors to
+	// each re-tuning epoch — typically transfer-store hits for the drifted
+	// workload's fingerprint. Called once per epoch transition with the new
+	// epoch's index and workload phase; the demoted incumbent is always
+	// injected ahead of these. Priors must be built over the session's
+	// registry. Resumed sessions replay the checkpoint's recorded priors
+	// instead of calling this again.
+	EpochPriors func(epoch, phase int) []PriorSample
 }
 
 // Run executes the session to budget exhaustion and returns the outcome.
@@ -359,6 +391,29 @@ func (s *Session) Run() (*Outcome, error) {
 	// available. With one worker this degenerates to a running total.
 	slotFree := make([]float64, workers)
 
+	// Drift setup: validate the phase schedule against the runner and the
+	// detector policy against its own invariants before any measurement.
+	ds := &driftState{}
+	if s.Phases != nil && len(s.Phases.Shifts) > 0 {
+		if err := s.Phases.Validate(); err != nil {
+			return nil, err
+		}
+		setter, ok := s.Runner.(runner.PhaseSetter)
+		if !ok {
+			return nil, fmt.Errorf("core: runner %T cannot phase-shift workloads (no SetPhase)", s.Runner)
+		}
+		ds.phases, ds.setter = s.Phases, setter
+	}
+	if s.Drift != nil {
+		if err := s.Drift.Detector.Validate(); err != nil {
+			return nil, err
+		}
+		if s.NewSearcher == nil {
+			return nil, fmt.Errorf("core: Drift needs NewSearcher to rebuild the searcher per epoch")
+		}
+		ds.det = drift.New(s.Drift.Detector)
+	}
+
 	// Durability setup: checkpointing and resuming both need a runner that
 	// can serialize its mutable state, and both share the session
 	// fingerprint that guards against resuming under different options.
@@ -382,6 +437,7 @@ func (s *Session) Run() (*Outcome, error) {
 			MaxTrials:     s.MaxTrials,
 			Robustness:    robustnessFingerprint(s.Hedge, s.Quarantine),
 			Transfer:      s.Transfer,
+			Drift:         driftFingerprint(s.Drift, s.Phases),
 		}
 	}
 
@@ -394,6 +450,7 @@ func (s *Session) Run() (*Outcome, error) {
 	defKey := def.Key()
 	var base runner.Measurement
 	replay := make(map[int]checkpoint.TrialRecord)
+	epochReplay := make(map[int]checkpoint.EpochRecord)
 	if s.Resume != nil {
 		snap := s.Resume
 		if err := snap.Meta.Check(meta); err != nil {
@@ -413,6 +470,13 @@ func (s *Session) Run() (*Outcome, error) {
 		base = snap.Baseline
 		for _, rec := range snap.Trials {
 			replay[rec.Seq] = rec
+		}
+		for _, rec := range snap.Epochs {
+			if rec.Trial > snap.Trial {
+				return nil, fmt.Errorf("%w: epoch %d opened at trial %d but snapshot records only %d trials",
+					checkpoint.ErrCorrupt, rec.Epoch, rec.Trial, snap.Trial)
+			}
+			epochReplay[rec.Epoch] = rec
 		}
 		s.Telemetry.Counter("checkpoint_resumes_total").Inc()
 		s.Telemetry.Counter("checkpoint_resumed_trials_total").Add(uint64(len(snap.Trials)))
@@ -449,7 +513,8 @@ func (s *Session) Run() (*Outcome, error) {
 
 	var ck *ckState
 	if snapRunner != nil {
-		ck = &ckState{keeper: s.Checkpoint, meta: meta, base: base, snap: snapRunner, replay: replay}
+		ck = &ckState{keeper: s.Checkpoint, meta: meta, base: base, snap: snapRunner,
+			replay: replay, epochReplay: epochReplay}
 	}
 	rob := &robState{now: s.now}
 	if rob.now == nil {
@@ -465,8 +530,13 @@ func (s *Session) Run() (*Outcome, error) {
 	if s.Quarantine != nil {
 		rob.quar = newQuarantine(s.Quarantine, tree, s.Telemetry, s.Trace)
 	}
-	if err := s.runLoop(runCtx, ctx, out, slotFree, reps, budget, history, ck, rob); err != nil {
+	if err := s.runLoop(runCtx, ctx, out, slotFree, reps, budget, history, ck, rob, ds); err != nil {
 		return nil, err
+	}
+	if ds.det != nil {
+		// Close the final (still-open) epoch so the report always accounts
+		// every trial to an epoch; no drift closed it, so no provenance.
+		ds.closeEpoch(ctx, out, nil)
 	}
 	if rob.hg != nil {
 		out.Hedges, out.HedgeWins = rob.hg.hedges, rob.hg.wins

@@ -63,14 +63,19 @@ type robState struct {
 // ckState is the session's durability bookkeeping, non-nil only when
 // checkpointing or resuming. log accumulates every delivered measurement in
 // delivery order; replay maps dispatch seq → recorded trial for the resume
-// prefix, satisfied without touching the runner.
+// prefix, satisfied without touching the runner. epochs accumulates the
+// re-tuning epochs opened so far (with the warm-start priors each used);
+// epochReplay maps epoch index → recorded epoch so a resumed session
+// rebuilds each epoch's searcher from the original priors verbatim.
 type ckState struct {
-	keeper *checkpoint.Keeper
-	meta   checkpoint.Meta
-	base   runner.Measurement
-	snap   runner.StateSnapshotter
-	log    []checkpoint.TrialRecord
-	replay map[int]checkpoint.TrialRecord
+	keeper      *checkpoint.Keeper
+	meta        checkpoint.Meta
+	base        runner.Measurement
+	snap        runner.StateSnapshotter
+	log         []checkpoint.TrialRecord
+	replay      map[int]checkpoint.TrialRecord
+	epochs      []checkpoint.EpochRecord
+	epochReplay map[int]checkpoint.EpochRecord
 }
 
 // write snapshots the session at a round boundary and hands it to the
@@ -95,6 +100,7 @@ func (s *Session) writeCheckpoint(ck *ckState, ctx *Context) {
 		BestScore:   ctx.BestWall,
 		Baseline:    ck.base,
 		Trials:      ck.log[:len(ck.log):len(ck.log)],
+		Epochs:      ck.epochs[:len(ck.epochs):len(ck.epochs)],
 		RunnerState: state,
 	})
 }
@@ -114,8 +120,12 @@ func (s *Session) writeCheckpoint(ck *ckState, ctx *Context) {
 // sees them in.
 func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 	slotFree []float64, reps int, budget float64, history map[string]*AttemptRecord,
-	ck *ckState, rob *robState) error {
+	ck *ckState, rob *robState, ds *driftState) error {
 	workers := len(slotFree)
+
+	// searcher is the live proposal strategy. It starts as the session's
+	// Searcher and is rebuilt (warm-started) at each re-tuning epoch.
+	searcher := s.Searcher
 
 	// Cache hits are free, so a searcher that re-proposes known
 	// configurations forever would never consume budget; bound the
@@ -155,6 +165,11 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 		if freeTrials >= maxFreeTrials {
 			degrade("stalled", "stalled after %d consecutive zero-cost trials", maxFreeTrials)
 			break
+		}
+		// Apply the workload's phase schedule before dispatching: the round
+		// is a barrier, so no measurement observes a half-applied shift.
+		if err := s.advancePhase(ctx, ds, dispatched); err != nil {
+			return err
 		}
 
 		// Pick the slots that can still start a trial inside the budget,
@@ -201,7 +216,7 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 		carry = nil
 		proposeHist := s.Telemetry.Histogram("searcher_propose_seconds", telemetry.DefLatencyBuckets)
 		if !exhausted && len(proposals) < len(picks) {
-			if bs, ok := s.Searcher.(BatchSearcher); ok {
+			if bs, ok := searcher.(BatchSearcher); ok {
 				ctx.Elapsed = picks[len(proposals)].start
 				t0 := time.Now()
 				got := bs.ProposeBatch(ctx, len(picks)-len(proposals))
@@ -214,7 +229,7 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 				for len(proposals) < len(picks) {
 					ctx.Elapsed = picks[len(proposals)].start
 					t0 := time.Now()
-					cfg := s.Searcher.Propose(ctx)
+					cfg := searcher.Propose(ctx)
 					proposeHist.Observe(time.Since(t0).Seconds())
 					if cfg == nil {
 						exhausted = true
@@ -368,13 +383,26 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 			if !tr.synthetic {
 				out.recordAttempts(history, tr.key, tr.m)
 			}
-			s.Searcher.Observe(ctx, tr.cfg, tr.m)
+			searcher.Observe(ctx, tr.cfg, tr.m)
 			if rob.quar != nil && !tr.synthetic {
 				rob.quar.observe(tr.cfg, tr.key, ctx.Trial, ctx.Elapsed, tr.m)
 			}
-			if sc := ctx.Objective.Score(tr.m); sc < ctx.BestWall {
+			sc := ctx.Objective.Score(tr.m)
+			// After an epoch transition the incumbent's score describes the
+			// old regime: the first successful post-drift observation replaces
+			// it unconditionally, re-anchoring BestWall in the new regime
+			// (the demoted winner itself is re-proposed first, so this is
+			// normally its own post-drift re-measurement).
+			if sc < ctx.BestWall || (ds.demoted && !tr.synthetic && !math.IsInf(sc, 1)) {
 				ctx.Best, ctx.BestWall = tr.cfg.Clone(), sc
 				out.BestMeasurement = tr.m
+				ds.demoted = false
+			}
+			// Feed the drift detector in delivery order — the serialization
+			// that makes its events deterministic. Synthetic quarantine
+			// rejections never ran and say nothing about the workload.
+			if !tr.synthetic {
+				ds.observe(sc, ctx.Trial)
 			}
 			// Commit the trial's runner-side events (attempts, retries,
 			// faults) stamped with the virtual completion time, then mark the
@@ -397,7 +425,7 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 				T: ctx.Elapsed, Kind: telemetry.EvObserve, Key: tr.key,
 				Worker: tr.slot, Trial: ctx.Trial, Cost: tr.eff,
 			}
-			if sc := ctx.Objective.Score(tr.m); !math.IsInf(sc, 1) {
+			if !math.IsInf(sc, 1) {
 				ev.Score = sc
 			} else {
 				ev.Detail = string(tr.m.Failure)
@@ -413,6 +441,22 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 		}
 		s.Telemetry.Counter("session_rounds_total").Inc()
 		s.Trace.Emit(telemetry.Event{T: ctx.Elapsed, Kind: telemetry.EvBarrier, Trial: ctx.Trial})
+		// A drift confirmed mid-round transitions here, at the barrier: the
+		// epoch closes, the searcher is rebuilt warm, and the round-local
+		// machinery (deferred proposals, the exhaustion latch, the stall
+		// counter) restarts for the new regime. Transitioning before the
+		// checkpoint write means the snapshot always records the epoch it
+		// was taken in.
+		if ds.pending != nil {
+			next, err := s.openEpoch(ctx, out, ds, ck, rob)
+			if err != nil {
+				return err
+			}
+			searcher = next
+			exhausted = false
+			carry = nil
+			freeTrials = 0
+		}
 		if ck != nil && ck.keeper.Due(ctx.Trial) {
 			s.writeCheckpoint(ck, ctx)
 		}

@@ -54,6 +54,16 @@ func Eval(prof *workload.Profile, reg *flags.Registry, req *TrialRequest) (*Tria
 	if err != nil {
 		return nil, err
 	}
+	// Drift sessions ship the phase shift with every request: the node
+	// derives the shifted profile exactly as a local runner would, so the
+	// measurement stays a pure function of the request alone.
+	if req.Shift != nil {
+		shifted, err := req.Shift.Apply(prof)
+		if err != nil {
+			return nil, reject(CodeBadPayload, "dispatch: %v", err)
+		}
+		prof = shifted
+	}
 	noise := req.Noise
 	if noise < 0 {
 		noise = jvmsim.DefaultNoise

@@ -1,0 +1,109 @@
+package dispatch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+)
+
+func TestPoolSetPhaseMatchesInProcess(t *testing.T) {
+	prof := poolProfile(t, "fop")
+	pool := newTestPool(t, "fop", NewLocal(prof, "n0"))
+	pool.Noise = 0
+
+	sim := jvmsim.New()
+	sim.NoiseRelStdDev = 0
+	local := runner.NewInProcess(sim, prof)
+
+	reg := flags.NewRegistry()
+	cfg := flags.NewConfig(reg)
+	cfg.SetInt("MaxHeapSize", 1<<30)
+	timeout0 := pool.TimeoutSeconds
+	before := pool.Measure(cfg, 2)
+
+	// An invalid shift fails closed before any node sees it.
+	if err := pool.SetPhase(1, jvmsim.PhaseShift{AllocFactor: -1}); err == nil {
+		t.Fatal("negative shift factor accepted")
+	}
+
+	// Through a real shift, the pool must stay a drop-in for the phase-aware
+	// in-process runner: same measurement, same rescaled kill threshold, and
+	// a genuine re-measurement (no cross-phase cache hit).
+	if err := pool.SetPhase(1, jvmsim.DefaultShift()); err != nil {
+		t.Fatal(err)
+	}
+	if err := local.SetPhase(1, jvmsim.DefaultShift()); err != nil {
+		t.Fatal(err)
+	}
+	eff, err := jvmsim.DefaultShift().Apply(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := runner.PhaseTimeout(timeout0, jvmsim.New(), prof, eff); pool.TimeoutSeconds != want {
+		t.Errorf("pool timeout %g, want rescaled %g", pool.TimeoutSeconds, want)
+	}
+	pm := pool.Measure(cfg, 2)
+	lm := local.Measure(cfg.Clone(), 2)
+	if pm.FromCache {
+		t.Error("pre-shift measurement served as a post-shift cache hit")
+	}
+	if pm.Mean != lm.Mean || pm.Mean <= before.Mean {
+		t.Errorf("shifted pool mean %g, in-process %g, pre-shift %g", pm.Mean, lm.Mean, before.Mean)
+	}
+
+	// Phase 0 restores the base regime and replays the phase-0 cache.
+	if err := pool.SetPhase(0, jvmsim.PhaseShift{}); err != nil {
+		t.Fatal(err)
+	}
+	back := pool.Measure(cfg, 2)
+	if !back.FromCache || back.Mean != before.Mean {
+		t.Error("phase 0 should replay the phase-0 cache")
+	}
+}
+
+func TestTrialRequestPhaseValidation(t *testing.T) {
+	shift := jvmsim.DefaultShift()
+	base := func() *TrialRequest {
+		return &TrialRequest{Benchmark: "fop", Reps: 1, Noise: -1}
+	}
+	cases := []struct {
+		name string
+		mut  func(*TrialRequest)
+		want string
+	}{
+		{"negative phase", func(q *TrialRequest) { q.Phase = -1 }, "out of range"},
+		{"huge phase", func(q *TrialRequest) { q.Phase = 1 << 21; q.Shift = &shift }, "out of range"},
+		{"phase without shift", func(q *TrialRequest) { q.Phase = 1 }, "without a shift"},
+		{"shift without phase", func(q *TrialRequest) { q.Shift = &shift }, "shift without a phase"},
+		{"invalid shift", func(q *TrialRequest) {
+			q.Phase = 1
+			q.Shift = &jvmsim.PhaseShift{AllocFactor: -2}
+		}, "alloc"},
+	}
+	for _, tc := range cases {
+		q := base()
+		tc.mut(q)
+		err := q.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		re, ok := err.(*RequestError)
+		if !ok || re.Code != CodeBadPayload {
+			t.Errorf("%s: want *RequestError with %s, got %#v", tc.name, CodeBadPayload, err)
+			continue
+		}
+		if !strings.Contains(re.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, re.Error(), tc.want)
+		}
+	}
+	q := base()
+	q.Phase = 1
+	q.Shift = &shift
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid phased request rejected: %v", err)
+	}
+}

@@ -80,6 +80,18 @@ type Pool struct {
 	elapsed runner.VirtualClock
 	reps    map[string]int
 	cache   map[string]runner.Measurement
+	// phase and shift support phase-shifting workloads (runner.PhaseSetter):
+	// the shift travels with every request so any node derives the shifted
+	// profile itself. Per-key state above is scoped through runner.PhaseKey,
+	// the same convention as the in-process runner, so snapshots stay
+	// byte-compatible.
+	phase int
+	shift jvmsim.PhaseShift
+	// timeout0 captures TimeoutSeconds at the first phase shift: phase
+	// timeouts rescale from the base-profile threshold (runner.PhaseTimeout)
+	// so repeated shifts never compound.
+	timeout0    float64
+	timeout0Set bool
 
 	hbStop chan struct{}
 	hbDone chan struct{}
@@ -325,6 +337,31 @@ func (p *Pool) failLocked(nd *node, t time.Time) {
 	}
 }
 
+// SetPhase implements runner.PhaseSetter: subsequent trials carry the
+// shift on the wire and the pool's rep indices and cache re-scope to the
+// new phase (runner.PhaseKey), exactly like the in-process runner. The
+// shift is validated here, before any node sees it, and the harness kill
+// threshold recalibrates to the shifted workload's baseline
+// (runner.PhaseTimeout) so the per-request timeout matches what an
+// in-process runner would enforce.
+func (p *Pool) SetPhase(phase int, shift jvmsim.PhaseShift) error {
+	eff, err := shift.Apply(p.profile)
+	if err != nil {
+		return err
+	}
+	if phase == 0 {
+		eff = p.profile
+	}
+	p.mu.Lock()
+	if !p.timeout0Set {
+		p.timeout0, p.timeout0Set = p.TimeoutSeconds, true
+	}
+	p.phase, p.shift = phase, shift
+	p.TimeoutSeconds = runner.PhaseTimeout(p.timeout0, jvmsim.New(), p.profile, eff)
+	p.mu.Unlock()
+	return nil
+}
+
 // Measure implements runner.Runner with the exact cache, rep-index,
 // retry, and telemetry semantics of runner.InProcess — the dispatch layer
 // only changes where the attempt body runs.
@@ -335,8 +372,12 @@ func (p *Pool) Measure(cfg *flags.Config, reps int) runner.Measurement {
 	key := cfg.Key()
 
 	p.mu.Lock()
+	// Phases only change between rounds (the PhaseSetter contract), never
+	// while a Measure is in flight.
+	phase, shift := p.phase, p.shift
+	sk := runner.PhaseKey(phase, key)
 	if !p.DisableCache {
-		if m, ok := p.cache[key]; ok && (m.Failed || len(m.Walls) >= reps) {
+		if m, ok := p.cache[sk]; ok && (m.Failed || len(m.Walls) >= reps) {
 			p.mu.Unlock()
 			m.FromCache = true
 			m.CostSeconds = 0
@@ -355,14 +396,18 @@ func (p *Pool) Measure(cfg *flags.Config, reps int) runner.Measurement {
 		// Each attempt draws fresh noise-rep indices so a retried run is a
 		// genuinely new measurement, not a replay.
 		p.mu.Lock()
-		repBase := p.reps[key]
-		p.reps[key] = repBase + reps
+		repBase := p.reps[sk]
+		p.reps[sk] = repBase + reps
 		p.mu.Unlock()
 
 		req := &TrialRequest{
 			Key: key, Benchmark: p.profile.Name, Args: args,
 			RepBase: repBase, Reps: reps,
 			TimeoutSeconds: p.TimeoutSeconds, Noise: p.Noise,
+		}
+		if phase > 0 {
+			s := shift
+			req.Phase, req.Shift = phase, &s
 		}
 		m := p.place(req)
 		runner.NoteAttempt(p.Telemetry, p.Trace, key, n, n > 0, m)
@@ -373,7 +418,7 @@ func (p *Pool) Measure(cfg *flags.Config, reps int) runner.Measurement {
 	p.mu.Lock()
 	p.elapsed.Charge(m.CostSeconds)
 	if !p.DisableCache && !m.Transient {
-		p.cache[key] = m
+		p.cache[sk] = m
 	}
 	p.mu.Unlock()
 	return m

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/flags"
+	"repro/internal/jvmsim"
 	"repro/internal/runner"
 )
 
@@ -75,6 +76,16 @@ type TrialRequest struct {
 	// simulator default (jvmsim.DefaultNoise); the field is explicit so
 	// every node measures under the session's noise model.
 	Noise float64 `json:"noise"`
+	// Phase and Shift carry phase-shifting workloads (drift sessions; see
+	// internal/jvmsim.PhaseShift) over the wire: the node applies Shift to
+	// the resolved base profile before measuring. Both are omitted in phase
+	// 0, so stationary sessions emit byte-identical requests to builds
+	// without drift support — and nodes of an older protocol generation
+	// fail closed on the unknown fields rather than silently measuring the
+	// un-shifted workload (the fleet must be upgraded in lockstep to run
+	// drift jobs; see docs/DISTRIBUTED.md).
+	Phase int                `json:"phase,omitempty"`
+	Shift *jvmsim.PhaseShift `json:"shift,omitempty"`
 }
 
 // TrialResult is a successful evaluation on the wire.
@@ -130,6 +141,17 @@ func (q *TrialRequest) Validate() error {
 		return reject(CodeBadPayload, "dispatch: timeout %g out of range", q.TimeoutSeconds)
 	case q.Noise > 1:
 		return reject(CodeBadPayload, "dispatch: noise %g out of range", q.Noise)
+	case q.Phase < 0 || q.Phase > 1<<20:
+		return reject(CodeBadPayload, "dispatch: phase %d out of range", q.Phase)
+	case q.Phase > 0 && q.Shift == nil:
+		return reject(CodeBadPayload, "dispatch: phase %d without a shift", q.Phase)
+	case q.Phase == 0 && q.Shift != nil:
+		return reject(CodeBadPayload, "dispatch: shift without a phase")
+	}
+	if q.Shift != nil {
+		if err := q.Shift.Validate(); err != nil {
+			return reject(CodeBadPayload, "dispatch: %v", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,195 @@
+// Package drift detects workload drift on a tuning session's measurement
+// stream. Production JVMs do not run one fixed profile: allocation rates
+// and request mixes shift mid-flight, and a configuration tuned before the
+// shift silently degrades after it. The detector watches the scores of
+// delivered trials and raises a drift event when their level shifts up by
+// more than search dynamics explain — the signal core.Session uses to open
+// a re-tuning epoch (see docs/DRIFT.md).
+//
+// # Detector
+//
+// The test is a one-sided Page–Hinkley mean-shift test on the log of each
+// delivered score. Logs because workload drift is multiplicative — an
+// allocation surge scales every configuration's wall time by a factor, so
+// it shifts log-scores additively and uniformly, while also compressing
+// the heavy right tail of bad configurations. One-sided (upward only)
+// because a healthy search *trends down* as it converges: a two-sided test
+// would read convergence itself as drift, and a drift that makes every
+// configuration faster strands no stale winner.
+//
+// Page–Hinkley maintains the running mean m_t of the observations x_1..x_t
+// and the cumulative deviation
+//
+//	U_t = Σ_{i≤t} (x_i − m_i − δ)
+//
+// where δ (Config.Delta) is the magnitude of level noise to tolerate. The
+// statistic PH_t = U_t − min_{i≤t} U_i measures how persistently recent
+// observations sit above the historical mean; a stationary stream keeps it
+// near zero, an upward level shift grows it linearly. Drift is confirmed
+// when PH_t > λ (Config.Lambda, the sensitivity knob: lower fires earlier).
+//
+// The detector is a pure fold over the observation sequence — no clocks,
+// no randomness, O(1) state and work per observation — so a session that
+// feeds it delivered scores in delivery order inherits its determinism:
+// the same (seed, workers) fires the same events at the same trials at any
+// goroutine schedule, and a resumed session replays to the identical
+// detector state.
+package drift
+
+import (
+	"fmt"
+	"math"
+)
+
+// Defaults. Lambda is calibrated against stationary sessions across the
+// built-in workloads, searchers, and seeds (see calibration_test.go): the
+// largest PH statistic a stationary session reaches stays well under the
+// default, so default-or-higher sensitivity never false-positives, while a
+// genuine 2–3× drift pushes the statistic past it within a round or two.
+const (
+	// DefaultDelta is the tolerated log-score level noise (≈5% level play).
+	DefaultDelta = 0.05
+	// DefaultLambda is the decision threshold on the Page–Hinkley statistic.
+	DefaultLambda = 6.0
+	// DefaultWarmup is how many observations seed the mean before the test
+	// arms; it covers the baseline and the first exploration round.
+	DefaultWarmup = 8
+)
+
+// Config parameterizes a Detector. The zero value means the defaults.
+type Config struct {
+	// Delta is the level-noise tolerance in log-score units: per-observation
+	// deviation below it never accumulates. 0 means DefaultDelta; negative
+	// means exactly 0 (tolerate nothing).
+	Delta float64
+	// Lambda is the decision threshold on the Page–Hinkley statistic — the
+	// sensitivity knob. Lower fires earlier (more sensitive), higher needs
+	// more persistent evidence. 0 means DefaultLambda.
+	Lambda float64
+	// Warmup is how many observations seed the running mean before the test
+	// can fire. 0 means DefaultWarmup; negative means no warmup.
+	Warmup int
+}
+
+func (c Config) normalized() Config {
+	switch {
+	case c.Delta == 0:
+		c.Delta = DefaultDelta
+	case c.Delta < 0:
+		c.Delta = 0
+	}
+	if c.Lambda == 0 {
+		c.Lambda = DefaultLambda
+	}
+	switch {
+	case c.Warmup == 0:
+		c.Warmup = DefaultWarmup
+	case c.Warmup < 0:
+		c.Warmup = 0
+	}
+	return c
+}
+
+// Validate checks the configuration is usable.
+func (c Config) Validate() error {
+	n := c.normalized()
+	if math.IsNaN(n.Delta) || math.IsInf(n.Delta, 0) {
+		return fmt.Errorf("drift: Delta must be finite, got %v", c.Delta)
+	}
+	if n.Lambda <= 0 || math.IsNaN(n.Lambda) || math.IsInf(n.Lambda, 0) {
+		return fmt.Errorf("drift: Lambda must be positive and finite, got %v", c.Lambda)
+	}
+	return nil
+}
+
+// String renders the effective (normalized) configuration canonically; the
+// checkpoint layer folds it into the session fingerprint so a run cannot
+// resume under a different detector than the one it crashed with.
+func (c Config) String() string {
+	n := c.normalized()
+	return fmt.Sprintf("ph(delta=%g,lambda=%g,warmup=%d)", n.Delta, n.Lambda, n.Warmup)
+}
+
+// Event describes one confirmed drift.
+type Event struct {
+	// Observation is the 1-based index (within the current epoch) of the
+	// observation that confirmed the drift.
+	Observation int
+	// Score is the observed score that confirmed it.
+	Score float64
+	// Mean is the pre-drift level estimate, mapped back from log space: the
+	// geometric mean of the epoch's observations so far.
+	Mean float64
+	// Stat is the Page–Hinkley statistic at confirmation (> Lambda).
+	Stat float64
+}
+
+// Detector is the online drift test. Not safe for concurrent use: the
+// session feeds it delivered scores in delivery order, which is exactly
+// the serialization that makes it deterministic.
+type Detector struct {
+	cfg Config
+
+	n      int     // observations this epoch
+	mean   float64 // running mean of log-scores
+	cum    float64 // U_t
+	minCum float64 // min_i U_i
+	fired  bool    // suppress repeat events until Reset
+}
+
+// New builds a detector; the zero Config means the defaults.
+func New(cfg Config) *Detector {
+	return &Detector{cfg: cfg.normalized()}
+}
+
+// Config returns the effective (normalized) configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Observe folds one delivered score into the test and reports whether it
+// confirmed a drift. Only finite positive scores count — failed trials
+// have no score and skip the detector entirely (the caller's contract).
+// After a confirmation the detector stays silent until Reset: one epoch,
+// one event.
+func (d *Detector) Observe(score float64) (Event, bool) {
+	if d.fired || !(score > 0) || math.IsInf(score, 0) {
+		return Event{}, false
+	}
+	x := math.Log(score)
+	d.n++
+	d.mean += (x - d.mean) / float64(d.n)
+	if d.n <= d.cfg.Warmup {
+		return Event{}, false
+	}
+	d.cum += x - d.mean - d.cfg.Delta
+	if d.cum < d.minCum {
+		d.minCum = d.cum
+	}
+	if stat := d.cum - d.minCum; stat > d.cfg.Lambda {
+		d.fired = true
+		return Event{
+			Observation: d.n,
+			Score:       score,
+			Mean:        math.Exp(d.mean),
+			Stat:        stat,
+		}, true
+	}
+	return Event{}, false
+}
+
+// Stat returns the current Page–Hinkley statistic (diagnostic).
+func (d *Detector) Stat() float64 {
+	if d.n <= d.cfg.Warmup {
+		return 0
+	}
+	return d.cum - d.minCum
+}
+
+// Observations returns how many scores the current epoch has folded in.
+func (d *Detector) Observations() int { return d.n }
+
+// Reset clears the epoch state: the post-drift phase is a new level to
+// learn from scratch, so the mean, the cumulative deviations, and the
+// one-shot latch all restart.
+func (d *Detector) Reset() {
+	d.n, d.mean, d.cum, d.minCum, d.fired = 0, 0, 0, 0, false
+}

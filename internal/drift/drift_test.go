@@ -1,0 +1,250 @@
+package drift
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDefaultsNormalization(t *testing.T) {
+	d := New(Config{})
+	cfg := d.Config()
+	if cfg.Delta != DefaultDelta || cfg.Lambda != DefaultLambda || cfg.Warmup != DefaultWarmup {
+		t.Fatalf("zero config did not normalize to defaults: %+v", cfg)
+	}
+	// Negative means "exactly zero", distinct from "default".
+	n := Config{Delta: -1, Warmup: -1}.normalized()
+	if n.Delta != 0 || n.Warmup != 0 {
+		t.Fatalf("negative Delta/Warmup should normalize to 0: %+v", n)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config must validate: %v", err)
+	}
+	for _, bad := range []Config{
+		{Lambda: math.NaN()},
+		{Lambda: math.Inf(1)},
+		{Lambda: -3},
+		{Delta: math.NaN()},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v should not validate", bad)
+		}
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	if got, want := (Config{}).String(), "ph(delta=0.05,lambda=6,warmup=8)"; got != want {
+		t.Fatalf("default config string %q, want %q", got, want)
+	}
+	// Explicit defaults render identically to the zero value: the string is
+	// a fingerprint, and equal effective configs must fingerprint equally.
+	explicit := Config{Delta: DefaultDelta, Lambda: DefaultLambda, Warmup: DefaultWarmup}
+	if explicit.String() != (Config{}).String() {
+		t.Fatalf("explicit defaults fingerprint differently: %q vs %q", explicit.String(), (Config{}).String())
+	}
+	if !strings.Contains((Config{Lambda: 3.5}).String(), "lambda=3.5") {
+		t.Fatalf("lambda missing from %q", Config{Lambda: 3.5})
+	}
+}
+
+// TestDetectsUpwardShift: a stationary noisy level followed by a sustained
+// multiplicative jump must fire, and fire only once.
+func TestDetectsUpwardShift(t *testing.T) {
+	d := New(Config{})
+	rng := rand.New(rand.NewSource(1))
+	fired := 0
+	var at int
+	for i := 0; i < 200; i++ {
+		level := 10.0
+		if i >= 100 {
+			level = 25.0 // 2.5× drift
+		}
+		score := level * math.Exp(rng.NormFloat64()*0.05)
+		if _, ok := d.Observe(score); ok {
+			fired++
+			at = i
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("want exactly one event, got %d", fired)
+	}
+	if at < 100 || at > 110 {
+		t.Fatalf("drift at trial 100 confirmed at observation %d; want within a few trials", at)
+	}
+}
+
+// TestIgnoresDownwardShift: convergence (scores improving) must not fire —
+// the test is one-sided by design.
+func TestIgnoresDownwardShift(t *testing.T) {
+	d := New(Config{})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		level := 10.0
+		if i >= 100 {
+			level = 4.0
+		}
+		score := level * math.Exp(rng.NormFloat64()*0.05)
+		if ev, ok := d.Observe(score); ok {
+			t.Fatalf("downward shift fired at %d: %+v", i, ev)
+		}
+	}
+}
+
+// TestStationaryNoFalsePositive: pure noise at one level never fires at
+// default-or-weaker sensitivity, even over a long session with a gradual
+// convergence trend mixed in (the search finding better configurations).
+func TestStationaryNoFalsePositive(t *testing.T) {
+	for _, lambda := range []float64{0, DefaultLambda, 2 * DefaultLambda, 10 * DefaultLambda} {
+		for seed := int64(0); seed < 20; seed++ {
+			d := New(Config{Lambda: lambda})
+			rng := rand.New(rand.NewSource(seed))
+			level := 12.0
+			for i := 0; i < 500; i++ {
+				// Converging search: the level drifts *down* 30% over the
+				// session while per-trial noise scatters ±10%.
+				trend := 1 - 0.3*float64(i)/500
+				score := level * trend * math.Exp(rng.NormFloat64()*0.1)
+				if ev, ok := d.Observe(score); ok {
+					t.Fatalf("λ=%g seed=%d: stationary stream fired at %d: %+v", lambda, seed, i, ev)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterminism: the detector is a pure fold — identical sequences give
+// identical events and state.
+func TestDeterminism(t *testing.T) {
+	seq := make([]float64, 400)
+	rng := rand.New(rand.NewSource(3))
+	for i := range seq {
+		level := 8.0
+		if i >= 250 {
+			level = 20.0
+		}
+		seq[i] = level * math.Exp(rng.NormFloat64()*0.08)
+	}
+	run := func() (events []Event, stat float64) {
+		d := New(Config{})
+		for _, s := range seq {
+			if ev, ok := d.Observe(s); ok {
+				events = append(events, ev)
+			}
+		}
+		return events, d.Stat()
+	}
+	e1, s1 := run()
+	e2, s2 := run()
+	if len(e1) != 1 || len(e2) != 1 || e1[0] != e2[0] || s1 != s2 {
+		t.Fatalf("detector not deterministic: %+v/%v vs %+v/%v", e1, s1, e2, s2)
+	}
+}
+
+// TestSkipsNonPositive: failed trials (no score) and garbage must not
+// perturb the state.
+func TestSkipsNonPositive(t *testing.T) {
+	d := New(Config{Warmup: 2})
+	for _, s := range []float64{10, 10.5} {
+		d.Observe(s)
+	}
+	before := d.Observations()
+	for _, junk := range []float64{0, -3, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, ok := d.Observe(junk); ok {
+			t.Fatalf("junk score %v fired", junk)
+		}
+	}
+	if d.Observations() != before {
+		t.Fatalf("junk scores advanced state: %d → %d", before, d.Observations())
+	}
+}
+
+// TestOneShotUntilReset: after a confirmation the detector is silent; Reset
+// rearms it and clears all state.
+func TestOneShotUntilReset(t *testing.T) {
+	d := New(Config{Warmup: 4, Lambda: 1})
+	feed := func(level float64, n int) (fired int) {
+		for i := 0; i < n; i++ {
+			if _, ok := d.Observe(level); ok {
+				fired++
+			}
+		}
+		return fired
+	}
+	feed(10, 6)
+	if f := feed(40, 20); f != 1 {
+		t.Fatalf("first drift: want 1 event, got %d", f)
+	}
+	if f := feed(100, 20); f != 0 {
+		t.Fatalf("latched detector fired again: %d", f)
+	}
+	d.Reset()
+	if d.Observations() != 0 || d.Stat() != 0 {
+		t.Fatalf("Reset left state: n=%d stat=%g", d.Observations(), d.Stat())
+	}
+	feed(40, 6)
+	if f := feed(160, 20); f != 1 {
+		t.Fatalf("re-armed detector: want 1 event, got %d", f)
+	}
+}
+
+// TestWarmupArming: the test cannot fire inside the warmup window no matter
+// how violent the shift.
+func TestWarmupArming(t *testing.T) {
+	d := New(Config{Warmup: 50, Lambda: 0.5})
+	for i := 0; i < 50; i++ {
+		score := 1.0
+		if i >= 10 {
+			score = 1000
+		}
+		if _, ok := d.Observe(score); ok {
+			t.Fatalf("fired during warmup at %d", i)
+		}
+	}
+}
+
+// TestEventFields: the event describes the confirmation usefully.
+func TestEventFields(t *testing.T) {
+	d := New(Config{Warmup: 4, Lambda: 1})
+	var ev Event
+	var ok bool
+	for i := 0; i < 30 && !ok; i++ {
+		level := 10.0
+		if i >= 10 {
+			level = 30.0
+		}
+		ev, ok = d.Observe(level)
+	}
+	if !ok {
+		t.Fatal("no event")
+	}
+	if ev.Score != 30 {
+		t.Errorf("event score %g, want 30", ev.Score)
+	}
+	if ev.Stat <= 1 {
+		t.Errorf("event stat %g, want > λ=1", ev.Stat)
+	}
+	if ev.Mean < 10 || ev.Mean > 30 {
+		t.Errorf("pre-drift mean estimate %g outside (10, 30)", ev.Mean)
+	}
+	if ev.Observation < 11 {
+		t.Errorf("confirmed at observation %d, before the shift", ev.Observation)
+	}
+}
+
+func BenchmarkDriftDetector(b *testing.B) {
+	seq := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(4))
+	for i := range seq {
+		seq[i] = 10 * math.Exp(rng.NormFloat64()*0.1)
+	}
+	d := New(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(seq[i%len(seq)])
+	}
+}

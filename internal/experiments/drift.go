@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/hotspot"
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// DriftRow is one benchmark's drift-recovery comparison: the same scheduled
+// workload shift tuned obliviously (detector off — the winner goes stale),
+// with live re-tuning (detector on — a new epoch recovers), and from
+// scratch on the post-shift profile (the oracle the recovery is measured
+// against). All winners are re-measured on one oracle runner over the
+// shifted profile so the walls are directly comparable.
+type DriftRow struct {
+	Benchmark string
+	// DriftTrial is the trial at which the armed session confirmed the
+	// shift; Epochs its total epoch count.
+	DriftTrial int
+	Epochs     int
+	// DefaultWall is the default configuration's wall on the shifted
+	// profile; StaleWall / RetunedWall / ScratchWall are the oblivious,
+	// re-tuned, and from-scratch winners on the same profile.
+	DefaultWall float64
+	StaleWall   float64
+	RetunedWall float64
+	ScratchWall float64
+	// RecoveryPct is the share of the from-scratch session's improvement
+	// (over the shifted default) that the re-tuned session achieved.
+	RecoveryPct float64
+}
+
+// DefaultDriftBenchmarks covers a GC-bound profile (xalan) and a
+// startup-weighted one (fop).
+var DefaultDriftBenchmarks = []string{"xalan", "fop"}
+
+// driftEvalAtTrial is the scheduled shift point: late enough for the
+// pre-drift search to converge, early enough to leave re-tuning budget.
+const driftEvalAtTrial = 40
+
+// RunDriftEval (E18) measures what live re-tuning buys under workload
+// drift. Per benchmark, three sessions run at the same budget and seed
+// family: oblivious (shift scheduled, detector off), armed (shift
+// scheduled, detector on), and from-scratch (tuned directly on the
+// post-shift profile — the best any tuner could do given the new regime
+// outright). Recovery is the armed session's improvement over the shifted
+// default as a fraction of the from-scratch session's.
+func RunDriftEval(benchmarks []string, cfg Config) ([]DriftRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = DefaultDriftBenchmarks
+	}
+	rows := make([]DriftRow, len(benchmarks))
+	err := forEach(len(benchmarks), cfg.workers(), func(i int) error {
+		bench := benchmarks[i]
+		base := hotspot.Options{
+			Benchmark:     bench,
+			BudgetMinutes: cfg.budget() / 60,
+			Reps:          cfg.reps(),
+			Seed:          cfg.subSeed(i * 2),
+			Workers:       3,
+			Noise:         -1,
+			Chaos:         fmt.Sprintf("drift-at=%d", driftEvalAtTrial),
+		}
+		oblivious, err := hotspot.Tune(base)
+		if err != nil {
+			return err
+		}
+		armed := base
+		armed.Drift = true
+		retuned, err := hotspot.Tune(armed)
+		if err != nil {
+			return err
+		}
+		if len(retuned.Epochs) < 2 {
+			return fmt.Errorf("drift eval %s: armed session opened no re-tuning epoch", bench)
+		}
+
+		prof, ok := workload.ByName(bench)
+		if !ok {
+			return fmt.Errorf("drift eval: no workload %s", bench)
+		}
+		shifted, err := jvmsim.DefaultSchedule([]int{driftEvalAtTrial}).ProfileAt(prof, 1)
+		if err != nil {
+			return err
+		}
+		scratchOpts := hotspot.Options{
+			Workload:      shifted,
+			BudgetMinutes: cfg.budget() / 60,
+			Reps:          cfg.reps(),
+			Seed:          cfg.subSeed(i*2 + 1),
+			Noise:         -1,
+		}
+		scratch, err := hotspot.Tune(scratchOpts)
+		if err != nil {
+			return err
+		}
+
+		// One oracle runner scores every winner on the shifted profile with
+		// the same rep allocation — the comparison the sessions themselves
+		// cannot make (each measured under its own noise stream and regime).
+		reg := flags.NewRegistry()
+		oracle := runner.NewInProcess(jvmsim.New(), shifted)
+		score := func(args []string) (float64, error) {
+			c, err := flags.ParseArgs(reg, args)
+			if err != nil {
+				return 0, err
+			}
+			m := oracle.Measure(c, cfg.reps())
+			if m.Failed {
+				return 0, fmt.Errorf("drift eval %s: oracle measurement failed: %s", bench, m.FailureMessage)
+			}
+			return m.Mean, nil
+		}
+		row := DriftRow{
+			Benchmark:  bench,
+			DriftTrial: retuned.Epochs[0].DriftTrial,
+			Epochs:     len(retuned.Epochs),
+		}
+		if row.DefaultWall, err = score(nil); err != nil {
+			return err
+		}
+		if row.StaleWall, err = score(oblivious.CommandLine); err != nil {
+			return err
+		}
+		if row.RetunedWall, err = score(retuned.CommandLine); err != nil {
+			return err
+		}
+		if row.ScratchWall, err = score(scratch.CommandLine); err != nil {
+			return err
+		}
+		if gap := row.DefaultWall - row.ScratchWall; gap > 0 {
+			row.RecoveryPct = 100 * (row.DefaultWall - row.RetunedWall) / gap
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderDrift renders E18.
+func RenderDrift(rows []DriftRow) string {
+	t := report.NewTable(
+		"E18: drift recovery — oblivious vs re-tuned vs from-scratch on the shifted profile",
+		"Benchmark", "Drift trial", "Epochs", "Default", "Stale", "Re-tuned", "Scratch", "Recovery")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%d", r.DriftTrial),
+			fmt.Sprintf("%d", r.Epochs),
+			fmt.Sprintf("%.2fs", r.DefaultWall),
+			fmt.Sprintf("%.2fs", r.StaleWall),
+			fmt.Sprintf("%.2fs", r.RetunedWall),
+			fmt.Sprintf("%.2fs", r.ScratchWall),
+			fmt.Sprintf("%.1f%%", r.RecoveryPct))
+	}
+	return t.String()
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDriftEval(t *testing.T) {
+	rows, err := RunDriftEval([]string{"xalan"}, Config{BudgetSeconds: 9000, Reps: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("expected 1 row, got %d", len(rows))
+	}
+	r := rows[0]
+	if r.Epochs < 2 || r.DriftTrial <= driftEvalAtTrial {
+		t.Fatalf("armed session did not re-tune past the shift: %+v", r)
+	}
+	if r.RetunedWall >= r.StaleWall {
+		t.Errorf("re-tuned winner (%.3fs) does not beat the stale one (%.3fs) on the shifted profile",
+			r.RetunedWall, r.StaleWall)
+	}
+	if r.RecoveryPct < 90 {
+		t.Errorf("re-tuning recovered only %.1f%% of the from-scratch improvement", r.RecoveryPct)
+	}
+	out := RenderDrift(rows)
+	if !strings.Contains(out, "xalan") || !strings.Contains(out, "E18") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunDriftEvalDefaults(t *testing.T) {
+	if len(DefaultDriftBenchmarks) < 2 {
+		t.Fatal("default benchmark set too small to demonstrate drift recovery")
+	}
+}

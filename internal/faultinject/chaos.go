@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/flags"
+	"repro/internal/jvmsim"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -64,6 +65,12 @@ type ChaosRunner struct {
 	streaks  map[string]int  // consecutive injected failures per key
 	settled  map[string]bool // keys with a definitive (cacheable) verdict
 	stats    Stats
+	// phase scopes the per-key state under phase-shifting workloads (see
+	// runner.PhaseSetter): a key settled before a drift is fair game again
+	// after it — the post-shift measurement is a fresh launch to sabotage.
+	// Phase 0 keys are bare, so chaos state snapshots taken before any
+	// drift stay byte-identical to phase-unaware builds.
+	phase int
 }
 
 // Stats counts the chaos layer's activity.
@@ -119,11 +126,33 @@ func (c *ChaosRunner) Stats() Stats {
 	return c.stats
 }
 
+// SetPhase implements runner.PhaseSetter: the inner runner switches to the
+// shifted profile and the chaos layer's own per-key state (attempt
+// counters, streaks, settled verdicts — and with them the seeded fault
+// schedule) re-scopes to the new phase.
+func (c *ChaosRunner) SetPhase(phase int, shift jvmsim.PhaseShift) error {
+	ps, ok := c.inner.(runner.PhaseSetter)
+	if !ok {
+		return fmt.Errorf("faultinject: inner runner %T does not support phase-shifting workloads", c.inner)
+	}
+	if err := ps.SetPhase(phase, shift); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.phase = phase
+	c.mu.Unlock()
+	return nil
+}
+
 // Measure implements runner.Runner.
 func (c *ChaosRunner) Measure(cfg *flags.Config, reps int) runner.Measurement {
 	key := cfg.Key()
 	c.mu.Lock()
-	settled := c.settled[key]
+	// State (and the seeded fault schedule) is scoped per (phase, key);
+	// everything externally visible — measurement key, traces, telemetry —
+	// stays on the bare configuration key.
+	sk := runner.PhaseKey(c.phase, key)
+	settled := c.settled[sk]
 	c.mu.Unlock()
 
 	var m runner.Measurement
@@ -147,7 +176,7 @@ func (c *ChaosRunner) Measure(cfg *flags.Config, reps int) runner.Measurement {
 			policy.MaxAttempts = c.plan.MaxConsecutive + 1
 		}
 		m = policy.Run(func(retryN int) runner.Measurement {
-			return c.attempt(cfg, reps, key, retryN)
+			return c.attempt(cfg, reps, key, sk, retryN)
 		})
 		m.Key = key
 		if !m.FromCache {
@@ -157,7 +186,7 @@ func (c *ChaosRunner) Measure(cfg *flags.Config, reps int) runner.Measurement {
 
 	c.mu.Lock()
 	if !m.Transient {
-		c.settled[key] = true
+		c.settled[sk] = true
 	}
 	c.elapsed.Charge(m.CostSeconds)
 	c.mu.Unlock()
@@ -184,24 +213,25 @@ func faultName(k faultKind) string {
 }
 
 // attempt performs one launch attempt of key, consulting the seeded
-// schedule for what (if anything) to inject. retryN is the retry-loop
-// index of the surrounding policy (0 for a fresh measurement's first try).
-func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key string, retryN int) runner.Measurement {
+// schedule for what (if anything) to inject. sk is the phase-scoped state
+// key (equal to key before any drift); retryN is the retry-loop index of
+// the surrounding policy (0 for a fresh measurement's first try).
+func (c *ChaosRunner) attempt(cfg *flags.Config, reps int, key, sk string, retryN int) runner.Measurement {
 	c.mu.Lock()
-	n := c.attempts[key]
-	c.attempts[key] = n + 1
-	kind := c.faultFor(key, n)
+	n := c.attempts[sk]
+	c.attempts[sk] = n + 1
+	kind := c.faultFor(sk, n)
 	if isFailureFault(kind) {
-		if c.streaks[key] >= c.plan.MaxConsecutive {
+		if c.streaks[sk] >= c.plan.MaxConsecutive {
 			c.stats.Suppressed++
 			c.Telemetry.Counter("chaos_suppressed_total").Inc()
 			kind = faultNone
 		} else {
-			c.streaks[key]++
+			c.streaks[sk]++
 		}
 	}
 	if !isFailureFault(kind) {
-		c.streaks[key] = 0
+		c.streaks[sk] = 0
 	}
 	c.stats.Attempts++
 	switch kind {

@@ -94,6 +94,17 @@ type Plan struct {
 	// probabilistic fault, so it does not make the plan Active on its own;
 	// see CrashPoint.
 	CrashAtTrial int
+
+	// DriftAtTrials, when non-empty, shifts the *workload* (not a
+	// measurement) once the listed trial counts have been dispatched: each
+	// entry opens the next phase of a drift schedule (see
+	// internal/jvmsim.PhaseShift). Like crash-at it is a session-level
+	// trigger, not a per-attempt fault: it never enters Active(), the
+	// failure-probability sum, or the ChaosRunner schedule — the session
+	// layer extracts it into a phase schedule and clears it before the
+	// measurement layer sees the plan. Entries must be strictly increasing
+	// and ≥ 1.
+	DriftAtTrials []int
 }
 
 // Plan knob defaults.
@@ -158,6 +169,15 @@ func (p Plan) Validate() error {
 	if sum := p.failureProb() + p.Spike + p.Straggle; sum > 1 {
 		return fmt.Errorf("faultinject: fault probabilities sum to %g (> 1)", sum)
 	}
+	for i, at := range p.DriftAtTrials {
+		if at < 1 {
+			return fmt.Errorf("faultinject: drift-at trial %d below 1", at)
+		}
+		if i > 0 && at <= p.DriftAtTrials[i-1] {
+			return fmt.Errorf("faultinject: drift-at trials must be strictly increasing, got %d after %d",
+				at, p.DriftAtTrials[i-1])
+		}
+	}
 	return nil
 }
 
@@ -197,6 +217,11 @@ func (p Plan) String() string {
 	if p.CrashAtTrial > 0 {
 		parts = append(parts, fmt.Sprintf("crash-at=%d", p.CrashAtTrial))
 	}
+	// drift-at, like crash-at, only enters the canonical form when set:
+	// older checkpoints fingerprinted stationary plans without it.
+	for _, at := range p.DriftAtTrials {
+		parts = append(parts, fmt.Sprintf("drift-at=%d", at))
+	}
 	if len(parts) == 0 {
 		return "none"
 	}
@@ -228,6 +253,15 @@ var scenarios = map[string]Plan{
 	// drill. The node-down draws hit the dispatch layer (free, silent
 	// re-dispatch); the straggles exercise the watchdog on top.
 	"node-flaps": {NodeDown: 0.2, Straggle: 0.06, StraggleFactor: 16},
+	// drift-midrun: the workload shifts regimes mid-session while the
+	// harness also stalls deliveries — the drift-detection drill. The
+	// single shift lands deep enough into the session that the pre-drift
+	// incumbent is well established and genuinely stale afterwards.
+	"drift-midrun": {Straggle: 0.06, StraggleFactor: 16, DriftAtTrials: []int{40}},
+	// drift-storm: two regime shifts on a flapping distributed fleet —
+	// drift recovery under node churn and stalled deliveries at once, the
+	// everything-goes-wrong drill.
+	"drift-storm": {NodeDown: 0.2, Straggle: 0.06, StraggleFactor: 16, DriftAtTrials: []int{30, 70}},
 }
 
 // Scenarios lists the named plans, sorted.
@@ -253,7 +287,9 @@ func Scenario(name string) (Plan, bool) {
 // probability in [0,1), distributed sessions only); spike-factor,
 // straggle-factor, hang-cost, crash-cost (floats); streak (max consecutive
 // injected failures per config, int ≥ 1); crash-at (kill the session after
-// that many trials, int ≥ 1 — the checkpoint/resume drill).
+// that many trials, int ≥ 1 — the checkpoint/resume drill); drift-at
+// (shift the workload after that many trials, int ≥ 1, repeatable with
+// strictly increasing values — the drift-detection drill).
 func ParsePlan(spec string) (Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -289,6 +325,14 @@ func ParsePlan(spec string) (Plan, error) {
 				return Plan{}, fmt.Errorf("faultinject: crash-at needs a trial number ≥ 1, got %q", v)
 			}
 			p.CrashAtTrial = n
+			continue
+		}
+		if k == "drift-at" {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil || n < 1 {
+				return Plan{}, fmt.Errorf("faultinject: drift-at needs a trial number ≥ 1, got %q", v)
+			}
+			p.DriftAtTrials = append(p.DriftAtTrials, n)
 			continue
 		}
 		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)

@@ -45,15 +45,19 @@ func TestParsePlanEmptyAndScenarios(t *testing.T) {
 
 func TestParsePlanErrors(t *testing.T) {
 	for _, spec := range []string{
-		"bogus",              // neither scenario nor key=value
-		"launch",             // missing value
-		"launch=x",           // bad float
-		"launch=1.5",         // probability out of range
-		"launch=-0.1",        // negative
-		"warp=0.1",           // unknown key
-		"streak=0",           // streak below 1
-		"streak=two",         // non-integer streak
-		"launch=0.6,spike=0.6", // probabilities sum past 1
+		"bogus",                   // neither scenario nor key=value
+		"launch",                  // missing value
+		"launch=x",                // bad float
+		"launch=1.5",              // probability out of range
+		"launch=-0.1",             // negative
+		"warp=0.1",                // unknown key
+		"streak=0",                // streak below 1
+		"streak=two",              // non-integer streak
+		"launch=0.6,spike=0.6",    // probabilities sum past 1
+		"drift-at=0",              // drift trial below 1
+		"drift-at=ten",            // non-integer drift trial
+		"drift-at=40,drift-at=40", // drift trials not strictly increasing
+		"drift-at=40,drift-at=30", // drift trials decreasing
 	} {
 		if _, err := ParsePlan(spec); err == nil {
 			t.Errorf("ParsePlan(%q) should fail", spec)
@@ -141,5 +145,55 @@ func TestHash01Deterministic(t *testing.T) {
 	}
 	if hits < 2200 || hits > 2800 {
 		t.Errorf("hash01 badly non-uniform: %d/10000 below 0.25", hits)
+	}
+}
+
+func TestPlanDriftAt(t *testing.T) {
+	p, err := ParsePlan("straggle=0.06,drift-at=30,drift-at=70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.DriftAtTrials) != 2 || p.DriftAtTrials[0] != 30 || p.DriftAtTrials[1] != 70 {
+		t.Errorf("drift trials wrong: %+v", p.DriftAtTrials)
+	}
+	// Like crash-at, drift-at is a session-level trigger: it never makes
+	// the plan active at the measurement layer on its own.
+	if q, _ := ParsePlan("drift-at=40"); q.Active() {
+		t.Error("a drift-only plan must not be Active")
+	}
+	s := p.String()
+	for _, want := range []string{"drift-at=30", "drift-at=70"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	q, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("canonical form %q does not re-parse: %v", s, err)
+	}
+	if len(q.DriftAtTrials) != 2 || q.DriftAtTrials[0] != 30 || q.DriftAtTrials[1] != 70 {
+		t.Errorf("round-trip changed the drift trials: %+v", q.DriftAtTrials)
+	}
+	// Without drift-at, the key stays out of the canonical form (older
+	// checkpoints fingerprinted stationary plans without it).
+	if s := (Plan{Launch: 0.1}).String(); strings.Contains(s, "drift-at") {
+		t.Errorf("drift-at leaked into a stationary plan: %q", s)
+	}
+}
+
+func TestDriftScenarios(t *testing.T) {
+	mid, ok := Scenario("drift-midrun")
+	if !ok {
+		t.Fatal("drift-midrun scenario missing")
+	}
+	if len(mid.DriftAtTrials) != 1 || mid.Straggle <= 0 {
+		t.Errorf("drift-midrun should straggle and drift once: %+v", mid)
+	}
+	storm, ok := Scenario("drift-storm")
+	if !ok {
+		t.Fatal("drift-storm scenario missing")
+	}
+	if len(storm.DriftAtTrials) != 2 || storm.NodeDown <= 0 || storm.Straggle <= 0 {
+		t.Errorf("drift-storm should flap, straggle, and drift twice: %+v", storm)
 	}
 }

@@ -134,6 +134,17 @@ type TuneRequest struct {
 	// TransferK is the number of nearest stored fingerprints to draw
 	// warm-start priors from; 0 means the default (3).
 	TransferK int `json:"transfer_k,omitempty"`
+	// Drift arms workload-drift detection and live re-tuning for the job
+	// (see docs/DRIFT.md): a confirmed score shift opens a new tuning epoch
+	// warm-started from the demoted winner (plus transfer priors when the
+	// job also sets "transfer"). Polls on the finished job carry the
+	// per-epoch breakdown under result.epochs. Pair with a chaos plan that
+	// schedules the shift (drift-at=N, drift-midrun, drift-storm).
+	Drift bool `json:"drift,omitempty"`
+	// DriftSensitivity scales the drift detector's decision threshold:
+	// 1 (or 0) is the calibrated default, higher fires on weaker evidence.
+	// Requires "drift": true.
+	DriftSensitivity float64 `json:"drift_sensitivity,omitempty"`
 }
 
 // Job is the server's view of one tuning request.
@@ -512,20 +523,22 @@ func (s *Server) runJob(job *Job) {
 
 	req := job.Request
 	opts := hotspot.Options{
-		Benchmark:     req.Benchmark,
-		Searcher:      req.Searcher,
-		BudgetMinutes: req.BudgetMinutes,
-		Reps:          req.Reps,
-		Seed:          req.Seed,
-		Workers:       req.Workers,
-		Chaos:         req.Chaos,
-		RetryAttempts: req.RetryAttempts,
-		Hedge:         req.Hedge,
-		Quarantine:    req.Quarantine,
-		Nodes:         s.cfg.Nodes,
-		Noise:         -1,
-		Telemetry:     job.tel,
-		Trace:         job.trace,
+		Benchmark:        req.Benchmark,
+		Searcher:         req.Searcher,
+		BudgetMinutes:    req.BudgetMinutes,
+		Reps:             req.Reps,
+		Seed:             req.Seed,
+		Workers:          req.Workers,
+		Chaos:            req.Chaos,
+		RetryAttempts:    req.RetryAttempts,
+		Hedge:            req.Hedge,
+		Quarantine:       req.Quarantine,
+		Drift:            req.Drift,
+		DriftSensitivity: req.DriftSensitivity,
+		Nodes:            s.cfg.Nodes,
+		Noise:            -1,
+		Telemetry:        job.tel,
+		Trace:            job.trace,
 		OnProgress: func(p hotspot.Progress) {
 			s.mu.Lock()
 			// Replace the pointer rather than mutating through it: job
@@ -606,6 +619,14 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.RetryAttempts < 0 {
 		writeError(w, http.StatusBadRequest, "retry_attempts must be ≥ 0")
+		return
+	}
+	if req.DriftSensitivity != 0 && !req.Drift {
+		writeError(w, http.StatusBadRequest, "drift_sensitivity requires drift")
+		return
+	}
+	if req.DriftSensitivity < 0 {
+		writeError(w, http.StatusBadRequest, "drift_sensitivity must be > 0")
 		return
 	}
 

@@ -1,0 +1,256 @@
+package jvmsim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// PhaseShift is one workload drift: a multiplicative re-scaling of the
+// behaviour-defining knobs of a base profile. Production JVMs do not run a
+// fixed profile forever — allocation rates surge when traffic mix changes,
+// live sets grow as caches fill, request handlers get heavier — and a flag
+// configuration tuned before such a shift silently degrades after it. A
+// PhaseShift models the shift as a deterministic profile transform, so a
+// drifted workload is just another (derived) Profile and every simulator
+// guarantee (purity in (config, profile, rep)) carries over unchanged.
+//
+// The zero value is the identity shift: every factor 0 is read as 1. All
+// factors must be positive once normalized.
+type PhaseShift struct {
+	// AllocFactor scales AllocRateMBps: the program allocates this many
+	// times faster. The dominant lever for moving the GC optimum — higher
+	// allocation pressure shifts the best configuration toward bigger young
+	// generations and different collectors.
+	AllocFactor float64 `json:"alloc,omitempty"`
+	// LiveSetFactor scales LiveSetMB: the steady live data grows (caches
+	// filling, sessions accumulating), squeezing old-generation headroom.
+	LiveSetFactor float64 `json:"live,omitempty"`
+	// BaseFactor scales BaseSeconds: the request mix got heavier per
+	// operation.
+	BaseFactor float64 `json:"base,omitempty"`
+	// ShortLivedFactor scales ShortLivedFrac (clamped so the lifetime
+	// fractions stay valid): below 1, more of the allocation survives a
+	// scavenge, increasing promotion pressure.
+	ShortLivedFactor float64 `json:"short,omitempty"`
+}
+
+// normalized returns the shift with zero factors replaced by the identity 1.
+func (ps PhaseShift) normalized() PhaseShift {
+	if ps.AllocFactor == 0 {
+		ps.AllocFactor = 1
+	}
+	if ps.LiveSetFactor == 0 {
+		ps.LiveSetFactor = 1
+	}
+	if ps.BaseFactor == 0 {
+		ps.BaseFactor = 1
+	}
+	if ps.ShortLivedFactor == 0 {
+		ps.ShortLivedFactor = 1
+	}
+	return ps
+}
+
+// IsIdentity reports whether applying the shift would leave any profile
+// unchanged.
+func (ps PhaseShift) IsIdentity() bool {
+	n := ps.normalized()
+	return n.AllocFactor == 1 && n.LiveSetFactor == 1 && n.BaseFactor == 1 && n.ShortLivedFactor == 1
+}
+
+// Validate checks the factors are usable (positive after normalization).
+func (ps PhaseShift) Validate() error {
+	n := ps.normalized()
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"alloc", n.AllocFactor}, {"live", n.LiveSetFactor},
+		{"base", n.BaseFactor}, {"short", n.ShortLivedFactor},
+	} {
+		if f.v <= 0 || f.v != f.v {
+			return fmt.Errorf("jvmsim: phase shift factor %s=%v must be positive", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// Apply derives the shifted profile from base. The base is never mutated;
+// the result carries the same Name (noise streams and fingerprints key on
+// behaviour fields, and the drifted workload is still "the same program",
+// just behaving differently). Lifetime fractions are clamped so the derived
+// profile always validates.
+func (ps PhaseShift) Apply(base *workload.Profile) (*workload.Profile, error) {
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	n := ps.normalized()
+	p := base.Clone()
+	p.AllocRateMBps *= n.AllocFactor
+	p.LiveSetMB *= n.LiveSetFactor
+	p.BaseSeconds *= n.BaseFactor
+	p.ShortLivedFrac *= n.ShortLivedFactor
+	if p.ShortLivedFrac > 1 {
+		p.ShortLivedFrac = 1
+	}
+	if p.ShortLivedFrac+p.MidLivedFrac > 1 {
+		p.MidLivedFrac = 1 - p.ShortLivedFrac
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("jvmsim: phase shift produced invalid profile: %w", err)
+	}
+	return p, nil
+}
+
+// String renders the shift canonically (all factors, normalized), so equal
+// shifts always print identically — the checkpoint layer folds the string
+// into the session fingerprint.
+func (ps PhaseShift) String() string {
+	n := ps.normalized()
+	return fmt.Sprintf("alloc=%g,live=%g,base=%g,short=%g",
+		n.AllocFactor, n.LiveSetFactor, n.BaseFactor, n.ShortLivedFactor)
+}
+
+// DefaultShift is the standard drift the chaos DSL's drift-at=N fault
+// injects: a traffic surge tripling the allocation rate on a grown live
+// set with a heavier request mix. Calibrated to move the GC optimum — the
+// pre-shift winner is measurably stale on the shifted profile — not merely
+// to scale wall time.
+func DefaultShift() PhaseShift {
+	return PhaseShift{AllocFactor: 3, LiveSetFactor: 2.5, BaseFactor: 1.3, ShortLivedFactor: 0.85}
+}
+
+// DefaultSchedule builds the drift script the chaos DSL's drift-at triggers
+// describe: the i-th trigger opens phase i behaving as DefaultShift
+// compounded i times (factors raised to the i-th power). Compounding keeps
+// every phase a genuinely new regime — a repeat of the same absolute shift
+// would be a no-op for the second trigger, and a no-op drift strands no
+// stale winner to detect. Empty input means a stationary (nil) schedule.
+func DefaultSchedule(atTrials []int) *PhaseSchedule {
+	if len(atTrials) == 0 {
+		return nil
+	}
+	d := DefaultShift()
+	s := &PhaseSchedule{Shifts: make([]ScheduledShift, len(atTrials))}
+	for i, at := range atTrials {
+		p := float64(i + 1)
+		s.Shifts[i] = ScheduledShift{
+			AtTrial: at,
+			Shift: PhaseShift{
+				AllocFactor:      math.Pow(d.AllocFactor, p),
+				LiveSetFactor:    math.Pow(d.LiveSetFactor, p),
+				BaseFactor:       math.Pow(d.BaseFactor, p),
+				ShortLivedFactor: math.Pow(d.ShortLivedFactor, p),
+			},
+		}
+	}
+	return s
+}
+
+// ScheduledShift is one entry of a PhaseSchedule: from trial AtTrial
+// onward, the workload behaves as Shift applied to the base profile.
+type ScheduledShift struct {
+	// AtTrial is the dispatch index (count of trials dispatched so far) at
+	// which the shift takes effect. Trial boundaries — not virtual time —
+	// key the schedule so drift is reproducible at any worker count: the
+	// dispatch sequence is deterministic per (seed, workers), while the
+	// interleaving of virtual completion times is not a barrier.
+	AtTrial int `json:"at"`
+	// Shift is applied to the base profile (absolute, not cumulative: each
+	// schedule entry describes the workload's behaviour outright, so
+	// reordering-independent reasoning holds and a single entry fully
+	// determines a phase).
+	Shift PhaseShift `json:"shift"`
+}
+
+// PhaseSchedule is a deterministic drift script for one session: phase 0 is
+// the base profile, phase i (1-based) is Shifts[i-1] applied to the base
+// from its AtTrial onward. A nil schedule means a stationary workload.
+type PhaseSchedule struct {
+	Shifts []ScheduledShift `json:"shifts"`
+}
+
+// Validate checks the schedule is monotone and each shift usable.
+func (s *PhaseSchedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	last := 0
+	for i, sh := range s.Shifts {
+		if sh.AtTrial < 1 {
+			return fmt.Errorf("jvmsim: phase schedule entry %d: AtTrial %d must be ≥ 1", i, sh.AtTrial)
+		}
+		if sh.AtTrial <= last {
+			return fmt.Errorf("jvmsim: phase schedule entry %d: AtTrial %d not increasing", i, sh.AtTrial)
+		}
+		if err := sh.Shift.Validate(); err != nil {
+			return err
+		}
+		last = sh.AtTrial
+	}
+	return nil
+}
+
+// Phases returns the number of phases the schedule defines (1 + shifts).
+func (s *PhaseSchedule) Phases() int {
+	if s == nil {
+		return 1
+	}
+	return 1 + len(s.Shifts)
+}
+
+// PhaseAt returns the phase in effect once `dispatched` trials have been
+// dispatched: the number of schedule entries with AtTrial ≤ dispatched.
+func (s *PhaseSchedule) PhaseAt(dispatched int) int {
+	if s == nil {
+		return 0
+	}
+	phase := 0
+	for _, sh := range s.Shifts {
+		if sh.AtTrial <= dispatched {
+			phase++
+		}
+	}
+	return phase
+}
+
+// ShiftAt returns the shift defining phase (1-based); phase 0 is the
+// identity.
+func (s *PhaseSchedule) ShiftAt(phase int) PhaseShift {
+	if s == nil || phase <= 0 || phase > len(s.Shifts) {
+		return PhaseShift{}
+	}
+	return s.Shifts[phase-1].Shift
+}
+
+// ProfileAt derives the profile the given phase runs under. A phase the
+// schedule does not define is an error, not the identity — callers looking
+// up a regime (fingerprinting, baselining) must not silently get the base
+// profile back for a phase that never existed.
+func (s *PhaseSchedule) ProfileAt(base *workload.Profile, phase int) (*workload.Profile, error) {
+	if phase == 0 {
+		return base, nil
+	}
+	if s == nil || phase < 0 || phase > len(s.Shifts) {
+		return nil, fmt.Errorf("jvmsim: phase %d outside schedule (%d phases)", phase, s.Phases())
+	}
+	return s.ShiftAt(phase).Apply(base)
+}
+
+// String renders the schedule canonically ("@40{alloc=3,...};@70{...}");
+// empty for a nil or empty schedule. The checkpoint layer folds it into the
+// session fingerprint so a run cannot resume under a different drift script
+// than the one it crashed with.
+func (s *PhaseSchedule) String() string {
+	if s == nil || len(s.Shifts) == 0 {
+		return ""
+	}
+	parts := make([]string, len(s.Shifts))
+	for i, sh := range s.Shifts {
+		parts[i] = fmt.Sprintf("@%d{%s}", sh.AtTrial, sh.Shift)
+	}
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,120 @@
+package jvmsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPhaseShiftNormalizeAndValidate(t *testing.T) {
+	var zero PhaseShift
+	if !zero.IsIdentity() {
+		t.Error("zero shift should normalize to the identity")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Errorf("identity shift should validate: %v", err)
+	}
+	if err := (PhaseShift{AllocFactor: -1}).Validate(); err == nil {
+		t.Error("negative factor should fail validation")
+	}
+	if DefaultShift().IsIdentity() {
+		t.Error("the default shift must actually move the workload")
+	}
+}
+
+func TestPhaseShiftApply(t *testing.T) {
+	base, ok := workload.ByName("xalan")
+	if !ok {
+		t.Fatal("no xalan workload")
+	}
+	sh := DefaultShift()
+	p, err := sh.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != base.Name {
+		t.Errorf("shifted profile renamed: %q", p.Name)
+	}
+	if p.AllocRateMBps != base.AllocRateMBps*sh.AllocFactor {
+		t.Errorf("alloc rate %v, want %v", p.AllocRateMBps, base.AllocRateMBps*sh.AllocFactor)
+	}
+	if base.AllocRateMBps == p.AllocRateMBps {
+		t.Error("base profile mutated or shift not applied")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("shifted profile invalid: %v", err)
+	}
+	// Lifetime fractions stay clamped under an extreme short-lived boost.
+	q, err := (PhaseShift{ShortLivedFactor: 100}).Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ShortLivedFrac > 1 || q.ShortLivedFrac+q.MidLivedFrac > 1 {
+		t.Errorf("lifetime fractions unclamped: short=%v mid=%v", q.ShortLivedFrac, q.MidLivedFrac)
+	}
+}
+
+func TestDefaultSchedule(t *testing.T) {
+	if DefaultSchedule(nil) != nil {
+		t.Error("empty trigger list should mean a stationary (nil) schedule")
+	}
+	s := DefaultSchedule([]int{30, 70})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Phases() != 3 {
+		t.Fatalf("two triggers should define 3 phases, got %d", s.Phases())
+	}
+	if s.Shifts[0].AtTrial != 30 || s.Shifts[1].AtTrial != 70 {
+		t.Fatalf("trigger trials not preserved: %+v", s.Shifts)
+	}
+	d := DefaultShift()
+	if s.Shifts[0].Shift != d {
+		t.Fatalf("first phase should be the default shift: %+v", s.Shifts[0].Shift)
+	}
+	// Each later phase compounds the default shift — shifts are absolute, so
+	// a repeat of the same factors would make the second trigger a no-op.
+	second := s.Shifts[1].Shift
+	if second.AllocFactor != d.AllocFactor*d.AllocFactor ||
+		second.LiveSetFactor != d.LiveSetFactor*d.LiveSetFactor {
+		t.Fatalf("second phase should compound the default shift: %+v", second)
+	}
+	if second == d {
+		t.Fatal("second trigger repeats the first phase's absolute shift (no-op drift)")
+	}
+}
+
+func TestPhaseSchedulePhaseAt(t *testing.T) {
+	s := DefaultSchedule([]int{30, 70})
+	for _, tc := range []struct{ dispatched, phase int }{
+		{0, 0}, {29, 0}, {30, 1}, {69, 1}, {70, 2}, {1000, 2},
+	} {
+		if got := s.PhaseAt(tc.dispatched); got != tc.phase {
+			t.Errorf("PhaseAt(%d) = %d, want %d", tc.dispatched, got, tc.phase)
+		}
+	}
+	var nilSched *PhaseSchedule
+	if nilSched.PhaseAt(100) != 0 || nilSched.Phases() != 1 {
+		t.Error("nil schedule should be the stationary single phase")
+	}
+}
+
+func TestPhaseScheduleValidateAndString(t *testing.T) {
+	bad := &PhaseSchedule{Shifts: []ScheduledShift{{AtTrial: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("AtTrial 0 should fail validation")
+	}
+	dup := &PhaseSchedule{Shifts: []ScheduledShift{{AtTrial: 5}, {AtTrial: 5}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("non-increasing triggers should fail validation")
+	}
+	s := DefaultSchedule([]int{30})
+	if str := s.String(); !strings.HasPrefix(str, "@30{") {
+		t.Errorf("canonical form should lead with the trigger: %q", str)
+	}
+	var nilSched *PhaseSchedule
+	if nilSched.String() != "" {
+		t.Error("nil schedule should render empty")
+	}
+}

@@ -20,18 +20,18 @@ const FormatVersion = 1
 
 // SavedOutcome is the JSON form of a tuning session's result.
 type SavedOutcome struct {
-	Version        int               `json:"version"`
-	Workload       string            `json:"workload"`
-	Searcher       string            `json:"searcher"`
-	DefaultWall    float64           `json:"default_wall_seconds"`
-	BestWall       float64           `json:"best_wall_seconds"`
-	ImprovementPct float64           `json:"improvement_pct"`
-	Speedup        float64           `json:"speedup"`
-	Trials         int               `json:"trials"`
-	Failures       int               `json:"failures"`
-	CacheHits      int               `json:"cache_hits"`
-	Flakes         int               `json:"flakes,omitempty"`
-	Attempts       int               `json:"attempts,omitempty"`
+	Version        int     `json:"version"`
+	Workload       string  `json:"workload"`
+	Searcher       string  `json:"searcher"`
+	DefaultWall    float64 `json:"default_wall_seconds"`
+	BestWall       float64 `json:"best_wall_seconds"`
+	ImprovementPct float64 `json:"improvement_pct"`
+	Speedup        float64 `json:"speedup"`
+	Trials         int     `json:"trials"`
+	Failures       int     `json:"failures"`
+	CacheHits      int     `json:"cache_hits"`
+	Flakes         int     `json:"flakes,omitempty"`
+	Attempts       int     `json:"attempts,omitempty"`
 	// Degraded marks a session that ended early (budget or wall-clock
 	// expiry, best-effort cancellation, stall); the outcome is the best
 	// found by then. All omitempty: archives from complete runs — and all
@@ -50,6 +50,10 @@ type SavedOutcome struct {
 	// package needs no dependency on the layer that defines it; omitted —
 	// and byte-identical to older archives — for cold sessions.
 	Transfer json.RawMessage `json:"transfer,omitempty"`
+	// Epochs carries the per-epoch breakdown of a drift-enabled session
+	// (hotspot.Epoch), raw JSON like Transfer. Omitted — and byte-identical
+	// to older archives — when drift detection was off.
+	Epochs json.RawMessage `json:"epochs,omitempty"`
 }
 
 // FromOutcome converts a session outcome for serialization.

@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/workload"
+)
+
+// PhaseSetter is the contract between runners and phase-shifting workloads
+// (drift sessions; see internal/jvmsim.PhaseSchedule). The session calls
+// SetPhase between rounds — rounds are barriers, so no measurement is ever
+// in flight across a phase switch — and subsequent measurements run against
+// the shifted profile.
+//
+// Phase bookkeeping is internal: measurement keys, traces, and telemetry
+// stay keyed by the configuration alone, while the runner's rep indices and
+// cache become per-(phase, config) so a configuration measured before a
+// shift is genuinely re-measured after it (the pre-drift verdict is stale
+// evidence, not a cache hit). Phase 0 uses the unprefixed keys, so a runner
+// that never leaves phase 0 is byte-identical — cache, snapshots, elapsed —
+// to one that has no phase support at all.
+//
+// Wrapping runners (the chaos layer) forward SetPhase to their inner runner
+// and scope their own per-key state the same way.
+type PhaseSetter interface {
+	// SetPhase switches subsequent measurements to the given phase: shift
+	// applied to the base profile. Phase 0 with the identity shift restores
+	// the base. It fails closed on a shift that does not produce a valid
+	// profile.
+	SetPhase(phase int, shift jvmsim.PhaseShift) error
+}
+
+// PhaseKey scopes a per-config state key to a phase — the shared
+// convention for every phase-aware runner's internal maps (and therefore
+// its serialized state), so a checkpoint taken under any of them restores
+// under the same rules. Phase 0 is the bare key: pre-drift state (and
+// pre-drift checkpoints) stay byte-compatible with runners that know
+// nothing about phases.
+func PhaseKey(phase int, key string) string {
+	if phase == 0 {
+		return key
+	}
+	return fmt.Sprintf("ph%d|%s", phase, key)
+}
+
+// PhaseTimeout rescales a harness kill threshold for a shifted profile by
+// the ratio of default-configuration wall times. The timeout models the
+// operator's kill threshold, calibrated against the workload's baseline
+// (runners default it to 6× the default config's wall); after a drift that
+// baseline moved, and a threshold still calibrated to the old regime would
+// kill every honest run of the new one — starving the session of the very
+// measurements a re-tune needs. Pure in (sim, profiles), so every
+// phase-aware runner derives the identical threshold. A zero (disabled)
+// base timeout stays disabled.
+func PhaseTimeout(baseTimeout float64, sim *jvmsim.Simulator, base, eff *workload.Profile) float64 {
+	if baseTimeout <= 0 || eff == base {
+		return baseTimeout
+	}
+	reg := flags.NewRegistry()
+	bw := sim.DefaultWall(reg, base, 1)
+	if bw <= 0 {
+		return baseTimeout
+	}
+	return baseTimeout * sim.DefaultWall(reg, eff, 1) / bw
+}
+
+// SetPhase implements PhaseSetter.
+func (r *InProcess) SetPhase(phase int, shift jvmsim.PhaseShift) error {
+	eff, err := shift.Apply(r.profile)
+	if err != nil {
+		return err
+	}
+	if phase == 0 {
+		eff = r.profile
+	}
+	r.mu.Lock()
+	if !r.timeout0Set {
+		r.timeout0, r.timeout0Set = r.TimeoutSeconds, true
+	}
+	r.phase, r.phased = phase, eff
+	r.TimeoutSeconds = PhaseTimeout(r.timeout0, r.sim, r.profile, eff)
+	r.mu.Unlock()
+	return nil
+}
+
+// currentPhase returns the phase and effective profile under the lock-free
+// assumption that phases only change between rounds (the PhaseSetter
+// contract): a Measure call never races a SetPhase.
+func (r *InProcess) currentPhase() (int, *workload.Profile) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.phased == nil {
+		return r.phase, r.profile
+	}
+	return r.phase, r.phased
+}

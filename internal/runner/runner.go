@@ -112,6 +112,17 @@ type InProcess struct {
 	elapsed VirtualClock
 	reps    map[string]int // next noise-rep index per config
 	cache   map[string]Measurement
+	// phase and phased support phase-shifting workloads (see PhaseSetter):
+	// phased is the effective profile measurements run against, nil until
+	// the first SetPhase. Per-config state above is keyed through PhaseKey,
+	// which is the identity in phase 0.
+	phase  int
+	phased *workload.Profile
+	// timeout0 captures TimeoutSeconds at the first phase shift: phase
+	// timeouts rescale from the base-profile threshold (see PhaseTimeout),
+	// so repeated shifts never compound.
+	timeout0    float64
+	timeout0Set bool
 }
 
 // NewInProcess builds an in-process runner. The timeout defaults to 6× the
@@ -144,6 +155,12 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 		reps = 1
 	}
 	key := cfg.Key()
+	phase, prof := r.currentPhase()
+	// Rep indices and the cache are scoped per (phase, config): after a
+	// workload shift a configuration must be genuinely re-measured, not
+	// answered from its stale pre-drift verdict. Externally the measurement
+	// still carries the bare configuration key.
+	sk := PhaseKey(phase, key)
 
 	r.mu.Lock()
 	if !r.DisableCache {
@@ -151,7 +168,7 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 		// failure condemns the configuration, so a re-proposal replays the
 		// verdict at zero cost instead of re-charging the budget for a
 		// known crash.
-		if m, ok := r.cache[key]; ok && (m.Failed || len(m.Walls) >= reps) {
+		if m, ok := r.cache[sk]; ok && (m.Failed || len(m.Walls) >= reps) {
 			r.mu.Unlock()
 			m.FromCache = true
 			m.CostSeconds = 0
@@ -165,11 +182,11 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 		// Each attempt draws fresh noise-rep indices so a retried run is a
 		// genuinely new measurement, not a replay.
 		r.mu.Lock()
-		repBase := r.reps[key]
-		r.reps[key] = repBase + reps
+		repBase := r.reps[sk]
+		r.reps[sk] = repBase + reps
 		r.mu.Unlock()
 
-		m := EvalConfig(r.sim, r.profile, cfg, repBase, reps, r.TimeoutSeconds)
+		m := EvalConfig(r.sim, prof, cfg, repBase, reps, r.TimeoutSeconds)
 		NoteAttempt(r.Telemetry, r.Trace, key, n, n > 0, m)
 		return m
 	})
@@ -181,7 +198,7 @@ func (r *InProcess) Measure(cfg *flags.Config, reps int) Measurement {
 	// configuration that merely hit a flaky launch, so only definitive
 	// outcomes are memoized.
 	if !r.DisableCache && !m.Transient {
-		r.cache[key] = m
+		r.cache[sk] = m
 	}
 	r.mu.Unlock()
 	return m

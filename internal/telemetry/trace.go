@@ -68,6 +68,14 @@ const (
 	// (Detail: "open:", "close:", "reopen:", "probe:" or "skip:" plus the
 	// subtree label).
 	EvQuarantine = "quarantine"
+	// EvPhase marks the workload shifting to a new phase at a round boundary
+	// (Detail: "ph<N>|" plus the shift's canonical factors).
+	EvPhase = "phase"
+	// EvDrift marks the drift detector confirming a workload shift: the
+	// session demotes its incumbent (Key) and opens a re-tuning epoch
+	// (Detail: the new epoch and the detector statistics; Score: the
+	// observation that confirmed the drift; Trial: the confirming trial).
+	EvDrift = "drift"
 )
 
 // defaultTraceCap bounds the ring when NewTracer is given no capacity.

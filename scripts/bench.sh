@@ -43,6 +43,13 @@ trap 'rm -f "$OUT"' EXIT
 	# knowledge base — both on every warm-started session's startup path.
 	go test -run '^$' -bench '^Benchmark(Fingerprint|StoreLookup)' -benchmem -benchtime 1s \
 		./internal/transfer
+	# The drift pair: the detector's per-observation fold (paid on every
+	# delivered measurement of a drift-armed session) and the full re-tune
+	# path — detection, demotion, searcher rebuild, recovery search.
+	go test -run '^$' -bench '^BenchmarkDriftDetector$' -benchmem -benchtime 1s \
+		./internal/drift
+	go test -run '^$' -bench '^BenchmarkEpochRetune$' -benchtime 1x -count 3 \
+		./internal/core
 } | tee /dev/stderr >"$OUT"
 
 latest="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"

@@ -11,22 +11,34 @@ cd "$(dirname "$0")/.."
 
 FLOOR=80
 
+# Per-package overrides for code held to a higher bar: the drift detector
+# is a tiny pure fold whose every branch is reachable from tests, and a
+# miss there silently re-tunes (or fails to) whole sessions.
+floor_for() {
+    case "$1" in
+        ./internal/drift) echo 85 ;;
+        *) echo "$FLOOR" ;;
+    esac
+}
+
 status=0
 for pkg in ./internal/runner ./internal/faultinject ./internal/telemetry \
            ./internal/checkpoint ./internal/persist ./internal/core \
            ./internal/httpapi ./internal/flags ./internal/jvmsim \
-           ./internal/dispatch ./internal/evald ./internal/transfer; do
+           ./internal/dispatch ./internal/evald ./internal/transfer \
+           ./internal/drift; do
     line=$(go test -cover "$pkg" | tail -1)
     echo "$line"
     pct=$(echo "$line" | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')
+    floor=$(floor_for "$pkg")
     if [ -z "$pct" ]; then
         echo "cover: no coverage figure for $pkg" >&2
         status=1
         continue
     fi
-    below=$(awk -v p="$pct" -v f="$FLOOR" 'BEGIN { print (p < f) ? 1 : 0 }')
+    below=$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p < f) ? 1 : 0 }')
     if [ "$below" = 1 ]; then
-        echo "cover: $pkg at ${pct}% is below the ${FLOOR}% floor" >&2
+        echo "cover: $pkg at ${pct}% is below the ${floor}% floor" >&2
         status=1
     fi
 done

@@ -36,6 +36,12 @@ make dist-drill
 # starts, and warm-started fleet sessions match in-process byte for byte.
 make transfer-drill
 
+# The drift gate: a scheduled workload shift opens a recovery epoch that
+# beats the stale winner on the post-shift profile, stationary sessions
+# never false-positive, mid-epoch kills resume byte-identical, and polls
+# surface the per-epoch breakdown and degraded-reason strings.
+make drift-drill
+
 # The perf gate (opt-in, BENCH_CHECK=1): rerun the benchmark suite and fail
 # on >10% regression against the latest recorded BENCH_*.json. Off by
 # default so tier-1 stays fast and deterministic on noisy machines.
