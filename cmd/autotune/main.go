@@ -118,6 +118,12 @@ func main() {
 		jvmsim   = flag.String("jvmsim", "", "path to the jvmsim binary; measure via subprocesses")
 		nodes    = flag.String("nodes", "", "comma-separated evald nodes (host:port); dispatch measurements to this fleet")
 		fleetSt  = flag.String("fleet-state", "", "journal fleet membership and in-flight trials to this file (default <checkpoint>.fleet with -nodes and -checkpoint)")
+		fleetLn  = flag.String("fleet-listen", "", "serve fleet registration on this address so evald -join nodes enter and drain at runtime")
+		batch    = flag.Int("batch", 0, "trials per evaluate-batch round trip to the fleet (0 = one POST per trial)")
+		tlsCert  = flag.String("tls-cert", "", "PEM certificate presented to fleet peers (mutual TLS)")
+		tlsKey   = flag.String("tls-key", "", "PEM key for -tls-cert")
+		tlsCA    = flag.String("tls-ca", "", "PEM CA bundle fleet peers must chain to")
+		token    = flag.String("auth-token", "", "shared bearer token stamped on fleet requests and demanded on registrations")
 		workers  = flag.Int("workers", 1, "parallel evaluation workers (goroutines and virtual slots)")
 		objectiv = flag.String("objective", "throughput", "what to minimize: throughput (wall time) or pause (worst GC pause)")
 		explain  = flag.Bool("explain", false, "attribute the improvement to individual flags")
@@ -173,7 +179,7 @@ func main() {
 		nodeList = strings.Split(*nodes, ",")
 	}
 	fleetPath := *fleetSt
-	if fleetPath == "" && len(nodeList) > 0 && *ckpt != "" {
+	if fleetPath == "" && (len(nodeList) > 0 || *fleetLn != "") && *ckpt != "" {
 		// A crash-safe distributed session keeps its fleet view next to its
 		// checkpoint by default, so -resume recovers both.
 		fleetPath = *ckpt + ".fleet"
@@ -188,6 +194,12 @@ func main() {
 		JVMSimPath:            *jvmsim,
 		Nodes:                 nodeList,
 		FleetStatePath:        fleetPath,
+		FleetListen:           *fleetLn,
+		DispatchBatch:         *batch,
+		TLSCert:               *tlsCert,
+		TLSKey:                *tlsKey,
+		TLSCA:                 *tlsCA,
+		AuthToken:             *token,
 		Workers:               *workers,
 		Objective:             *objectiv,
 		Chaos:                 *chaos,

@@ -5,13 +5,26 @@
 // Usage:
 //
 //	evald [-addr :8426] [-node NAME] [-max-concurrent N]
+//	      [-join CONTROLLER -advertise HOST:PORT]
+//	      [-tls-cert F -tls-key F -tls-ca F] [-auth-token T]
 //
-// One POST /v1/evaluate round trip per evaluation attempt; GET /healthz
+// One POST /v1/evaluate round trip per evaluation attempt (or up to
+// dispatch.MaxBatchTrials per POST /v1/evaluate-batch); GET /healthz
 // answers the controller's heartbeats and GET /metrics serves the node's
 // telemetry in Prometheus text format. A measurement is a pure function
 // of the request, so nodes are interchangeable and a killed node costs
 // the controller nothing but a re-dispatch. Excess load is shed with
 // 429 + Retry-After once -max-concurrent evaluations are in flight.
+//
+// With -join the node registers itself with the controller's fleet
+// endpoint and re-registers periodically as its liveness lease; on
+// SIGTERM it deregisters first — so the controller re-dispatches the
+// remainder immediately instead of waiting out a heartbeat timeout —
+// then finishes in-flight trials within -grace before exiting.
+//
+// -tls-cert/-tls-key/-tls-ca enable mutual TLS (the CA verifies the
+// controller, the controller's CA must have signed this cert), and
+// -auth-token is demanded on every evaluate request; both fail closed.
 //
 // See docs/DISTRIBUTED.md for the protocol and determinism contract.
 package main
@@ -27,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/evald"
 )
 
@@ -36,9 +50,17 @@ func main() {
 		node          = flag.String("node", "", "node name reported in results and /healthz (default: the listen address)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "in-flight evaluations before shedding with 429 (0 = GOMAXPROCS)")
 		grace         = flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight evaluations")
+		join          = flag.String("join", "", "controller fleet endpoint to register with (host:port or URL)")
+		advertise     = flag.String("advertise", "", "address controllers dial to reach this node (required with -join)")
+		joinEvery     = flag.Duration("join-interval", 5*time.Second, "re-registration period; the lease is 3x this")
+		tlsCert       = flag.String("tls-cert", "", "PEM certificate presented to peers (enables TLS serving)")
+		tlsKey        = flag.String("tls-key", "", "PEM key for -tls-cert")
+		tlsCA         = flag.String("tls-ca", "", "PEM CA bundle peers must chain to (demands client certificates)")
+		authToken     = flag.String("auth-token", "", "shared bearer token demanded on evaluate requests")
 	)
 	flag.Parse()
 
+	sec := &dispatch.Security{CertFile: *tlsCert, KeyFile: *tlsKey, CAFile: *tlsCA, Token: *authToken}
 	name := *node
 	if name == "" {
 		name = *addr
@@ -46,20 +68,69 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: evald.New(evald.Config{
 		Node:          name,
 		MaxConcurrent: *maxConcurrent,
+		Auth:          sec,
 	})}
+	tcfg, err := sec.ServerTLS()
+	if err != nil {
+		log.Fatalf("evald: %v", err)
+	}
+	srv.TLSConfig = tcfg
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() {
+		if tcfg != nil {
+			// Cert and key live in TLSConfig already.
+			errc <- srv.ListenAndServeTLS("", "")
+			return
+		}
+		errc <- srv.ListenAndServe()
+	}()
 	fmt.Printf("evald: node %q serving measurements on %s\n", name, *addr)
+
+	// With -join, announce ourselves to the controller and keep the lease
+	// alive until drain.
+	var joiner *dispatch.Joiner
+	joinCtx, stopJoining := context.WithCancel(context.Background())
+	defer stopJoining()
+	if *join != "" {
+		if *advertise == "" {
+			log.Fatal("evald: -join requires -advertise (the address controllers dial)")
+		}
+		joiner = &dispatch.Joiner{
+			Controller: *join, Advertise: *advertise, Node: *node,
+			Interval: *joinEvery, Sec: sec,
+		}
+		if err := joiner.Register(joinCtx); err != nil {
+			// Not fatal: the controller may come up after us; Run keeps
+			// trying on every tick.
+			log.Printf("evald: initial registration: %v", err)
+		} else {
+			fmt.Printf("evald: joined fleet at %s as %q\n", *join, joiner.Advertise)
+		}
+		go joiner.Run(joinCtx)
+	}
 
 	select {
 	case err := <-errc:
 		log.Fatal(err)
 	case sig := <-stop:
 		fmt.Printf("evald: %v — draining (grace %s)\n", sig, *grace)
+		// Deregister before shutting down: the controller stops placing new
+		// trials here immediately and re-dispatches anything we don't
+		// finish, instead of discovering the gap via heartbeat timeout.
+		stopJoining()
+		if joiner != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := joiner.Deregister(ctx); err != nil {
+				log.Printf("evald: deregister: %v", err)
+			} else {
+				fmt.Println("evald: deregistered from fleet")
+			}
+			cancel()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

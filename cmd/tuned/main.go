@@ -6,13 +6,18 @@
 //	tuned [-addr :8425] [-max-concurrent 4] [-max-jobs 256] [-pprof]
 //	      [-state-dir DIR] [-checkpoint-every N] [-journal-compact-bytes N]
 //	      [-queue-depth N] [-client-rate R] [-client-burst B]
-//	      [-nodes host:port,host:port] [-transfer-dir DIR]
+//	      [-nodes host:port,host:port] [-batch N]
+//	      [-tls-cert F -tls-key F -tls-ca F] [-auth-token T]
+//	      [-transfer-dir DIR]
 //
 // With -nodes, tuned is a control plane: every session's measurements are
 // dispatched to that fleet of evald worker nodes over HTTP/JSON instead of
 // running in-process, with work-stealing, heartbeats, and node-death
-// re-dispatch — and byte-identical fixed-seed results either way. See
-// docs/DISTRIBUTED.md.
+// re-dispatch — and byte-identical fixed-seed results either way. -batch
+// ships up to N trials per evaluate-batch round trip (transport-only;
+// results are byte-identical at any batch size), and the TLS/auth flags
+// secure the fleet wire with mutual TLS plus a shared bearer token, both
+// fail-closed. See docs/DISTRIBUTED.md.
 //
 // Under overload the farm sheds load explicitly instead of queueing without
 // bound: async submissions bounce with 429 + Retry-After once -queue-depth
@@ -100,6 +105,11 @@ func main() {
 		clientRate    = flag.Float64("client-rate", 0, "per-client submissions per second, keyed by X-Client (0 = unlimited)")
 		clientBurst   = flag.Int("client-burst", 0, "per-client token-bucket burst (0 = max(1, ceil(client-rate)))")
 		nodes         = flag.String("nodes", "", "comma-separated evald nodes (host:port); run sessions against this fleet instead of in-process")
+		batch         = flag.Int("batch", 0, "trials per evaluate-batch round trip to the fleet (0 = one POST per trial)")
+		tlsCert       = flag.String("tls-cert", "", "PEM certificate presented to fleet peers (mutual TLS)")
+		tlsKey        = flag.String("tls-key", "", "PEM key for -tls-cert")
+		tlsCA         = flag.String("tls-ca", "", "PEM CA bundle fleet peers must chain to")
+		token         = flag.String("auth-token", "", "shared bearer token stamped on fleet requests")
 		transferDir   = flag.String("transfer-dir", "", "cross-workload knowledge-base directory; jobs with \"transfer\":true warm-start from it and record winners into it")
 	)
 	flag.Parse()
@@ -120,6 +130,11 @@ func main() {
 		ClientRatePerSec:      *clientRate,
 		ClientBurst:           *clientBurst,
 		Nodes:                 nodeList,
+		DispatchBatch:         *batch,
+		TLSCert:               *tlsCert,
+		TLSKey:                *tlsKey,
+		TLSCA:                 *tlsCA,
+		AuthToken:             *token,
 		TransferDir:           *transferDir,
 	})
 	if err != nil {

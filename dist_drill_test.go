@@ -9,6 +9,7 @@ package repro
 // same contract survives binaries, sockets, and a kill -9.)
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net"
@@ -18,8 +19,12 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/dispatch/dispatchtest"
 )
 
 // freePorts reserves n distinct loopback ports by binding and releasing
@@ -172,5 +177,175 @@ func TestCLIDistDrill(t *testing.T) {
 			t.Errorf("%s and %s differ: the node kill leaked into the session bytes",
 				pair[0], pair[1])
 		}
+	}
+}
+
+// evalsServedVia scrapes a node's /metrics through the given client and
+// scheme (the authenticated drill speaks mutual TLS even to /metrics).
+func evalsServedVia(client *http.Client, scheme, addr string) int {
+	resp, err := client.Get(scheme + "://" + addr + "/metrics")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return -1
+	}
+	m := evalsTotalRE.FindSubmatch(body)
+	if m == nil {
+		return 0
+	}
+	var n int
+	fmt.Sscanf(string(m[1]), "%d", &n)
+	return n
+}
+
+// TestCLIDistDrillMembership is the self-healing fleet drill behind
+// `make dist-drill`: a controller starts with an EMPTY fleet behind
+// -fleet-listen, real evald processes join it over mutual TLS with a
+// shared bearer token, one node is SIGTERMed mid-session — it deregisters
+// (graceful drain) and finishes its in-flight work — and the fixed-seed
+// result plus the event trace must still match the purely in-process run
+// byte for byte, with the join and the drain journaled in the fleet WAL.
+func TestCLIDistDrillMembership(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	auto, evald := cliBinary(t, "autotune"), cliBinary(t, "evald")
+	dir := t.TempDir()
+
+	ca, err := dispatchtest.NewCA(dir, "drill-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlCert, ctrlKey, err := ca.Issue(dir, "controller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeCert, nodeKey, err := ca.Issue(dir, "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const token = "drill-fleet-token"
+
+	addrs := freePorts(t, 3)
+	fleetAddr, nodeAddrs := addrs[0], addrs[1:]
+
+	args := func(outPath, tracePath string, extra ...string) []string {
+		a := []string{
+			"-benchmark", "fop", "-budget", "2000", "-seed", "41", "-workers", "3",
+			"-out", outPath, "-trace", tracePath,
+		}
+		return append(a, extra...)
+	}
+
+	localOut := filepath.Join(dir, "local.json")
+	localTrace := filepath.Join(dir, "local.jsonl")
+	if out, err := exec.Command(auto, args(localOut, localTrace)...).CombinedOutput(); err != nil {
+		t.Fatalf("in-process control run failed: %v\n%s", err, out)
+	}
+
+	distOut := filepath.Join(dir, "dist.json")
+	distTrace := filepath.Join(dir, "dist.jsonl")
+	fleetState := filepath.Join(dir, "fleet.wal")
+	dist := exec.Command(auto, args(distOut, distTrace,
+		"-fleet-listen", fleetAddr, "-fleet-state", fleetState, "-batch", "4",
+		"-tls-cert", ctrlCert, "-tls-key", ctrlKey, "-tls-ca", ca.File,
+		"-auth-token", token)...)
+	var distLog strings.Builder
+	dist.Stdout, dist.Stderr = &distLog, &distLog
+	if err := dist.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if dist.Process != nil {
+			dist.Process.Kill()
+		}
+	}()
+
+	// Both nodes join the live controller over mTLS. The session is already
+	// running against an empty fleet, held by the dynamic pool's join grace.
+	nodes := make([]*exec.Cmd, len(nodeAddrs))
+	for i, addr := range nodeAddrs {
+		cmd := exec.Command(evald,
+			"-addr", addr, "-node", fmt.Sprintf("member%d", i),
+			"-join", fleetAddr, "-advertise", addr, "-join-interval", "500ms",
+			"-tls-cert", nodeCert, "-tls-key", nodeKey, "-tls-ca", ca.File,
+			"-auth-token", token)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = cmd
+		t.Cleanup(func() {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		})
+	}
+
+	// SIGTERM the second node the moment it has served a trial: it must
+	// deregister (journaled drain) and exit cleanly, while the controller
+	// re-dispatches whatever it still owed. /metrics is scraped over the
+	// fleet's own mutual TLS — the drill proves the authenticated wire end
+	// to end.
+	sec := &dispatch.Security{CertFile: ctrlCert, KeyFile: ctrlKey, CAFile: ca.File}
+	client, err := sec.HTTPClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := nodeAddrs[1]
+	served := 0
+	killDeadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(killDeadline) {
+		if served = evalsServedVia(client, sec.Scheme(), victim); served > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	drained := false
+	if served > 0 {
+		if err := nodes[1].Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := nodes[1].Wait(); err != nil {
+			t.Fatalf("SIGTERMed node exited dirty: %v", err)
+		}
+		drained = true
+	}
+	if err := dist.Wait(); err != nil {
+		t.Fatalf("distributed run failed: %v\n%s", err, distLog.String())
+	}
+	if served <= 0 {
+		t.Fatalf("victim node never served a trial — drill proved nothing\n%s", distLog.String())
+	}
+	t.Logf("drained %s after %d evaluations served", victim, served)
+
+	for _, pair := range [][2]string{{localOut, distOut}, {localTrace, distTrace}} {
+		want, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Errorf("%s and %s differ: membership churn leaked into the session bytes",
+				pair[0], pair[1])
+		}
+	}
+
+	wal, err := os.ReadFile(fleetState)
+	if err != nil {
+		t.Fatalf("fleet journal: %v", err)
+	}
+	if !bytes.Contains(wal, []byte(`"op":"join"`)) {
+		t.Error("fleet journal records no join — registrations were not journaled")
+	}
+	if drained && !bytes.Contains(wal, []byte(`"op":"drain"`)) {
+		t.Error("fleet journal records no drain — the SIGTERM deregistration was not journaled")
 	}
 }

@@ -104,6 +104,24 @@ type Options struct {
 	// fleet view intact (dead nodes stay suspect, orphaned trials are
 	// adopted and accounted).
 	FleetStatePath string
+	// FleetListen, when non-empty, serves the fleet registration endpoints
+	// on this address so evald nodes join and leave at runtime
+	// (evald -join): registrations become pool members, periodic
+	// re-registration is the liveness lease, and deregistration drains the
+	// node immediately. Works with or without a static Nodes list — alone
+	// it starts an empty dynamic fleet that waits for its first join.
+	FleetListen string
+	// DispatchBatch, with a distributed session, ships up to this many
+	// trials per evaluate-batch round trip instead of one POST each. Purely
+	// a transport knob: results are byte-identical at any batch size.
+	DispatchBatch int
+	// TLSCert/TLSKey/TLSCA and AuthToken secure the distributed wire:
+	// mutual TLS between controller and nodes (cert+key presented, peers
+	// verified against the CA) and a shared bearer token demanded on every
+	// request. Both fail closed. They apply to evaluate dispatch and the
+	// FleetListen registration endpoints alike.
+	TLSCert, TLSKey, TLSCA string
+	AuthToken              string
 	// Workers is the number of parallel evaluation slots; default 1 (the
 	// paper's single-machine setup). With Workers > 1 the session measures
 	// up to that many configurations concurrently on real goroutines while
@@ -454,7 +472,7 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 	retry := runner.RetryPolicy{MaxAttempts: opts.RetryAttempts}
 	var run runner.Runner
 	var pool *dispatch.Pool
-	if len(opts.Nodes) > 0 {
+	if len(opts.Nodes) > 0 || opts.FleetListen != "" {
 		if opts.JVMSimPath != "" {
 			return nil, fmt.Errorf("hotspot: Nodes and JVMSimPath are mutually exclusive")
 		}
@@ -467,12 +485,27 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 			pool.Telemetry, pool.Trace = opts.Telemetry, opts.Trace
 		}
 		pool.FaultHook = plan.NodeDownHook(opts.Seed)
+		sec := security(opts)
 		if opts.FleetStatePath != "" {
 			fleet, view, ferr := dispatch.OpenFleet(opts.FleetStatePath, opts.Telemetry)
 			if ferr != nil {
 				return nil, ferr
 			}
 			pool.AttachFleet(fleet, view)
+			// Re-dial the dynamic members a killed controller last knew
+			// (joined, never drained) so the resumed session starts with the
+			// same fleet instead of waiting for every node to re-register.
+			rejoinMembers(pool, view, sec)
+		}
+		if opts.FleetListen != "" {
+			member := dispatch.NewMembership(pool, sec)
+			member.Telemetry = opts.Telemetry
+			_, closeMember, merr := member.Serve(opts.FleetListen)
+			if merr != nil {
+				pool.Close()
+				return nil, merr
+			}
+			defer closeMember()
 		}
 		pool.StartHeartbeats(heartbeatInterval)
 		defer pool.Close()
@@ -561,22 +594,66 @@ func TuneContext(ctx context.Context, opts Options) (*Result, error) {
 // liveness endpoints, reviving quarantined nodes that answer again.
 const heartbeatInterval = time.Second
 
+// security collects the wire credential options.
+func security(opts Options) *dispatch.Security {
+	return &dispatch.Security{
+		CertFile: opts.TLSCert, KeyFile: opts.TLSKey, CAFile: opts.TLSCA,
+		Token: opts.AuthToken,
+	}
+}
+
+// rejoinMembers re-dials the dynamic members recovered from the fleet
+// journal. Dial errors are non-fatal: a member that moved or died since
+// the journal was written simply re-registers (or never does, and its
+// trials go elsewhere).
+func rejoinMembers(pool *dispatch.Pool, view *dispatch.FleetView, sec *dispatch.Security) {
+	if view == nil {
+		return
+	}
+	known := make(map[string]bool)
+	for _, name := range pool.Nodes() {
+		known[name] = true
+	}
+	for name, addr := range view.Members {
+		if known[name] {
+			continue
+		}
+		if ev, err := dispatch.NewSecureRemote(addr, sec); err == nil {
+			ev.NodeName = name
+			pool.Join(ev, addr)
+		}
+	}
+}
+
 // buildPool assembles the distributed evaluation pool: one remote
-// evaluator per node, timeout and noise mirroring the in-process runner's
-// defaults, and — with FleetStatePath — the durable fleet journal.
+// evaluator per node (dynamic when FleetListen accepts joins at runtime),
+// timeout and noise mirroring the in-process runner's defaults, and —
+// with FleetStatePath — the durable fleet journal.
 func buildPool(opts Options, prof *workload.Profile) (*dispatch.Pool, error) {
+	sec := security(opts)
 	evs := make([]dispatch.Evaluator, 0, len(opts.Nodes))
 	for _, addr := range opts.Nodes {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
-		evs = append(evs, dispatch.NewRemote(addr))
+		ev, err := dispatch.NewSecureRemote(addr, sec)
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, ev)
 	}
-	pool, err := dispatch.NewPool(prof, evs...)
+	var pool *dispatch.Pool
+	var err error
+	if opts.FleetListen != "" {
+		pool, err = dispatch.NewDynamicPool(prof, evs...)
+	} else {
+		pool, err = dispatch.NewPool(prof, evs...)
+	}
 	if err != nil {
 		return nil, err
 	}
+	pool.Batch = opts.DispatchBatch
 	// Mirror runner.NewInProcess: the same noise model and the same 6×
 	// default-wall timeout, so the fleet measures under identical harness
 	// semantics and the bytes cannot tell the transport apart.

@@ -305,9 +305,21 @@ func (s *Session) runLoop(runCtx context.Context, ctx *Context, out *Outcome,
 		}
 
 		// Measure the fresh trials concurrently. This is where the session
-		// overlaps real work: up to `workers` Runner.Measure calls in flight.
+		// overlaps real work: up to `workers` Runner.Measure calls in
+		// flight — or, when the runner batches (runner.BatchMeasurer, the
+		// dispatch pool's batched transport), the whole round in one call.
+		// The two paths are byte-equivalent by the BatchMeasurer contract;
+		// only the number of wire round trips differs.
 		if len(fresh) == 1 {
 			fresh[0].m = s.Runner.Measure(fresh[0].cfg, reps)
+		} else if bm, ok := s.Runner.(runner.BatchMeasurer); ok && len(fresh) > 1 {
+			cfgs := make([]*flags.Config, len(fresh))
+			for i, tr := range fresh {
+				cfgs[i] = tr.cfg
+			}
+			for i, m := range bm.MeasureBatch(cfgs, reps) {
+				fresh[i].m = m
+			}
 		} else if len(fresh) > 1 {
 			var wg sync.WaitGroup
 			for _, tr := range fresh {

@@ -1,0 +1,262 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/flags"
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+)
+
+// batchFake scripts a BatchEvaluator for fault scenarios: single-trial
+// placements delegate to fakeEval, batches to batchFn.
+type batchFake struct {
+	fakeEval
+	batchFn func(req *BatchRequest) (*BatchResult, error)
+}
+
+func (b *batchFake) EvaluateBatch(_ context.Context, req *BatchRequest) (*BatchResult, error) {
+	return b.batchFn(req)
+}
+
+// batchConfigs builds n distinct configurations (distinct heap sizes, so
+// clamping cannot collapse keys) against one shared registry.
+func batchConfigs(reg *flags.Registry, n int) []*flags.Config {
+	const mb = int64(1) << 20
+	cfgs := make([]*flags.Config, n)
+	for i := range cfgs {
+		c := flags.NewConfig(reg)
+		c.SetInt("MaxHeapSize", (256+64*int64(i))*mb)
+		if i%2 == 1 {
+			c.SetBool("UseG1GC", true)
+		}
+		cfgs[i] = c
+	}
+	return cfgs
+}
+
+// TestMeasureBatchMatchesInProcess is the batching equivalence claim at
+// unit scale: MeasureBatch over a fleet of Local evaluators produces, at
+// every batch size, exactly the measurements and virtual clock the
+// in-process runner produces for the same configurations — the batch knob
+// changes round trips, never bytes.
+func TestMeasureBatchMatchesInProcess(t *testing.T) {
+	prof := poolProfile(t, "fop")
+	reg := flags.NewRegistry()
+	for _, batch := range []int{0, 1, 3, 16} {
+		ip := runner.NewInProcess(jvmsim.New(), prof)
+		cfgs := batchConfigs(reg, 6)
+		want := make([]runner.Measurement, len(cfgs))
+		for i, c := range cfgs {
+			want[i] = ip.Measure(c, 2)
+		}
+
+		pool := newTestPool(t, "fop",
+			NewLocal(prof, "n0"), NewLocal(prof, "n1"), NewLocal(prof, "n2"))
+		pool.Batch = batch
+		got := pool.MeasureBatch(cfgs, 2)
+		for i := range got {
+			if got[i].Key != want[i].Key || got[i].Mean != want[i].Mean ||
+				got[i].CostSeconds != want[i].CostSeconds || got[i].Failed != want[i].Failed {
+				t.Fatalf("batch=%d trial %d: %+v != in-process %+v", batch, i, got[i], want[i])
+			}
+		}
+		if pool.Elapsed() != ip.Elapsed() {
+			t.Fatalf("batch=%d: virtual clocks diverged: pool %v, in-process %v",
+				batch, pool.Elapsed(), ip.Elapsed())
+		}
+	}
+}
+
+// TestMeasureBatchDegradesWithoutBatchEvaluator: nodes that cannot speak
+// evaluate-batch serve their share of a wave trial by trial, with the
+// same results.
+func TestMeasureBatchDegradesWithoutBatchEvaluator(t *testing.T) {
+	prof := poolProfile(t, "fop")
+	local := NewLocal(prof, "plain")
+	plain := &fakeEval{name: "plain", fn: func(req *TrialRequest) (*TrialResult, error) {
+		return local.Evaluate(context.Background(), req)
+	}}
+	reg := flags.NewRegistry()
+	cfgs := batchConfigs(reg, 4)
+
+	ip := runner.NewInProcess(jvmsim.New(), prof)
+	want := make([]runner.Measurement, len(cfgs))
+	for i, c := range cfgs {
+		want[i] = ip.Measure(c, 1)
+	}
+
+	pool := newTestPool(t, "fop", plain)
+	pool.Batch = 16
+	got := pool.MeasureBatch(cfgs, 1)
+	for i := range got {
+		if got[i].Failed || got[i].Mean != want[i].Mean {
+			t.Fatalf("trial %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if pool.Telemetry.Counter("dispatch_batches_total").Value() != 0 {
+		t.Error("a non-batchable node must never be counted as serving a batch")
+	}
+}
+
+// TestMeasureBatchPartialSalvage: a node that dies after serving part of
+// a batch loses only the unsettled remainder — salvage re-dispatches
+// those trials under the same repBase, so every measurement still matches
+// the in-process reference byte for byte.
+func TestMeasureBatchPartialSalvage(t *testing.T) {
+	prof := poolProfile(t, "fop")
+	backing := NewLocal(prof, "half")
+	faults := 0
+	half := &batchFake{
+		fakeEval: fakeEval{name: "half", fn: func(req *TrialRequest) (*TrialResult, error) {
+			return backing.Evaluate(context.Background(), req)
+		}},
+		batchFn: func(req *BatchRequest) (*BatchResult, error) {
+			res, err := backing.EvaluateBatch(context.Background(), req)
+			if err != nil {
+				return nil, err
+			}
+			if faults == 0 && len(res.Entries) > 1 {
+				// Serve the first half, blank the rest: those placements
+				// never measured anywhere and must salvage.
+				faults++
+				for i := len(res.Entries) / 2; i < len(res.Entries); i++ {
+					res.Entries[i] = BatchEntry{Error: &ErrorEnvelope{Error: "evald: worker crashed", Code: CodeInternal}}
+				}
+			}
+			return res, nil
+		},
+	}
+	reg := flags.NewRegistry()
+	cfgs := batchConfigs(reg, 6)
+
+	ip := runner.NewInProcess(jvmsim.New(), prof)
+	want := make([]runner.Measurement, len(cfgs))
+	for i, c := range cfgs {
+		want[i] = ip.Measure(c, 2)
+	}
+
+	pool := newTestPool(t, "fop", half, NewLocal(prof, "whole"))
+	pool.Batch = 16
+	got := pool.MeasureBatch(cfgs, 2)
+	for i := range got {
+		if got[i].Failed {
+			t.Fatalf("trial %d should salvage: %+v", i, got[i])
+		}
+		if got[i].Mean != want[i].Mean || got[i].CostSeconds != want[i].CostSeconds {
+			t.Fatalf("salvaged trial %d diverged: %+v != %+v", i, got[i], want[i])
+		}
+		if got[i].Attempts != want[i].Attempts || got[i].Flakes != want[i].Flakes {
+			t.Fatalf("trial %d: salvage leaked into retry accounting: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if pool.Elapsed() != ip.Elapsed() {
+		t.Fatalf("salvage cost virtual time: pool %v, in-process %v", pool.Elapsed(), ip.Elapsed())
+	}
+	if faults != 1 {
+		t.Fatalf("fault script fired %d times, want 1", faults)
+	}
+}
+
+// TestBatchFaultStrikesBreakerOnce: one failed evaluate-batch round trip
+// is one transport fault — the breaker advances once, not once per trial,
+// so a single TCP reset cannot insta-quarantine a healthy node.
+func TestBatchFaultStrikesBreakerOnce(t *testing.T) {
+	pool := newTestPool(t, "fop", NewLocal(poolProfile(t, "fop"), "n"))
+	clock := time.Unix(1000, 0)
+	pool.now = func() time.Time { return clock }
+	nd := pool.nodes[0]
+
+	keys := []string{"k1", "k2", "k3", "k4"}
+	for _, k := range keys {
+		pool.acquire(k)
+	}
+	pool.settleBatchFault(nd, keys, 0)
+	if nd.fails != 1 {
+		t.Fatalf("one batch fault = one strike, got %d", nd.fails)
+	}
+	if nd.inflight != 0 {
+		t.Fatalf("every placement of the batch must settle: inflight=%d", nd.inflight)
+	}
+	if nd.dead {
+		t.Fatal("a single batch fault must not quarantine")
+	}
+}
+
+// TestBatchShedFloorsCooldown: a 429 for the whole batch floors the
+// node's cooldown with its Retry-After and takes no breaker strike.
+func TestBatchShedFloorsCooldown(t *testing.T) {
+	pool := newTestPool(t, "fop", NewLocal(poolProfile(t, "fop"), "n"))
+	clock := time.Unix(1000, 0)
+	pool.now = func() time.Time { return clock }
+	nd := pool.nodes[0]
+
+	pool.acquire("k1")
+	pool.acquire("k2")
+	pool.settleBatchFault(nd, []string{"k1", "k2"}, 4*time.Second)
+	if nd.fails != 0 || nd.dead {
+		t.Fatalf("shed batch must not strike the breaker: fails=%d dead=%v", nd.fails, nd.dead)
+	}
+	if want := clock.Add(4 * time.Second); !nd.until.Equal(want) {
+		t.Fatalf("cooldown floor = %v, want %v", nd.until, want)
+	}
+	if pool.Telemetry.Counter("dispatch_node_shed_total").Value() != 1 {
+		t.Error("shed batches should be counted")
+	}
+}
+
+// TestBatchPerEntryRejectionCondemnsOnlyOwnTrial: a deterministic 4xx
+// envelope inside an otherwise healthy batch condemns exactly its own
+// trial; siblings settle normally and the node takes no strike.
+func TestBatchPerEntryRejectionCondemnsOnlyOwnTrial(t *testing.T) {
+	prof := poolProfile(t, "fop")
+	backing := NewLocal(prof, "strict")
+	reg := flags.NewRegistry()
+	cfgs := batchConfigs(reg, 4)
+	condemned := cfgs[2].Key()
+
+	strict := &batchFake{
+		fakeEval: fakeEval{name: "strict", fn: func(req *TrialRequest) (*TrialResult, error) {
+			if req.Key == condemned {
+				return nil, &NodeError{Node: "strict", Status: 400, Code: CodeBadFlag, Permanent: true,
+					Err: errors.New("unknown flag")}
+			}
+			return backing.Evaluate(context.Background(), req)
+		}},
+		batchFn: func(req *BatchRequest) (*BatchResult, error) {
+			res, err := backing.EvaluateBatch(context.Background(), req)
+			if err != nil {
+				return nil, err
+			}
+			for i := range req.Trials {
+				if req.Trials[i].Key == condemned {
+					res.Entries[i] = BatchEntry{Error: &ErrorEnvelope{Error: "bad flag", Code: CodeBadFlag}}
+				}
+			}
+			return res, nil
+		},
+	}
+	pool := newTestPool(t, "fop", strict)
+	pool.Batch = 16
+	got := pool.MeasureBatch(cfgs, 1)
+	for i := range got {
+		if cfgs[i].Key() == condemned {
+			if !got[i].Failed || got[i].Failure != runner.NodeRejectedFailure {
+				t.Fatalf("condemned trial: %+v", got[i])
+			}
+			continue
+		}
+		if got[i].Failed {
+			t.Fatalf("sibling trial %d condemned by a per-entry rejection: %+v", i, got[i])
+		}
+	}
+	// A rejection settles like its single-dispatch twin: one not-ok
+	// placement, which the batch's successful siblings may immediately
+	// reset. Either way it must never quarantine an otherwise healthy node.
+	if nd := pool.nodes[0]; nd.fails > 1 || nd.dead {
+		t.Fatalf("rejection settle diverged from single dispatch: fails=%d dead=%v", nd.fails, nd.dead)
+	}
+}

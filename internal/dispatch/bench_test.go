@@ -62,3 +62,35 @@ func BenchmarkDispatchLoopback3Nodes(b *testing.B) {
 	pool.DisableCache = true
 	benchMeasure(b, pool)
 }
+
+// BenchmarkDispatchBatch16 ships 16 distinct fresh trials per
+// evaluate-batch round trip to the same loopback node. ns/op stays
+// per-trial (the counter advances by the batch width per MeasureBatch),
+// so the number is directly comparable to BenchmarkDispatchLoopback: the
+// delta over BenchmarkDispatchInProcess is the per-trial transport
+// overhead, which batching must amortize.
+func BenchmarkDispatchBatch16(b *testing.B) {
+	_, evs := startFleet(b, 1)
+	pool, err := dispatch.NewPool(profileOf(b, "fop"), evs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.DisableCache = true
+	pool.Batch = 16
+	reg := flags.NewRegistry()
+	cfgs := make([]*flags.Config, 16)
+	const mb = int64(1) << 20
+	for i := range cfgs {
+		c := flags.NewConfig(reg)
+		c.SetInt("MaxHeapSize", (256+64*int64(i))*mb)
+		cfgs[i] = c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(cfgs) {
+		for _, m := range pool.MeasureBatch(cfgs, 1) {
+			if m.Failed {
+				b.Fatalf("measurement failed: %s: %s", m.Failure, m.FailureMessage)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package dispatchtest generates throwaway TLS material for the wire
+// security tests and drills: a self-signed CA plus loopback leaf
+// certificates it signs. Everything is written as PEM files so the same
+// material drives in-process tls.Config tests and the CLI flags of real
+// autotune/evald processes. Keys are fresh ECDSA P-256 per call — cheap
+// to mint, useless outside the test that minted them.
+package dispatchtest
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// CA is a throwaway certificate authority.
+type CA struct {
+	// File is the PEM bundle peers load as their -tls-ca.
+	File string
+
+	cert *x509.Certificate
+	key  *ecdsa.PrivateKey
+}
+
+// NewCA mints a self-signed CA named name and writes its PEM bundle into
+// dir as <name>.pem.
+func NewCA(dir, name string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	file := filepath.Join(dir, name+".pem")
+	if err := writePEM(file, "CERTIFICATE", der); err != nil {
+		return nil, err
+	}
+	return &CA{File: file, cert: cert, key: key}, nil
+}
+
+// Issue signs a loopback leaf certificate (127.0.0.1, ::1, localhost) for
+// both server and client use and writes <name>.pem / <name>-key.pem into
+// dir, returning the two paths.
+func (ca *CA) Issue(dir, name string) (certFile, keyFile string, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return "", "", err
+	}
+	serial, err := rand.Int(rand.Reader, big.NewInt(1<<62))
+	if err != nil {
+		return "", "", err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: name},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+		DNSNames:     []string{"localhost"},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return "", "", err
+	}
+	certFile = filepath.Join(dir, name+".pem")
+	if err := writePEM(certFile, "CERTIFICATE", der); err != nil {
+		return "", "", err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return "", "", err
+	}
+	keyFile = filepath.Join(dir, name+"-key.pem")
+	if err := writePEM(keyFile, "EC PRIVATE KEY", keyDER); err != nil {
+		return "", "", err
+	}
+	return certFile, keyFile, nil
+}
+
+func writePEM(path, kind string, der []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := pem.Encode(f, &pem.Block{Type: kind, Bytes: der}); err != nil {
+		f.Close()
+		return fmt.Errorf("encode %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -19,6 +19,10 @@ package dispatch
 
 import (
 	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/flags"
 	"repro/internal/jvmsim"
@@ -50,8 +54,13 @@ func Eval(prof *workload.Profile, reg *flags.Registry, req *TrialRequest) (*Tria
 	if prof == nil || prof.Name != req.Benchmark {
 		return nil, reject(CodeBadBenchmark, "dispatch: benchmark %q not served here", req.Benchmark)
 	}
-	cfg, err := req.ParseConfig(reg)
-	if err != nil {
+	// Parse into pooled scratch: the config lives only for this call (the
+	// simulator reads it and retains nothing), so recycling it keeps the
+	// registry-wide value arrays — the dominant per-trial allocation —
+	// off the evaluation hot path.
+	cfg := reg.AcquireConfig()
+	defer reg.ReleaseConfig(cfg)
+	if err := req.ParseConfigInto(cfg); err != nil {
 		return nil, err
 	}
 	// Drift sessions ship the phase shift with every request: the node
@@ -71,6 +80,52 @@ func Eval(prof *workload.Profile, reg *flags.Registry, req *TrialRequest) (*Tria
 	sim := &jvmsim.Simulator{Machine: jvmsim.DefaultMachine(), NoiseRelStdDev: noise}
 	m := runner.EvalConfig(sim, prof, cfg, req.RepBase, req.Reps, req.TimeoutSeconds)
 	return &TrialResult{Measurement: m}, nil
+}
+
+// EvalBatch is the transport-independent batch core shared by Local and
+// the evald server: every trial evaluates independently (and concurrently
+// — batch wall time tracks the slowest trial, not the sum), and a
+// per-trial rejection becomes that entry's envelope so one bogus trial
+// never condemns its siblings.
+func EvalBatch(prof *workload.Profile, reg *flags.Registry, req *BatchRequest) *BatchResult {
+	out := &BatchResult{Entries: make([]BatchEntry, len(req.Trials))}
+	// Bounded workers pulling from a shared index counter, not one
+	// goroutine per trial: the evaluation call tree is deep enough that a
+	// fresh goroutine pays stack growth on every trial, which at batch
+	// width dominates the work itself. A worker amortizes that growth
+	// across all the trials it drains, and extra workers beyond the CPU
+	// count buy nothing for a compute-bound simulator.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(req.Trials) {
+		workers = len(req.Trials)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Trials) {
+					return
+				}
+				res, err := Eval(prof, reg, &req.Trials[i])
+				if err != nil {
+					env := &ErrorEnvelope{Error: err.Error(), Code: CodeInternal}
+					var re *RequestError
+					if errors.As(err, &re) {
+						env.Code = re.Code
+					}
+					out.Entries[i] = BatchEntry{Error: env}
+					continue
+				}
+				out.Entries[i] = BatchEntry{Result: res}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Local is the in-process Evaluator: the same evaluation core the evald
@@ -105,5 +160,22 @@ func (l *Local) Evaluate(_ context.Context, req *TrialRequest) (*TrialResult, er
 		return nil, err
 	}
 	res.Node = l.Label
+	return res, nil
+}
+
+// EvaluateBatch implements BatchEvaluator, so the pool's batched waves
+// work without sockets (and the differential suite can prove them
+// byte-identical to single dispatch in-memory).
+func (l *Local) EvaluateBatch(_ context.Context, req *BatchRequest) (*BatchResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	res := EvalBatch(l.Prof, l.reg, req)
+	res.Node = l.Label
+	for i := range res.Entries {
+		if res.Entries[i].Result != nil {
+			res.Entries[i].Result.Node = l.Label
+		}
+	}
 	return res, nil
 }

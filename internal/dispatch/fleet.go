@@ -15,7 +15,10 @@ import (
 // nodes it knew, which were last seen dead, and which trials were in
 // flight on whom when the process died. Records are small JSON payloads:
 //
-//	{"op":"register","node":N}   node N joined the fleet
+//	{"op":"register","node":N}   node N configured statically (-nodes)
+//	{"op":"join","node":N,"addr":A}  N registered itself at runtime from A
+//	{"op":"leave","node":N}      N's liveness lease expired
+//	{"op":"drain","node":N}      N deregistered itself (graceful decommission)
 //	{"op":"dead","node":N}       N was quarantined (consecutive failures)
 //	{"op":"alive","node":N}      N answered again after a quarantine
 //	{"op":"dispatch","node":N,"key":K}  trial K placed on N
@@ -25,10 +28,16 @@ import (
 // while the trial was in flight. Orphans are adopted on recovery — their
 // ownership is cleared and the session's own checkpoint replay decides
 // whether the trial re-runs — and surfaced via Pool.Orphans so nothing is
-// silently lost or double-counted.
+// silently lost or double-counted. Join/leave/drain give a restarted
+// controller the last-known dynamic membership (FleetView.Members): nodes
+// that joined and never drained are re-dialed on resume without waiting
+// for them to re-register.
 
 const (
 	opRegister = "register"
+	opJoin     = "join"
+	opLeave    = "leave"
+	opDrain    = "drain"
 	opDead     = "dead"
 	opAlive    = "alive"
 	opDispatch = "dispatch"
@@ -38,6 +47,7 @@ const (
 type fleetRecord struct {
 	Op   string `json:"op"`
 	Node string `json:"node,omitempty"`
+	Addr string `json:"addr,omitempty"`
 	Key  string `json:"key,omitempty"`
 }
 
@@ -53,6 +63,10 @@ type FleetView struct {
 	Known []string
 	// Dead marks nodes whose last membership record was "dead".
 	Dead map[string]bool
+	// Members maps dynamically joined nodes (join without a later leave or
+	// drain) to the address they advertised — the live membership the
+	// controller last knew, re-dialed on resume.
+	Members map[string]string
 	// Inflight maps orphaned trial keys to the node that owned them when
 	// the journal went quiet.
 	Inflight map[string]string
@@ -65,7 +79,7 @@ func OpenFleet(path string, tel *telemetry.Registry) (*Fleet, *FleetView, error)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dispatch: open fleet journal: %w", err)
 	}
-	view := &FleetView{Dead: make(map[string]bool), Inflight: make(map[string]string)}
+	view := &FleetView{Dead: make(map[string]bool), Members: make(map[string]string), Inflight: make(map[string]string)}
 	known := make(map[string]bool)
 	for _, p := range payloads {
 		var rec fleetRecord
@@ -79,6 +93,12 @@ func OpenFleet(path string, tel *telemetry.Registry) (*Fleet, *FleetView, error)
 		switch rec.Op {
 		case opRegister:
 			known[rec.Node] = true
+		case opJoin:
+			known[rec.Node] = true
+			view.Members[rec.Node] = rec.Addr
+			delete(view.Dead, rec.Node)
+		case opLeave, opDrain:
+			delete(view.Members, rec.Node)
 		case opDead:
 			known[rec.Node] = true
 			view.Dead[rec.Node] = true
@@ -114,11 +134,16 @@ func (f *Fleet) append(rec fleetRecord) {
 	}
 }
 
-func (f *Fleet) register(node string)      { f.append(fleetRecord{Op: opRegister, Node: node}) }
-func (f *Fleet) dead(node string)          { f.append(fleetRecord{Op: opDead, Node: node}) }
-func (f *Fleet) alive(node string)         { f.append(fleetRecord{Op: opAlive, Node: node}) }
-func (f *Fleet) dispatch(node, key string) { f.append(fleetRecord{Op: opDispatch, Node: node, Key: key}) }
-func (f *Fleet) settle(node, key string)   { f.append(fleetRecord{Op: opSettle, Node: node, Key: key}) }
+func (f *Fleet) register(node string)   { f.append(fleetRecord{Op: opRegister, Node: node}) }
+func (f *Fleet) join(node, addr string) { f.append(fleetRecord{Op: opJoin, Node: node, Addr: addr}) }
+func (f *Fleet) leave(node string)      { f.append(fleetRecord{Op: opLeave, Node: node}) }
+func (f *Fleet) drain(node string)      { f.append(fleetRecord{Op: opDrain, Node: node}) }
+func (f *Fleet) dead(node string)       { f.append(fleetRecord{Op: opDead, Node: node}) }
+func (f *Fleet) alive(node string)      { f.append(fleetRecord{Op: opAlive, Node: node}) }
+func (f *Fleet) dispatch(node, key string) {
+	f.append(fleetRecord{Op: opDispatch, Node: node, Key: key})
+}
+func (f *Fleet) settle(node, key string) { f.append(fleetRecord{Op: opSettle, Node: node, Key: key}) }
 
 // Close closes the underlying journal.
 func (f *Fleet) Close() error {

@@ -1,0 +1,274 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzDecodeRegisterRequest holds the registration decoder's contract:
+// arbitrary bytes either yield a validated request or a typed
+// *RequestError, and any accepted request survives a re-encode round trip
+// unchanged. The seed corpus under testdata/fuzz covers the
+// malformed-registration taxonomy (missing addr, oversized names, bogus
+// TTLs, unknown fields, trailing data).
+func FuzzDecodeRegisterRequest(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(``),
+		[]byte(`{`),
+		[]byte(`null`),
+		[]byte(`{"addr":"10.0.0.1:7421"}`),
+		[]byte(`{"addr":"10.0.0.1:7421","node":"n1","ttl_seconds":30}`),
+		[]byte(`{"node":"orphan"}`),
+		[]byte(`{"addr":"10.0.0.1:7421","ttl_seconds":-5}`),
+		[]byte(`{"addr":"10.0.0.1:7421","ttl_seconds":999999}`),
+		[]byte(`{"addr":"10.0.0.1:7421","surprise":true}`),
+		[]byte(`{"addr":"10.0.0.1:7421"}{"addr":"x"}`),
+		[]byte("\x00\x01\xff"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		q, err := DecodeRegisterRequest(body)
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("rejection is not a *RequestError: %v", err)
+			}
+			return
+		}
+		out, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("accepted registration fails to re-encode: %v", err)
+		}
+		again, err := DecodeRegisterRequest(out)
+		if err != nil {
+			t.Fatalf("re-encoded registration rejected: %v (%s)", err, out)
+		}
+		if *q != *again {
+			t.Fatalf("round trip changed the registration: %+v != %+v", q, again)
+		}
+	})
+}
+
+// FuzzDecodeBatchRequest holds the batch decoder's envelope contract:
+// arbitrary bytes either yield a bounded batch or a typed *RequestError —
+// per-trial validity is deliberately NOT the envelope's business, so an
+// accepted batch may still carry trials a node will reject individually.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(``),
+		[]byte(`{}`),
+		[]byte(`{"trials":[]}`),
+		[]byte(`{"trials":[{"key":"","benchmark":"fop","reps":1,"noise":-1}]}`),
+		[]byte(`{"trials":[{"key":"a","benchmark":"fop","reps":1,"noise":-1},{"key":"b","benchmark":"fop","reps":2,"noise":-1}]}`),
+		[]byte(`{"trials":[{"key":"","benchmark":"quake3","reps":-9,"noise":-1}]}`),
+		[]byte(`{"trials":null}`),
+		[]byte(`{"trials":[{"key":"k","benchmark":"fop","args":["-Xmx256m","-XX:+UseParallelGC"],"rep_base":5,"reps":3,"timeout_seconds":2.5,"noise":0.05}]}`),
+		[]byte(`{"trials":[{"key":"k","benchmark":"fop","args":[],"rep_base":0,"reps":1,"noise":-1}]}`),
+		[]byte(`{"trials":[{"key":"k","benchmark":"fop","reps":1,"noise":-1,"phase":2}]}`),
+		[]byte(`{"trials":[{"key":"k","benchmark":"fop","reps":1,"noise":-1,"shift":{"alloc":1.5,"live":0.8}}]}`),
+		[]byte(`{"trials":[{"key":"k","benchmark":"fop","rep_base":1.5,"reps":1,"noise":-1}]}`),
+		[]byte(`{"trials":[{"key":"über","benchmark":"fop","reps":1,"noise":1e-3}]}`),
+		[]byte(`{"trials":[{}],"surprise":1}`),
+		[]byte(`{"trials":[{"key":""}]}{"trials":[]}`),
+		[]byte("\xff\xfe"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// The hand-rolled scanner may bail on anything, but when it
+		// accepts, the strict reflection decoder must agree byte for byte
+		// on the result (wirefast.go's contract, request side).
+		if fast, ok := fastDecodeBatchRequest(body); ok {
+			dec := json.NewDecoder(bytes.NewReader(body))
+			dec.DisallowUnknownFields()
+			var slow BatchRequest
+			if err := dec.Decode(&slow); err != nil {
+				t.Fatalf("fast path accepted %q but encoding/json rejects it: %v", body, err)
+			}
+			if dec.More() {
+				t.Fatalf("fast path accepted %q despite trailing data", body)
+			}
+			if !reflect.DeepEqual(fast, &slow) {
+				t.Fatalf("decoders disagree on %q:\nfast: %+v\nslow: %+v", body, fast, &slow)
+			}
+		}
+		b, err := DecodeBatchRequest(body)
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("rejection is not a *RequestError: %v", err)
+			}
+			return
+		}
+		if len(b.Trials) == 0 || len(b.Trials) > MaxBatchTrials {
+			t.Fatalf("accepted batch outside bounds: %d trials", len(b.Trials))
+		}
+		out, err := json.Marshal(b)
+		if err != nil {
+			t.Fatalf("accepted batch fails to re-encode: %v", err)
+		}
+		if _, err := DecodeBatchRequest(out); err != nil {
+			t.Fatalf("re-encoded batch rejected: %v (%s)", err, out)
+		}
+		// The appender must agree with the reflection encoder: its bytes
+		// decode back to the very same batch (wireenc.go's contract).
+		if enc, ok := encodeBatchRequest(b); ok {
+			again, err := DecodeBatchRequest(enc)
+			if err != nil {
+				t.Fatalf("appender output rejected: %v (%s)", err, enc)
+			}
+			if !reflect.DeepEqual(b, again) {
+				t.Fatalf("appender round trip changed the batch:\nin:  %+v\nout: %+v", b, again)
+			}
+		}
+	})
+}
+
+// FuzzRegistrationEnvelope throws arbitrary bytes at the controller's
+// fleet endpoints and holds the membership wire contract: every response
+// is 200 with a RegisterResponse (register), 200 (deregister), or 4xx
+// with a well-formed ErrorEnvelope — never a panic, never a 5xx for a bad
+// input, and a rejected registration never grows the fleet.
+func FuzzRegistrationEnvelope(f *testing.F) {
+	seeds := []struct {
+		path string
+		body []byte
+	}{
+		{RegisterPath, []byte(`{"addr":"127.0.0.1:1","node":"n1","ttl_seconds":30}`)},
+		{RegisterPath, []byte(`{"node":"orphan"}`)},
+		{RegisterPath, []byte(`{"addr":"127.0.0.1:1","bogus":true}`)},
+		{RegisterPath, []byte(`{`)},
+		{DeregisterPath, []byte(`{"node":"n1"}`)},
+		{DeregisterPath, []byte(`{}`)},
+		{DeregisterPath, []byte(`]][[`)},
+	}
+	for _, s := range seeds {
+		f.Add(s.path == RegisterPath, s.body)
+	}
+	prof := fuzzProfile(f)
+	f.Fuzz(func(t *testing.T, register bool, body []byte) {
+		pool, err := NewDynamicPool(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMembership(pool, nil)
+		path := DeregisterPath
+		if register {
+			path = RegisterPath
+		}
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		m.Handler().ServeHTTP(w, r)
+		switch {
+		case w.Code == http.StatusOK:
+			if register {
+				var res RegisterResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+					t.Fatalf("200 with non-RegisterResponse body %q: %v", w.Body, err)
+				}
+				if res.LeaseSeconds <= 0 {
+					t.Fatalf("granted a non-positive lease: %+v", res)
+				}
+				if len(pool.Nodes()) != 1 {
+					t.Fatalf("accepted registration joined %d nodes, want 1", len(pool.Nodes()))
+				}
+			}
+		case w.Code >= 400 && w.Code < 500:
+			var env ErrorEnvelope
+			if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+				t.Fatalf("%d with non-envelope body %q: %v", w.Code, w.Body, err)
+			}
+			if env.Code == "" || env.Error == "" {
+				t.Fatalf("%d envelope missing fields: %+v", w.Code, env)
+			}
+			if register && len(pool.Nodes()) != 0 {
+				t.Fatalf("rejected registration still grew the fleet: %v", pool.Nodes())
+			}
+		default:
+			t.Fatalf("bogus payload produced status %d (body %q) — want 200 or 4xx", w.Code, w.Body)
+		}
+	})
+}
+
+func fuzzProfile(f *testing.F) *workload.Profile {
+	p, ok := workload.ByName("fop")
+	if !ok {
+		f.Fatal("no workload fop")
+	}
+	return p
+}
+
+// FuzzFastBatchResultDecode holds wirefast.go's contract: the hand-rolled
+// batch-response scanner may bail on anything (that just costs the
+// reflection fallback), but whenever it ACCEPTS a body, encoding/json
+// must accept it too and produce a deeply equal BatchResult. Deviations
+// in either the value decoded or the accept/reject verdict are bugs.
+func FuzzFastBatchResultDecode(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(``),
+		[]byte(`{}`),
+		[]byte(`{"entries":[]}`),
+		[]byte(`{"node":"n1","entries":[{"result":{"node":"n1","measurement":{"Key":"MaxHeapSize=268435456","Walls":[1.25],"Mean":1.25,"Pauses":[0.004],"MeanPause":0.004,"CostSeconds":3.25,"Attempts":1}}}]}`),
+		[]byte(`{"node":"n1","entries":[{"error":{"error":"evald: worker crashed","code":"internal"}}]}`),
+		[]byte(`{"entries":[{"result":{"measurement":{"Failed":true,"Failure":"crash","FailureMessage":"exit 134","CostSeconds":0.5,"Attempts":2,"Flakes":1,"Transient":true}}},{"error":{"error":"busy","code":"busy","retry_after_seconds":3}}]}`),
+		[]byte(`{"entries":[{"result":{"measurement":{"Key":"quoted \"key\""}}}]}`),
+		[]byte(`{"entries":[{"result":{"measurement":{"Attempts":3.5}}}]}`),
+		[]byte(`{"entries":[{"result":{"measurement":{"Mean":+3}}}]}`),
+		[]byte(`{"entries":[{"result":{"measurement":{"Walls":[01]}}}]}`),
+		[]byte(`{"entries":[{"result":{"measurement":{"Key":"über"}}}]}`),
+		[]byte(`{"entries":null}`),
+		[]byte(`{"entries":[]} trailing`),
+		[]byte("\xff\xfe"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fast, ok := fastDecodeBatchResult(data)
+		if !ok {
+			return
+		}
+		var wire wireBatchResult
+		if err := decodeBody(data, &wire); err != nil {
+			t.Fatalf("fast path accepted %q but encoding/json rejects it: %v", data, err)
+		}
+		slow := batchFromWire(&wire)
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("fast path decoded %q as\n%+v\nencoding/json as\n%+v", data, fast, slow)
+		}
+		// And the encoder differential (wireenc.go's contract): when the
+		// appender can represent the decoded result, its bytes and the
+		// reflection encoder's bytes must decode to the same value — the
+		// two encoders may format differently (float spellings), but a
+		// reader can never tell which one served the response.
+		enc, ok := encodeBatchResult(fast)
+		if !ok {
+			return
+		}
+		var buf bytes.Buffer
+		if err := stdEncodeBatchResult(&buf, fast); err != nil {
+			t.Fatalf("appender encoded %+v but encoding/json cannot: %v", fast, err)
+		}
+		fromFast, err := decodeBatchResult(enc)
+		if err != nil {
+			t.Fatalf("appender output rejected: %v (%s)", err, enc)
+		}
+		fromStd, err := decodeBatchResult(buf.Bytes())
+		if err != nil {
+			t.Fatalf("reflection output rejected: %v (%s)", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(fromFast, fromStd) {
+			t.Fatalf("encoders disagree after round trip:\nappender:   %+v\nreflection: %+v", fromFast, fromStd)
+		}
+	})
+}

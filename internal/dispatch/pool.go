@@ -58,6 +58,17 @@ type Pool struct {
 	// MaxTries bounds placements per attempt before the trial surfaces as
 	// a transient NodeDownFailure; values below 1 mean 8× the fleet size.
 	MaxTries int
+	// Batch caps trials per evaluate-batch round trip. Zero disables
+	// batched transport: MeasureBatch still satisfies the executor's batch
+	// seam but degrades to concurrent single-trial placement, which is the
+	// reference behavior batching must stay byte-identical to.
+	Batch int
+	// JoinGrace is how long a placement waits for a first node when a
+	// dynamic pool's fleet is momentarily empty (nodes join at runtime;
+	// the session may start before the first registration lands). Zero
+	// means 10s for dynamic pools. Waiting burns real time only — virtual
+	// cost and determinism are untouched.
+	JoinGrace time.Duration
 	// Telemetry and Trace optionally receive the shared runner_* series
 	// plus the dispatch_* fleet counters. When a ChaosRunner wraps this
 	// pool, wire them to the chaos layer instead.
@@ -72,6 +83,7 @@ type Pool struct {
 
 	profile *workload.Profile
 	now     func() time.Time
+	dynamic bool
 
 	mu      sync.Mutex
 	nodes   []*node
@@ -116,11 +128,29 @@ var errInjectedNodeDown = errors.New("dispatch: injected node-down fault")
 // NewPool builds a pool over evs measuring prof. At least one evaluator
 // is required.
 func NewPool(prof *workload.Profile, evs ...Evaluator) (*Pool, error) {
-	if prof == nil {
-		return nil, errors.New("dispatch: pool needs a workload profile")
-	}
 	if len(evs) == 0 {
 		return nil, errors.New("dispatch: pool needs at least one evaluator node")
+	}
+	return newPool(prof, evs)
+}
+
+// NewDynamicPool builds a pool whose fleet may start empty and change at
+// runtime: nodes enter via Join (the membership registry calls it on
+// registration) and leave via Leave (drain or lease expiry). Placements
+// against a momentarily empty fleet wait up to JoinGrace for a first node
+// instead of failing.
+func NewDynamicPool(prof *workload.Profile, evs ...Evaluator) (*Pool, error) {
+	p, err := newPool(prof, evs)
+	if err != nil {
+		return nil, err
+	}
+	p.dynamic = true
+	return p, nil
+}
+
+func newPool(prof *workload.Profile, evs []Evaluator) (*Pool, error) {
+	if prof == nil {
+		return nil, errors.New("dispatch: pool needs a workload profile")
 	}
 	p := &Pool{
 		Noise:   -1,
@@ -206,6 +236,70 @@ func (p *Pool) AttachFleet(f *Fleet, view *FleetView) {
 	}
 }
 
+// Join adds ev to the fleet at runtime, journaling the membership change.
+// A re-join under a known name (a node that flapped and re-registered, or
+// one resumed from the fleet journal) swaps in the fresh evaluator and
+// revives the breaker rather than duplicating the node. addr is the
+// address the node advertised, recorded so a restarted controller can
+// re-dial it. Returns true when the node is new to this pool.
+func (p *Pool) Join(ev Evaluator, addr string) bool {
+	name := ev.Name()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, nd := range p.nodes {
+		if nd.name != name {
+			continue
+		}
+		nd.ev = ev
+		p.reviveLocked(nd)
+		p.fleet.join(name, addr)
+		p.Telemetry.Counter("dispatch_node_rejoined_total").Inc()
+		return false
+	}
+	p.nodes = append(p.nodes, &node{ev: ev, name: name})
+	p.fleet.join(name, addr)
+	p.Telemetry.Counter("dispatch_node_joined_total").Inc()
+	return true
+}
+
+// Leave removes the named node from rotation. drained marks a graceful
+// decommission (the node deregistered itself); false means its liveness
+// lease expired. Placements already in flight on the node settle normally
+// — a drain lets them finish, and a death surfaces as a transport fault
+// that re-dispatches the trial at zero virtual cost either way. Returns
+// true when the node was present.
+func (p *Pool) Leave(name string, drained bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, nd := range p.nodes {
+		if nd.name != name {
+			continue
+		}
+		p.nodes = append(p.nodes[:i], p.nodes[i+1:]...)
+		if drained {
+			p.fleet.drain(name)
+			p.Telemetry.Counter("dispatch_node_drained_total").Inc()
+		} else {
+			p.fleet.leave(name)
+			p.Telemetry.Counter("dispatch_node_left_total").Inc()
+		}
+		return true
+	}
+	return false
+}
+
+// Nodes returns the current fleet's node names, sorted.
+func (p *Pool) Nodes() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.nodes))
+	for _, nd := range p.nodes {
+		names = append(names, nd.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func (p *Pool) maxNodeFailures() int {
 	if p.MaxNodeFailures < 1 {
 		return 3
@@ -217,7 +311,58 @@ func (p *Pool) maxTries() int {
 	if p.MaxTries >= 1 {
 		return p.MaxTries
 	}
-	return 8 * len(p.nodes)
+	p.mu.Lock()
+	n := len(p.nodes)
+	p.mu.Unlock()
+	if n < 1 {
+		// A dynamic fleet can be momentarily empty; the budget must still
+		// let the join-grace wait run.
+		n = 1
+	}
+	return 8 * n
+}
+
+// anyNodeAlive reports whether at least one node has not been declared
+// dead by the breaker — i.e. whether waiting out cooldowns can help.
+func (p *Pool) anyNodeAlive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, nd := range p.nodes {
+		if !nd.dead {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pool) joinGrace() time.Duration {
+	if p.JoinGrace > 0 {
+		return p.JoinGrace
+	}
+	if p.dynamic {
+		return 10 * time.Second
+	}
+	return 0
+}
+
+// waitForNode blocks (real time, not virtual) until the fleet is non-empty
+// or the join grace expires, returning true when a node is available. Only
+// dynamic pools wait; a static pool with no nodes cannot gain one.
+func (p *Pool) waitForNode(deadline time.Time) bool {
+	grace := p.joinGrace()
+	if grace <= 0 {
+		return false
+	}
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		p.mu.Lock()
+		n := len(p.nodes)
+		p.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // cooldown returns the quarantine length for round r (0-based), doubling
@@ -275,9 +420,14 @@ func (p *Pool) acquire(key string) *node {
 	}
 	if best == nil {
 		// Fleet-wide quarantine: force a half-open probe instead of
-		// failing the trial outright.
+		// failing the trial outright. Probe the node whose cooldown
+		// expires soonest — a shed node that announced a short
+		// Retry-After is a far better bet than a dead node whose
+		// doubling quarantine keeps pushing its horizon out — and break
+		// ties toward the fewest trials in flight.
 		for _, nd := range p.nodes {
-			if best == nil || nd.inflight < best.inflight {
+			if best == nil || nd.until.Before(best.until) ||
+				(nd.until.Equal(best.until) && nd.inflight < best.inflight) {
 				best = nd
 			}
 		}
@@ -308,6 +458,23 @@ func (p *Pool) settle(nd *node, key string, ok bool) {
 		return
 	}
 	p.failLocked(nd, t)
+}
+
+// settleShed accounts the end of a placement the node shed (429 with a
+// Retry-After hint): the node is loaded, not broken, so the breaker does
+// not advance and the node is never journaled dead — instead the hint
+// becomes a cooldown floor, keeping the pool from hammering a node that
+// said when it wants to be bothered again.
+func (p *Pool) settleShed(nd *node, key string, d time.Duration) {
+	t := p.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nd.inflight--
+	p.fleet.settle(nd.name, key)
+	if until := t.Add(d); nd.until.Before(until) {
+		nd.until = until
+	}
+	p.Telemetry.Counter("dispatch_node_shed_total").Inc()
 }
 
 // reviveLocked resets a node's breaker after a successful interaction.
@@ -366,6 +533,13 @@ func (p *Pool) SetPhase(phase int, shift jvmsim.PhaseShift) error {
 // retry, and telemetry semantics of runner.InProcess — the dispatch layer
 // only changes where the attempt body runs.
 func (p *Pool) Measure(cfg *flags.Config, reps int) runner.Measurement {
+	return p.measure(cfg, reps, p.place)
+}
+
+// measure is the shared Measure body; place runs one placement attempt
+// (single-trial transport, or a rendezvous into a batched wave — the
+// choice changes only where the bytes travel, never what they are).
+func (p *Pool) measure(cfg *flags.Config, reps int, place func(*TrialRequest) runner.Measurement) runner.Measurement {
 	if reps < 1 {
 		reps = 1
 	}
@@ -409,7 +583,7 @@ func (p *Pool) Measure(cfg *flags.Config, reps int) runner.Measurement {
 			s := shift
 			req.Phase, req.Shift = phase, &s
 		}
-		m := p.place(req)
+		m := place(req)
 		runner.NoteAttempt(p.Telemetry, p.Trace, key, n, n > 0, m)
 		return m
 	})
@@ -433,12 +607,35 @@ func (p *Pool) Measure(cfg *flags.Config, reps int) runner.Measurement {
 // transient NodeDownFailure for the retry policy to absorb.
 func (p *Pool) place(req *TrialRequest) runner.Measurement {
 	p.Telemetry.Counter("dispatch_trials_total").Inc()
+	var joinDeadline time.Time
 	for try := 0; try < p.maxTries(); try++ {
 		if try > 0 {
 			p.Telemetry.Counter("dispatch_redispatch_total").Inc()
+			// Back off (real time only) exactly like a batched wave: a
+			// re-dispatch that instantly re-fails burns the try budget in
+			// microseconds, which under a node kill plus a shed burst can
+			// exhaust every placement before a 429'd node's Retry-After
+			// expires — surfacing a spurious transient failure that the
+			// retry policy then charges to the session. Waiting is
+			// pointless when the whole fleet is breaker-dead (only a
+			// heartbeat or a join can help, and those run on their own
+			// cadence), so a fully dead fleet still fails fast.
+			if p.anyNodeAlive() {
+				p.waveBackoff(try)
+			}
 		}
 		nd := p.acquire(req.Key)
 		if nd == nil {
+			// Empty fleet. A dynamic pool waits out the join grace — the
+			// session may have started before the first node registered —
+			// then retries the placement without burning the try budget.
+			if joinDeadline.IsZero() {
+				joinDeadline = time.Now().Add(p.joinGrace())
+			}
+			if p.waitForNode(joinDeadline) {
+				try--
+				continue
+			}
 			break
 		}
 		var res *TrialResult
@@ -459,7 +656,11 @@ func (p *Pool) place(req *TrialRequest) runner.Measurement {
 			p.Telemetry.Counter("dispatch_evals_total").Inc()
 			return res.Measurement
 		}
-		p.settle(nd, req.Key, false)
+		if d := retryAfterOf(err); d > 0 {
+			p.settleShed(nd, req.Key, d)
+		} else {
+			p.settle(nd, req.Key, false)
+		}
 		if permanentError(err) {
 			// The node understood the request and refused it; every node
 			// would. The rejection condemns the trial deterministically.
@@ -486,6 +687,16 @@ func permanentError(err error) bool {
 	}
 	var re *RequestError
 	return errors.As(err, &re)
+}
+
+// retryAfterOf extracts a shed node's backoff hint, if the error carries
+// one.
+func retryAfterOf(err error) time.Duration {
+	var ne *NodeError
+	if errors.As(err, &ne) {
+		return ne.RetryAfter
+	}
+	return 0
 }
 
 // Pinger is implemented by evaluators that support liveness probes

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"repro/internal/flags"
 	"repro/internal/jvmsim"
@@ -50,6 +51,10 @@ const (
 	CodeMethod = "method"
 	// CodeInternal: the node hit an unexpected internal error (HTTP 500).
 	CodeInternal = "internal"
+	// CodeUnauthorized: the peer presented no bearer token, a wrong one, or
+	// no acceptable client certificate (HTTP 401). Fail-closed: nothing is
+	// evaluated, registered, or deregistered without credentials.
+	CodeUnauthorized = "unauthorized"
 )
 
 // TrialRequest is one evaluation attempt on the wire.
@@ -95,6 +100,70 @@ type TrialResult struct {
 	Node string `json:"node,omitempty"`
 	// Measurement is the attempt's outcome, before retry accounting.
 	Measurement runner.Measurement `json:"measurement"`
+}
+
+// wireMeasurement is runner.Measurement's wire form: the same field names
+// the plain struct would emit, but with omitempty throughout. A successful
+// trial leaves half the fields at their zero values (failure diagnostics,
+// cache and retry accounting), and at batch width the reflection walk over
+// those absent fields on both encode and decode is a measurable per-trial
+// tax. Decoding an omitted field yields its zero value, so the round trip
+// is exact.
+type wireMeasurement struct {
+	Key              string             `json:"Key,omitempty"`
+	Walls            []float64          `json:"Walls,omitempty"`
+	Mean             float64            `json:"Mean,omitempty"`
+	Pauses           []float64          `json:"Pauses,omitempty"`
+	MeanPause        float64            `json:"MeanPause,omitempty"`
+	Failed           bool               `json:"Failed,omitempty"`
+	Failure          jvmsim.FailureKind `json:"Failure,omitempty"`
+	FailureMessage   string             `json:"FailureMessage,omitempty"`
+	CostSeconds      float64            `json:"CostSeconds,omitempty"`
+	HedgeCostSeconds float64            `json:"HedgeCostSeconds,omitempty"`
+	FromCache        bool               `json:"FromCache,omitempty"`
+	Attempts         int                `json:"Attempts,omitempty"`
+	Flakes           int                `json:"Flakes,omitempty"`
+	Transient        bool               `json:"Transient,omitempty"`
+}
+
+type wireTrialResult struct {
+	Node        string          `json:"node,omitempty"`
+	Measurement wireMeasurement `json:"measurement"`
+}
+
+// toWire converts a TrialResult to its compact wire form. Conversions
+// happen once per message at the serialization boundary (never via custom
+// Marshaler/Unmarshaler methods, which would force the json package to
+// re-scan every nested message).
+func toWire(t *TrialResult) wireTrialResult {
+	m := t.Measurement
+	return wireTrialResult{Node: t.Node, Measurement: wireMeasurement{
+		Key: m.Key, Walls: m.Walls, Mean: m.Mean, Pauses: m.Pauses,
+		MeanPause: m.MeanPause, Failed: m.Failed, Failure: m.Failure,
+		FailureMessage: m.FailureMessage, CostSeconds: m.CostSeconds,
+		HedgeCostSeconds: m.HedgeCostSeconds, FromCache: m.FromCache,
+		Attempts: m.Attempts, Flakes: m.Flakes, Transient: m.Transient,
+	}}
+}
+
+// fromWire converts the wire form back; omitted fields land on their zero
+// values, so the round trip reproduces the original struct exactly.
+func fromWire(w *wireTrialResult) *TrialResult {
+	m := w.Measurement
+	return &TrialResult{Node: w.Node, Measurement: runner.Measurement{
+		Key: m.Key, Walls: m.Walls, Mean: m.Mean, Pauses: m.Pauses,
+		MeanPause: m.MeanPause, Failed: m.Failed, Failure: m.Failure,
+		FailureMessage: m.FailureMessage, CostSeconds: m.CostSeconds,
+		HedgeCostSeconds: m.HedgeCostSeconds, FromCache: m.FromCache,
+		Attempts: m.Attempts, Flakes: m.Flakes, Transient: m.Transient,
+	}}
+}
+
+// EncodeTrialResult writes res in its compact wire form. The evald
+// server's evaluate endpoint responds through it; the emitted field names
+// match the plain structs, so any std-JSON consumer decodes it unchanged.
+func EncodeTrialResult(w io.Writer, res *TrialResult) error {
+	return json.NewEncoder(w).Encode(toWire(res))
 }
 
 // ErrorEnvelope is the JSON body of every evald rejection: a stable
@@ -178,12 +247,24 @@ func DecodeTrialRequest(data []byte) (*TrialRequest, error) {
 // ParseConfig resolves the request's Args against reg and verifies the
 // declared key matches the canonical key of the parsed configuration.
 func (q *TrialRequest) ParseConfig(reg *flags.Registry) (*flags.Config, error) {
-	cfg, err := flags.ParseArgs(reg, q.Args)
-	if err != nil {
-		return nil, reject(CodeBadFlag, "dispatch: parse args: %v", err)
-	}
-	if key := cfg.Key(); key != q.Key {
-		return nil, reject(CodeKeyMismatch, "dispatch: declared key %q but args derive %q", q.Key, key)
+	cfg := flags.NewConfig(reg)
+	if err := q.ParseConfigInto(cfg); err != nil {
+		return nil, err
 	}
 	return cfg, nil
+}
+
+// ParseConfigInto is ParseConfig into caller-owned scratch: it resolves
+// Args into cfg (resetting it first) and verifies the declared key. The
+// evaluation hot path pairs it with Registry.AcquireConfig so a node
+// serving thousands of trials never allocates a registry-wide Config per
+// request.
+func (q *TrialRequest) ParseConfigInto(cfg *flags.Config) error {
+	if err := flags.ParseArgsInto(cfg, q.Args); err != nil {
+		return reject(CodeBadFlag, "dispatch: parse args: %v", err)
+	}
+	if key := cfg.Key(); key != q.Key {
+		return reject(CodeKeyMismatch, "dispatch: declared key %q but args derive %q", q.Key, key)
+	}
+	return nil
 }

@@ -7,12 +7,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
 
 // EvaluatePath is the evald measurement endpoint.
 const EvaluatePath = "/v1/evaluate"
+
+// EvaluateBatchPath is the evald batched-measurement endpoint.
+const EvaluateBatchPath = "/v1/evaluate-batch"
 
 // HealthPath is the evald liveness endpoint heartbeats probe.
 const HealthPath = "/healthz"
@@ -32,6 +36,9 @@ type NodeError struct {
 	Code string
 	// Permanent marks a deterministic protocol rejection.
 	Permanent bool
+	// RetryAfter is the node's own backoff hint (429 shed responses). The
+	// pool honors it as a cooldown floor instead of hammering a loaded node.
+	RetryAfter time.Duration
 	// Err is the underlying cause.
 	Err error
 }
@@ -67,6 +74,16 @@ type Remote struct {
 	// Defaults to 30s — generous, because the simulator answers in
 	// microseconds and anything slower is a sick node.
 	RequestTimeout time.Duration
+	// BatchTimeout bounds one evaluate-batch round trip; it defaults to
+	// RequestTimeout (a batch is served concurrently node-side, so its
+	// wall time tracks the slowest trial, not the sum).
+	BatchTimeout time.Duration
+	// Token is the shared bearer credential stamped on every request.
+	Token string
+	// NodeName overrides the fleet identity (Name); empty means the base
+	// URL. Dynamic membership sets it so the pool, the lease table, and
+	// the fleet journal all key a joined node by its registered name.
+	NodeName string
 }
 
 // NewRemote builds a remote evaluator for addr, which may be a bare
@@ -79,8 +96,33 @@ func NewRemote(addr string) *Remote {
 	return &Remote{base: base, Client: &http.Client{}}
 }
 
-// Name implements Evaluator; the node is named by its base URL.
-func (r *Remote) Name() string { return r.base }
+// NewSecureRemote builds a remote evaluator whose transport and requests
+// carry sec's credentials: the client TLS material for the dial and the
+// bearer token on every request. A bare "host:port" addr gets the scheme
+// the security config implies.
+func NewSecureRemote(addr string, sec *Security) (*Remote, error) {
+	if sec == nil {
+		sec = &Security{}
+	}
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = sec.Scheme() + "://" + base
+	}
+	client, err := sec.HTTPClient()
+	if err != nil {
+		return nil, err
+	}
+	return &Remote{base: base, Client: client, Token: sec.Token}, nil
+}
+
+// Name implements Evaluator; the node is named by its base URL unless
+// NodeName overrides it.
+func (r *Remote) Name() string {
+	if r.NodeName != "" {
+		return r.NodeName
+	}
+	return r.base
+}
 
 func (r *Remote) timeout() time.Duration {
 	if r.RequestTimeout > 0 {
@@ -93,51 +135,155 @@ func (r *Remote) fail(status int, err error) *NodeError {
 	return &NodeError{Node: r.base, Status: status, Err: err}
 }
 
-// Evaluate implements Evaluator.
-func (r *Remote) Evaluate(ctx context.Context, req *TrialRequest) (*TrialResult, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, r.fail(0, fmt.Errorf("encode request: %w", err))
+// post runs one JSON POST round trip and returns the status, response
+// body (capped at maxBody), and headers. Transport faults come back as
+// transient NodeErrors.
+func (r *Remote) post(ctx context.Context, path string, payload any, timeout time.Duration, maxBody int64) (int, []byte, http.Header, error) {
+	var body []byte
+	// Batch requests go through the purpose-built appender when they are
+	// representable (wireenc.go) — at batch width the reflection encoder
+	// is real per-trial overhead; everything else takes encoding/json.
+	if br, ok := payload.(*BatchRequest); ok {
+		body, ok = encodeBatchRequest(br)
+		if !ok {
+			body = nil
+		}
 	}
-	ctx, cancel := context.WithTimeout(ctx, r.timeout())
+	if body == nil {
+		var err error
+		body, err = json.Marshal(payload)
+		if err != nil {
+			return 0, nil, nil, r.fail(0, fmt.Errorf("encode request: %w", err))
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+EvaluatePath, bytes.NewReader(body))
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, r.fail(0, err)
+		return 0, nil, nil, r.fail(0, err)
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	if r.Token != "" {
+		hr.Header.Set("Authorization", "Bearer "+r.Token)
+	}
 	resp, err := r.Client.Do(hr)
 	if err != nil {
-		return nil, r.fail(0, err)
+		return 0, nil, nil, r.fail(0, err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
-	if err != nil {
-		return nil, r.fail(resp.StatusCode, fmt.Errorf("read response: %w", err))
+	// Size the read buffer from Content-Length: growing a fresh buffer
+	// through io.ReadAll is measurable garbage at batch width.
+	var buf bytes.Buffer
+	if n := resp.ContentLength; n > 0 && n < maxBody {
+		buf.Grow(int(n))
 	}
+	if _, err := buf.ReadFrom(io.LimitReader(resp.Body, maxBody)); err != nil {
+		return resp.StatusCode, nil, resp.Header, r.fail(resp.StatusCode, fmt.Errorf("read response: %w", err))
+	}
+	return resp.StatusCode, buf.Bytes(), resp.Header, nil
+}
 
+// decodeBody unmarshals a response body through a streaming decoder,
+// skipping json.Unmarshal's whole-body validity pre-scan — the decode
+// itself reports malformed bytes, and on the batch path the second scan
+// is a per-trial cost for no added safety.
+func decodeBody(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// retryAfterHint extracts the node's backoff hint from a shed response:
+// the standard Retry-After header (delay-seconds form) or the envelope's
+// retry_after_seconds field, whichever is present.
+func retryAfterHint(h http.Header, data []byte) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(h.Get("Retry-After"))); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(data, &env); err == nil && env.RetryAfterSeconds > 0 {
+		return time.Duration(env.RetryAfterSeconds) * time.Second
+	}
+	return 0
+}
+
+// classify turns a non-200 response into the NodeError the pool acts on.
+func (r *Remote) classify(status int, data []byte, h http.Header) error {
 	switch {
-	case resp.StatusCode == http.StatusOK:
-		var res TrialResult
-		if err := json.Unmarshal(data, &res); err != nil {
-			return nil, r.fail(resp.StatusCode, fmt.Errorf("decode response: %w", err))
-		}
-		return &res, nil
-	case resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests:
+	case status == http.StatusUnauthorized:
+		// The node refused our credentials. That is a property of this
+		// controller↔node pairing, not of the trial — another node with
+		// matching credentials can still serve it — so the error is
+		// transient (the breaker quarantines the misconfigured node) but
+		// keeps its code for diagnostics and fail-closed accounting.
+		return &NodeError{Node: r.base, Status: status, Code: CodeUnauthorized, Err: fmt.Errorf("credentials rejected")}
+	case status == http.StatusTooManyRequests:
+		// Shed load is the node's problem, and the trial goes elsewhere —
+		// but the node told us when it wants to be bothered again, and the
+		// pool honors that as its cooldown floor.
+		return &NodeError{Node: r.base, Status: status, Code: CodeBusy, RetryAfter: retryAfterHint(h, data), Err: fmt.Errorf("node shedding load")}
+	case status >= 400 && status < 500:
 		// A 4xx envelope is the node refusing the request itself: a
-		// deterministic verdict, not a node fault. 429 is the exception —
-		// shed load is the node's problem, and the trial goes elsewhere.
+		// deterministic verdict, not a node fault.
 		var env ErrorEnvelope
 		if err := json.Unmarshal(data, &env); err != nil || env.Error == "" {
 			// A 4xx without a well-formed envelope is not our protocol
 			// speaking; treat the node as broken, not the request.
-			return nil, r.fail(resp.StatusCode, fmt.Errorf("malformed rejection body"))
+			return r.fail(status, fmt.Errorf("malformed rejection body"))
 		}
-		return nil, &NodeError{Node: r.base, Status: resp.StatusCode, Code: env.Code, Permanent: true, Err: fmt.Errorf("%s", env.Error)}
+		return &NodeError{Node: r.base, Status: status, Code: env.Code, Permanent: true, Err: fmt.Errorf("%s", env.Error)}
 	default:
-		// 429, 5xx, or anything else: the node is sick or shedding.
-		return nil, r.fail(resp.StatusCode, fmt.Errorf("unexpected status"))
+		// 5xx or anything else: the node is sick.
+		return r.fail(status, fmt.Errorf("unexpected status"))
 	}
+}
+
+// Evaluate implements Evaluator.
+func (r *Remote) Evaluate(ctx context.Context, req *TrialRequest) (*TrialResult, error) {
+	status, data, hdr, err := r.post(ctx, EvaluatePath, req, r.timeout(), MaxRequestBytes)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, r.classify(status, data, hdr)
+	}
+	var wire wireTrialResult
+	if err := decodeBody(data, &wire); err != nil {
+		return nil, r.fail(status, fmt.Errorf("decode response: %w", err))
+	}
+	return fromWire(&wire), nil
+}
+
+func (r *Remote) batchTimeout() time.Duration {
+	if r.BatchTimeout > 0 {
+		return r.BatchTimeout
+	}
+	return r.timeout()
+}
+
+// EvaluateBatch ships a whole batch of trials in one round trip. A non-OK
+// response or malformed body fails the batch as one transient transport
+// fault (the caller salvages nothing and advances the breaker once); an OK
+// response always carries one entry per trial, each settling its own trial
+// independently.
+func (r *Remote) EvaluateBatch(ctx context.Context, req *BatchRequest) (*BatchResult, error) {
+	status, data, hdr, err := r.post(ctx, EvaluateBatchPath, req, r.batchTimeout(), MaxBatchRequestBytes)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, r.classify(status, data, hdr)
+	}
+	res, err := decodeBatchResult(data)
+	if err != nil {
+		return nil, r.fail(status, fmt.Errorf("decode batch response: %w", err))
+	}
+	if len(res.Entries) != len(req.Trials) {
+		return nil, r.fail(status, fmt.Errorf("batch answered %d entries for %d trials", len(res.Entries), len(req.Trials)))
+	}
+	return res, nil
 }
 
 // Ping probes the node's liveness endpoint; used by Pool heartbeats.

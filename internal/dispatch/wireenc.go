@@ -1,0 +1,312 @@
+package dispatch
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/runner"
+)
+
+// Hand-rolled encoders for the batch wire shapes, the sending twin of
+// wirefast.go: reflection encoding of a 16-trial request (and its
+// response) was the largest remaining per-trial cost in batched dispatch
+// after the decode side went scanner-first. The emitted bytes are plain
+// JSON — field names and omitempty semantics mirror the wire structs
+// exactly, so any standard decoder (including older nodes and the
+// reflection fallback) reads them unchanged. Encoding is opportunistic
+// like decoding: a message the appenders cannot represent exactly
+// (non-finite floats, drift fields) falls back to encoding/json.
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string. Quotes, backslashes, and
+// control bytes are escaped; everything else — including multi-byte
+// UTF-8 — passes through raw, which std decoders accept unchanged.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '"' && c != '\\' && c >= 0x20 {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+		}
+		start = i + 1
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends f in its shortest exact decimal form — the
+// parse side (strconv.ParseFloat, used by both our scanner and
+// encoding/json) recovers the identical bits. Non-finite values have no
+// JSON spelling; ok=false tells the caller to fall back to
+// encoding/json, which reports them as a proper error.
+func appendJSONFloat(b []byte, f float64) ([]byte, bool) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return b, false
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64), true
+}
+
+// fieldSep appends the separator before a field: '{' for the first,
+// ',' after.
+func fieldSep(b []byte, first *bool) []byte {
+	if *first {
+		*first = false
+		return append(b, '{')
+	}
+	return append(b, ',')
+}
+
+func appendFloatField(b []byte, first *bool, name string, f float64) ([]byte, bool) {
+	b = fieldSep(b, first)
+	b = append(b, '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return appendJSONFloat(b, f)
+}
+
+func appendFloatsField(b []byte, first *bool, name string, fs []float64) ([]byte, bool) {
+	b = fieldSep(b, first)
+	b = append(b, '"')
+	b = append(b, name...)
+	b = append(b, '"', ':', '[')
+	ok := true
+	for i, f := range fs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		if b, ok = appendJSONFloat(b, f); !ok {
+			return b, false
+		}
+	}
+	return append(b, ']'), true
+}
+
+func appendStringField(b []byte, first *bool, name, s string) []byte {
+	b = fieldSep(b, first)
+	b = append(b, '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return appendJSONString(b, s)
+}
+
+func appendIntField(b []byte, first *bool, name string, n int) []byte {
+	b = fieldSep(b, first)
+	b = append(b, '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return strconv.AppendInt(b, int64(n), 10)
+}
+
+func appendBoolField(b []byte, first *bool, name string) []byte {
+	b = fieldSep(b, first)
+	b = append(b, '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return append(b, "true"...)
+}
+
+// closeObject terminates an object opened through fieldSep; an object
+// with no fields emitted still needs its braces.
+func closeObject(b []byte, first bool) []byte {
+	if first {
+		return append(b, '{', '}')
+	}
+	return append(b, '}')
+}
+
+// appendMeasurement appends m in the wireMeasurement shape: identical
+// field names, zero values elided.
+func appendMeasurement(b []byte, m *runner.Measurement) ([]byte, bool) {
+	first, ok := true, true
+	if m.Key != "" {
+		b = appendStringField(b, &first, "Key", m.Key)
+	}
+	if len(m.Walls) > 0 {
+		if b, ok = appendFloatsField(b, &first, "Walls", m.Walls); !ok {
+			return b, false
+		}
+	}
+	if m.Mean != 0 {
+		if b, ok = appendFloatField(b, &first, "Mean", m.Mean); !ok {
+			return b, false
+		}
+	}
+	if len(m.Pauses) > 0 {
+		if b, ok = appendFloatsField(b, &first, "Pauses", m.Pauses); !ok {
+			return b, false
+		}
+	}
+	if m.MeanPause != 0 {
+		if b, ok = appendFloatField(b, &first, "MeanPause", m.MeanPause); !ok {
+			return b, false
+		}
+	}
+	if m.Failed {
+		b = appendBoolField(b, &first, "Failed")
+	}
+	if m.Failure != "" {
+		b = appendStringField(b, &first, "Failure", string(m.Failure))
+	}
+	if m.FailureMessage != "" {
+		b = appendStringField(b, &first, "FailureMessage", m.FailureMessage)
+	}
+	if m.CostSeconds != 0 {
+		if b, ok = appendFloatField(b, &first, "CostSeconds", m.CostSeconds); !ok {
+			return b, false
+		}
+	}
+	if m.HedgeCostSeconds != 0 {
+		if b, ok = appendFloatField(b, &first, "HedgeCostSeconds", m.HedgeCostSeconds); !ok {
+			return b, false
+		}
+	}
+	if m.FromCache {
+		b = appendBoolField(b, &first, "FromCache")
+	}
+	if m.Attempts != 0 {
+		b = appendIntField(b, &first, "Attempts", m.Attempts)
+	}
+	if m.Flakes != 0 {
+		b = appendIntField(b, &first, "Flakes", m.Flakes)
+	}
+	if m.Transient {
+		b = appendBoolField(b, &first, "Transient")
+	}
+	return closeObject(b, first), true
+}
+
+// encodeBatchResult renders res in its compact wire form without
+// reflection. ok=false (non-finite float somewhere) means the caller
+// must use the encoding/json path instead.
+func encodeBatchResult(res *BatchResult) ([]byte, bool) {
+	// A successful 16-trial batch is a little over 2KB on the wire.
+	b := make([]byte, 0, 256+192*len(res.Entries))
+	b = append(b, '{')
+	if res.Node != "" {
+		b = append(b, `"node":`...)
+		b = appendJSONString(b, res.Node)
+		b = append(b, ',')
+	}
+	b = append(b, `"entries":`...)
+	if res.Entries == nil {
+		b = append(b, "null}\n"...)
+		return b, true
+	}
+	b = append(b, '[')
+	ok := true
+	for i := range res.Entries {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		e := &res.Entries[i]
+		first := true
+		if e.Result != nil {
+			b = fieldSep(b, &first)
+			b = append(b, `"result":`...)
+			rf := true
+			if e.Result.Node != "" {
+				b = appendStringField(b, &rf, "node", e.Result.Node)
+			}
+			b = fieldSep(b, &rf)
+			b = append(b, `"measurement":`...)
+			if b, ok = appendMeasurement(b, &e.Result.Measurement); !ok {
+				return b, false
+			}
+			b = closeObject(b, rf)
+		}
+		if e.Error != nil {
+			b = fieldSep(b, &first)
+			b = append(b, `"error":`...)
+			b = appendErrorEnvelope(b, e.Error)
+		}
+		b = closeObject(b, first)
+	}
+	b = append(b, ']', '}', '\n')
+	return b, true
+}
+
+func appendErrorEnvelope(b []byte, env *ErrorEnvelope) []byte {
+	b = append(b, `{"error":`...)
+	b = appendJSONString(b, env.Error)
+	b = append(b, `,"code":`...)
+	b = appendJSONString(b, env.Code)
+	if env.RetryAfterSeconds != 0 {
+		b = append(b, `,"retry_after_seconds":`...)
+		b = strconv.AppendInt(b, int64(env.RetryAfterSeconds), 10)
+	}
+	return append(b, '}')
+}
+
+// encodeBatchRequest renders req without reflection. Drift requests
+// (phase/shift) and non-finite floats fall back to encoding/json;
+// stationary sessions — the steady state — never do.
+func encodeBatchRequest(req *BatchRequest) ([]byte, bool) {
+	size := 64
+	for i := range req.Trials {
+		t := &req.Trials[i]
+		size += 128 + len(t.Key) + len(t.Benchmark)
+		for _, a := range t.Args {
+			size += len(a) + 3
+		}
+	}
+	b := make([]byte, 0, size)
+	b = append(b, `{"trials":[`...)
+	ok := true
+	for i := range req.Trials {
+		t := &req.Trials[i]
+		if t.Phase != 0 || t.Shift != nil {
+			return nil, false
+		}
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"key":`...)
+		b = appendJSONString(b, t.Key)
+		b = append(b, `,"benchmark":`...)
+		b = appendJSONString(b, t.Benchmark)
+		if t.Args != nil {
+			b = append(b, `,"args":[`...)
+			for j, a := range t.Args {
+				if j > 0 {
+					b = append(b, ',')
+				}
+				b = appendJSONString(b, a)
+			}
+			b = append(b, ']')
+		}
+		b = append(b, `,"rep_base":`...)
+		b = strconv.AppendInt(b, int64(t.RepBase), 10)
+		b = append(b, `,"reps":`...)
+		b = strconv.AppendInt(b, int64(t.Reps), 10)
+		if t.TimeoutSeconds != 0 {
+			b = append(b, `,"timeout_seconds":`...)
+			if b, ok = appendJSONFloat(b, t.TimeoutSeconds); !ok {
+				return nil, false
+			}
+		}
+		b = append(b, `,"noise":`...)
+		if b, ok = appendJSONFloat(b, t.Noise); !ok {
+			return nil, false
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ']', '}')
+	return b, true
+}

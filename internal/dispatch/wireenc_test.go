@@ -1,0 +1,159 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/jvmsim"
+	"repro/internal/runner"
+)
+
+// TestEncodeBatchResultMatchesStd drives the appender and the reflection
+// encoder over the same results — including the string and float shapes
+// most likely to expose an escaping or formatting bug — and demands that
+// a reader cannot tell which encoder produced the bytes.
+func TestEncodeBatchResultMatchesStd(t *testing.T) {
+	cases := []struct {
+		name string
+		res  *BatchResult
+	}{
+		{"nil entries", &BatchResult{Node: "n1"}},
+		{"empty entries", &BatchResult{Entries: []BatchEntry{}}},
+		{"empty entry", &BatchResult{Entries: []BatchEntry{{}}}},
+		{"success", &BatchResult{Node: "n1", Entries: []BatchEntry{{
+			Result: &TrialResult{Node: "n1", Measurement: runner.Measurement{
+				Key: "MaxHeapSize=268435456 UseParallelGC=true", Walls: []float64{1.25, 1.5},
+				Mean: 1.375, Pauses: []float64{0.004}, MeanPause: 0.004,
+				CostSeconds: 4.52984832e+08, Attempts: 1,
+			}},
+		}}}},
+		{"failure flags", &BatchResult{Entries: []BatchEntry{{
+			Result: &TrialResult{Measurement: runner.Measurement{
+				Failed: true, Failure: jvmsim.FailureKind("crash"),
+				FailureMessage: "exit 134", CostSeconds: 0.5,
+				HedgeCostSeconds: 1e-7, FromCache: true,
+				Attempts: 2, Flakes: 1, Transient: true,
+			}},
+		}}}},
+		{"nasty strings", &BatchResult{Node: "weird \"node\"\n", Entries: []BatchEntry{{
+			Result: &TrialResult{Node: "tab\there", Measurement: runner.Measurement{
+				Key:            `quote " backslash \ slash /`,
+				FailureMessage: "control \x01\x1f\r bytes, ünïcode ☃",
+				Failure:        jvmsim.FailureKind("<&>"),
+			}},
+		}}}},
+		{"error entries", &BatchResult{Entries: []BatchEntry{
+			{Error: &ErrorEnvelope{Error: "evald: node saturated", Code: CodeBusy, RetryAfterSeconds: 3}},
+			{Error: &ErrorEnvelope{Error: "bad \"trial\"", Code: CodeBadPayload}},
+		}}},
+		{"mixed", &BatchResult{Node: "n2", Entries: []BatchEntry{
+			{Result: &TrialResult{Measurement: runner.Measurement{Mean: -5.5, Walls: []float64{0, -0.25, 1e21}}}},
+			{Error: &ErrorEnvelope{Error: "busy", Code: CodeBusy, RetryAfterSeconds: 1}},
+			{Result: &TrialResult{Measurement: runner.Measurement{Key: "zeroes elided"}}},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, ok := encodeBatchResult(tc.res)
+			if !ok {
+				t.Fatalf("appender refused a finite result: %+v", tc.res)
+			}
+			var std bytes.Buffer
+			if err := stdEncodeBatchResult(&std, tc.res); err != nil {
+				t.Fatalf("reflection encode: %v", err)
+			}
+			fromFast, err := decodeBatchResult(enc)
+			if err != nil {
+				t.Fatalf("appender output rejected: %v (%s)", err, enc)
+			}
+			fromStd, err := decodeBatchResult(std.Bytes())
+			if err != nil {
+				t.Fatalf("reflection output rejected: %v (%s)", err, std.Bytes())
+			}
+			if !reflect.DeepEqual(fromFast, fromStd) {
+				t.Fatalf("encoders disagree after round trip:\nappender:   %+v (%s)\nreflection: %+v (%s)",
+					fromFast, enc, fromStd, std.Bytes())
+			}
+			// The appender's bytes must also satisfy a plain strict decoder
+			// directly — not just our own fast scanner.
+			var wire wireBatchResult
+			if err := decodeBody(enc, &wire); err != nil {
+				t.Fatalf("encoding/json rejects appender output: %v (%s)", err, enc)
+			}
+			if got := batchFromWire(&wire); !reflect.DeepEqual(got, fromStd) {
+				t.Fatalf("strict decode of appender bytes diverges:\ngot:  %+v\nwant: %+v", got, fromStd)
+			}
+		})
+	}
+}
+
+// TestEncodeBatchResultNonFinite holds the fallback contract: values with
+// no JSON spelling make the appender bail rather than emit garbage.
+func TestEncodeBatchResultNonFinite(t *testing.T) {
+	bad := []*BatchResult{
+		{Entries: []BatchEntry{{Result: &TrialResult{Measurement: runner.Measurement{Mean: math.NaN()}}}}},
+		{Entries: []BatchEntry{{Result: &TrialResult{Measurement: runner.Measurement{Walls: []float64{1, math.Inf(1)}}}}}},
+		{Entries: []BatchEntry{{Result: &TrialResult{Measurement: runner.Measurement{CostSeconds: math.Inf(-1)}}}}},
+	}
+	for _, res := range bad {
+		if _, ok := encodeBatchResult(res); ok {
+			t.Fatalf("appender accepted a non-finite result: %+v", res)
+		}
+	}
+}
+
+// TestEncodeBatchRequestRoundTrip holds the request appender's contract:
+// everything it emits decodes — through both the scanner and the strict
+// reflection path — back to the original batch, and unrepresentable
+// requests (drift trials, non-finite floats) bail to encoding/json.
+func TestEncodeBatchRequestRoundTrip(t *testing.T) {
+	reqs := []*BatchRequest{
+		{Trials: []TrialRequest{{Key: "a=1 b=2", Benchmark: "fop", RepBase: 0, Reps: 3, Noise: -1}}},
+		{Trials: []TrialRequest{{
+			Key: "k", Benchmark: "fop", Args: []string{"-Xmx256m", "-XX:+UseParallelGC"},
+			RepBase: 5, Reps: 1, TimeoutSeconds: 2.5, Noise: 0.05,
+		}}},
+		{Trials: []TrialRequest{{Key: "empty args", Benchmark: "fop", Args: []string{}, Reps: 1, Noise: 1e-3}}},
+		{Trials: []TrialRequest{
+			{Key: `quote " backslash \ newline` + "\n", Benchmark: "tab\tbench", Reps: 2, Noise: 0},
+			{Key: "ünïcode ☃", Benchmark: "fop", Args: []string{"", "ctrl\x01"}, RepBase: 1 << 30, Reps: 7, Noise: 4.52984832e+08},
+		}},
+	}
+	for _, req := range reqs {
+		enc, ok := encodeBatchRequest(req)
+		if !ok {
+			t.Fatalf("appender refused a stationary batch: %+v", req)
+		}
+		again, err := DecodeBatchRequest(enc)
+		if err != nil {
+			t.Fatalf("appender output rejected: %v (%s)", err, enc)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip changed the batch:\nin:  %+v\nout: %+v (%s)", req, again, enc)
+		}
+		dec := json.NewDecoder(bytes.NewReader(enc))
+		dec.DisallowUnknownFields()
+		var strict BatchRequest
+		if err := dec.Decode(&strict); err != nil {
+			t.Fatalf("encoding/json rejects appender output: %v (%s)", err, enc)
+		}
+		if !reflect.DeepEqual(req, &strict) {
+			t.Fatalf("strict decode of appender bytes diverges:\ngot:  %+v\nwant: %+v", &strict, req)
+		}
+	}
+
+	bail := []*BatchRequest{
+		{Trials: []TrialRequest{{Key: "drift", Benchmark: "fop", Reps: 1, Noise: -1,
+			Phase: 2, Shift: &jvmsim.PhaseShift{AllocFactor: 1.5}}}},
+		{Trials: []TrialRequest{{Key: "nan", Benchmark: "fop", Reps: 1, Noise: math.NaN()}}},
+		{Trials: []TrialRequest{{Key: "inf", Benchmark: "fop", Reps: 1, TimeoutSeconds: math.Inf(1), Noise: -1}}},
+	}
+	for _, req := range bail {
+		if _, ok := encodeBatchRequest(req); ok {
+			t.Fatalf("appender accepted an unrepresentable batch: %+v", req)
+		}
+	}
+}

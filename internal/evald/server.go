@@ -7,16 +7,27 @@
 //
 // Endpoints:
 //
-//	POST /v1/evaluate   one evaluation attempt; dispatch.TrialRequest in,
-//	                    dispatch.TrialResult out. Bogus payloads get a
-//	                    400 dispatch.ErrorEnvelope — never a panic.
-//	GET  /healthz       liveness for the controller's heartbeats.
-//	GET  /metrics       Prometheus exposition of the node's telemetry.
+//	POST /v1/evaluate        one evaluation attempt; dispatch.TrialRequest
+//	                         in, dispatch.TrialResult out. Bogus payloads
+//	                         get a 400 dispatch.ErrorEnvelope — never a
+//	                         panic.
+//	POST /v1/evaluate-batch  up to dispatch.MaxBatchTrials attempts in one
+//	                         round trip; per-trial verdicts come back
+//	                         positionally, so one bogus trial rejects only
+//	                         its own entry.
+//	GET  /healthz            liveness for the controller's heartbeats.
+//	GET  /metrics            Prometheus exposition of the node's telemetry.
 //
 // Admission control mirrors the tuned farm: a concurrency gate sized to
 // the host sheds excess load with 429 + Retry-After and the same JSON
 // envelope shape, so a saturated node reads as "busy, come back" and the
 // dispatch layer steals the trial to a sibling.
+//
+// With a bearer token configured (Config.Auth), both evaluate endpoints
+// demand it and answer 401 + CodeUnauthorized envelopes otherwise —
+// fail-closed: nothing is evaluated without credentials. /healthz and
+// /metrics stay open (liveness probes and scrapers carry no secrets).
+// Transport-level mutual TLS wraps the listener in cmd/evald, not here.
 package evald
 
 import (
@@ -47,6 +58,9 @@ type Config struct {
 	// Telemetry receives the node's metric series; nil means a private
 	// registry (always exposed via /metrics).
 	Telemetry *telemetry.Registry
+	// Auth gates the evaluate endpoints (bearer token); nil or a zero
+	// value means open.
+	Auth *dispatch.Security
 }
 
 // Server is an evald node. It implements http.Handler.
@@ -81,6 +95,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc(dispatch.EvaluatePath, s.handleEvaluate)
+	s.mux.HandleFunc(dispatch.EvaluateBatchPath, s.handleEvaluateBatch)
 	s.mux.HandleFunc(dispatch.HealthPath, s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -116,22 +131,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	if r.Method != http.MethodPost {
-		s.rejected(w, http.StatusMethodNotAllowed, dispatch.ErrorEnvelope{
-			Error: "evald: POST required", Code: dispatch.CodeMethod,
-		})
+	release := s.admit(w, r)
+	if release == nil {
 		return
 	}
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	default:
-		s.tel.Counter("evald_shed_total").Inc()
-		s.rejected(w, http.StatusTooManyRequests, dispatch.ErrorEnvelope{
-			Error: "evald: node saturated", Code: dispatch.CodeBusy, RetryAfterSeconds: 1,
-		})
-		return
-	}
+	defer release()
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -163,7 +167,106 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.tel.Histogram("evald_eval_cost_seconds", telemetry.DefSecondsBuckets).
 		Observe(res.Measurement.CostSeconds)
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(res)
+	dispatch.EncodeTrialResult(w, res)
+}
+
+// admit runs the shared admission gate for the evaluate endpoints:
+// method, credentials, then the concurrency slot. It returns the slot's
+// release func, or nil after writing the rejection. Credentials are
+// checked before the semaphore so an unauthenticated flood can never
+// starve real work, and the 401 leaks nothing about the node's load.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
+	if r.Method != http.MethodPost {
+		s.rejected(w, http.StatusMethodNotAllowed, dispatch.ErrorEnvelope{
+			Error: "evald: POST required", Code: dispatch.CodeMethod,
+		})
+		return nil
+	}
+	if !s.cfg.Auth.Authorize(r) {
+		s.rejected(w, http.StatusUnauthorized, dispatch.ErrorEnvelope{
+			Error: "evald: missing or invalid credentials", Code: dispatch.CodeUnauthorized,
+		})
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }
+	default:
+		s.tel.Counter("evald_shed_total").Inc()
+		s.rejected(w, http.StatusTooManyRequests, dispatch.ErrorEnvelope{
+			Error: "evald: node saturated", Code: dispatch.CodeBusy, RetryAfterSeconds: 1,
+		})
+		return nil
+	}
+}
+
+func (s *Server) handleEvaluateBatch(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.tel.Counter("evald_panics_total").Inc()
+			writeEnvelope(w, http.StatusInternalServerError, dispatch.ErrorEnvelope{
+				Error: fmt.Sprintf("evald: internal error: %v", rec), Code: dispatch.CodeInternal,
+			})
+		}
+	}()
+
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, dispatch.MaxBatchRequestBytes))
+	if err != nil {
+		s.rejected(w, http.StatusBadRequest, dispatch.ErrorEnvelope{
+			Error: fmt.Sprintf("evald: read body: %v", err), Code: dispatch.CodeBadPayload,
+		})
+		return
+	}
+	req, err := dispatch.DecodeBatchRequest(body)
+	if err != nil {
+		s.rejected(w, http.StatusBadRequest, envelopeFor(err))
+		return
+	}
+	// One benchmark profile serves the whole batch: a controller's wave is
+	// one session's round, and sessions measure one workload. A mixed
+	// batch still answers per-entry (bad-benchmark envelopes), not 400.
+	res := &dispatch.BatchResult{Node: s.cfg.Node, Entries: make([]dispatch.BatchEntry, len(req.Trials))}
+	byBench := make(map[string][]int)
+	for i := range req.Trials {
+		byBench[req.Trials[i].Benchmark] = append(byBench[req.Trials[i].Benchmark], i)
+	}
+	for bench, idxs := range byBench {
+		prof, ok := workload.ByName(bench)
+		if !ok {
+			for _, i := range idxs {
+				res.Entries[i] = dispatch.BatchEntry{Error: &dispatch.ErrorEnvelope{
+					Error: fmt.Sprintf("evald: unknown benchmark %q", bench), Code: dispatch.CodeBadBenchmark,
+				}}
+			}
+			continue
+		}
+		sub := &dispatch.BatchRequest{Trials: make([]dispatch.TrialRequest, len(idxs))}
+		for j, i := range idxs {
+			sub.Trials[j] = req.Trials[i]
+		}
+		out := dispatch.EvalBatch(prof, s.reg, sub)
+		for j, i := range idxs {
+			e := out.Entries[j]
+			if e.Result != nil {
+				e.Result.Node = s.cfg.Node
+				s.tel.Counter("evald_evaluations_total").Inc()
+				s.tel.Histogram("evald_eval_cost_seconds", telemetry.DefSecondsBuckets).
+					Observe(e.Result.Measurement.CostSeconds)
+			} else if e.Error != nil {
+				s.tel.Counter(`evald_rejected_total{code="` + e.Error.Code + `"}`).Inc()
+			}
+			res.Entries[i] = e
+		}
+	}
+	s.tel.Counter("evald_batches_total").Inc()
+	w.Header().Set("Content-Type", "application/json")
+	dispatch.EncodeBatchResult(w, res)
 }
 
 // envelopeFor renders a protocol error as its wire envelope.

@@ -97,12 +97,24 @@ func renderInt(f *Flag, v int64) string {
 // flags are accepted and ignored (they gate, they don't tune).
 func ParseArgs(reg *Registry, args []string) (*Config, error) {
 	c := NewConfig(reg)
-	for _, a := range args {
-		if err := c.applyArg(a); err != nil {
-			return nil, err
-		}
+	if err := ParseArgsInto(c, args); err != nil {
+		return nil, err
 	}
 	return c, nil
+}
+
+// ParseArgsInto parses args into an existing configuration, resetting it
+// first — the recycling twin of ParseArgs for callers that reuse scratch
+// Configs via Registry.AcquireConfig. On error the config's contents are
+// undefined and it must be reset (or released) before reuse.
+func ParseArgsInto(c *Config, args []string) error {
+	c.Reset()
+	for _, a := range args {
+		if err := c.applyArg(a); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c *Config) applyArg(a string) error {

@@ -2,6 +2,7 @@ package flags
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 )
 
@@ -36,6 +37,7 @@ type Config struct {
 	reg      *Registry
 	vals     []Value // indexed by ID; meaningful only where explicit
 	explicit []bool  // indexed by ID
+	ids      []ID    // sorted IDs of explicit assignments; len(ids) == n
 	n        int     // number of explicit assignments
 	memoKey  string  // Key() memo, valid when memoOK; any write clears it
 	memoOK   bool
@@ -53,11 +55,34 @@ func NewConfig(reg *Registry) *Config {
 // Registry returns the registry this configuration is bound to.
 func (c *Config) Registry() *Registry { return c.reg }
 
+// Reset returns c to the all-defaults state (no explicit assignments),
+// keeping its storage so high-rate parsing paths can recycle one Config
+// instead of re-allocating the registry-wide value arrays per use.
+func (c *Config) Reset() {
+	if c.n > 0 {
+		clear(c.vals)
+		clear(c.explicit)
+		c.ids = c.ids[:0]
+		c.n = 0
+	}
+	c.memoOK = false
+	c.memoKey = ""
+}
+
 // putID records an explicit assignment without validating it.
 func (c *Config) putID(id ID, v Value) {
 	if !c.explicit[id] {
 		c.explicit[id] = true
 		c.n++
+		// Keep the explicit-ID list sorted so every canonical walk (keys,
+		// args, validation) is O(explicit), not O(registry width). Configs
+		// carry a handful of assignments against a ~600-flag catalog, so
+		// the insertion is a short memmove, and the width-independent walks
+		// are what keep the per-trial hot paths cheap.
+		i := sort.Search(len(c.ids), func(j int) bool { return c.ids[j] >= id })
+		c.ids = append(c.ids, 0)
+		copy(c.ids[i+1:], c.ids[i:])
+		c.ids[i] = id
 	}
 	c.vals[id] = v
 	c.memoOK = false
@@ -184,6 +209,8 @@ func (c *Config) Unset(name string) {
 	c.explicit[id] = false
 	c.vals[id] = Value{}
 	c.n--
+	i := sort.Search(len(c.ids), func(j int) bool { return c.ids[j] >= id })
+	c.ids = append(c.ids[:i], c.ids[i+1:]...)
 	c.memoOK = false
 	c.memoKey = ""
 }
@@ -191,10 +218,8 @@ func (c *Config) Unset(name string) {
 // ExplicitNames returns the sorted names of explicitly assigned flags.
 func (c *Config) ExplicitNames() []string {
 	out := make([]string, 0, c.n)
-	for id, set := range c.explicit {
-		if set {
-			out = append(out, c.reg.names[id])
-		}
+	for _, id := range c.ids {
+		out = append(out, c.reg.names[id])
 	}
 	return out
 }
@@ -205,10 +230,8 @@ func (c *Config) EachExplicit(fn func(f *Flag, v Value)) {
 	if c.n == 0 {
 		return
 	}
-	for id, set := range c.explicit {
-		if set {
-			fn(c.reg.byID[id], c.vals[id])
-		}
+	for _, id := range c.ids {
+		fn(c.reg.byID[id], c.vals[id])
 	}
 }
 
@@ -218,6 +241,7 @@ func (c *Config) Clone() *Config {
 		reg:      c.reg,
 		vals:     make([]Value, len(c.vals)),
 		explicit: make([]bool, len(c.explicit)),
+		ids:      append([]ID(nil), c.ids...),
 		n:        c.n,
 		memoKey:  c.memoKey,
 		memoOK:   c.memoOK,
@@ -256,10 +280,7 @@ func (c *Config) AppendKey(dst []byte) []byte {
 		return dst
 	}
 	first := true
-	for id, set := range c.explicit {
-		if !set {
-			continue
-		}
+	for _, id := range c.ids {
 		f := c.reg.byID[id]
 		v := c.vals[id]
 		if v.Equal(f.Type, f.Default) {
@@ -314,10 +335,7 @@ func (c *Config) Validate() error {
 	if c.n == 0 {
 		return nil
 	}
-	for id, set := range c.explicit {
-		if !set {
-			continue
-		}
+	for _, id := range c.ids {
 		if err := c.reg.byID[id].Validate(c.vals[id]); err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package flags
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ID is a dense, registry-assigned flag identifier: the index of the flag's
@@ -23,6 +24,33 @@ type Registry struct {
 	byID    []*Flag  // byID[i] is the flag named names[i]
 	idOf    map[string]ID
 	tunable []string // sorted names of Tunable() flags, precomputed
+
+	// scratch recycles Configs for AcquireConfig/ReleaseConfig: a packed
+	// Config carries two registry-wide arrays, which is real garbage when
+	// a server parses one throwaway configuration per request.
+	scratch sync.Pool
+}
+
+// AcquireConfig returns an all-defaults Config over r, recycled from an
+// internal pool when possible. Callers that parse one short-lived
+// configuration per request (the evald measurement nodes) pair it with
+// ReleaseConfig to keep the per-request allocation off the hot path.
+func (r *Registry) AcquireConfig() *Config {
+	if c, ok := r.scratch.Get().(*Config); ok {
+		return c
+	}
+	return NewConfig(r)
+}
+
+// ReleaseConfig resets c and returns it to r's pool. The caller must not
+// touch c afterwards. Configs bound to another registry are dropped
+// rather than poisoning the pool; nil is a no-op.
+func (r *Registry) ReleaseConfig(c *Config) {
+	if c == nil || c.reg != r {
+		return
+	}
+	c.Reset()
+	r.scratch.Put(c)
 }
 
 // NewCustomRegistry builds a registry from an explicit flag list. Duplicate

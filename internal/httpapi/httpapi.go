@@ -242,6 +242,15 @@ type Config struct {
 	// are byte-identical either way. With StateDir, each job additionally
 	// journals its fleet view next to its checkpoint.
 	Nodes []string
+	// DispatchBatch ships up to this many trials per evaluate-batch round
+	// trip to the fleet; 0 means one POST per trial. Transport-only: job
+	// results are byte-identical at any batch size.
+	DispatchBatch int
+	// TLSCert/TLSKey/TLSCA and AuthToken secure the fleet wire (mutual
+	// TLS plus a shared bearer token, both fail-closed); they apply to
+	// every job's dispatch. See docs/DISTRIBUTED.md.
+	TLSCert, TLSKey, TLSCA string
+	AuthToken              string
 	// TransferDir, when non-empty, gives the farm a cross-workload
 	// knowledge base (see docs/TRANSFER.md): jobs that set
 	// TuneRequest.Transfer warm-start their search from it and record
@@ -536,6 +545,11 @@ func (s *Server) runJob(job *Job) {
 		Drift:            req.Drift,
 		DriftSensitivity: req.DriftSensitivity,
 		Nodes:            s.cfg.Nodes,
+		DispatchBatch:    s.cfg.DispatchBatch,
+		TLSCert:          s.cfg.TLSCert,
+		TLSKey:           s.cfg.TLSKey,
+		TLSCA:            s.cfg.TLSCA,
+		AuthToken:        s.cfg.AuthToken,
 		Noise:            -1,
 		Telemetry:        job.tel,
 		Trace:            job.trace,

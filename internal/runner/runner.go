@@ -79,6 +79,17 @@ type Runner interface {
 	Elapsed() float64
 }
 
+// BatchMeasurer is optionally implemented by runners that can measure a
+// whole round of distinct configurations in one call (the dispatch pool's
+// batched transport). The contract is strict equivalence: MeasureBatch
+// must return exactly what reps-identical concurrent Measure calls would
+// — same measurements, same virtual cost, same caching — so the executor
+// may use either path for the same session without changing a byte of its
+// outputs. Callers pass configurations with distinct keys.
+type BatchMeasurer interface {
+	MeasureBatch(cfgs []*flags.Config, reps int) []Measurement
+}
+
 // LaunchOverheadSeconds is harness overhead per repetition (process launch,
 // result collection) beyond the JVM's own run time. It is also what a
 // launch that never produced a run costs. Exported for the chaos layer

@@ -14,7 +14,7 @@ go test -race ./...
 # Replay the checked-in fuzz seed corpora (no fuzzing engine, just the
 # corpus as regular tests) and enforce the coverage floors on the
 # measurement pipeline.
-go test -run 'Fuzz' ./internal/flags ./internal/runner ./internal/checkpoint ./internal/evald ./internal/transfer
+go test -run 'Fuzz' ./internal/flags ./internal/runner ./internal/checkpoint ./internal/dispatch ./internal/evald ./internal/transfer
 ./scripts/cover.sh
 
 # The durability gate: kill-and-resume drills for every searcher, the CLI,
